@@ -1,0 +1,322 @@
+// Benchmark harness: one benchmark per paper table and figure, each
+// regenerating the corresponding dataset end-to-end through the public
+// pipeline (simulate -> measure -> calibrate -> project). Run with
+//
+//	go test -bench=. -benchmem
+//
+// The EXPERIMENTS.md index maps each benchmark to its table/figure and
+// records paper-vs-measured comparisons.
+package heterosim
+
+import (
+	"testing"
+
+	"github.com/calcm/heterosim/internal/ablation"
+	"github.com/calcm/heterosim/internal/baseline"
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/itrs"
+	"github.com/calcm/heterosim/internal/measure"
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/pollack"
+	"github.com/calcm/heterosim/internal/project"
+	"github.com/calcm/heterosim/internal/scenario"
+	"github.com/calcm/heterosim/internal/sim"
+	"github.com/calcm/heterosim/internal/validate"
+)
+
+// BenchmarkTable1Bounds solves the full Table 1 constraint system (all
+// three chip models, every feasible r) at the 40nm FFT operating point.
+func BenchmarkTable1Bounds(b *testing.B) {
+	law := pollack.Default()
+	budgets := bounds.Budgets{Area: 19, Power: 8.6, Bandwidth: 57.9}
+	u := bounds.UCore{Mu: 489, Phi: 4.96}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for r := 1.0; r <= 11; r++ {
+			if _, err := bounds.Symmetric(law, budgets, r); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := bounds.AsymmetricOffload(law, budgets, r); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := bounds.Heterogeneous(law, budgets, r, u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable4Summary regenerates the MMM/Black-Scholes measurement
+// summary through the full rig (kernels executed and verified).
+func BenchmarkTable4Summary(b *testing.B) {
+	rig, err := measure.IdealRig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.BuildTable4(rig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5UCoreParameters runs the complete Section 5.1
+// calibration (measurement database + derivation).
+func BenchmarkTable5UCoreParameters(b *testing.B) {
+	rig, err := measure.IdealRig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.BuildTable5(rig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2FFTPerformance sweeps the FFT on all five devices
+// (2^4..2^20) with kernel execution and verification at every size.
+func BenchmarkFigure2FFTPerformance(b *testing.B) {
+	s, err := sim.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.BuildFigure2(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3FFTPower regenerates the power-breakdown stacks.
+func BenchmarkFigure3FFTPower(b *testing.B) {
+	s, err := sim.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.BuildFigure3(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4FFTEfficiencyBandwidth regenerates energy efficiency
+// and the GPU bandwidth-verification series.
+func BenchmarkFigure4FFTEfficiencyBandwidth(b *testing.B) {
+	s, err := sim.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.BuildFigure4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5ITRS rebuilds and validates the roadmap series.
+func BenchmarkFigure5ITRS(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := itrs.ITRS2009()
+		if err := r.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchProjection is the common body of the Figure 6-9 benchmarks.
+func benchProjection(b *testing.B, w paper.WorkloadID, fractions []float64, scen scenario.ID) {
+	b.Helper()
+	s, err := scenario.Get(scen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := s.Apply(project.DefaultConfig(w))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fractions {
+			if _, err := project.Project(cfg, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6FFTProjection regenerates the four FFT-1024 panels.
+func BenchmarkFigure6FFTProjection(b *testing.B) {
+	benchProjection(b, paper.FFT1024, paper.ProjectionFractions, scenario.Baseline)
+}
+
+// BenchmarkFigure7MMMProjection regenerates the four MMM panels
+// (seven designs including the R5870).
+func BenchmarkFigure7MMMProjection(b *testing.B) {
+	benchProjection(b, paper.MMM, paper.ProjectionFractions, scenario.Baseline)
+}
+
+// BenchmarkFigure8BSProjection regenerates the two Black-Scholes panels.
+func BenchmarkFigure8BSProjection(b *testing.B) {
+	benchProjection(b, paper.BS, paper.BSProjectionFractions, scenario.Baseline)
+}
+
+// BenchmarkFigure9FFT1TBs regenerates the 1 TB/s FFT panels (Scenario 2).
+func BenchmarkFigure9FFT1TBs(b *testing.B) {
+	benchProjection(b, paper.FFT1024, paper.ProjectionFractions, scenario.HighBandwidth)
+}
+
+// BenchmarkFigure10MMMEnergy regenerates the three energy panels.
+func BenchmarkFigure10MMMEnergy(b *testing.B) {
+	cfg := project.DefaultConfig(paper.MMM)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, f := range paper.EnergyProjectionFractions {
+			if _, err := project.ProjectEnergy(cfg, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchScenario runs one Section 6.2 scenario against the baseline.
+func benchScenario(b *testing.B, id scenario.ID, w paper.WorkloadID, f float64) {
+	b.Helper()
+	s, err := scenario.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := scenario.Compare(s, w, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenario1LowBandwidth: 90 GB/s start (FFT).
+func BenchmarkScenario1LowBandwidth(b *testing.B) {
+	benchScenario(b, scenario.LowBandwidth, paper.FFT1024, 0.99)
+}
+
+// BenchmarkScenario2HighBandwidth: 1 TB/s start (FFT).
+func BenchmarkScenario2HighBandwidth(b *testing.B) {
+	benchScenario(b, scenario.HighBandwidth, paper.FFT1024, 0.9)
+}
+
+// BenchmarkScenario3HalfArea: 216 mm² core budget.
+func BenchmarkScenario3HalfArea(b *testing.B) {
+	benchScenario(b, scenario.HalfArea, paper.FFT1024, 0.99)
+}
+
+// BenchmarkScenario4DoublePower: 200 W budget.
+func BenchmarkScenario4DoublePower(b *testing.B) {
+	benchScenario(b, scenario.DoublePower, paper.FFT1024, 0.99)
+}
+
+// BenchmarkScenario5MobilePower: 10 W budget.
+func BenchmarkScenario5MobilePower(b *testing.B) {
+	benchScenario(b, scenario.MobilePower, paper.FFT1024, 0.9)
+}
+
+// BenchmarkScenario6SerialPower: alpha = 2.25.
+func BenchmarkScenario6SerialPower(b *testing.B) {
+	benchScenario(b, scenario.SerialPower, paper.FFT1024, 0.5)
+}
+
+// ---- Ablation benches: re-run the projection with one model ingredient
+// removed, quantifying what each constraint contributes (DESIGN.md §6).
+
+// BenchmarkAblationBandwidthBound removes the bandwidth constraint.
+func BenchmarkAblationBandwidthBound(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ablation.BandwidthBound(paper.FFT1024, 0.999, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPowerBound removes the power constraint.
+func BenchmarkAblationPowerBound(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ablation.PowerBound(paper.FFT1024, 0.999, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSequentialSizing pins r = 1 versus the full sweep.
+func BenchmarkAblationSequentialSizing(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ablation.SequentialSizing(paper.FFT1024, 0.5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOffload compares offload vs original asymmetric.
+func BenchmarkAblationOffload(b *testing.B) {
+	budgets := bounds.Budgets{Area: 19, Power: 8.6, Bandwidth: 57.9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ablation.OffloadAssumption(0.99, budgets, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidationStudy runs the four-conclusion check on both the
+// forward and the back-cast roadmaps (the paper's §6.3 validity check).
+func BenchmarkValidationStudy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := validate.CheckConclusions("fwd", itrs.ITRS2009()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := validate.CheckConclusions("back", validate.BackcastRoadmap()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibrateFacade measures the public one-call calibration.
+func BenchmarkCalibrateFacade(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Calibrate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeSingleDesign measures one design-point optimization —
+// the model's innermost hot path.
+func BenchmarkOptimizeSingleDesign(b *testing.B) {
+	ev := NewEvaluator()
+	u, ok := PublishedUCore(ASIC, FFT1024)
+	if !ok {
+		b.Fatal("missing params")
+	}
+	d := Design{Kind: Het, UCore: u}
+	budgets := Budgets{Area: 19, Power: 8.6, Bandwidth: 57.9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Optimize(d, 0.99, budgets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"github.com/calcm/heterosim/internal/baseline"
+	"github.com/calcm/heterosim/internal/itrs"
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/project"
+	"github.com/calcm/heterosim/internal/report"
+	"github.com/calcm/heterosim/internal/scenario"
+	"github.com/calcm/heterosim/internal/sim"
+)
+
+func cmdFigure(args []string) error {
+	fs := newFlagSet("figure")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of an ASCII chart")
+	if len(args) < 1 {
+		return fmt.Errorf("figure: which one? (2-10)")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("figure: bad number %q", args[0])
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	switch n {
+	case 2:
+		return renderFigure2(*csvOut)
+	case 3:
+		return renderFigure3(*csvOut)
+	case 4:
+		return renderFigure4(*csvOut)
+	case 5:
+		return renderFigure5(*csvOut)
+	case 6:
+		return renderProjectionFigure(paper.FFT1024, paper.ProjectionFractions,
+			"Figure 6: FFT-1024 projection", scenario.Baseline, *csvOut)
+	case 7:
+		return renderProjectionFigure(paper.MMM, paper.ProjectionFractions,
+			"Figure 7: MMM projection", scenario.Baseline, *csvOut)
+	case 8:
+		return renderProjectionFigure(paper.BS, paper.BSProjectionFractions,
+			"Figure 8: Black-Scholes projection", scenario.Baseline, *csvOut)
+	case 9:
+		return renderProjectionFigure(paper.FFT1024, paper.ProjectionFractions,
+			"Figure 9: FFT-1024 projection at 1 TB/s", scenario.HighBandwidth, *csvOut)
+	case 10:
+		return renderFigure10(*csvOut)
+	default:
+		return fmt.Errorf("figure: no figure %d is reproducible (1 is a diagram)", n)
+	}
+}
+
+func fftXLabels(log2N []int) []string {
+	out := make([]string, len(log2N))
+	for i, l2 := range log2N {
+		out[i] = strconv.Itoa(l2)
+	}
+	return out
+}
+
+func renderFigure2(csvOut bool) error {
+	s, err := sim.New()
+	if err != nil {
+		return err
+	}
+	fig, err := baseline.BuildFigure2(s)
+	if err != nil {
+		return err
+	}
+	if csvOut {
+		headers := []string{"device"}
+		for _, l2 := range fig.Log2N {
+			headers = append(headers, fmt.Sprintf("log2N=%d", l2))
+		}
+		var rows [][]string
+		for _, id := range baseline.FFTDevices {
+			rows = append(rows, report.FloatRow(string(id)+" raw", fig.Raw[id]...))
+			rows = append(rows, report.FloatRow(string(id)+" norm", fig.Normalized[id]...))
+		}
+		return report.WriteCSV(os.Stdout, headers, rows)
+	}
+	for _, part := range []struct {
+		title string
+		data  map[paper.DeviceID][]float64
+		ylab  string
+	}{
+		{"Figure 2 (top): FFT performance, non-normalized", fig.Raw, "pseudo-GFLOP/s"},
+		{"Figure 2 (bottom): area-normalized FFT performance (40nm)", fig.Normalized, "pseudo-GFLOP/s per mm2"},
+	} {
+		c := report.Chart{
+			Title: part.title, YLabel: part.ylab,
+			XLabels: fftXLabels(fig.Log2N), LogY: true, Height: 18,
+		}
+		for _, id := range baseline.FFTDevices {
+			c.Series = append(c.Series, report.Series{Name: string(id), Values: part.data[id]})
+		}
+		if err := c.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func renderFigure3(csvOut bool) error {
+	s, err := sim.New()
+	if err != nil {
+		return err
+	}
+	fig, err := baseline.BuildFigure3(s)
+	if err != nil {
+		return err
+	}
+	if csvOut {
+		headers := []string{"device", "log2N", "core_dynamic", "core_leakage",
+			"uncore_static", "uncore_dynamic", "unknown", "total"}
+		var rows [][]string
+		for _, id := range baseline.FFTDevices {
+			for i, st := range fig.Stacks[id] {
+				rows = append(rows, report.FloatRow(string(id),
+					float64(fig.Log2N[i]), st.CoreDynamic, st.CoreLeakage,
+					st.UncoreStatic, st.UncoreDynamic, st.Unknown, st.Total()))
+			}
+		}
+		return report.WriteCSV(os.Stdout, headers, rows)
+	}
+	// Stacked bars at the FFT-1024 operating point (the paper's x-axis
+	// has all sizes; the bar shape is per device).
+	bars := report.StackedBar{
+		Title:      "Figure 3: FFT power consumption breakdown at N=1024",
+		Unit:       "W",
+		Components: []string{"core dynamic", "core leakage", "uncore static", "uncore dynamic", "unknown"},
+		Width:      46,
+	}
+	idx1024 := -1
+	for i, l2 := range fig.Log2N {
+		if l2 == 10 {
+			idx1024 = i
+		}
+	}
+	for _, id := range baseline.FFTDevices {
+		st := fig.Stacks[id][idx1024]
+		bars.Rows = append(bars.Rows, report.StackRow{
+			Label: string(id),
+			Values: []float64{st.CoreDynamic, st.CoreLeakage,
+				st.UncoreStatic, st.UncoreDynamic, st.Unknown},
+		})
+	}
+	if err := bars.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	t := report.NewTable("Breakdown across sizes (watts)",
+		"Device", "log2N", "Core dyn", "Core leak", "Uncore static", "Uncore dyn", "Unknown", "Total")
+	for _, id := range baseline.FFTDevices {
+		for i, l2 := range fig.Log2N {
+			if l2 != 6 && l2 != 10 && l2 != 14 && l2 != 20 {
+				continue
+			}
+			st := fig.Stacks[id][i]
+			t.AddRowf(string(id), l2, st.CoreDynamic, st.CoreLeakage,
+				st.UncoreStatic, st.UncoreDynamic, st.Unknown, st.Total())
+		}
+	}
+	return t.Render(os.Stdout)
+}
+
+func renderFigure4(csvOut bool) error {
+	s, err := sim.New()
+	if err != nil {
+		return err
+	}
+	fig, err := baseline.BuildFigure4(s)
+	if err != nil {
+		return err
+	}
+	if csvOut {
+		headers := []string{"series"}
+		for _, l2 := range fig.Log2N {
+			headers = append(headers, fmt.Sprintf("log2N=%d", l2))
+		}
+		var rows [][]string
+		for _, id := range baseline.FFTDevices {
+			rows = append(rows, report.FloatRow(string(id)+" GFLOPs/J", fig.Efficiency[id]...))
+		}
+		rows = append(rows,
+			report.FloatRow("GTX285 compulsory GB/s", fig.CompulsoryGTX285...),
+			report.FloatRow("GTX285 measured GB/s", fig.MeasuredGTX285...),
+			report.FloatRow("GTX480 compulsory GB/s", fig.CompulsoryGTX480...))
+		return report.WriteCSV(os.Stdout, headers, rows)
+	}
+	eff := report.Chart{
+		Title: "Figure 4 (top): FFT energy efficiency (40nm)", YLabel: "pseudo-GFLOPs per J",
+		XLabels: fftXLabels(fig.Log2N), LogY: true, Height: 16,
+	}
+	for _, id := range baseline.FFTDevices {
+		eff.Series = append(eff.Series, report.Series{Name: string(id), Values: fig.Efficiency[id]})
+	}
+	if err := eff.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	bw := report.Chart{
+		Title: "Figure 4 (bottom): FFT bandwidth (GTX285 knee at 2^12)", YLabel: "GB/s",
+		XLabels: fftXLabels(fig.Log2N), Height: 14,
+		Series: []report.Series{
+			{Name: "GTX285 compulsory", Values: fig.CompulsoryGTX285},
+			{Name: "GTX285 measured", Values: fig.MeasuredGTX285},
+			{Name: "GTX480 compulsory", Values: fig.CompulsoryGTX480},
+		},
+	}
+	return bw.Render(os.Stdout)
+}
+
+func renderFigure5(csvOut bool) error {
+	nodes := itrs.ITRS2009().Nodes()
+	labels := make([]string, len(nodes))
+	pins := make([]float64, len(nodes))
+	vdd := make([]float64, len(nodes))
+	cgate := make([]float64, len(nodes))
+	combined := make([]float64, len(nodes))
+	for i, n := range nodes {
+		labels[i] = fmt.Sprintf("%d", n.Year)
+		pins[i] = n.RelPins
+		vdd[i] = n.RelVdd
+		cgate[i] = n.RelGateCap
+		combined[i] = n.RelPowerPerXtor
+	}
+	if csvOut {
+		return report.WriteCSV(os.Stdout,
+			[]string{"series", labels[0], labels[1], labels[2], labels[3], labels[4]},
+			[][]string{
+				report.FloatRow("package pins", pins...),
+				report.FloatRow("Vdd", vdd...),
+				report.FloatRow("gate capacitance", cgate...),
+				report.FloatRow("combined power reduction", combined...),
+			})
+	}
+	c := report.Chart{
+		Title:   "Figure 5: ITRS 2009 scaling projections (normalized to 2011)",
+		XLabels: labels, Height: 14,
+		Series: []report.Series{
+			{Name: "package pins", Values: pins},
+			{Name: "Vdd", Values: vdd},
+			{Name: "gate capacitance", Values: cgate},
+			{Name: "combined power reduction", Values: combined},
+		},
+	}
+	return c.Render(os.Stdout)
+}
+
+// renderProjectionFigure draws one chart per f value, with limit
+// annotations per the paper's dashed/solid convention.
+func renderProjectionFigure(w paper.WorkloadID, fractions []float64, title string, scen scenario.ID, csvOut bool) error {
+	s, err := scenario.Get(scen)
+	if err != nil {
+		return err
+	}
+	cfg := s.Apply(project.DefaultConfig(w))
+	nodes := cfg.Roadmap.Nodes()
+	labels := make([]string, len(nodes))
+	for i, n := range nodes {
+		labels[i] = n.Name
+	}
+	for _, f := range fractions {
+		ts, err := project.Project(cfg, f)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			headers := append([]string{"design"}, labels...)
+			headers = append(headers, "limits")
+			var rows [][]string
+			for _, tr := range ts {
+				vals := make([]float64, len(tr.Points))
+				lims := ""
+				for i, p := range tr.Points {
+					if p.Valid {
+						vals[i] = p.Point.Speedup
+						lims += p.Point.Limit.String()[:1]
+					} else {
+						vals[i] = math.NaN()
+						lims += "-"
+					}
+				}
+				row := report.FloatRow(fmt.Sprintf("%s f=%.3f", tr.Design.Label, f), vals...)
+				row = append(row, lims)
+				rows = append(rows, row)
+			}
+			if err := report.WriteCSV(os.Stdout, headers, rows); err != nil {
+				return err
+			}
+			continue
+		}
+		c := report.Chart{
+			Title:   fmt.Sprintf("%s, f=%.3f", title, f),
+			YLabel:  "Speedup (vs 1 BCE)",
+			XLabels: labels, Height: 16,
+		}
+		for _, tr := range ts {
+			vals := make([]float64, len(tr.Points))
+			for i, p := range tr.Points {
+				if p.Valid {
+					vals[i] = p.Point.Speedup
+				} else {
+					vals[i] = math.NaN()
+				}
+			}
+			c.Series = append(c.Series, report.Series{Name: tr.Design.Label, Values: vals})
+		}
+		if err := c.Render(os.Stdout); err != nil {
+			return err
+		}
+		// Limit annotation table (dashed = power, solid = bandwidth).
+		t := report.NewTable("Limiting factor per node (a=area, p=power, b=bandwidth, -=infeasible)",
+			append([]string{"Design"}, labels...)...)
+		for _, tr := range ts {
+			row := []string{tr.Design.Label}
+			for _, p := range tr.Points {
+				if !p.Valid {
+					row = append(row, "-")
+				} else {
+					row = append(row, p.Point.Limit.String()[:1]+fmt.Sprintf(" r=%d", p.Point.R))
+				}
+			}
+			t.AddRow(row...)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func renderFigure10(csvOut bool) error {
+	cfg := project.DefaultConfig(paper.MMM)
+	nodes := cfg.Roadmap.Nodes()
+	labels := make([]string, len(nodes))
+	for i, n := range nodes {
+		labels[i] = n.Name
+	}
+	for _, f := range paper.EnergyProjectionFractions {
+		ts, err := project.ProjectEnergy(cfg, f)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			var rows [][]string
+			for _, tr := range ts {
+				vals := make([]float64, len(tr.Points))
+				for i, p := range tr.Points {
+					if p.Valid {
+						vals[i] = p.EnergyNode
+					} else {
+						vals[i] = math.NaN()
+					}
+				}
+				rows = append(rows, report.FloatRow(fmt.Sprintf("%s f=%.3f", tr.Design.Label, f), vals...))
+			}
+			if err := report.WriteCSV(os.Stdout, append([]string{"design"}, labels...), rows); err != nil {
+				return err
+			}
+			continue
+		}
+		c := report.Chart{
+			Title:   fmt.Sprintf("Figure 10: MMM energy projections (normalized to BCE at 40nm), f=%.3f", f),
+			YLabel:  "Energy (normalized)",
+			XLabels: labels, Height: 14,
+		}
+		for _, tr := range ts {
+			vals := make([]float64, len(tr.Points))
+			for i, p := range tr.Points {
+				if p.Valid {
+					vals[i] = p.EnergyNode
+				} else {
+					vals[i] = math.NaN()
+				}
+			}
+			c.Series = append(c.Series, report.Series{Name: tr.Design.Label, Values: vals})
+		}
+		if err := c.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Command heterosim regenerates every table and figure of Chung et al.
+// (MICRO 2010) from the reproduction's simulated measurement and
+// projection pipeline.
+//
+// Usage:
+//
+//	heterosim table <1|2|3|4|5|6>       render a paper table
+//	heterosim figure <2|3|4|5|6|7|8|9|10> [-csv] render a paper figure
+//	heterosim calibrate                 run the full calibration pipeline
+//	heterosim project -workload W -f F [-scenario N]  custom projection
+//	heterosim scenario <1..6>           run a Section 6.2 scenario study
+//	heterosim energy [-f F]             Figure 10 energy projections
+//	heterosim all                       regenerate everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "heterosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("a subcommand is required")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "table":
+		return cmdTable(rest)
+	case "figure":
+		return cmdFigure(rest)
+	case "calibrate":
+		return cmdCalibrate(rest)
+	case "project":
+		return cmdProject(rest)
+	case "scenario":
+		return cmdScenario(rest)
+	case "energy":
+		return cmdEnergy(rest)
+	case "validate":
+		return cmdValidate(rest)
+	case "ablate":
+		return cmdAblate(rest)
+	case "derive":
+		return cmdDerive(rest)
+	case "sensitivity":
+		return cmdSensitivity(rest)
+	case "frontier":
+		return cmdFrontier(rest)
+	case "devices":
+		return cmdDevices(rest)
+	case "all":
+		return cmdAll(rest)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `heterosim — reproduction of "Single-Chip Heterogeneous Computing" (MICRO 2010)
+
+Subcommands:
+  table <n>      render paper table n (1-6)
+  figure <n>     render paper figure n (2-10); -csv for CSV output
+  calibrate      run the measurement + calibration pipeline (Table 5)
+  project        custom projection: -workload MMM|BS|FFT-1024 -f 0.99 [-scenario 0-6]
+  scenario <n>   run Section 6.2 scenario n (1-6) against the baseline
+  energy         Figure 10 energy projections: [-f 0.9] [-workload MMM]
+  validate       check the paper's four conclusions on forward + back-cast roadmaps
+  ablate         quantify each model ingredient by removing it
+  derive         calibrate (mu, phi) from a JSON measurement file; -dump for a template
+  sensitivity    input elasticities + Monte Carlo speedup intervals
+  frontier       sweep the (mu, phi) design space on a grid
+  devices        list the simulated device catalog and operating points
+  all            regenerate every table and figure
+`)
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}

@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	return out, runErr
+}
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args must fail")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand must fail")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help should succeed: %v", err)
+	}
+}
+
+func TestTableSubcommands(t *testing.T) {
+	for _, n := range []string{"1", "2", "3", "6"} {
+		out, err := capture(t, func() error { return run([]string{"table", n}) })
+		if err != nil {
+			t.Fatalf("table %s: %v", n, err)
+		}
+		if !strings.Contains(out, "Table "+n) {
+			t.Errorf("table %s output missing title:\n%s", n, out)
+		}
+	}
+	if err := run([]string{"table"}); err == nil {
+		t.Error("missing table number must fail")
+	}
+	if err := run([]string{"table", "9"}); err == nil {
+		t.Error("table 9 must fail")
+	}
+	if err := run([]string{"table", "x"}); err == nil {
+		t.Error("non-numeric table must fail")
+	}
+}
+
+func TestTable5MatchesPublishedInOutput(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"table", "5"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check a few published values appear.
+	for _, want := range []string{"ASIC", "FFT-1024", "4.96", "489"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureSubcommands(t *testing.T) {
+	cases := map[string]string{
+		"5": "ITRS",
+		"6": "FFT-1024",
+		"8": "Black-Scholes",
+		"9": "1 TB/s",
+	}
+	for n, want := range cases {
+		out, err := capture(t, func() error { return run([]string{"figure", n}) })
+		if err != nil {
+			t.Fatalf("figure %s: %v", n, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("figure %s missing %q", n, want)
+		}
+	}
+	if err := run([]string{"figure"}); err == nil {
+		t.Error("missing figure number must fail")
+	}
+	if err := run([]string{"figure", "1"}); err == nil {
+		t.Error("figure 1 is a diagram; must fail")
+	}
+	if err := run([]string{"figure", "z"}); err == nil {
+		t.Error("non-numeric figure must fail")
+	}
+}
+
+func TestFigureCSVOutput(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"figure", "5", "-csv"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "series,") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "package pins") {
+		t.Errorf("CSV rows missing:\n%s", out)
+	}
+}
+
+func TestProjectSubcommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"project", "-workload", "MMM", "-f", "0.99"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(6) ASIC", "(5) R5870", "40nm", "11nm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("project output missing %q", want)
+		}
+	}
+	if err := run([]string{"project", "-workload", "nope"}); err == nil {
+		t.Error("unknown workload must fail")
+	}
+	if err := run([]string{"project", "-scenario", "99"}); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+}
+
+func TestProjectOverrides(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"project", "-workload", "FFT-1024", "-f", "0.9",
+			"-power", "200", "-bandwidth", "90", "-areascale", "0.5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "FFT-1024") {
+		t.Error("override run missing output")
+	}
+}
+
+func TestScenarioSubcommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"scenario", "2", "-workload", "FFT-1024", "-f", "0.9"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scenario 2", "1 TB/s", "Baseline:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario output missing %q", want)
+		}
+	}
+	if err := run([]string{"scenario"}); err == nil {
+		t.Error("missing scenario number must fail")
+	}
+	if err := run([]string{"scenario", "7"}); err == nil {
+		t.Error("scenario 7 must fail")
+	}
+}
+
+func TestEnergySubcommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"energy", "-workload", "MMM", "-f", "0.9"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Energy projection") {
+		t.Errorf("energy output missing title:\n%s", out)
+	}
+	if err := run([]string{"energy", "-workload", "bogus"}); err == nil {
+		t.Error("bad workload must fail")
+	}
+}
+
+func TestValidateSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"validate"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ITRS-2009", "back-cast", "all conclusions hold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("validate output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("validation should pass on both roadmaps:\n%s", out)
+	}
+}
+
+func TestCalibrateSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"calibrate"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Calibration") || !strings.Contains(out, "mu err %") {
+		t.Errorf("calibrate output malformed:\n%s", out)
+	}
+	// Noisy calibration with few samples still runs.
+	if _, err := capture(t, func() error {
+		return run([]string{"calibrate", "-noise", "0.05", "-samples", "50", "-seed", "7"})
+	}); err != nil {
+		t.Fatalf("noisy calibrate: %v", err)
+	}
+}
+
+func TestAblateSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"ablate", "-f", "0.999", "-node", "4"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bandwidth bound removed", "power bound removed",
+		"sequential core pinned", "Offload assumption", "Scheduling assumption"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablate output missing %q", want)
+		}
+	}
+	if err := run([]string{"ablate", "-node", "99"}); err == nil {
+		t.Error("bad node index must fail")
+	}
+}
+
+func TestDeriveSubcommand(t *testing.T) {
+	// Dump a template, then re-derive from it.
+	dump, err := capture(t, func() error { return run([]string{"derive", "-dump"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/db.json"
+	if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"derive", "-measurements", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ASIC") || !strings.Contains(out, "489") {
+		t.Errorf("derive output missing calibration:\n%s", out)
+	}
+	if err := run([]string{"derive"}); err == nil {
+		t.Error("derive without input must fail")
+	}
+	if err := run([]string{"derive", "-measurements", dir + "/missing.json"}); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestSensitivitySubcommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"sensitivity", "-workload", "FFT-1024", "-f", "0.999",
+			"-node", "0", "-samples", "50"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Elasticities", "Monte Carlo", "(6) ASIC", "bandwidth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sensitivity output missing %q", want)
+		}
+	}
+	if err := run([]string{"sensitivity", "-node", "99"}); err == nil {
+		t.Error("bad node must fail")
+	}
+}
+
+func TestFrontierSubcommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"frontier", "-steps", "3", "-node", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"speedup surface", "Best grid point", "phi\\mu"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frontier output missing %q", want)
+		}
+	}
+	if err := run([]string{"frontier", "-steps", "0"}); err == nil {
+		t.Error("zero steps must fail")
+	}
+	if err := run([]string{"frontier", "-node", "-1"}); err == nil {
+		t.Error("bad node must fail")
+	}
+}
+
+func TestParseWorkload(t *testing.T) {
+	for _, s := range []string{"MMM", "bs", "FFT", "fft-64", "FFT-16384"} {
+		if _, err := parseWorkload(s); err != nil {
+			t.Errorf("parseWorkload(%q): %v", s, err)
+		}
+	}
+	if _, err := parseWorkload("LINPACK"); err == nil {
+		t.Error("unknown workload must fail")
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/calcm/heterosim/internal/itrs"
+	"github.com/calcm/heterosim/internal/report"
+	"github.com/calcm/heterosim/internal/validate"
+)
+
+// cmdValidate runs the paper's model-validity check (Section 6.3): the
+// four conclusions evaluated on the forward ITRS roadmap and on a
+// back-cast 65nm-era roadmap.
+func cmdValidate(args []string) error {
+	fs := newFlagSet("validate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	studies := []struct {
+		name    string
+		roadmap itrs.Roadmap
+	}{
+		{"ITRS-2009 (forward, 40nm->11nm)", itrs.ITRS2009()},
+		{"back-cast (65nm->40nm, older devices)", validate.BackcastRoadmap()},
+	}
+	for _, st := range studies {
+		rep, err := validate.CheckConclusions(st.name, st.roadmap)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(fmt.Sprintf("Conclusion check: %s", st.name),
+			"Finding", "Holds", "Evidence")
+		for _, r := range rep.Results {
+			t.AddRowf(r.Finding.String(), r.Holds, r.Evidence)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		if rep.AllHold() {
+			fmt.Println("=> all conclusions hold")
+		} else {
+			fmt.Println("=> WARNING: some conclusions failed")
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Command itrs-project runs a single flag-tunable ITRS scaling projection
+// — the building block of the paper's Figures 6-9 — and prints speedup
+// trajectories with limiting-factor attribution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/project"
+	"github.com/calcm/heterosim/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "itrs-project:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("itrs-project", flag.ContinueOnError)
+	wname := fs.String("workload", "FFT-1024", "MMM, BS, FFT-64, FFT-1024, or FFT-16384")
+	f := fs.Float64("f", 0.99, "parallel fraction")
+	power := fs.Float64("power", 100, "core power budget in watts")
+	bw := fs.Float64("bandwidth", 180, "starting off-chip bandwidth in GB/s")
+	areaScale := fs.Float64("areascale", 1, "area budget scale factor")
+	alpha := fs.Float64("alpha", 1.75, "sequential power-law exponent")
+	maxR := fs.Int("maxr", 16, "sequential core sweep bound")
+	csvOut := fs.Bool("csv", false, "emit CSV")
+	energy := fs.Bool("energy", false, "optimize for minimum energy instead of speedup")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var w paper.WorkloadID
+	switch *wname {
+	case "MMM":
+		w = paper.MMM
+	case "BS":
+		w = paper.BS
+	case "FFT-64":
+		w = paper.FFT64
+	case "FFT-1024":
+		w = paper.FFT1024
+	case "FFT-16384":
+		w = paper.FFT16384
+	default:
+		return fmt.Errorf("unknown workload %q", *wname)
+	}
+	cfg := project.DefaultConfig(w)
+	cfg.PowerBudgetW = *power
+	cfg.BaseBandwidthGBs = *bw
+	cfg.AreaScale = *areaScale
+	cfg.Alpha = *alpha
+	cfg.MaxR = *maxR
+
+	var (
+		ts  []project.Trajectory
+		err error
+	)
+	if *energy {
+		ts, err = project.ProjectEnergy(cfg, *f)
+	} else {
+		ts, err = project.Project(cfg, *f)
+	}
+	if err != nil {
+		return err
+	}
+	nodes := cfg.Roadmap.Nodes()
+	labels := make([]string, len(nodes))
+	for i, n := range nodes {
+		labels[i] = n.Name
+	}
+	metric := func(p project.NodePoint) float64 {
+		if *energy {
+			return p.EnergyNode
+		}
+		return p.Point.Speedup
+	}
+	if *csvOut {
+		var rows [][]string
+		for _, tr := range ts {
+			vals := make([]float64, len(tr.Points))
+			for i, p := range tr.Points {
+				if p.Valid {
+					vals[i] = metric(p)
+				} else {
+					vals[i] = math.NaN()
+				}
+			}
+			rows = append(rows, report.FloatRow(tr.Design.Label, vals...))
+		}
+		return report.WriteCSV(os.Stdout, append([]string{"design"}, labels...), rows)
+	}
+	kind := "speedup"
+	if *energy {
+		kind = "normalized energy"
+	}
+	t := report.NewTable(
+		fmt.Sprintf("%s projection: %s, f=%.3f, %gW, %gGB/s, alpha=%.2f",
+			kind, w, *f, *power, *bw, *alpha),
+		append([]string{"Design"}, labels...)...)
+	for _, tr := range ts {
+		row := []string{tr.Design.Label}
+		for _, p := range tr.Points {
+			if !p.Valid {
+				row = append(row, "infeasible")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%s (%s,r=%d)",
+				report.FormatFloat(metric(p)), p.Point.Limit.String()[:1], p.Point.R))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(os.Stdout)
+}

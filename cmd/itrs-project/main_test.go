@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestDefaultRun(t *testing.T) {
+	out, err := capture(t, func() error { return run(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FFT-1024", "40nm", "11nm", "(6) ASIC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestAllWorkloads(t *testing.T) {
+	for _, w := range []string{"MMM", "BS", "FFT-64", "FFT-1024", "FFT-16384"} {
+		if _, err := capture(t, func() error {
+			return run([]string{"-workload", w, "-f", "0.9"})
+		}); err != nil {
+			t.Errorf("%s: %v", w, err)
+		}
+	}
+	if err := run([]string{"-workload", "SPECint"}); err == nil {
+		t.Error("unknown workload must fail")
+	}
+}
+
+func TestCSVMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-csv", "-workload", "MMM"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "design,40nm") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+}
+
+func TestEnergyMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-energy", "-workload", "MMM", "-f", "0.9"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "normalized energy") {
+		t.Errorf("energy title missing:\n%s", out)
+	}
+}
+
+func TestBudgetFlags(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-power", "10", "-bandwidth", "90", "-alpha", "2.25", "-maxr", "8"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "10W") || !strings.Contains(out, "alpha=2.25") {
+		t.Errorf("flag echo missing:\n%s", out)
+	}
+	// 10 W makes 40nm infeasible.
+	if !strings.Contains(out, "infeasible") {
+		t.Errorf("expected infeasible 40nm at 10 W:\n%s", out)
+	}
+}

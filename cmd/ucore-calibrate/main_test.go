@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestIdealCalibration(t *testing.T) {
+	out, err := capture(t, func() error { return run(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Derived U-core parameters", "ASIC", "FFT-1024"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCSVCalibration(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-csv"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "device,workload,phi,mu") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "ASIC,FFT-1024,4.96") {
+		t.Errorf("published ASIC FFT row missing:\n%s", out)
+	}
+}
+
+func TestNoisyCalibration(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run([]string{"-noise", "0.03", "-samples", "200", "-seed", "42"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-noise", "-1"}); err == nil {
+		t.Error("negative noise must fail")
+	}
+	if err := run([]string{"-samples", "0"}); err == nil {
+		t.Error("zero samples must fail")
+	}
+}

@@ -1,0 +1,72 @@
+package heterosim_test
+
+import (
+	"fmt"
+
+	heterosim "github.com/calcm/heterosim"
+)
+
+// Evaluate the paper's measured ASIC FFT core under 40nm budgets.
+func Example() {
+	u, _ := heterosim.PublishedUCore(heterosim.ASIC, heterosim.FFT1024)
+	ev := heterosim.NewEvaluator()
+	pt, _ := ev.Optimize(heterosim.Design{
+		Kind: heterosim.Het, Label: "ASIC FFT", UCore: u,
+	}, 0.99, heterosim.Budgets{Area: 19, Power: 8.6, Bandwidth: 57.9})
+	fmt.Printf("speedup %.1f at r=%d (%s)\n", pt.Speedup, pt.R, pt.Limit)
+	// Output: speedup 49.7 at r=11 (bandwidth-limited)
+}
+
+// Published Table 5 parameters are available by device and workload.
+func ExamplePublishedUCore() {
+	u, ok := heterosim.PublishedUCore(heterosim.GTX285, heterosim.MMM)
+	fmt.Println(ok, u.Mu, u.Phi)
+	u, ok = heterosim.PublishedUCore(heterosim.R5870, heterosim.BS)
+	fmt.Println(ok, u.Mu, u.Phi) // the paper could not measure this pair
+	// Output:
+	// true 3.41 0.74
+	// false 0 0
+}
+
+// Project the FFT-1024 lineup across the ITRS roadmap at f = 0.99.
+func ExampleProjectWorkload() {
+	ts, _ := heterosim.ProjectWorkload(heterosim.FFT1024, 0.99)
+	for _, tr := range ts {
+		last := tr.Points[len(tr.Points)-1]
+		fmt.Printf("%-12s 11nm speedup %5.1f (%s)\n",
+			tr.Design.Label, last.Point.Speedup, last.Point.Limit)
+	}
+	// Output:
+	// (0) SymCMP   11nm speedup  25.9 (power-limited)
+	// (1) AsymCMP  11nm speedup  32.1 (power-limited)
+	// (2) LX760    11nm speedup  67.9 (bandwidth-limited)
+	// (3) GTX285   11nm speedup  67.9 (bandwidth-limited)
+	// (4) GTX480   11nm speedup  67.9 (bandwidth-limited)
+	// (6) ASIC     11nm speedup  67.9 (bandwidth-limited)
+}
+
+// The ITRS 2009 roadmap behind Table 6.
+func ExampleITRS2009() {
+	for _, n := range heterosim.ITRS2009().Nodes() {
+		fmt.Printf("%d %s: %3.0f BCE, %.2fx power, %.0f GB/s\n",
+			n.Year, n.Name, n.MaxAreaBCE, n.RelPowerPerXtor, n.BandwidthGBs(180))
+	}
+	// Output:
+	// 2011 40nm:  19 BCE, 1.00x power, 180 GB/s
+	// 2013 32nm:  37 BCE, 0.75x power, 198 GB/s
+	// 2016 22nm:  75 BCE, 0.50x power, 234 GB/s
+	// 2019 16nm: 149 BCE, 0.36x power, 234 GB/s
+	// 2022 11nm: 298 BCE, 0.25x power, 252 GB/s
+}
+
+// Varying-parallelism profiles distinguish applications the scalar f
+// cannot.
+func ExampleTwoPhaseProfile() {
+	u, _ := heterosim.PublishedUCore(heterosim.ASIC, heterosim.MMM)
+	narrow, _ := heterosim.TwoPhaseProfile(0.9, 2) // only 2 parallel streams
+	wide, _ := heterosim.TwoPhaseProfile(0.9, 1e9) // unbounded parallelism
+	sNarrow, _ := narrow.SpeedupHeterogeneous(64, 2, u)
+	sWide, _ := wide.SpeedupHeterogeneous(64, 2, u)
+	fmt.Printf("same f=0.9: narrow %.1f, wide %.1f\n", sNarrow, sWide)
+	// Output: same f=0.9: narrow 11.5, wide 14.0
+}

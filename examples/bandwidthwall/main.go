@@ -1,0 +1,62 @@
+// Bandwidthwall: the paper's Scenario 2 — what happens if disruptive
+// memory technology (3D stacking, embedded DRAM) delivers 1 TB/s? The
+// study behind Figure 9: the bandwidth wall moves, designs become
+// power-limited, and custom logic's edge over flexible U-cores reopens
+// only at extreme parallelism.
+//
+// Run with: go run ./examples/bandwidthwall
+package main
+
+import (
+	"fmt"
+	"log"
+
+	heterosim "github.com/calcm/heterosim"
+)
+
+func main() {
+	var baselineScen, highBW heterosim.Scenario
+	for _, s := range heterosim.Scenarios() {
+		switch s.Name {
+		case "baseline":
+			baselineScen = s
+		case "1 TB/s start":
+			highBW = s
+		}
+	}
+	if baselineScen.Name == "" || highBW.Name == "" {
+		log.Fatal("scenario catalog incomplete")
+	}
+
+	fmt.Println("How much speedup does lifting the bandwidth wall buy?")
+	fmt.Println("(FFT-1024 at 11nm, best design point per chip, 180 GB/s vs 1 TB/s)")
+	fmt.Println()
+
+	for _, f := range []float64{0.9, 0.99, 0.999} {
+		base, err := heterosim.RunScenario(baselineScen, heterosim.FFT1024, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wide, err := heterosim.RunScenario(highBW, heterosim.FFT1024, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("f = %.3f:\n", f)
+		fmt.Printf("  %-14s %12s %12s %8s %s\n", "design", "180 GB/s", "1 TB/s", "gain", "new limit")
+		for i := range base {
+			b := base[i].Points[len(base[i].Points)-1]
+			w := wide[i].Points[len(wide[i].Points)-1]
+			if !b.Valid || !w.Valid {
+				continue
+			}
+			fmt.Printf("  %-14s %12.1f %12.1f %7.2fx %s\n",
+				base[i].Design.Label, b.Point.Speedup, w.Point.Speedup,
+				w.Point.Speedup/b.Point.Speedup, w.Point.Limit)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading the result: bandwidth-starved U-cores (especially custom")
+	fmt.Println("logic) gain the most; the CMPs gain nothing because power, not")
+	fmt.Println("bandwidth, was their wall all along — the paper's Section 6.2.")
+}

@@ -1,0 +1,90 @@
+// Mobile: the paper's Scenario 5 — a 10 W power envelope (laptops,
+// phones). Shows that under severe power constraints only custom logic
+// approaches the bandwidth ceiling, and quantifies how much performance
+// each U-core class gives up.
+//
+// Run with: go run ./examples/mobile
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	heterosim "github.com/calcm/heterosim"
+)
+
+func main() {
+	// Find Scenario 5 in the catalog.
+	var mobile heterosim.Scenario
+	found := false
+	for _, s := range heterosim.Scenarios() {
+		if s.Name == "10 W budget" {
+			mobile, found = s, true
+			break
+		}
+	}
+	if !found {
+		log.Fatal("scenario catalog missing the 10 W study")
+	}
+	fmt.Printf("Scenario: %s\nRationale: %s\n\n", mobile.Name, mobile.Rationale)
+
+	for _, f := range []float64{0.9, 0.99} {
+		ts, err := heterosim.RunScenario(mobile, heterosim.FFT1024, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("FFT-1024 at f=%.2f under 10 W:\n", f)
+		fmt.Printf("  %-14s %10s %10s %10s %10s %10s\n",
+			"design", "40nm", "32nm", "22nm", "16nm", "11nm")
+		for _, tr := range ts {
+			fmt.Printf("  %-14s", tr.Design.Label)
+			for _, p := range tr.Points {
+				if !p.Valid {
+					fmt.Printf(" %10s", "infeasible")
+					continue
+				}
+				fmt.Printf(" %6.1f (%s)", p.Point.Speedup, p.Point.Limit.String()[:1])
+			}
+			fmt.Println()
+		}
+
+		// Quantify the paper's claim: the ASIC's advantage over the best
+		// flexible U-core grows as power shrinks.
+		asic := mustFind(ts, "(6) ASIC")
+		flexBest := math.Inf(-1)
+		for _, label := range []string{"(2) LX760", "(3) GTX285", "(4) GTX480"} {
+			tr := mustFindOk(ts, label)
+			if tr == nil {
+				continue
+			}
+			last := tr.Points[len(tr.Points)-1]
+			if last.Valid && last.Point.Speedup > flexBest {
+				flexBest = last.Point.Speedup
+			}
+		}
+		lastASIC := asic.Points[len(asic.Points)-1]
+		fmt.Printf("  -> at 11nm the ASIC leads the best flexible U-core by %.2fx\n\n",
+			lastASIC.Point.Speedup/flexBest)
+	}
+
+	fmt.Println("Compare with the 100 W baseline, where flexible U-cores catch the")
+	fmt.Println("same bandwidth ceiling as the ASIC (run: heterosim figure 6).")
+}
+
+func mustFind(ts []heterosim.Trajectory, label string) heterosim.Trajectory {
+	tr := mustFindOk(ts, label)
+	if tr == nil {
+		log.Fatalf("missing trajectory %s", label)
+	}
+	return *tr
+}
+
+func mustFindOk(ts []heterosim.Trajectory, label string) *heterosim.Trajectory {
+	for i := range ts {
+		if ts[i].Design.Label == label {
+			return &ts[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Quickstart: evaluate a U-core heterogeneous chip under the paper's
+// 40nm budgets and compare it with the CMP baselines.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	heterosim "github.com/calcm/heterosim"
+)
+
+func main() {
+	// Budgets at the 2011/40nm node for FFT-1024, converted from the
+	// paper's physical budgets (432 mm², 100 W, 180 GB/s) into
+	// BCE-relative units: 19 BCE of area, ~8.6 of power, ~58 of
+	// bandwidth.
+	budgets, err := heterosim.BudgetsFor(heterosim.FFT1024, "40nm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const f = 0.99 // 99% of execution is parallelizable
+
+	ev := heterosim.NewEvaluator()
+
+	// The paper's measured U-cores for FFT-1024 (Table 5).
+	lineup := []struct {
+		device heterosim.DeviceID
+		label  string
+	}{
+		{heterosim.LX760, "FPGA (Virtex-6 LX760)"},
+		{heterosim.GTX285, "GPU (GTX285)"},
+		{heterosim.ASIC, "Custom logic (ASIC)"},
+	}
+
+	fmt.Printf("FFT-1024 at f=%.2f under 40nm budgets (A=%.0f, P=%.1f, B=%.1f BCE):\n\n",
+		f, budgets.Area, budgets.Power, budgets.Bandwidth)
+
+	// CMP baselines first.
+	for _, d := range []heterosim.Design{
+		{Kind: heterosim.SymCMP, Label: "Symmetric CMP"},
+		{Kind: heterosim.AsymCMP, Label: "Asymmetric CMP (offload)"},
+	} {
+		pt, err := ev.Optimize(d, f, budgets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(d.Label, pt)
+	}
+
+	// Then one heterogeneous chip per U-core.
+	for _, entry := range lineup {
+		u, ok := heterosim.PublishedUCore(entry.device, heterosim.FFT1024)
+		if !ok {
+			log.Fatalf("no published parameters for %s", entry.device)
+		}
+		d := heterosim.Design{Kind: heterosim.Het, Label: entry.label, UCore: u}
+		pt, err := ev.Optimize(d, f, budgets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(fmt.Sprintf("%s (mu=%.2f, phi=%.2f)", entry.label, u.Mu, u.Phi), pt)
+	}
+
+	// And a hypothetical accelerator of your own design.
+	custom := heterosim.Design{
+		Kind:  heterosim.Het,
+		Label: "your accelerator",
+		UCore: heterosim.UCore{Mu: 10, Phi: 0.5},
+	}
+	pt, err := ev.Optimize(custom, f, budgets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Hypothetical U-core (mu=10, phi=0.5)", pt)
+}
+
+func show(label string, pt heterosim.Point) {
+	fmt.Printf("  %-42s speedup %7.2f  (best r=%d, %s)\n",
+		label, pt.Speedup, pt.R, pt.Limit)
+}

@@ -1,0 +1,144 @@
+package heterosim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWooLeeFacade(t *testing.T) {
+	m := WooLee{N: 16, K: 0.3}
+	ppw, err := m.PerfPerWatt(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppw > 1 {
+		t.Errorf("symmetric perf/W = %g, cannot exceed 1", ppw)
+	}
+	u := WooLeeUCore{N: 19, R: 2, Mu: 27.4, Phi: 0.79, Alpha: 1.75}
+	ppw, err = u.PerfPerWatt(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppw <= 1 {
+		t.Errorf("ASIC U-core perf/W = %g, should exceed 1", ppw)
+	}
+}
+
+func TestCriticalSectionsFacade(t *testing.T) {
+	c := CriticalSections{FSeq: 0.1, FCrit: 0.3, PCtn: 0.5, N: 32}
+	s, err := c.Speedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := 1 / (0.1 + 0.9/32)
+	if s >= plain {
+		t.Errorf("contended speedup %g should trail plain Amdahl %g", s, plain)
+	}
+}
+
+func TestRooflineFacade(t *testing.T) {
+	d := RooflineDevice{Name: "GTX285", PeakCompute: 700, PeakBandwidth: 159}
+	p, err := d.Place("MMM", 32, 425)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bound.String() != "compute-bound" {
+		t.Errorf("MMM should be compute-bound, got %v", p.Bound)
+	}
+}
+
+func TestValidationFacade(t *testing.T) {
+	rep, err := CheckConclusions("forward", ITRS2009())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllHold() {
+		t.Errorf("forward validation failed: %+v", rep.Results)
+	}
+	rep, err = CheckConclusions("backcast", BackcastRoadmap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllHold() {
+		t.Errorf("backcast validation failed: %+v", rep.Results)
+	}
+}
+
+func TestAblationFacade(t *testing.T) {
+	rs, err := AblateBandwidthBound(FFT1024, 0.999, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asicRatio float64
+	for _, r := range rs {
+		if r.Design == "(6) ASIC" {
+			asicRatio = r.Ratio
+		}
+	}
+	if asicRatio < 3 {
+		t.Errorf("ASIC bandwidth ablation ratio = %g, want > 3", asicRatio)
+	}
+	rs, err = AblatePowerBound(FFT1024, 0.999, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmpRatio float64
+	for _, r := range rs {
+		if r.Design == "(1) AsymCMP" {
+			cmpRatio = r.Ratio
+		}
+	}
+	if cmpRatio < 2 {
+		t.Errorf("CMP power ablation ratio = %g, want > 2", cmpRatio)
+	}
+}
+
+func TestMixFacade(t *testing.T) {
+	asicMMM, _ := PublishedUCore(ASIC, MMM)
+	gpuFFT, _ := PublishedUCore(GTX285, FFT1024)
+	chip := MixChip{
+		Law:            DefaultLaw(),
+		SerialFraction: 0.1,
+		Kernels: []MixKernel{
+			{Name: "mmm", Weight: 0.45, UCore: asicMMM, ExemptBandwidth: true},
+			{Name: "fft", Weight: 0.45, UCore: gpuFFT, BandwidthBCE: 57.9},
+		},
+		AreaBCE: 19, PowerBCE: 8.6, MaxR: 16,
+	}
+	alloc, err := chip.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Speedup <= 1 || math.IsNaN(alloc.Speedup) {
+		t.Errorf("mix speedup = %g", alloc.Speedup)
+	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	u, _ := PublishedUCore(GTX285, FFT1024)
+	chip := TraceChip{
+		Law: DefaultLaw(),
+		R:   2,
+		Fabrics: map[string]TraceFabric{
+			"fft": {UCore: u, AreaBCE: 17},
+		},
+	}
+	jobs, err := GenerateTrace(100, map[string]float64{"fft": 1}, 2, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayTrace(jobs, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := TraceSpeedup(jobs, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 1 {
+		t.Errorf("trace speedup = %g", sp)
+	}
+	if res.Utilization["fft"] <= 0 || res.Utilization["fft"] > 1 {
+		t.Errorf("utilization = %g", res.Utilization["fft"])
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/calcm/heterosim
+
+go 1.22

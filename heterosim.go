@@ -1,0 +1,286 @@
+// Package heterosim is a Go reproduction of "Single-Chip Heterogeneous
+// Computing: Does the Future Include Custom Logic, FPGAs, and GPGPUs?"
+// (Chung, Milder, Hoe, Mai — MICRO 2010).
+//
+// It packages the paper's extended Hill & Marty analytical model —
+// unconventional cores (U-cores) characterized by relative performance mu
+// and relative power phi, evaluated under joint area, power, and
+// bandwidth budgets — together with the calibration pipeline that derives
+// (mu, phi) from device measurements and the ITRS-driven scaling
+// projections of the paper's Section 6.
+//
+// This root package is the stable public API; the internal packages
+// supply the machinery (device simulator, measurement rig, projection
+// engine). Typical use:
+//
+//	u, _ := heterosim.PublishedUCore(heterosim.ASIC, heterosim.FFT1024)
+//	ev := heterosim.NewEvaluator()
+//	pt, _ := ev.Optimize(heterosim.Design{
+//	    Kind: heterosim.Het, Label: "my accelerator", UCore: u,
+//	}, 0.99, heterosim.Budgets{Area: 19, Power: 8.6, Bandwidth: 57.9})
+//	fmt.Println(pt.Speedup, pt.Limit)
+//
+// or, at the study level:
+//
+//	ts, _ := heterosim.ProjectWorkload(heterosim.FFT1024, 0.99)
+package heterosim
+
+import (
+	"github.com/calcm/heterosim/internal/ablation"
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/itrs"
+	"github.com/calcm/heterosim/internal/measure"
+	"github.com/calcm/heterosim/internal/metrics"
+	"github.com/calcm/heterosim/internal/mix"
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/pollack"
+	"github.com/calcm/heterosim/internal/profile"
+	"github.com/calcm/heterosim/internal/project"
+	"github.com/calcm/heterosim/internal/roofline"
+	"github.com/calcm/heterosim/internal/scenario"
+	"github.com/calcm/heterosim/internal/trace"
+	"github.com/calcm/heterosim/internal/ucore"
+	"github.com/calcm/heterosim/internal/validate"
+)
+
+// Model primitives re-exported from the internal engine.
+type (
+	// UCore characterizes a BCE-sized unconventional core: Mu is relative
+	// performance, Phi relative active power (Section 3.3 of the paper).
+	UCore = bounds.UCore
+	// Budgets carries chip budgets in BCE-relative units (Table 1).
+	Budgets = bounds.Budgets
+	// Limit identifies the binding budget of a design point.
+	Limit = bounds.Limit
+	// Design is one chip alternative (symmetric CMP, asymmetric-offload
+	// CMP, or U-core heterogeneous).
+	Design = core.Design
+	// Point is one evaluated design point.
+	Point = core.Point
+	// Evaluator optimizes designs under budgets.
+	Evaluator = core.Evaluator
+	// Trajectory is a design's evolution across ITRS nodes.
+	Trajectory = project.Trajectory
+	// NodePoint is one trajectory sample.
+	NodePoint = project.NodePoint
+	// Config parameterizes a projection study.
+	Config = project.Config
+	// Scenario is one Section 6.2 alternative-assumption study.
+	Scenario = scenario.Scenario
+	// Roadmap is the ITRS 2009 node sequence.
+	Roadmap = itrs.Roadmap
+	// Node is one technology generation.
+	Node = itrs.Node
+	// Params is a derived (mu, phi) pair.
+	Params = ucore.Params
+	// Measurement is one calibration observation.
+	Measurement = ucore.Measurement
+	// Profile models varying degrees of parallelism (future-work
+	// extension).
+	Profile = profile.Profile
+	// Phase is one segment of a parallelism profile.
+	Phase = profile.Phase
+	// MixChip is a mixed-fabric design problem (Section 6.3 extension):
+	// several U-core fabrics on one die, powered on-demand per kernel.
+	MixChip = mix.Chip
+	// MixKernel is one workload in a mixed-fabric chip.
+	MixKernel = mix.Kernel
+	// MixAllocation is the mixed-fabric optimizer's result.
+	MixAllocation = mix.Allocation
+)
+
+// DefaultLaw returns the paper's sequential-core law (Pollack's rule with
+// alpha = 1.75) for use in mixed-fabric problems.
+func DefaultLaw() pollack.Law { return pollack.Default() }
+
+// Chip kinds.
+const (
+	SymCMP  = core.SymCMP
+	AsymCMP = core.AsymCMP
+	Het     = core.Het
+)
+
+// Limiting factors.
+const (
+	AreaLimited      = bounds.AreaLimited
+	PowerLimited     = bounds.PowerLimited
+	BandwidthLimited = bounds.BandwidthLimited
+	Infeasible       = bounds.Infeasible
+)
+
+// Device identifiers (Table 2).
+const (
+	CoreI7 = paper.CoreI7
+	GTX285 = paper.GTX285
+	GTX480 = paper.GTX480
+	R5870  = paper.R5870
+	LX760  = paper.LX760
+	ASIC   = paper.ASIC
+)
+
+// Workload identifiers (Tables 3-5).
+const (
+	MMM      = paper.MMM
+	BS       = paper.BS
+	FFT64    = paper.FFT64
+	FFT1024  = paper.FFT1024
+	FFT16384 = paper.FFT16384
+)
+
+// DeviceID and WorkloadID name the catalog axes.
+type (
+	DeviceID   = paper.DeviceID
+	WorkloadID = paper.WorkloadID
+)
+
+// NewEvaluator returns an evaluator with the paper's defaults
+// (Pollack's law, alpha = 1.75, r swept 1..16).
+func NewEvaluator() Evaluator { return core.NewEvaluator() }
+
+// NewEvaluatorAlpha returns an evaluator with a custom sequential power
+// exponent (Scenario 6 uses 2.25).
+func NewEvaluatorAlpha(alpha float64) (Evaluator, error) {
+	law, err := pollack.New(alpha)
+	if err != nil {
+		return Evaluator{}, err
+	}
+	return Evaluator{Law: law, MaxR: paper.MaxSweepR}, nil
+}
+
+// PublishedUCore returns the paper's Table 5 parameters for a device and
+// workload; ok is false for combinations the paper could not measure.
+func PublishedUCore(d DeviceID, w WorkloadID) (UCore, bool) {
+	p, ok := ucore.PublishedParams(d, w)
+	if !ok {
+		return UCore{}, false
+	}
+	return UCore{Mu: p.Mu, Phi: p.Phi}, true
+}
+
+// DefaultConfig returns the paper's baseline projection configuration
+// (432 mm² core area, 100 W, 180 GB/s with ITRS scaling) for a workload.
+func DefaultConfig(w WorkloadID) Config { return project.DefaultConfig(w) }
+
+// ProjectWorkload projects the paper's full design lineup for a workload
+// at parallel fraction f under baseline assumptions (Figures 6-8).
+func ProjectWorkload(w WorkloadID, f float64) ([]Trajectory, error) {
+	return project.Project(DefaultConfig(w), f)
+}
+
+// ProjectEnergy projects energy-optimal designs (Figure 10's objective).
+func ProjectEnergy(w WorkloadID, f float64) ([]Trajectory, error) {
+	return project.ProjectEnergy(DefaultConfig(w), f)
+}
+
+// Scenarios returns the baseline plus the six Section 6.2 scenarios.
+func Scenarios() []Scenario { return scenario.All() }
+
+// RunScenario projects a workload under one scenario.
+func RunScenario(s Scenario, w WorkloadID, f float64) ([]Trajectory, error) {
+	return scenario.Run(s, w, f)
+}
+
+// ITRS2009 returns the Table 6 roadmap.
+func ITRS2009() Roadmap { return itrs.ITRS2009() }
+
+// BudgetsFor converts the paper's physical budgets at a named technology
+// node (e.g. "40nm", "22nm") into BCE-relative units for a workload —
+// the (A, P, B) triple the evaluator consumes. It uses the baseline
+// configuration (432 mm², 100 W, 180 GB/s ITRS-scaled).
+func BudgetsFor(w WorkloadID, nodeName string) (Budgets, error) {
+	cfg := project.DefaultConfig(w)
+	node, err := cfg.Roadmap.ByName(nodeName)
+	if err != nil {
+		return Budgets{}, err
+	}
+	return cfg.BudgetsAt(node)
+}
+
+// Calibrate runs the full simulated measurement and calibration pipeline
+// (Sections 4-5): execute and verify the real kernels on the device
+// simulator, probe power, subtract uncore components, and derive the
+// U-core parameter table. The result reproduces the paper's Table 5.
+func Calibrate() (map[DeviceID]map[WorkloadID]Params, error) {
+	rig, err := measure.IdealRig()
+	if err != nil {
+		return nil, err
+	}
+	db, err := rig.BuildDatabase()
+	if err != nil {
+		return nil, err
+	}
+	return db.DeriveTable5()
+}
+
+// NewProfile builds a varying-parallelism profile (future-work
+// extension); weights must sum to 1, widths must be >= 1.
+func NewProfile(phases ...Phase) (Profile, error) { return profile.New(phases...) }
+
+// TwoPhaseProfile builds the classic Amdahl split: 1-f serial, f parallel
+// at the given width.
+func TwoPhaseProfile(f, width float64) (Profile, error) { return profile.TwoPhase(f, width) }
+
+// Related-work model family and analysis tools, re-exported for
+// downstream studies.
+type (
+	// WooLee is the symmetric-multicore energy model of Woo & Lee.
+	WooLee = metrics.WooLee
+	// WooLeeUCore is its U-core extension.
+	WooLeeUCore = metrics.WooLeeUCore
+	// CriticalSections is Eyerman & Eeckhout's Amdahl refinement.
+	CriticalSections = metrics.CriticalSections
+	// RooflineDevice is a peak-compute/peak-bandwidth machine.
+	RooflineDevice = roofline.Device
+	// ValidationReport is a four-conclusion model-validity check.
+	ValidationReport = validate.Report
+	// AblationResult compares a design with and without one model
+	// ingredient.
+	AblationResult = ablation.Result
+	// TraceJob is one kernel invocation in a replayable stream.
+	TraceJob = trace.Job
+	// TraceChip is a mixed-fabric chip for time-domain replay.
+	TraceChip = trace.Chip
+	// TraceFabric is one on-die U-core pool in a TraceChip.
+	TraceFabric = trace.Fabric
+	// TraceResult summarizes one replay (busy time, utilization, energy).
+	TraceResult = trace.Result
+)
+
+// GenerateTrace builds a deterministic random kernel stream: count jobs
+// drawn from the weighted kernel mix, exponential work around meanWork,
+// serial prologues of serialFraction x meanWork on average.
+func GenerateTrace(count int, mix map[string]float64, meanWork, serialFraction float64, seed int64) ([]TraceJob, error) {
+	return trace.Generate(count, mix, meanWork, serialFraction, seed)
+}
+
+// ReplayTrace executes a job stream on a mixed-fabric chip (fabrics
+// powered on-demand) and returns timing, utilization, and energy.
+func ReplayTrace(jobs []TraceJob, c TraceChip) (TraceResult, error) {
+	return trace.Replay(jobs, c)
+}
+
+// TraceSpeedup returns the replayed stream's speedup over one BCE core.
+func TraceSpeedup(jobs []TraceJob, res TraceResult) (float64, error) {
+	return trace.Speedup(jobs, res)
+}
+
+// CheckConclusions evaluates the paper's four conclusions over a roadmap
+// (the §6.3 model-validity check).
+func CheckConclusions(name string, roadmap Roadmap) (ValidationReport, error) {
+	return validate.CheckConclusions(name, roadmap)
+}
+
+// BackcastRoadmap returns the 65nm-anchored validation roadmap.
+func BackcastRoadmap() Roadmap { return validate.BackcastRoadmap() }
+
+// AblateBandwidthBound re-projects a workload with the bandwidth
+// constraint removed, at the given node index.
+func AblateBandwidthBound(w WorkloadID, f float64, nodeIdx int) ([]AblationResult, error) {
+	return ablation.BandwidthBound(w, f, nodeIdx)
+}
+
+// AblatePowerBound re-projects with the power constraint removed.
+func AblatePowerBound(w WorkloadID, f float64, nodeIdx int) ([]AblationResult, error) {
+	return ablation.PowerBound(w, f, nodeIdx)
+}

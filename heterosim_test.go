@@ -1,0 +1,163 @@
+package heterosim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublishedUCore(t *testing.T) {
+	u, ok := PublishedUCore(ASIC, FFT1024)
+	if !ok || u.Mu != 489 || u.Phi != 4.96 {
+		t.Errorf("ASIC FFT-1024 = %+v, %v", u, ok)
+	}
+	if _, ok := PublishedUCore(R5870, BS); ok {
+		t.Error("R5870 BS is unmeasured")
+	}
+}
+
+func TestEvaluatorQuickstartFlow(t *testing.T) {
+	u, ok := PublishedUCore(LX760, FFT1024)
+	if !ok {
+		t.Fatal("missing FPGA params")
+	}
+	ev := NewEvaluator()
+	pt, err := ev.Optimize(Design{Kind: Het, Label: "fpga", UCore: u},
+		0.99, Budgets{Area: 19, Power: 8.6, Bandwidth: 57.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Speedup <= 1 {
+		t.Errorf("speedup = %g", pt.Speedup)
+	}
+	if pt.Limit != AreaLimited && pt.Limit != PowerLimited && pt.Limit != BandwidthLimited {
+		t.Errorf("limit = %v", pt.Limit)
+	}
+}
+
+func TestNewEvaluatorAlpha(t *testing.T) {
+	ev, err := NewEvaluatorAlpha(2.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Law.Alpha() != 2.25 || ev.MaxR != 16 {
+		t.Errorf("evaluator = %+v", ev)
+	}
+	if _, err := NewEvaluatorAlpha(-1); err == nil {
+		t.Error("bad alpha must fail")
+	}
+}
+
+func TestProjectWorkload(t *testing.T) {
+	ts, err := ProjectWorkload(FFT1024, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 6 {
+		t.Fatalf("FFT lineup = %d designs, want 6", len(ts))
+	}
+	for _, tr := range ts {
+		if len(tr.Points) != 5 {
+			t.Errorf("%s: %d nodes, want 5", tr.Design.Label, len(tr.Points))
+		}
+	}
+}
+
+func TestProjectEnergy(t *testing.T) {
+	ts, err := ProjectEnergy(MMM, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 7 {
+		t.Fatalf("MMM lineup = %d designs, want 7", len(ts))
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	ss := Scenarios()
+	if len(ss) != 7 {
+		t.Fatalf("scenarios = %d, want 7", len(ss))
+	}
+	ts, err := RunScenario(ss[2], FFT1024, 0.9) // 1 TB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) == 0 {
+		t.Error("no trajectories")
+	}
+}
+
+func TestBudgetsFor(t *testing.T) {
+	b, err := BudgetsFor(FFT1024, "40nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Area != 19 {
+		t.Errorf("A = %g, want 19", b.Area)
+	}
+	if b.Power < 8 || b.Power > 9.3 {
+		t.Errorf("P = %g, want ~8.6", b.Power)
+	}
+	if b.Bandwidth < 55 || b.Bandwidth > 61 {
+		t.Errorf("B = %g, want ~58", b.Bandwidth)
+	}
+	// The helper and the hand-computed quickstart budgets agree.
+	ev := NewEvaluator()
+	u, _ := PublishedUCore(ASIC, FFT1024)
+	viaHelper, err := ev.Optimize(Design{Kind: Het, UCore: u}, 0.99, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaHand, err := ev.Optimize(Design{Kind: Het, UCore: u}, 0.99,
+		Budgets{Area: 19, Power: 8.6, Bandwidth: 57.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(viaHelper.Speedup/viaHand.Speedup-1) > 0.02 {
+		t.Errorf("helper %g vs hand %g", viaHelper.Speedup, viaHand.Speedup)
+	}
+	if _, err := BudgetsFor(FFT1024, "7nm"); err == nil {
+		t.Error("unknown node must fail")
+	}
+	if _, err := BudgetsFor("bogus", "40nm"); err == nil {
+		t.Error("unknown workload must fail")
+	}
+}
+
+func TestITRS2009(t *testing.T) {
+	r := ITRS2009()
+	if r.Len() != 5 {
+		t.Errorf("roadmap length = %d", r.Len())
+	}
+}
+
+func TestCalibrateReproducesTable5(t *testing.T) {
+	table, err := Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := table[GTX285][MMM]
+	if !ok {
+		t.Fatal("missing GTX285 MMM")
+	}
+	if math.Abs(got.Mu-3.41) > 0.07 || math.Abs(got.Phi-0.74) > 0.02 {
+		t.Errorf("GTX285 MMM = (%.3f, %.3f), published (3.41, 0.74)", got.Mu, got.Phi)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	p, err := TwoPhaseProfile(0.9, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := PublishedUCore(GTX285, FFT1024)
+	s, err := p.SpeedupHeterogeneous(19, 2, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 1 {
+		t.Errorf("profile speedup = %g", s)
+	}
+	if _, err := NewProfile(Phase{Weight: 0.4, Width: 1}, Phase{Weight: 0.6, Width: 8}); err != nil {
+		t.Error(err)
+	}
+}

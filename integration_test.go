@@ -1,0 +1,110 @@
+package heterosim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/project"
+)
+
+// TestEndToEndPipeline chains the whole reproduction: calibrate (µ, φ)
+// from simulated measurements, feed the *derived* (not published)
+// parameters into the projection engine, and confirm the paper's
+// qualitative results still hold. This guards against the calibration
+// and projection halves silently drifting apart.
+func TestEndToEndPipeline(t *testing.T) {
+	derived, err := Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build an FFT-1024 design lineup from derived parameters only.
+	cfg := project.DefaultConfig(FFT1024)
+	node, err := cfg.Roadmap.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets, err := cfg.BudgetsAt(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator()
+
+	type entry struct {
+		dev   DeviceID
+		label string
+	}
+	lineup := []entry{
+		{LX760, "FPGA"}, {GTX285, "GPU"}, {ASIC, "ASIC"},
+	}
+	results := map[string]Point{}
+	for _, e := range lineup {
+		p, ok := derived[e.dev][FFT1024]
+		if !ok {
+			t.Fatalf("calibration missing %s FFT-1024", e.dev)
+		}
+		d := Design{Kind: Het, Label: e.label, UCore: UCore{Mu: p.Mu, Phi: p.Phi}}
+		pt, err := ev.Optimize(d, 0.99, budgets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[e.label] = pt
+	}
+	cmpPt, err := ev.Optimize(Design{Kind: AsymCMP, Label: "CMP"}, 0.99, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paper structure: ASIC on top, bandwidth-limited; HETs beat the CMP.
+	if results["ASIC"].Limit != BandwidthLimited {
+		t.Errorf("derived-parameter ASIC limit = %v", results["ASIC"].Limit)
+	}
+	if !(results["ASIC"].Speedup > results["GPU"].Speedup &&
+		results["GPU"].Speedup > cmpPt.Speedup &&
+		results["FPGA"].Speedup > cmpPt.Speedup) {
+		t.Errorf("ordering broken: ASIC %.1f, GPU %.1f, FPGA %.1f, CMP %.1f",
+			results["ASIC"].Speedup, results["GPU"].Speedup,
+			results["FPGA"].Speedup, cmpPt.Speedup)
+	}
+
+	// The derived-parameter projection agrees with the published-parameter
+	// projection within calibration rounding (2%).
+	pubASIC, _ := PublishedUCore(ASIC, FFT1024)
+	pubPt, err := ev.Optimize(Design{Kind: Het, Label: "pub", UCore: pubASIC}, 0.99, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(results["ASIC"].Speedup/pubPt.Speedup-1) > 0.02 {
+		t.Errorf("derived vs published ASIC projection: %.3f vs %.3f",
+			results["ASIC"].Speedup, pubPt.Speedup)
+	}
+}
+
+// TestEndToEndEnergyObjective chains calibration into the energy
+// objective: with derived ASIC MMM parameters, the energy-optimal design
+// beats the CMP by a large factor at f=0.9 (the paper's fourth finding).
+func TestEndToEndEnergyObjective(t *testing.T) {
+	derived, err := Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := derived[ASIC][MMM]
+	if !ok {
+		t.Fatal("missing derived ASIC MMM")
+	}
+	ev := NewEvaluator()
+	budgets := bounds.Budgets{Area: 19, Power: 8.7, Bandwidth: 339}
+	asic, err := ev.OptimizeEnergy(core.Design{Kind: core.Het, UCore: bounds.UCore{Mu: p.Mu, Phi: p.Phi}}, 0.9, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := ev.OptimizeEnergy(core.Design{Kind: core.AsymCMP}, 0.9, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := cmp.EnergyNorm / asic.EnergyNorm; ratio < 3 {
+		t.Errorf("derived-parameter energy advantage = %.2fx, want >= 3", ratio)
+	}
+}

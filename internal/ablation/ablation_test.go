@@ -1,0 +1,155 @@
+package ablation
+
+import (
+	"testing"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/paper"
+)
+
+// The bandwidth bound is what holds the ASIC back on FFT: removing it
+// inflates the ASIC enormously while the power-limited CMPs barely move.
+func TestBandwidthBoundDrivesFFTConclusion(t *testing.T) {
+	rs, err := BandwidthBound(paper.FFT1024, 0.999, 4) // 11nm
+	if err != nil {
+		t.Fatal(err)
+	}
+	asic, err := Find(rs, "(6) ASIC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asic.Ratio < 3 {
+		t.Errorf("unconstrained bandwidth should inflate ASIC FFT by >3x, got %.2fx", asic.Ratio)
+	}
+	cmp, err := Find(rs, "(1) AsymCMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Ratio > 1.05 {
+		t.Errorf("CMPs are power-limited; bandwidth removal should not move them (%.2fx)", cmp.Ratio)
+	}
+	// The flexible U-cores sit in between: they were pinned to the same
+	// ceiling as the ASIC.
+	fpga, err := Find(rs, "(2) LX760")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpga.Ratio <= cmp.Ratio || fpga.Ratio >= asic.Ratio {
+		t.Errorf("FPGA ratio %.2fx should sit between CMP %.2fx and ASIC %.2fx",
+			fpga.Ratio, cmp.Ratio, asic.Ratio)
+	}
+}
+
+// On MMM the ASIC is already bandwidth-exempt, so removing the bound
+// changes nothing for it.
+func TestBandwidthBoundInertOnExemptASIC(t *testing.T) {
+	rs, err := BandwidthBound(paper.MMM, 0.999, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asic, err := Find(rs, "(6) ASIC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asic.Ratio > 1.0001 {
+		t.Errorf("exempt ASIC should not benefit: %.4fx", asic.Ratio)
+	}
+}
+
+// The power bound is what holds the CMPs (and GPUs) back.
+func TestPowerBoundDrivesCMPLimits(t *testing.T) {
+	rs, err := PowerBound(paper.FFT1024, 0.999, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Find(rs, "(1) AsymCMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Ratio < 2 {
+		t.Errorf("unlimited power should inflate the CMP strongly, got %.2fx", cmp.Ratio)
+	}
+	// The ASIC was bandwidth-limited; extra power is useless to it.
+	asic, err := Find(rs, "(6) ASIC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asic.Ratio > 1.1 {
+		t.Errorf("bandwidth-limited ASIC should not benefit from power: %.2fx", asic.Ratio)
+	}
+}
+
+// Sequential-core sizing matters most at low parallelism.
+func TestSequentialSizingMattersAtLowF(t *testing.T) {
+	low, err := SequentialSizing(paper.FFT1024, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := SequentialSizing(paper.FFT1024, 0.999, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpLow, err := Find(low, "(1) AsymCMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpHigh, err := Find(high, "(1) AsymCMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pinning r=1 must hurt (ratio < 1), and hurt more at f=0.5.
+	if cmpLow.Ratio >= 1 {
+		t.Errorf("r=1 should hurt at f=0.5: ratio %.3f", cmpLow.Ratio)
+	}
+	if cmpLow.Ratio >= cmpHigh.Ratio {
+		t.Errorf("core sizing should matter more at low f: %.3f (f=.5) vs %.3f (f=.999)",
+			cmpLow.Ratio, cmpHigh.Ratio)
+	}
+}
+
+// The offload assumption: under a power budget the offload machine beats
+// Hill & Marty's always-on asymmetric machine at high f (the big core's
+// power is better spent on BCEs), which is why the paper adopted it.
+func TestOffloadAssumption(t *testing.T) {
+	b := bounds.Budgets{Area: 19, Power: 8.6, Bandwidth: 57.9}
+	off, orig, err := OffloadAssumption(0.99, b, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off <= 0 || orig <= 0 {
+		t.Fatal("both machines must be feasible")
+	}
+	if off < orig*0.95 {
+		t.Errorf("offload (%.2f) should be at least competitive with original (%.2f) under power limits",
+			off, orig)
+	}
+	// With abundant power the original machine's extra parallel help wins.
+	rich := bounds.Budgets{Area: 19, Power: 1e6, Bandwidth: 1e6}
+	off, orig, err = OffloadAssumption(0.99, rich, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig < off {
+		t.Errorf("with unlimited power the original asymmetric machine (%.2f) should not lose to offload (%.2f)",
+			orig, off)
+	}
+	if _, _, err := OffloadAssumption(0.99, b, 0); err == nil {
+		t.Error("maxR=0 must fail")
+	}
+	poor := bounds.Budgets{Area: 19, Power: 0.5, Bandwidth: 57.9}
+	if _, _, err := OffloadAssumption(0.99, poor, 16); err == nil {
+		t.Error("infeasible budgets must fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := BandwidthBound(paper.FFT1024, 0.9, 99); err == nil {
+		t.Error("bad node index must fail")
+	}
+	if _, err := BandwidthBound("bogus", 0.9, 0); err == nil {
+		t.Error("bad workload must fail")
+	}
+	if _, err := Find(nil, "x"); err == nil {
+		t.Error("Find on empty must fail")
+	}
+}

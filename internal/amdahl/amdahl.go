@@ -1,0 +1,262 @@
+// Package amdahl implements Amdahl's law and the multicore speedup models
+// of Hill & Marty extended with U-cores by Chung et al. (MICRO 2010).
+//
+// All speedups are relative to the performance of a single Base-Core-
+// Equivalent (BCE) core. A chip has n BCE units of compute resources in
+// total, of which r are spent on one sequential ("fast") core whose
+// performance follows Pollack's rule perf_seq(r) = sqrt(r). The parallel
+// fraction f of the workload is assumed uniform, infinitely divisible, and
+// perfectly scheduled (the paper's Section 2.1 assumptions).
+//
+// Five chip organizations are modeled:
+//
+//   - Symmetric: n/r identical cores of size r each; the sequential phase
+//     runs on one of them.
+//   - Asymmetric: one fast core of size r plus n-r BCE cores; in parallel
+//     phases the fast core helps (perf_seq(r) + n - r).
+//   - Asymmetric-offload: as asymmetric, but the power-hungry fast core is
+//     switched off during parallel phases, leaving only the n-r BCEs. This
+//     is the CMP baseline used in the paper's projections.
+//   - Heterogeneous: one fast core of size r plus n-r BCE units of U-core
+//     fabric executing parallel phases at relative performance mu per BCE.
+//   - Dynamic (Hill & Marty's hypothetical): all n BCEs fuse into a core of
+//     perf sqrt(n) for sequential phases and n BCEs for parallel phases.
+//     The paper omits it from measured results but we include it for
+//     completeness of the model family.
+package amdahl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model identifies one of the speedup formulas.
+type Model int
+
+const (
+	// PlainAmdahl is the original 1967 fixed-work law.
+	PlainAmdahl Model = iota
+	// Symmetric is Hill & Marty's symmetric multicore.
+	Symmetric
+	// Asymmetric is Hill & Marty's asymmetric multicore.
+	Asymmetric
+	// AsymmetricOffload powers the fast core off during parallel phases
+	// (Chung et al., Section 3.1).
+	AsymmetricOffload
+	// Heterogeneous executes parallel phases on U-cores (Section 3.3).
+	Heterogeneous
+	// Dynamic is Hill & Marty's idealized fusion machine.
+	Dynamic
+)
+
+// String returns the conventional name of the model.
+func (m Model) String() string {
+	switch m {
+	case PlainAmdahl:
+		return "amdahl"
+	case Symmetric:
+		return "symmetric"
+	case Asymmetric:
+		return "asymmetric"
+	case AsymmetricOffload:
+		return "asymmetric-offload"
+	case Heterogeneous:
+		return "heterogeneous"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Errors returned by the speedup functions.
+var (
+	ErrFraction  = errors.New("amdahl: parallel fraction f must be in [0, 1]")
+	ErrResources = errors.New("amdahl: total resources n must be positive")
+	ErrSeqCore   = errors.New("amdahl: sequential core size r must be in [1, n]")
+	ErrSpeedupS  = errors.New("amdahl: enhancement factor S must be positive")
+	ErrMu        = errors.New("amdahl: U-core relative performance mu must be positive")
+	ErrNoProgram = errors.New("amdahl: no parallel resources remain (n == r) while f > 0")
+)
+
+// Speedup is the original Amdahl's law: a fraction f of execution is sped
+// up by a factor s. Speedup = 1 / (f/s + (1-f)).
+func Speedup(f, s float64) (float64, error) {
+	if err := checkFraction(f); err != nil {
+		return 0, err
+	}
+	if s <= 0 || math.IsNaN(s) {
+		return 0, ErrSpeedupS
+	}
+	return 1 / (f/s + (1 - f)), nil
+}
+
+// Limit returns the asymptotic speedup of Amdahl's law as the enhancement
+// factor goes to infinity: 1/(1-f). It returns +Inf for f == 1.
+func Limit(f float64) (float64, error) {
+	if err := checkFraction(f); err != nil {
+		return 0, err
+	}
+	if f == 1 {
+		return math.Inf(1), nil
+	}
+	return 1 / (1 - f), nil
+}
+
+// Gustafson returns the scaled speedup of Gustafson's law for a parallel
+// fraction f (measured on the parallel system) and n processors:
+// S = n + (1-f)(1-n). Included as one of the model-family extensions the
+// paper discusses in related work.
+func Gustafson(f, n float64) (float64, error) {
+	if err := checkFraction(f); err != nil {
+		return 0, err
+	}
+	if n <= 0 || math.IsNaN(n) {
+		return 0, ErrResources
+	}
+	return n + (1-f)*(1-n), nil
+}
+
+// PerfSeq is Pollack's rule: the performance of a sequential core of size
+// r BCE units, relative to one BCE core.
+func PerfSeq(r float64) float64 { return math.Sqrt(r) }
+
+// SpeedupSymmetric evaluates Hill & Marty's symmetric model: n/r cores,
+// each of size r and performance sqrt(r).
+//
+//	Speedup = 1 / ( (1-f)/perf_seq(r) + f·r/(n·perf_seq(r)) )
+func SpeedupSymmetric(f, n, r float64) (float64, error) {
+	if err := checkCommon(f, n, r); err != nil {
+		return 0, err
+	}
+	p := PerfSeq(r)
+	return 1 / ((1-f)/p + f*r/(n*p)), nil
+}
+
+// SpeedupAsymmetric evaluates Hill & Marty's asymmetric model: one core of
+// size r plus n-r BCEs, all usable in parallel phases.
+//
+//	Speedup = 1 / ( (1-f)/perf_seq(r) + f/(perf_seq(r)+n-r) )
+func SpeedupAsymmetric(f, n, r float64) (float64, error) {
+	if err := checkCommon(f, n, r); err != nil {
+		return 0, err
+	}
+	p := PerfSeq(r)
+	return 1 / ((1-f)/p + f/(p+n-r)), nil
+}
+
+// SpeedupAsymmetricOffload evaluates the paper's modified asymmetric model
+// in which the sequential core is powered off during parallel phases, so
+// only the n-r BCE cores contribute:
+//
+//	Speedup = 1 / ( (1-f)/perf_seq(r) + f/(n-r) )
+//
+// It requires n > r whenever f > 0.
+func SpeedupAsymmetricOffload(f, n, r float64) (float64, error) {
+	if err := checkCommon(f, n, r); err != nil {
+		return 0, err
+	}
+	if f == 0 {
+		return PerfSeq(r), nil
+	}
+	if n == r {
+		return 0, ErrNoProgram
+	}
+	p := PerfSeq(r)
+	return 1 / ((1-f)/p + f/(n-r)), nil
+}
+
+// SpeedupHeterogeneous evaluates the U-core model of Section 3.3: parallel
+// phases execute on n-r BCE units of U-core fabric with relative
+// performance mu per BCE unit; the conventional core does not contribute
+// during parallel sections.
+//
+//	Speedup = 1 / ( (1-f)/perf_seq(r) + f/(mu·(n-r)) )
+func SpeedupHeterogeneous(f, n, r, mu float64) (float64, error) {
+	if err := checkCommon(f, n, r); err != nil {
+		return 0, err
+	}
+	if mu <= 0 || math.IsNaN(mu) {
+		return 0, ErrMu
+	}
+	if f == 0 {
+		return PerfSeq(r), nil
+	}
+	if n == r {
+		return 0, ErrNoProgram
+	}
+	p := PerfSeq(r)
+	return 1 / ((1-f)/p + f/(mu*(n-r))), nil
+}
+
+// SpeedupDynamic evaluates Hill & Marty's dynamic model: sequential phases
+// run at sqrt(n), parallel phases at n.
+func SpeedupDynamic(f, n float64) (float64, error) {
+	if err := checkFraction(f); err != nil {
+		return 0, err
+	}
+	if n <= 0 || math.IsNaN(n) {
+		return 0, ErrResources
+	}
+	return 1 / ((1-f)/math.Sqrt(n) + f/n), nil
+}
+
+// Eval dispatches on the model. mu is only consulted for Heterogeneous;
+// r is ignored for PlainAmdahl (which uses n as the enhancement factor)
+// and Dynamic.
+func Eval(m Model, f, n, r, mu float64) (float64, error) {
+	switch m {
+	case PlainAmdahl:
+		return Speedup(f, n)
+	case Symmetric:
+		return SpeedupSymmetric(f, n, r)
+	case Asymmetric:
+		return SpeedupAsymmetric(f, n, r)
+	case AsymmetricOffload:
+		return SpeedupAsymmetricOffload(f, n, r)
+	case Heterogeneous:
+		return SpeedupHeterogeneous(f, n, r, mu)
+	case Dynamic:
+		return SpeedupDynamic(f, n)
+	default:
+		return 0, fmt.Errorf("amdahl: unknown model %v", m)
+	}
+}
+
+// SerialBoundedLimit returns the upper bound on any of the multicore
+// speedups at parallel fraction f with a sequential core of size r: even
+// with infinite parallel throughput, speedup <= perf_seq(r)/(1-f).
+// Returns +Inf for f == 1.
+func SerialBoundedLimit(f, r float64) (float64, error) {
+	if err := checkFraction(f); err != nil {
+		return 0, err
+	}
+	if r < 1 || math.IsNaN(r) {
+		return 0, ErrSeqCore
+	}
+	if f == 1 {
+		return math.Inf(1), nil
+	}
+	return PerfSeq(r) / (1 - f), nil
+}
+
+func checkFraction(f float64) error {
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return ErrFraction
+	}
+	return nil
+}
+
+func checkCommon(f, n, r float64) error {
+	if err := checkFraction(f); err != nil {
+		return err
+	}
+	if n <= 0 || math.IsNaN(n) || math.IsInf(n, 0) {
+		return ErrResources
+	}
+	if r < 1 || r > n || math.IsNaN(r) {
+		return ErrSeqCore
+	}
+	return nil
+}

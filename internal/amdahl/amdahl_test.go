@@ -1,0 +1,348 @@
+package amdahl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestPlainAmdahlKnownValues(t *testing.T) {
+	cases := []struct{ f, s, want float64 }{
+		{0, 10, 1},          // nothing to speed up
+		{1, 10, 10},         // everything sped up
+		{0.5, 2, 4.0 / 3.0}, // classic
+		{0.9, 10, 1 / (0.9/10 + 0.1)},
+	}
+	for _, c := range cases {
+		got, err := Speedup(c.f, c.s)
+		if err != nil {
+			t.Fatalf("Speedup(%g,%g): %v", c.f, c.s, err)
+		}
+		if !almost(got, c.want) {
+			t.Errorf("Speedup(%g,%g) = %g, want %g", c.f, c.s, got, c.want)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	got, err := Limit(0.99)
+	if err != nil || !almost(got, 100) {
+		t.Errorf("Limit(0.99) = %g, %v; want 100", got, err)
+	}
+	inf, err := Limit(1)
+	if err != nil || !math.IsInf(inf, 1) {
+		t.Errorf("Limit(1) = %g, want +Inf", inf)
+	}
+}
+
+func TestGustafson(t *testing.T) {
+	// f=1: S = n. f=0: S = 1.
+	if s, _ := Gustafson(1, 64); !almost(s, 64) {
+		t.Errorf("Gustafson(1,64) = %g, want 64", s)
+	}
+	if s, _ := Gustafson(0, 64); !almost(s, 1) {
+		t.Errorf("Gustafson(0,64) = %g, want 1", s)
+	}
+}
+
+func TestSymmetricMatchesHillMartyExamples(t *testing.T) {
+	// With r = n (one big core), symmetric reduces to sqrt(n) regardless
+	// of f (a single core runs both phases at sqrt(n)).
+	for _, f := range []float64{0, 0.5, 0.9, 1} {
+		got, err := SpeedupSymmetric(f, 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, 4) {
+			t.Errorf("sym(f=%g, n=16, r=16) = %g, want 4", f, got)
+		}
+	}
+	// With r = 1 (all BCEs), symmetric is plain Amdahl with s = n.
+	got, _ := SpeedupSymmetric(0.9, 256, 1)
+	want, _ := Speedup(0.9, 256)
+	if !almost(got, want) {
+		t.Errorf("sym(r=1) = %g, want Amdahl %g", got, want)
+	}
+}
+
+func TestAsymmetricBeatsSymmetricAtHighF(t *testing.T) {
+	// Hill & Marty's headline: asymmetric >= symmetric for the same n
+	// when choosing the same r, because the fast core also helps in
+	// parallel and BCEs are more area-efficient.
+	for _, f := range []float64{0.5, 0.9, 0.975, 0.99} {
+		sym, err1 := SpeedupSymmetric(f, 256, 4)
+		asym, err2 := SpeedupAsymmetric(f, 256, 4)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if asym < sym {
+			t.Errorf("f=%g: asym %g < sym %g", f, asym, sym)
+		}
+	}
+}
+
+func TestAsymmetricOffloadRelations(t *testing.T) {
+	// Offload <= asymmetric always (the fast core's parallel help is lost).
+	for _, f := range []float64{0.1, 0.5, 0.9, 0.999} {
+		a, err1 := SpeedupAsymmetric(f, 64, 4)
+		o, err2 := SpeedupAsymmetricOffload(f, 64, 4)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if o > a {
+			t.Errorf("f=%g: offload %g > asym %g", f, o, a)
+		}
+	}
+	// f = 0 returns pure sequential performance sqrt(r).
+	if s, _ := SpeedupAsymmetricOffload(0, 64, 9); !almost(s, 3) {
+		t.Errorf("offload(f=0, r=9) = %g, want 3", s)
+	}
+	// n == r with parallel work is an error.
+	if _, err := SpeedupAsymmetricOffload(0.5, 4, 4); err != ErrNoProgram {
+		t.Errorf("offload(n==r) err = %v, want ErrNoProgram", err)
+	}
+}
+
+func TestHeterogeneousReducesToOffloadAtMuOne(t *testing.T) {
+	for _, f := range []float64{0.3, 0.9, 0.99} {
+		h, err1 := SpeedupHeterogeneous(f, 64, 4, 1)
+		o, err2 := SpeedupAsymmetricOffload(f, 64, 4)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !almost(h, o) {
+			t.Errorf("f=%g: het(mu=1) %g != offload %g", f, h, o)
+		}
+	}
+}
+
+func TestHeterogeneousScalesWithMu(t *testing.T) {
+	// At f = 1 and r fixed, speedup = mu * (n - r): linear in mu.
+	h1, _ := SpeedupHeterogeneous(1, 17, 1, 10)
+	if !almost(h1, 160) {
+		t.Errorf("het(f=1, n=17, r=1, mu=10) = %g, want 160", h1)
+	}
+	// Paper example shape: ASIC with mu=489 at f=0.999, n=19, r=2.
+	h2, err := SpeedupHeterogeneous(0.999, 19, 2, 489)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial-bounded limit is sqrt(2)/0.001 = 1414; parallel term caps at
+	// 489*17 = 8313; combined ~ 1183.
+	want := 1 / (0.001/math.Sqrt2 + 0.999/(489*17))
+	if !almost(h2, want) {
+		t.Errorf("het ASIC example = %g, want %g", h2, want)
+	}
+}
+
+func TestDynamic(t *testing.T) {
+	// f=1: speedup n; f=0: sqrt(n).
+	if s, _ := SpeedupDynamic(1, 64); !almost(s, 64) {
+		t.Errorf("dynamic(f=1) = %g, want 64", s)
+	}
+	if s, _ := SpeedupDynamic(0, 64); !almost(s, 8) {
+		t.Errorf("dynamic(f=0) = %g, want 8", s)
+	}
+	// Dynamic dominates symmetric and asymmetric for same n.
+	for _, f := range []float64{0.2, 0.7, 0.95} {
+		d, _ := SpeedupDynamic(f, 64)
+		s, _ := SpeedupSymmetric(f, 64, 4)
+		a, _ := SpeedupAsymmetric(f, 64, 4)
+		if d < s || d < a {
+			t.Errorf("f=%g: dynamic %g must dominate sym %g and asym %g", f, d, s, a)
+		}
+	}
+}
+
+func TestEvalDispatch(t *testing.T) {
+	for _, m := range []Model{PlainAmdahl, Symmetric, Asymmetric, AsymmetricOffload, Heterogeneous, Dynamic} {
+		got, err := Eval(m, 0.9, 64, 4, 2)
+		if err != nil {
+			t.Errorf("Eval(%v): %v", m, err)
+		}
+		if got <= 0 {
+			t.Errorf("Eval(%v) = %g, want positive", m, got)
+		}
+	}
+	if _, err := Eval(Model(99), 0.5, 4, 1, 1); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	names := map[Model]string{
+		PlainAmdahl:       "amdahl",
+		Symmetric:         "symmetric",
+		Asymmetric:        "asymmetric",
+		AsymmetricOffload: "asymmetric-offload",
+		Heterogeneous:     "heterogeneous",
+		Dynamic:           "dynamic",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	if Model(42).String() == "" {
+		t.Error("unknown model should still print something")
+	}
+}
+
+func TestSerialBoundedLimit(t *testing.T) {
+	// Any heterogeneous speedup must respect the serial-bounded limit.
+	lim, err := SerialBoundedLimit(0.99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lim, 200) {
+		t.Errorf("SerialBoundedLimit(0.99, 4) = %g, want 200", lim)
+	}
+	h, _ := SpeedupHeterogeneous(0.99, 1e9, 4, 1e9)
+	if h > lim {
+		t.Errorf("het %g exceeded serial bound %g", h, lim)
+	}
+	if l, _ := SerialBoundedLimit(1, 4); !math.IsInf(l, 1) {
+		t.Error("f=1 limit should be +Inf")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Speedup(-0.1, 2); err != ErrFraction {
+		t.Errorf("want ErrFraction, got %v", err)
+	}
+	if _, err := Speedup(1.1, 2); err != ErrFraction {
+		t.Errorf("want ErrFraction, got %v", err)
+	}
+	if _, err := Speedup(0.5, 0); err != ErrSpeedupS {
+		t.Errorf("want ErrSpeedupS, got %v", err)
+	}
+	if _, err := SpeedupSymmetric(0.5, 0, 1); err != ErrResources {
+		t.Errorf("want ErrResources, got %v", err)
+	}
+	if _, err := SpeedupSymmetric(0.5, 4, 0.5); err != ErrSeqCore {
+		t.Errorf("want ErrSeqCore, got %v", err)
+	}
+	if _, err := SpeedupSymmetric(0.5, 4, 8); err != ErrSeqCore {
+		t.Errorf("r > n: want ErrSeqCore, got %v", err)
+	}
+	if _, err := SpeedupHeterogeneous(0.5, 8, 2, -1); err != ErrMu {
+		t.Errorf("want ErrMu, got %v", err)
+	}
+	if _, err := SpeedupDynamic(math.NaN(), 4); err != ErrFraction {
+		t.Errorf("want ErrFraction, got %v", err)
+	}
+}
+
+// ---- Property-based tests -------------------------------------------------
+
+type amdahlArgs struct {
+	f, n, r, mu float64
+}
+
+// genArgs maps arbitrary floats into valid model parameter space.
+func genArgs(a, b, c, d float64) amdahlArgs {
+	f := math.Mod(math.Abs(a), 1)
+	n := 2 + math.Mod(math.Abs(b), 1000)
+	r := 1 + math.Mod(math.Abs(c), n-1)
+	mu := 0.01 + math.Mod(math.Abs(d), 1000)
+	return amdahlArgs{f, n, r, mu}
+}
+
+func TestPropHeterogeneousMonotoneInN(t *testing.T) {
+	prop := func(a, b, c, d float64) bool {
+		x := genArgs(a, b, c, d)
+		s1, err1 := SpeedupHeterogeneous(x.f, x.n, x.r, x.mu)
+		s2, err2 := SpeedupHeterogeneous(x.f, x.n*2, x.r, x.mu)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s2 >= s1-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropHeterogeneousMonotoneInMu(t *testing.T) {
+	prop := func(a, b, c, d float64) bool {
+		x := genArgs(a, b, c, d)
+		s1, err1 := SpeedupHeterogeneous(x.f, x.n, x.r, x.mu)
+		s2, err2 := SpeedupHeterogeneous(x.f, x.n, x.r, x.mu*3)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s2 >= s1-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSpeedupsRespectSerialBound(t *testing.T) {
+	prop := func(a, b, c, d float64) bool {
+		x := genArgs(a, b, c, d)
+		if x.f == 1 {
+			return true
+		}
+		lim, err := SerialBoundedLimit(x.f, x.r)
+		if err != nil {
+			return false
+		}
+		for _, m := range []Model{Symmetric, Asymmetric, AsymmetricOffload, Heterogeneous} {
+			s, err := Eval(m, x.f, x.n, x.r, x.mu)
+			if err != nil {
+				return false
+			}
+			// Asymmetric's parallel phase includes the fast core, but its
+			// serial phase is the same; the serial-bounded limit holds for
+			// every model.
+			if s > lim*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAmdahlBetweenOneAndS(t *testing.T) {
+	prop := func(a, b float64) bool {
+		f := math.Mod(math.Abs(a), 1)
+		s := 1 + math.Mod(math.Abs(b), 1e6)
+		got, err := Speedup(f, s)
+		if err != nil {
+			return false
+		}
+		return got >= 1-1e-12 && got <= s+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSymmetricOptimalRShifts(t *testing.T) {
+	// At very high f, small r wins; at very low f, large r wins. This is
+	// the Hill-Marty tension the paper builds on.
+	bestR := func(f float64) float64 {
+		best, bestS := 1.0, 0.0
+		for r := 1.0; r <= 64; r *= 2 {
+			s, err := SpeedupSymmetric(f, 64, r)
+			if err != nil {
+				continue
+			}
+			if s > bestS {
+				bestS, best = s, r
+			}
+		}
+		return best
+	}
+	if rLow, rHigh := bestR(0.1), bestR(0.999); rLow <= rHigh {
+		t.Errorf("optimal r at f=0.1 (%g) should exceed optimal r at f=0.999 (%g)", rLow, rHigh)
+	}
+}

@@ -1,0 +1,45 @@
+package amdahl_test
+
+import (
+	"fmt"
+
+	"github.com/calcm/heterosim/internal/amdahl"
+)
+
+// The classic law: 90% parallel work sped up 10x.
+func ExampleSpeedup() {
+	s, _ := amdahl.Speedup(0.9, 10)
+	fmt.Printf("%.2f\n", s)
+	// Output: 5.26
+}
+
+// Hill & Marty's symmetric multicore: 256 BCE of area spent on cores of
+// size 4 (performance 2 each).
+func ExampleSpeedupSymmetric() {
+	s, _ := amdahl.SpeedupSymmetric(0.9, 256, 4)
+	fmt.Printf("%.1f\n", s)
+	// Output: 17.5
+}
+
+// The paper's U-core model: the 40nm FFT ASIC (mu = 489) on a 19-BCE die
+// with a 2-BCE sequential core, at three parallelism levels. The gains
+// only open up at high f — the paper's first conclusion in miniature.
+func ExampleSpeedupHeterogeneous() {
+	for _, f := range []float64{0.5, 0.9, 0.99} {
+		s, _ := amdahl.SpeedupHeterogeneous(f, 19, 2, 489)
+		fmt.Printf("f=%.2f: %.1f\n", f, s)
+	}
+	// Output:
+	// f=0.50: 2.8
+	// f=0.90: 14.1
+	// f=0.99: 139.1
+}
+
+// Powering the big core off during parallel phases (the paper's
+// asymmetric-offload variant) versus keeping it on.
+func ExampleSpeedupAsymmetricOffload() {
+	on, _ := amdahl.SpeedupAsymmetric(0.95, 64, 9)
+	off, _ := amdahl.SpeedupAsymmetricOffload(0.95, 64, 9)
+	fmt.Printf("asymmetric %.2f, offload %.2f\n", on, off)
+	// Output: asymmetric 30.26, offload 29.46
+}

@@ -1,0 +1,214 @@
+// Package bounds implements Table 1 of Chung et al. (MICRO 2010): the
+// area, power, and bandwidth bounds that jointly limit the resources
+// (n, r) of symmetric, asymmetric-offload, and heterogeneous single-chip
+// multiprocessors.
+//
+// All quantities are expressed in BCE-relative units:
+//
+//   - Area budget A: chip compute area in units of one BCE core.
+//   - Power budget P: chip power in units of one actively-executing BCE.
+//   - Bandwidth budget B: off-chip bandwidth in units of the compulsory
+//     bandwidth of one BCE running the workload of interest.
+//
+// The "bounded n" is the maximum number of BCE resource units that can
+// usefully contribute to speedup; whichever budget produces the smallest
+// bound is the design's limiting factor, which the paper renders as
+// dashed (power-limited) or solid (bandwidth-limited) trajectory segments.
+package bounds
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+// Limit identifies which budget binds a design point.
+type Limit int
+
+const (
+	// AreaLimited means the full area budget is used and neither power nor
+	// bandwidth cuts it further (plotted as unconnected points).
+	AreaLimited Limit = iota
+	// PowerLimited means power prevents using the full area (dashed).
+	PowerLimited
+	// BandwidthLimited means off-chip bandwidth prevents using the full
+	// area (solid).
+	BandwidthLimited
+	// Infeasible means no valid design exists (serial bounds violated).
+	Infeasible
+)
+
+// String names the limit the way the paper's figures do.
+func (l Limit) String() string {
+	switch l {
+	case AreaLimited:
+		return "area-limited"
+	case PowerLimited:
+		return "power-limited"
+	case BandwidthLimited:
+		return "bandwidth-limited"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return fmt.Sprintf("Limit(%d)", int(l))
+	}
+}
+
+// Budgets carries the three chip budgets in BCE-relative units.
+type Budgets struct {
+	Area      float64 // A, in BCE cores
+	Power     float64 // P, in BCE active power
+	Bandwidth float64 // B, in BCE compulsory bandwidth
+}
+
+// Validate reports an error when any budget is non-positive or NaN.
+func (b Budgets) Validate() error {
+	if b.Area <= 0 || math.IsNaN(b.Area) {
+		return errors.New("bounds: area budget must be positive")
+	}
+	if b.Power <= 0 || math.IsNaN(b.Power) {
+		return errors.New("bounds: power budget must be positive")
+	}
+	if b.Bandwidth <= 0 || math.IsNaN(b.Bandwidth) {
+		return errors.New("bounds: bandwidth budget must be positive")
+	}
+	return nil
+}
+
+// UCore characterizes a BCE-sized unconventional core: relative
+// performance Mu and relative active power Phi (Section 3.3).
+type UCore struct {
+	Mu  float64
+	Phi float64
+}
+
+// Validate reports an error when mu or phi is non-positive or NaN.
+func (u UCore) Validate() error {
+	if u.Mu <= 0 || math.IsNaN(u.Mu) {
+		return errors.New("bounds: U-core mu must be positive")
+	}
+	if u.Phi <= 0 || math.IsNaN(u.Phi) {
+		return errors.New("bounds: U-core phi must be positive")
+	}
+	return nil
+}
+
+// Bound is one row of the solved constraint system for a fixed r: the
+// maximum usable n under each budget, the binding minimum, and its cause.
+type Bound struct {
+	R         float64 // sequential core size examined
+	NArea     float64 // n bound from area: n <= A
+	NPower    float64 // n bound from parallel power
+	NBandwidt float64 // n bound from parallel bandwidth
+	N         float64 // min of the three (and >= r)
+	Limit     Limit   // which budget binds
+}
+
+// SerialFeasible checks Table 1's serial bounds for a sequential core of
+// size r: r^(alpha/2) <= P (serial power) and r <= B^2 (serial bandwidth),
+// plus the trivial r <= A. It returns nil when r is feasible.
+func SerialFeasible(law pollack.Law, b Budgets, r float64) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if r < 1 || math.IsNaN(r) {
+		return errors.New("bounds: r must be >= 1")
+	}
+	if r > b.Area {
+		return fmt.Errorf("bounds: serial area bound violated: r=%.3g > A=%.3g", r, b.Area)
+	}
+	pw, err := law.Power(r)
+	if err != nil {
+		return err
+	}
+	if pw > b.Power {
+		return fmt.Errorf("bounds: serial power bound violated: r^(a/2)=%.3g > P=%.3g", pw, b.Power)
+	}
+	if r > b.Bandwidth*b.Bandwidth {
+		return fmt.Errorf("bounds: serial bandwidth bound violated: r=%.3g > B^2=%.3g", r, b.Bandwidth*b.Bandwidth)
+	}
+	return nil
+}
+
+// MaxSerialR returns the largest integer r >= 1 satisfying all three
+// serial bounds, or an error when even r = 1 is infeasible.
+func MaxSerialR(law pollack.Law, b Budgets) (int, error) {
+	if err := SerialFeasible(law, b, 1); err != nil {
+		return 0, err
+	}
+	r := 1
+	for SerialFeasible(law, b, float64(r+1)) == nil {
+		r++
+	}
+	return r, nil
+}
+
+// Symmetric solves the symmetric-CMP column of Table 1 for core size r:
+//
+//	area:      n <= A
+//	power:     n <= P / r^(alpha/2 - 1)
+//	bandwidth: n <= B * sqrt(r)
+func Symmetric(law pollack.Law, b Budgets, r float64) (Bound, error) {
+	if err := SerialFeasible(law, b, r); err != nil {
+		return Bound{R: r, Limit: Infeasible}, err
+	}
+	nPow := b.Power / math.Pow(r, law.Alpha()/2-1)
+	nBW := b.Bandwidth * math.Sqrt(r)
+	return attribute(r, b.Area, nPow, nBW), nil
+}
+
+// AsymmetricOffload solves the asym-offload column of Table 1 for core
+// size r (fast core off during parallel phases):
+//
+//	area:      n <= A
+//	power:     n <= P + r
+//	bandwidth: n <= B + r
+func AsymmetricOffload(law pollack.Law, b Budgets, r float64) (Bound, error) {
+	if err := SerialFeasible(law, b, r); err != nil {
+		return Bound{R: r, Limit: Infeasible}, err
+	}
+	return attribute(r, b.Area, b.Power+r, b.Bandwidth+r), nil
+}
+
+// Heterogeneous solves the heterogeneous column of Table 1 for core size
+// r and U-core (mu, phi):
+//
+//	area:      n <= A
+//	power:     n <= P/phi + r
+//	bandwidth: n <= B/mu + r
+//
+// Lower phi values stretch the power budget; higher mu values consume
+// bandwidth faster — exactly the tension the paper studies.
+func Heterogeneous(law pollack.Law, b Budgets, r float64, u UCore) (Bound, error) {
+	if err := u.Validate(); err != nil {
+		return Bound{R: r, Limit: Infeasible}, err
+	}
+	if err := SerialFeasible(law, b, r); err != nil {
+		return Bound{R: r, Limit: Infeasible}, err
+	}
+	return attribute(r, b.Area, b.Power/u.Phi+r, b.Bandwidth/u.Mu+r), nil
+}
+
+// attribute takes the three bounds, clamps n below by r (a chip always
+// contains at least its sequential core), and identifies the binding
+// budget. Area wins attribution only when it is the strict minimum; when
+// power or bandwidth prevents the full area from being used, that budget
+// is reported (matching the dashed/solid plotting convention).
+func attribute(r, nArea, nPow, nBW float64) Bound {
+	n := math.Min(nArea, math.Min(nPow, nBW))
+	lim := AreaLimited
+	switch {
+	case nPow < nArea && nPow <= nBW:
+		lim = PowerLimited
+	case nBW < nArea && nBW < nPow:
+		lim = BandwidthLimited
+	}
+	if n < r {
+		// The parallel-phase budget cannot even cover the sequential core's
+		// area slot; the usable n degenerates to r (no parallel resources).
+		n = r
+	}
+	return Bound{R: r, NArea: nArea, NPower: nPow, NBandwidt: nBW, N: n, Limit: lim}
+}

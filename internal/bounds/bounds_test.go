@@ -1,0 +1,290 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+var law = pollack.Default()
+
+func validBudgets() Budgets {
+	return Budgets{Area: 19, Power: 8.6, Bandwidth: 57.9}
+}
+
+func TestBudgetsValidate(t *testing.T) {
+	if err := validBudgets().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Budgets{
+		{Area: 0, Power: 1, Bandwidth: 1},
+		{Area: 1, Power: -1, Bandwidth: 1},
+		{Area: 1, Power: 1, Bandwidth: math.NaN()},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestUCoreValidate(t *testing.T) {
+	if err := (UCore{Mu: 2, Phi: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (UCore{Mu: 0, Phi: 1}).Validate(); err == nil {
+		t.Error("mu=0 should fail")
+	}
+	if err := (UCore{Mu: 1, Phi: -2}).Validate(); err == nil {
+		t.Error("phi<0 should fail")
+	}
+}
+
+func TestSerialFeasible(t *testing.T) {
+	b := validBudgets()
+	if err := SerialFeasible(law, b, 1); err != nil {
+		t.Fatalf("r=1 must be feasible: %v", err)
+	}
+	// Serial power bound: r^0.875 <= 8.6 -> r <= 8.6^(8/7) ~ 11.7.
+	if err := SerialFeasible(law, b, 11); err != nil {
+		t.Errorf("r=11 should be power-feasible: %v", err)
+	}
+	if err := SerialFeasible(law, b, 13); err == nil {
+		t.Error("r=13 should violate serial power bound")
+	}
+	// Serial area bound.
+	if err := SerialFeasible(law, Budgets{Area: 4, Power: 100, Bandwidth: 100}, 5); err == nil {
+		t.Error("r > A should fail")
+	}
+	// Serial bandwidth bound: r <= B^2.
+	if err := SerialFeasible(law, Budgets{Area: 100, Power: 1000, Bandwidth: 2}, 5); err == nil {
+		t.Error("r=5 > B^2=4 should fail")
+	}
+	if err := SerialFeasible(law, b, 0.5); err == nil {
+		t.Error("r < 1 should fail")
+	}
+}
+
+func TestMaxSerialR(t *testing.T) {
+	b := validBudgets()
+	r, err := MaxSerialR(law, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8.6^(2/1.75) = 8.6^1.1428 ~ 11.7 -> max integer r is 11.
+	if r != 11 {
+		t.Errorf("MaxSerialR = %d, want 11", r)
+	}
+	// Infeasible even at r=1.
+	if _, err := MaxSerialR(law, Budgets{Area: 19, Power: 0.5, Bandwidth: 10}); err == nil {
+		t.Error("P=0.5 cannot power even one BCE serial core at r=1... r=1 power is 1 > 0.5")
+	}
+}
+
+func TestSymmetricBoundsTable1(t *testing.T) {
+	b := validBudgets()
+	got, err := Symmetric(law, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n <= P / r^(alpha/2 - 1) = 8.6 / 2^(-0.125) = 8.6 * 2^0.125.
+	wantPow := 8.6 * math.Pow(2, 0.125)
+	if math.Abs(got.NPower-wantPow) > 1e-9 {
+		t.Errorf("NPower = %g, want %g", got.NPower, wantPow)
+	}
+	// n <= B sqrt(r).
+	wantBW := 57.9 * math.Sqrt2
+	if math.Abs(got.NBandwidt-wantBW) > 1e-9 {
+		t.Errorf("NBandwidth = %g, want %g", got.NBandwidt, wantBW)
+	}
+	if got.NArea != 19 {
+		t.Errorf("NArea = %g, want 19", got.NArea)
+	}
+	// Power is the binding budget here (9.67 < 19 < 81.9).
+	if got.Limit != PowerLimited {
+		t.Errorf("Limit = %v, want power-limited", got.Limit)
+	}
+	if math.Abs(got.N-wantPow) > 1e-9 {
+		t.Errorf("N = %g, want %g", got.N, wantPow)
+	}
+}
+
+func TestAsymmetricOffloadBounds(t *testing.T) {
+	b := validBudgets()
+	got, err := AsymmetricOffload(law, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NPower != b.Power+4 {
+		t.Errorf("NPower = %g, want %g", got.NPower, b.Power+4)
+	}
+	if got.NBandwidt != b.Bandwidth+4 {
+		t.Errorf("NBandwidth = %g, want %g", got.NBandwidt, b.Bandwidth+4)
+	}
+	// P+r = 12.6 < A=19 -> power-limited.
+	if got.Limit != PowerLimited || got.N != 12.6 {
+		t.Errorf("got %+v, want power-limited N=12.6", got)
+	}
+}
+
+func TestHeterogeneousBounds(t *testing.T) {
+	b := validBudgets()
+	// FFT-1024 ASIC: mu=489, phi=4.96 -> bandwidth bound tiny.
+	asic := UCore{Mu: 489, Phi: 4.96}
+	got, err := Heterogeneous(law, b, 2, asic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBW := 57.9/489 + 2
+	if math.Abs(got.NBandwidt-wantBW) > 1e-9 {
+		t.Errorf("NBandwidth = %g, want %g", got.NBandwidt, wantBW)
+	}
+	if got.Limit != BandwidthLimited {
+		t.Errorf("ASIC FFT should be bandwidth-limited, got %v", got.Limit)
+	}
+	// FFT-1024 FPGA: mu=2.02, phi=0.29 -> area-limited at 40nm.
+	fpga := UCore{Mu: 2.02, Phi: 0.29}
+	got, err = Heterogeneous(law, b, 2, fpga)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Limit != AreaLimited || got.N != 19 {
+		t.Errorf("FPGA FFT at 40nm should be area-limited with N=19, got %+v", got)
+	}
+	// Invalid U-core propagates.
+	if _, err := Heterogeneous(law, b, 2, UCore{Mu: -1, Phi: 1}); err == nil {
+		t.Error("invalid U-core must fail")
+	}
+}
+
+func TestInfeasibleSerialPropagates(t *testing.T) {
+	b := validBudgets()
+	if _, err := Symmetric(law, b, 15); err == nil {
+		t.Error("r=15 violates serial power bound; Symmetric must fail")
+	}
+	bnd, err := Heterogeneous(law, b, 15, UCore{Mu: 1, Phi: 1})
+	if err == nil {
+		t.Error("r=15 must fail for Heterogeneous too")
+	}
+	if bnd.Limit != Infeasible {
+		t.Errorf("Limit = %v, want infeasible", bnd.Limit)
+	}
+}
+
+func TestNNeverBelowR(t *testing.T) {
+	// A pathological U-core with enormous phi exhausts the parallel power
+	// budget immediately; n must clamp at r, not go below.
+	b := Budgets{Area: 100, Power: 2, Bandwidth: 1000}
+	got, err := Heterogeneous(law, b, 1, UCore{Mu: 1, Phi: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N < got.R {
+		t.Errorf("N = %g fell below r = %g", got.N, got.R)
+	}
+}
+
+func TestLimitString(t *testing.T) {
+	if AreaLimited.String() != "area-limited" ||
+		PowerLimited.String() != "power-limited" ||
+		BandwidthLimited.String() != "bandwidth-limited" ||
+		Infeasible.String() != "infeasible" {
+		t.Error("Limit.String mismatch")
+	}
+	if Limit(9).String() == "" {
+		t.Error("unknown limit should print something")
+	}
+}
+
+// ---- Property-based tests -------------------------------------------------
+
+func saneBudgets(a, p, bw float64) Budgets {
+	return Budgets{
+		Area:      2 + math.Mod(math.Abs(a), 500),
+		Power:     1 + math.Mod(math.Abs(p), 500),
+		Bandwidth: 1 + math.Mod(math.Abs(bw), 500),
+	}
+}
+
+// Property: every bound is monotone in its budget — relaxing any budget
+// never reduces N.
+func TestPropBoundsMonotoneInBudgets(t *testing.T) {
+	prop := func(a, p, bw, rr, m, ph float64) bool {
+		b := saneBudgets(a, p, bw)
+		r := 1.0
+		u := UCore{Mu: 0.1 + math.Mod(math.Abs(m), 100), Phi: 0.1 + math.Mod(math.Abs(ph), 10)}
+		base, err := Heterogeneous(law, b, r, u)
+		if err != nil {
+			return true // serial-infeasible draws are uninteresting
+		}
+		for _, relaxed := range []Budgets{
+			{b.Area * 2, b.Power, b.Bandwidth},
+			{b.Area, b.Power * 2, b.Bandwidth},
+			{b.Area, b.Power, b.Bandwidth * 2},
+		} {
+			got, err := Heterogeneous(law, relaxed, r, u)
+			if err != nil || got.N < base.N-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: N equals the minimum of the three per-budget bounds (when
+// above r), and the attributed limit matches that minimum.
+func TestPropAttributionConsistent(t *testing.T) {
+	prop := func(a, p, bw float64) bool {
+		b := saneBudgets(a, p, bw)
+		got, err := AsymmetricOffload(law, b, 1)
+		if err != nil {
+			return true
+		}
+		min := math.Min(got.NArea, math.Min(got.NPower, got.NBandwidt))
+		if min >= got.R && math.Abs(got.N-min) > 1e-9 {
+			return false
+		}
+		switch got.Limit {
+		case AreaLimited:
+			return got.NArea <= got.NPower+1e-9 && got.NArea <= got.NBandwidt+1e-9
+		case PowerLimited:
+			return got.NPower < got.NArea+1e-9
+		case BandwidthLimited:
+			return got.NBandwidt < got.NArea+1e-9
+		}
+		return false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lower phi (more efficient U-core) never reduces the power
+// bound; higher mu never increases the bandwidth bound.
+func TestPropUCoreParameterDirections(t *testing.T) {
+	b := validBudgets()
+	prop := func(m, ph float64) bool {
+		u := UCore{Mu: 0.1 + math.Mod(math.Abs(m), 100), Phi: 0.1 + math.Mod(math.Abs(ph), 10)}
+		base, err := Heterogeneous(law, b, 1, u)
+		if err != nil {
+			return false
+		}
+		better, err := Heterogeneous(law, b, 1, UCore{Mu: u.Mu, Phi: u.Phi / 2})
+		if err != nil || better.NPower < base.NPower {
+			return false
+		}
+		faster, err := Heterogeneous(law, b, 1, UCore{Mu: u.Mu * 2, Phi: u.Phi})
+		if err != nil || faster.NBandwidt > base.NBandwidt {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

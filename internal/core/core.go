@@ -1,0 +1,279 @@
+// Package core is the heart of the reproduction: the extended Hill &
+// Marty model of Chung et al. (MICRO 2010) that evaluates single-chip
+// designs — symmetric CMPs, asymmetric-offload CMPs, and U-core
+// heterogeneous chips — under joint area, power, and bandwidth budgets
+// (Table 1), and optimizes the sequential-core size r for each design
+// point as Section 6 does (sweeping r up to 16 and reporting the best
+// speedup).
+//
+// All quantities are in BCE-relative units; converting watts, mm², and
+// GB/s into those units is the job of package project.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/calcm/heterosim/internal/amdahl"
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+// ChipKind selects the chip organization.
+type ChipKind int
+
+const (
+	// SymCMP is the symmetric multicore baseline ("(0) SymCMP").
+	SymCMP ChipKind = iota
+	// AsymCMP is the asymmetric-offload multicore ("(1) AsymCMP").
+	AsymCMP
+	// Het is a U-core heterogeneous chip.
+	Het
+)
+
+// String names the chip kind.
+func (k ChipKind) String() string {
+	switch k {
+	case SymCMP:
+		return "SymCMP"
+	case AsymCMP:
+		return "AsymCMP"
+	case Het:
+		return "HET"
+	default:
+		return fmt.Sprintf("ChipKind(%d)", int(k))
+	}
+}
+
+// Design is one chip alternative to evaluate.
+type Design struct {
+	Kind  ChipKind
+	Label string // display label, e.g. "(6) ASIC"
+
+	// UCore parameters; required when Kind == Het.
+	UCore bounds.UCore
+
+	// ExemptBandwidth removes the off-chip bandwidth bound, used for the
+	// ASIC MMM core whose blocking (N >= 2048) raises arithmetic intensity
+	// beyond the constraint's reach (Section 6).
+	ExemptBandwidth bool
+}
+
+// Validate reports an error for malformed designs.
+func (d Design) Validate() error {
+	if d.Kind == Het {
+		return d.UCore.Validate()
+	}
+	if d.Kind != SymCMP && d.Kind != AsymCMP {
+		return fmt.Errorf("core: unknown chip kind %d", int(d.Kind))
+	}
+	return nil
+}
+
+// Point is one evaluated design point: the chosen sequential-core size,
+// the usable resources, the achieved speedup, and which budget binds.
+type Point struct {
+	Design  Design
+	F       float64 // parallel fraction
+	R       int     // sequential core size (BCE)
+	N       float64 // usable resources (BCE)
+	Speedup float64
+	Limit   bounds.Limit
+
+	// EnergyNorm is the task energy normalized to one BCE executing the
+	// whole task at unit power — before any technology-node scaling.
+	EnergyNorm float64
+}
+
+// Evaluator evaluates designs under a sequential-core law.
+type Evaluator struct {
+	Law pollack.Law
+	// MaxR bounds the sequential-core sweep (paper: 16).
+	MaxR int
+}
+
+// NewEvaluator returns an evaluator with the paper's defaults
+// (alpha = 1.75, r swept 1..16).
+func NewEvaluator() Evaluator {
+	return Evaluator{Law: pollack.Default(), MaxR: 16}
+}
+
+// ErrInfeasible is returned when no r in the sweep yields a valid design.
+var ErrInfeasible = errors.New("core: no feasible design point")
+
+// Evaluate computes the design's speedup at a fixed r under the budgets.
+// It returns an error when r violates the serial bounds or leaves no
+// parallel resources while f > 0.
+func (e Evaluator) Evaluate(d Design, f float64, b bounds.Budgets, r int) (Point, error) {
+	if err := d.Validate(); err != nil {
+		return Point{}, err
+	}
+	if r < 1 {
+		return Point{}, errors.New("core: r must be >= 1")
+	}
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return Point{}, amdahl.ErrFraction
+	}
+	eb := b
+	if d.ExemptBandwidth {
+		eb.Bandwidth = math.Inf(1)
+	}
+	var (
+		bd  bounds.Bound
+		err error
+	)
+	switch d.Kind {
+	case SymCMP:
+		bd, err = bounds.Symmetric(e.Law, eb, float64(r))
+	case AsymCMP:
+		bd, err = bounds.AsymmetricOffload(e.Law, eb, float64(r))
+	case Het:
+		bd, err = bounds.Heterogeneous(e.Law, eb, float64(r), d.UCore)
+	}
+	if err != nil {
+		return Point{}, err
+	}
+	speedup, err := e.speedup(d, f, bd.N, float64(r))
+	if err != nil {
+		return Point{}, err
+	}
+	energy, err := e.energyNorm(d, f, bd.N, float64(r))
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Design: d, F: f, R: r, N: bd.N,
+		Speedup: speedup, Limit: bd.Limit, EnergyNorm: energy,
+	}, nil
+}
+
+// Optimize sweeps r in [1, MaxR] and returns the point with the highest
+// speedup (ties broken toward smaller r). Infeasible r values are
+// skipped; if every r fails, ErrInfeasible wraps the last cause.
+func (e Evaluator) Optimize(d Design, f float64, b bounds.Budgets) (Point, error) {
+	maxR := e.MaxR
+	if maxR < 1 {
+		maxR = 16
+	}
+	var (
+		best    Point
+		found   bool
+		lastErr error
+	)
+	for r := 1; r <= maxR; r++ {
+		p, err := e.Evaluate(d, f, b, r)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !found || p.Speedup > best.Speedup {
+			best, found = p, true
+		}
+	}
+	if !found {
+		return Point{}, fmt.Errorf("%w: %v", ErrInfeasible, lastErr)
+	}
+	return best, nil
+}
+
+// OptimizeEnergy sweeps r and returns the point with the lowest
+// normalized energy among feasible points (the alternative objective of
+// the paper's third question).
+func (e Evaluator) OptimizeEnergy(d Design, f float64, b bounds.Budgets) (Point, error) {
+	maxR := e.MaxR
+	if maxR < 1 {
+		maxR = 16
+	}
+	var (
+		best    Point
+		found   bool
+		lastErr error
+	)
+	for r := 1; r <= maxR; r++ {
+		p, err := e.Evaluate(d, f, b, r)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !found || p.EnergyNorm < best.EnergyNorm {
+			best, found = p, true
+		}
+	}
+	if !found {
+		return Point{}, fmt.Errorf("%w: %v", ErrInfeasible, lastErr)
+	}
+	return best, nil
+}
+
+// speedup dispatches to the right Amdahl-family formula given usable n.
+func (e Evaluator) speedup(d Design, f, n, r float64) (float64, error) {
+	if n < r {
+		n = r
+	}
+	switch d.Kind {
+	case SymCMP:
+		return amdahl.SpeedupSymmetric(f, n, r)
+	case AsymCMP:
+		if f > 0 && n <= r {
+			return 0, amdahl.ErrNoProgram
+		}
+		return amdahl.SpeedupAsymmetricOffload(f, n, r)
+	case Het:
+		if f > 0 && n <= r {
+			return 0, amdahl.ErrNoProgram
+		}
+		return amdahl.SpeedupHeterogeneous(f, n, r, d.UCore.Mu)
+	default:
+		return 0, fmt.Errorf("core: unknown chip kind %d", int(d.Kind))
+	}
+}
+
+// energyNorm computes task energy relative to one BCE running the whole
+// task at unit power, for the design executing with usable resources n
+// and sequential core r:
+//
+//	E = (1-f) · power_seq(r)/perf_seq(r) + f · P_par/Perf_par
+//
+// For the parallel phase, P_par/Perf_par is r^((alpha-1)/2) for the
+// symmetric CMP (big cores are inefficient), exactly 1 for the
+// asymmetric-offload CMP (BCEs at BCE efficiency), and phi/mu for
+// heterogeneous chips — independent of n, which cancels.
+func (e Evaluator) energyNorm(d Design, f, n, r float64) (float64, error) {
+	if n < r {
+		n = r
+	}
+	pw, err := e.Law.Power(r)
+	if err != nil {
+		return 0, err
+	}
+	pf, err := e.Law.Perf(r)
+	if err != nil {
+		return 0, err
+	}
+	serial := (1 - f) * pw / pf
+	var parallelRatio float64
+	switch d.Kind {
+	case SymCMP:
+		parallelRatio = math.Pow(r, (e.Law.Alpha()-1)/2)
+	case AsymCMP:
+		parallelRatio = 1
+	case Het:
+		parallelRatio = d.UCore.Phi / d.UCore.Mu
+	default:
+		return 0, fmt.Errorf("core: unknown chip kind %d", int(d.Kind))
+	}
+	return serial + f*parallelRatio, nil
+}
+
+// StandardDesignsFor returns the paper's Figure 6-10 design lineup for a
+// set of U-core parameters: "(0) SymCMP", "(1) AsymCMP", then one HET per
+// provided U-core in the given order.
+func StandardDesignsFor(hets []Design) []Design {
+	out := []Design{
+		{Kind: SymCMP, Label: "(0) SymCMP"},
+		{Kind: AsymCMP, Label: "(1) AsymCMP"},
+	}
+	out = append(out, hets...)
+	return out
+}

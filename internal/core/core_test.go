@@ -1,0 +1,326 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+// 40nm FFT-1024 context: A=19, P~8.6, B~57.9 (see DESIGN.md §5).
+func fft40nmBudgets() bounds.Budgets {
+	return bounds.Budgets{Area: 19, Power: 8.6, Bandwidth: 57.9}
+}
+
+func TestDesignValidate(t *testing.T) {
+	if err := (Design{Kind: SymCMP}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Design{Kind: Het, UCore: bounds.UCore{Mu: 2, Phi: 0.5}}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Design{Kind: Het}).Validate(); err == nil {
+		t.Error("HET without U-core must fail")
+	}
+	if err := (Design{Kind: ChipKind(9)}).Validate(); err == nil {
+		t.Error("unknown kind must fail")
+	}
+}
+
+func TestChipKindString(t *testing.T) {
+	if SymCMP.String() != "SymCMP" || AsymCMP.String() != "AsymCMP" || Het.String() != "HET" {
+		t.Error("ChipKind.String mismatch")
+	}
+	if ChipKind(9).String() == "" {
+		t.Error("unknown kind should print")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	e := NewEvaluator()
+	b := fft40nmBudgets()
+	d := Design{Kind: AsymCMP}
+	if _, err := e.Evaluate(d, -0.5, b, 2); err == nil {
+		t.Error("bad f must fail")
+	}
+	if _, err := e.Evaluate(d, 0.9, b, 0); err == nil {
+		t.Error("r=0 must fail")
+	}
+	if _, err := e.Evaluate(d, 0.9, b, 15); err == nil {
+		t.Error("r violating serial power bound must fail")
+	}
+}
+
+func TestEvaluateASICFFTIsBandwidthLimited(t *testing.T) {
+	e := NewEvaluator()
+	asic := Design{Kind: Het, Label: "(6) ASIC", UCore: bounds.UCore{Mu: 489, Phi: 4.96}}
+	p, err := e.Evaluate(asic, 0.999, fft40nmBudgets(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Limit != bounds.BandwidthLimited {
+		t.Errorf("ASIC FFT limit = %v, want bandwidth-limited", p.Limit)
+	}
+	// Parallel throughput caps at B = 57.9 BCE units; speedup ~ 56.
+	want := 1 / (0.001/math.Sqrt2 + 0.999/57.9)
+	if math.Abs(p.Speedup/want-1) > 0.02 {
+		t.Errorf("speedup = %g, want ~%g", p.Speedup, want)
+	}
+}
+
+func TestOptimizePicksBestR(t *testing.T) {
+	e := NewEvaluator()
+	d := Design{Kind: AsymCMP}
+	b := fft40nmBudgets()
+	best, err := e.Optimize(d, 0.5, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive check against manual sweep.
+	for r := 1; r <= 16; r++ {
+		p, err := e.Evaluate(d, 0.5, b, r)
+		if err != nil {
+			continue
+		}
+		if p.Speedup > best.Speedup+1e-12 {
+			t.Errorf("r=%d beats Optimize: %g > %g", r, p.Speedup, best.Speedup)
+		}
+	}
+	// At f=0.5 a bigger sequential core pays off; at f=0.999 it should not.
+	bestHighF, err := e.Optimize(d, 0.999, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestHighF.R > best.R {
+		t.Errorf("optimal r at f=0.999 (%d) should not exceed r at f=0.5 (%d)",
+			bestHighF.R, best.R)
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	e := NewEvaluator()
+	d := Design{Kind: SymCMP}
+	// Power budget below one BCE: even r=1 violates the serial bound.
+	b := bounds.Budgets{Area: 19, Power: 0.5, Bandwidth: 57.9}
+	_, err := e.Optimize(d, 0.9, b)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestExemptBandwidth(t *testing.T) {
+	e := NewEvaluator()
+	// Tight bandwidth budget strangles a fast U-core...
+	b := bounds.Budgets{Area: 100, Power: 50, Bandwidth: 2}
+	u := bounds.UCore{Mu: 100, Phi: 1}
+	constrained, err := e.Evaluate(Design{Kind: Het, UCore: u}, 0.99, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exempt, err := e.Evaluate(Design{Kind: Het, UCore: u, ExemptBandwidth: true}, 0.99, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exempt.Speedup <= constrained.Speedup {
+		t.Errorf("exempt %g should beat constrained %g", exempt.Speedup, constrained.Speedup)
+	}
+	if constrained.Limit != bounds.BandwidthLimited {
+		t.Errorf("constrained limit = %v", constrained.Limit)
+	}
+	if exempt.Limit == bounds.BandwidthLimited {
+		t.Error("exempt design cannot be bandwidth-limited")
+	}
+}
+
+func TestEnergyNormFormulas(t *testing.T) {
+	e := NewEvaluator()
+	b := bounds.Budgets{Area: 100, Power: 100, Bandwidth: 1000}
+	// AsymCMP at f=1: parallel ratio exactly 1.
+	p, err := e.Evaluate(Design{Kind: AsymCMP}, 1, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.EnergyNorm-1) > 1e-12 {
+		t.Errorf("AsymCMP f=1 energy = %g, want 1", p.EnergyNorm)
+	}
+	// HET at f=1: energy = phi/mu.
+	u := bounds.UCore{Mu: 27.4, Phi: 0.79} // ASIC MMM
+	p, err = e.Evaluate(Design{Kind: Het, UCore: u}, 1, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.EnergyNorm-0.79/27.4) > 1e-12 {
+		t.Errorf("HET f=1 energy = %g, want %g", p.EnergyNorm, 0.79/27.4)
+	}
+	// f=0: all designs cost power_seq/perf_seq = r^((alpha-1)/2).
+	for _, d := range []Design{{Kind: SymCMP}, {Kind: AsymCMP}, {Kind: Het, UCore: u}} {
+		p, err := e.Evaluate(d, 0, b, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Pow(4, 0.375)
+		if math.Abs(p.EnergyNorm-want) > 1e-12 {
+			t.Errorf("%v f=0 energy = %g, want %g", d.Kind, p.EnergyNorm, want)
+		}
+	}
+	// Symmetric parallel phase is less efficient than offload for r > 1.
+	sym, _ := e.Evaluate(Design{Kind: SymCMP}, 1, b, 4)
+	off, _ := e.Evaluate(Design{Kind: AsymCMP}, 1, b, 4)
+	if sym.EnergyNorm <= off.EnergyNorm {
+		t.Errorf("sym energy %g should exceed offload %g at r=4, f=1",
+			sym.EnergyNorm, off.EnergyNorm)
+	}
+}
+
+func TestOptimizeEnergyPrefersEfficientPoint(t *testing.T) {
+	e := NewEvaluator()
+	b := fft40nmBudgets()
+	d := Design{Kind: AsymCMP}
+	en, err := e.OptimizeEnergy(d, 0.9, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := e.Optimize(d, 0.9, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if en.EnergyNorm > sp.EnergyNorm+1e-12 {
+		t.Errorf("energy-optimal %g worse than speedup-optimal %g",
+			en.EnergyNorm, sp.EnergyNorm)
+	}
+	// Energy-optimal sequential core is small (serial power dominates).
+	if en.R > sp.R {
+		t.Errorf("energy-optimal r=%d should not exceed speedup-optimal r=%d", en.R, sp.R)
+	}
+}
+
+func TestStandardDesignsFor(t *testing.T) {
+	hets := []Design{
+		{Kind: Het, Label: "(2) LX760", UCore: bounds.UCore{Mu: 2.02, Phi: 0.29}},
+		{Kind: Het, Label: "(6) ASIC", UCore: bounds.UCore{Mu: 489, Phi: 4.96}},
+	}
+	all := StandardDesignsFor(hets)
+	if len(all) != 4 {
+		t.Fatalf("len = %d", len(all))
+	}
+	if all[0].Label != "(0) SymCMP" || all[1].Label != "(1) AsymCMP" {
+		t.Error("CMP baselines missing or misordered")
+	}
+	if all[2].Label != "(2) LX760" || all[3].Label != "(6) ASIC" {
+		t.Error("HET ordering broken")
+	}
+}
+
+// Paper sanity: at f=0.5 HETs barely beat the CMPs; at f=0.999 the gap is
+// large (Section 6.1's central observation).
+func TestParallelismGatesTheHetAdvantage(t *testing.T) {
+	e := NewEvaluator()
+	b := fft40nmBudgets()
+	fpga := Design{Kind: Het, UCore: bounds.UCore{Mu: 2.02, Phi: 0.29}}
+	cmp := Design{Kind: AsymCMP}
+	gap := func(f float64) float64 {
+		h, err := e.Optimize(fpga, f, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := e.Optimize(cmp, f, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.Speedup / c.Speedup
+	}
+	low, high := gap(0.5), gap(0.999)
+	if low > 1.5 {
+		t.Errorf("f=0.5 HET/CMP gap = %g, should be modest", low)
+	}
+	if high < 1.5 {
+		t.Errorf("f=0.999 HET/CMP gap = %g, should be large", high)
+	}
+	if high <= low {
+		t.Errorf("gap must widen with parallelism: %g -> %g", low, high)
+	}
+}
+
+// Property: relaxing any budget never reduces the optimized speedup.
+func TestPropOptimizeMonotoneInBudgets(t *testing.T) {
+	e := NewEvaluator()
+	prop := func(a, p, bw, mu, phi, fraw float64) bool {
+		b := bounds.Budgets{
+			Area:      2 + math.Mod(math.Abs(a), 300),
+			Power:     1 + math.Mod(math.Abs(p), 300),
+			Bandwidth: 1 + math.Mod(math.Abs(bw), 300),
+		}
+		d := Design{Kind: Het, UCore: bounds.UCore{
+			Mu:  0.1 + math.Mod(math.Abs(mu), 500),
+			Phi: 0.05 + math.Mod(math.Abs(phi), 8),
+		}}
+		f := math.Mod(math.Abs(fraw), 1)
+		base, err := e.Optimize(d, f, b)
+		if err != nil {
+			return true
+		}
+		for _, rb := range []bounds.Budgets{
+			{Area: b.Area * 2, Power: b.Power, Bandwidth: b.Bandwidth},
+			{Area: b.Area, Power: b.Power * 2, Bandwidth: b.Bandwidth},
+			{Area: b.Area, Power: b.Power, Bandwidth: b.Bandwidth * 2},
+		} {
+			got, err := e.Optimize(d, f, rb)
+			if err != nil || got.Speedup < base.Speedup-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: speedup never exceeds the serial-bounded Amdahl limit.
+func TestPropSpeedupRespectsAmdahl(t *testing.T) {
+	e := NewEvaluator()
+	b := fft40nmBudgets()
+	prop := func(mu, phi, fraw float64) bool {
+		f := math.Mod(math.Abs(fraw), 0.9999)
+		d := Design{Kind: Het, UCore: bounds.UCore{
+			Mu:  0.1 + math.Mod(math.Abs(mu), 1000),
+			Phi: 0.05 + math.Mod(math.Abs(phi), 8),
+		}}
+		pt, err := e.Optimize(d, f, b)
+		if err != nil {
+			return true
+		}
+		limit := math.Sqrt(float64(pt.R)) / (1 - f)
+		return pt.Speedup <= limit*(1+1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with alpha = 2.25 (Scenario 6) the optimized speedup at low f
+// never beats the alpha = 1.75 baseline (sequential power constrains r).
+func TestPropHarsherAlphaNeverHelps(t *testing.T) {
+	law225, err := pollack.New(2.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewEvaluator()
+	harsh := Evaluator{Law: law225, MaxR: 16}
+	b := fft40nmBudgets()
+	d := Design{Kind: AsymCMP}
+	for _, f := range []float64{0.1, 0.5, 0.9} {
+		pb, err1 := base.Optimize(d, f, b)
+		ph, err2 := harsh.Optimize(d, f, b)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if ph.Speedup > pb.Speedup+1e-9 {
+			t.Errorf("f=%g: alpha=2.25 speedup %g beats alpha=1.75 %g",
+				f, ph.Speedup, pb.Speedup)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package device provides the catalog of measured platforms (Table 2 of
+// the paper) and per-device analytic performance/power models. The models
+// replace the paper's physical hardware: each is a set of anchored curves
+// over input size whose values are constructed so that the downstream
+// measurement pipeline reproduces the published Table 4 and Table 5
+// numbers exactly (see DESIGN.md, substitution table).
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/calcm/heterosim/internal/paper"
+)
+
+// Kind classifies a device's computing paradigm.
+type Kind int
+
+const (
+	// CPU is a conventional multicore microprocessor.
+	CPU Kind = iota
+	// GPU is a programmable SIMD accelerator.
+	GPU
+	// FPGA is a reconfigurable lookup-table fabric.
+	FPGA
+	// ASIC is fixed-function custom logic.
+	ASIC
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	case FPGA:
+		return "FPGA"
+	case ASIC:
+		return "ASIC"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Device is one catalog entry: the published Table 2 data plus the
+// simulator-specific attributes the paper's text implies.
+type Device struct {
+	ID     paper.DeviceID
+	Kind   Kind
+	Table2 paper.Table2Device
+
+	// OnChipKB is the on-chip working memory available to one streaming
+	// kernel instance (shared memory/registers on GPUs, block RAM on the
+	// FPGA, caches on the CPU, dedicated SRAM on the ASIC). The FFT
+	// bandwidth knee of Figure 4 falls where the 16-byte-per-point
+	// working set exceeds it.
+	OnChipKB float64
+
+	// PeakBandwidthGBs is the device's off-chip ceiling (0 if unknown).
+	PeakBandwidthGBs float64
+}
+
+// FFTBytesPerPoint is the resident working-set cost of one transform
+// point (complex single precision in and out, per the paper's footnote-2
+// traffic accounting).
+const FFTBytesPerPoint = 16
+
+// OnChipKneeLog2N returns the largest log2 transform size whose working
+// set still fits on chip: the size at which Figure 4's measured
+// bandwidth departs from compulsory. Zero means no knee (no capacity
+// recorded).
+func (d Device) OnChipKneeLog2N() int {
+	if d.OnChipKB <= 0 {
+		return 0
+	}
+	points := d.OnChipKB * 1024 / FFTBytesPerPoint
+	knee := 0
+	for v := 1.0; v*2 <= points; v *= 2 {
+		knee++
+	}
+	return knee
+}
+
+// Catalog returns the six studied devices in the paper's column order.
+// On-chip capacities are chosen to reproduce the knees the paper
+// observes: the GTX285's measured bandwidth leaves compulsory at N=2^12
+// (64 KB of shared memory per transform), Fermi-class GPUs are modeled
+// alike, the FPGA's block RAM and the ASIC's dedicated SRAM hold 2^14
+// points, and the i7's caches hold 2^16.
+func Catalog() []Device {
+	return []Device{
+		{ID: paper.CoreI7, Kind: CPU, Table2: paper.Table2[paper.CoreI7],
+			OnChipKB: 1024, PeakBandwidthGBs: 32},
+		{ID: paper.GTX285, Kind: GPU, Table2: paper.Table2[paper.GTX285],
+			OnChipKB: 64, PeakBandwidthGBs: 159},
+		{ID: paper.GTX480, Kind: GPU, Table2: paper.Table2[paper.GTX480],
+			OnChipKB: 64, PeakBandwidthGBs: 177.4},
+		{ID: paper.R5870, Kind: GPU, Table2: paper.Table2[paper.R5870],
+			OnChipKB: 64, PeakBandwidthGBs: 153.6},
+		{ID: paper.LX760, Kind: FPGA, Table2: paper.Table2[paper.LX760],
+			OnChipKB: 256, PeakBandwidthGBs: 0},
+		{ID: paper.ASIC, Kind: ASIC, Table2: paper.Table2[paper.ASIC],
+			OnChipKB: 256, PeakBandwidthGBs: 0},
+	}
+}
+
+// ByID returns the catalog entry for id.
+func ByID(id paper.DeviceID) (Device, error) {
+	for _, d := range Catalog() {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("device: unknown device %q", id)
+}
+
+// Point is one (x, y) anchor of a Curve.
+type Point struct{ X, Y float64 }
+
+// Curve is a piecewise-linear function through sorted anchor points, with
+// clamped extrapolation beyond the ends. It models throughput or power
+// versus log2(input size).
+type Curve struct {
+	pts []Point
+}
+
+// NewCurve builds a curve from anchor points (sorted internally). At
+// least one point is required and Y values must be positive.
+func NewCurve(pts ...Point) (Curve, error) {
+	if len(pts) == 0 {
+		return Curve{}, errors.New("device: curve needs at least one point")
+	}
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].X < cp[j].X })
+	for i, p := range cp {
+		if p.Y <= 0 || math.IsNaN(p.Y) || math.IsNaN(p.X) {
+			return Curve{}, fmt.Errorf("device: curve point %d invalid: %+v", i, p)
+		}
+		if i > 0 && cp[i].X == cp[i-1].X {
+			return Curve{}, fmt.Errorf("device: duplicate curve X %g", p.X)
+		}
+	}
+	return Curve{pts: cp}, nil
+}
+
+// Constant returns a flat curve at y.
+func Constant(y float64) (Curve, error) {
+	return NewCurve(Point{X: 0, Y: y})
+}
+
+// At evaluates the curve at x with linear interpolation and clamped
+// extrapolation.
+func (c Curve) At(x float64) float64 {
+	n := len(c.pts)
+	if n == 0 {
+		return 0 // zero curve; callers should construct via NewCurve
+	}
+	if x <= c.pts[0].X {
+		return c.pts[0].Y
+	}
+	if x >= c.pts[n-1].X {
+		return c.pts[n-1].Y
+	}
+	i := sort.Search(n, func(i int) bool { return c.pts[i].X >= x }) - 1
+	a, b := c.pts[i], c.pts[i+1]
+	t := (x - a.X) / (b.X - a.X)
+	return a.Y + t*(b.Y-a.Y)
+}
+
+// Points returns a copy of the anchors.
+func (c Curve) Points() []Point {
+	out := make([]Point, len(c.pts))
+	copy(out, c.pts)
+	return out
+}
+
+// PowerBreakdown is the Figure 3 decomposition of measured device power
+// at one operating point, in watts.
+type PowerBreakdown struct {
+	CoreDynamic   float64 // switching power of the compute fabric
+	CoreLeakage   float64 // static power of the compute fabric
+	UncoreStatic  float64 // idle memory controllers, PLLs, I/O
+	UncoreDynamic float64 // memory-traffic-proportional uncore power
+	Unknown       float64 // residual the rig cannot attribute
+}
+
+// Total returns the wall-measured power.
+func (p PowerBreakdown) Total() float64 {
+	return p.CoreDynamic + p.CoreLeakage + p.UncoreStatic + p.UncoreDynamic + p.Unknown
+}
+
+// Compute returns the compute-attributable power (core dynamic plus core
+// leakage) — the quantity Table 4's efficiency metrics are defined over.
+func (p PowerBreakdown) Compute() float64 {
+	return p.CoreDynamic + p.CoreLeakage
+}
+
+// Model is the analytic performance/power model of one (device, workload)
+// pair. Throughput and compute power are curves over log2(input size);
+// MMM and Black-Scholes use flat curves (their measured operating point).
+type Model struct {
+	Device   Device
+	Workload paper.WorkloadID
+
+	Throughput Curve // work units per second vs log2 N
+	ComputeW   Curve // core dynamic + leakage watts vs log2 N
+
+	// Power decomposition ratios (device-kind dependent, Figure 3).
+	LeakFraction  float64 // fraction of compute power that is leakage
+	UncoreStaticW float64 // constant uncore static watts
+	UncoreDynW    Curve   // uncore dynamic watts vs log2 N (may be flat 0)
+	UnknownW      float64 // constant unattributed watts
+
+	// Bandwidth model: beyond the on-chip knee, off-chip traffic exceeds
+	// compulsory by ExcessTrafficFactor (out-of-core algorithms).
+	ExcessTrafficFactor float64
+}
+
+// ThroughputAt returns work units per second at input size n (log2 taken
+// internally; n <= 1 uses the curve's left edge).
+func (m Model) ThroughputAt(n int) float64 {
+	return m.Throughput.At(log2f(n))
+}
+
+// ComputePowerAt returns compute watts at input size n.
+func (m Model) ComputePowerAt(n int) float64 {
+	return m.ComputeW.At(log2f(n))
+}
+
+// BreakdownAt returns the full Figure 3 power decomposition at size n.
+func (m Model) BreakdownAt(n int) PowerBreakdown {
+	compute := m.ComputePowerAt(n)
+	leak := compute * m.LeakFraction
+	return PowerBreakdown{
+		CoreDynamic:   compute - leak,
+		CoreLeakage:   leak,
+		UncoreStatic:  m.UncoreStaticW,
+		UncoreDynamic: m.UncoreDynW.At(log2f(n)),
+		Unknown:       m.UnknownW,
+	}
+}
+
+// EfficiencyAt returns work per joule of compute energy at size n.
+func (m Model) EfficiencyAt(n int) float64 {
+	p := m.ComputePowerAt(n)
+	if p == 0 {
+		return 0
+	}
+	return m.ThroughputAt(n) / p
+}
+
+func log2f(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Log2(float64(n))
+}

@@ -1,0 +1,290 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/ucore"
+)
+
+func TestCatalogCoversTable2(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != len(paper.AllDevices) {
+		t.Fatalf("catalog has %d devices, want %d", len(cat), len(paper.AllDevices))
+	}
+	for i, d := range cat {
+		if d.ID != paper.AllDevices[i] {
+			t.Errorf("catalog[%d] = %s, want %s", i, d.ID, paper.AllDevices[i])
+		}
+		if d.Table2.ID != d.ID {
+			t.Errorf("%s: Table2 data mismatch", d.ID)
+		}
+	}
+}
+
+func TestOnChipKneeDerivation(t *testing.T) {
+	// 64 KB / 16 B per point = 4096 points -> knee at log2 N = 12, the
+	// size where Figure 4's GTX285 bandwidth leaves compulsory.
+	gtx, err := ByID(paper.GTX285)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gtx.OnChipKneeLog2N(); got != 12 {
+		t.Errorf("GTX285 knee = %d, want 12", got)
+	}
+	// 256 KB -> 2^14 points for the FPGA/ASIC; 1 MB -> 2^16 for the i7.
+	for id, want := range map[paper.DeviceID]int{
+		paper.LX760: 14, paper.ASIC: 14, paper.CoreI7: 16,
+	} {
+		d, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.OnChipKneeLog2N(); got != want {
+			t.Errorf("%s knee = %d, want %d", id, got, want)
+		}
+	}
+	// No capacity recorded -> no knee.
+	if (Device{}).OnChipKneeLog2N() != 0 {
+		t.Error("zero capacity should have no knee")
+	}
+}
+
+func TestByID(t *testing.T) {
+	d, err := ByID(paper.GTX480)
+	if err != nil || d.Kind != GPU || d.Table2.Nm != 40 {
+		t.Errorf("ByID(GTX480) = %+v, %v", d, err)
+	}
+	if _, err := ByID("TPUv4"); err == nil {
+		t.Error("unknown device must fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{CPU: "CPU", GPU: "GPU", FPGA: "FPGA", ASIC: "ASIC"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c, err := NewCurve(Point{4, 10}, Point{8, 30}, Point{6, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted internally; exact hits.
+	for x, want := range map[float64]float64{4: 10, 6: 20, 8: 30} {
+		if got := c.At(x); got != want {
+			t.Errorf("At(%g) = %g, want %g", x, got, want)
+		}
+	}
+	// Interpolation.
+	if got := c.At(5); got != 15 {
+		t.Errorf("At(5) = %g, want 15", got)
+	}
+	if got := c.At(7); got != 25 {
+		t.Errorf("At(7) = %g, want 25", got)
+	}
+	// Clamped extrapolation.
+	if got := c.At(0); got != 10 {
+		t.Errorf("At(0) = %g, want 10", got)
+	}
+	if got := c.At(99); got != 30 {
+		t.Errorf("At(99) = %g, want 30", got)
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	if _, err := NewCurve(); err == nil {
+		t.Error("empty curve must fail")
+	}
+	if _, err := NewCurve(Point{1, 0}); err == nil {
+		t.Error("zero Y must fail")
+	}
+	if _, err := NewCurve(Point{1, 1}, Point{1, 2}); err == nil {
+		t.Error("duplicate X must fail")
+	}
+	if _, err := NewCurve(Point{math.NaN(), 1}); err == nil {
+		t.Error("NaN X must fail")
+	}
+}
+
+func TestConstantCurve(t *testing.T) {
+	c, err := Constant(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-10, 0, 5, 1000} {
+		if c.At(x) != 42 {
+			t.Errorf("Constant.At(%g) = %g", x, c.At(x))
+		}
+	}
+}
+
+func TestCurvePointsCopy(t *testing.T) {
+	c, _ := NewCurve(Point{1, 2}, Point{3, 4})
+	pts := c.Points()
+	pts[0].Y = 999
+	if c.At(1) != 2 {
+		t.Error("Points() leaked internal storage")
+	}
+}
+
+func TestPowerBreakdownTotals(t *testing.T) {
+	p := PowerBreakdown{CoreDynamic: 50, CoreLeakage: 10, UncoreStatic: 20, UncoreDynamic: 15, Unknown: 5}
+	if p.Total() != 100 {
+		t.Errorf("Total = %g", p.Total())
+	}
+	if p.Compute() != 60 {
+		t.Errorf("Compute = %g", p.Compute())
+	}
+}
+
+func TestBuildModelsCoverage(t *testing.T) {
+	models, err := BuildModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every Table 4 cell has a model.
+	for _, w := range []paper.WorkloadID{paper.MMM, paper.BS} {
+		for id := range paper.Table4[w] {
+			if _, ok := models[id][w]; !ok {
+				t.Errorf("missing model %s/%s", id, w)
+			}
+		}
+	}
+	// FFT family on the five FFT-measured devices.
+	for _, id := range []paper.DeviceID{paper.CoreI7, paper.GTX285, paper.GTX480, paper.LX760, paper.ASIC} {
+		if _, ok := models[id][FFTFamily]; !ok {
+			t.Errorf("missing FFT model for %s", id)
+		}
+	}
+	// R5870 has no FFT model (paper could not obtain one).
+	if _, ok := models[paper.R5870][FFTFamily]; ok {
+		t.Error("R5870 should have no FFT model")
+	}
+}
+
+func TestModelsReproduceTable4(t *testing.T) {
+	models, err := BuildModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []paper.WorkloadID{paper.MMM, paper.BS} {
+		for id, row := range paper.Table4[w] {
+			m := models[id][w]
+			if got := m.ThroughputAt(1024); math.Abs(got/row.Throughput-1) > 1e-9 {
+				t.Errorf("%s/%s throughput = %g, want %g", id, w, got, row.Throughput)
+			}
+			wantW := row.Throughput / row.PerJoule
+			if got := m.ComputePowerAt(1024); math.Abs(got/wantW-1) > 1e-9 {
+				t.Errorf("%s/%s power = %g, want %g", id, w, got, wantW)
+			}
+		}
+	}
+}
+
+// The FFT model anchors must round-trip through the mu/phi derivation to
+// the published Table 5 values — the central calibration guarantee.
+func TestFFTModelsRoundTripToTable5(t *testing.T) {
+	models, err := BuildModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := map[paper.WorkloadID]int{paper.FFT64: 64, paper.FFT1024: 1024, paper.FFT16384: 16384}
+	for _, id := range []paper.DeviceID{paper.GTX285, paper.GTX480, paper.LX760, paper.ASIC} {
+		m := models[id][FFTFamily]
+		for w, n := range anchors {
+			want, ok := ucore.PublishedParams(id, w)
+			if !ok {
+				t.Fatalf("no published params %s/%s", id, w)
+			}
+			ref, err := ucore.DefaultBCE(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			area := m.Device.Table2.CoreAreaMM2
+			if id == paper.ASIC {
+				area = asicNativeAreaMM2[w]
+			}
+			meas := ucore.Measurement{
+				Device: id, Workload: w,
+				Throughput: m.ThroughputAt(n),
+				AreaMM2:    area,
+				Nm:         m.Device.Table2.Nm,
+				PowerW:     m.ComputePowerAt(n),
+			}
+			got, err := ucore.Derive(meas, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Mu/want.Mu-1) > 1e-6 || math.Abs(got.Phi/want.Phi-1) > 1e-6 {
+				t.Errorf("%s/%s: derived (%.4f, %.4f), published (%.4f, %.4f)",
+					id, w, got.Mu, got.Phi, want.Mu, want.Phi)
+			}
+		}
+	}
+}
+
+func TestFFTModelShapes(t *testing.T) {
+	models, err := BuildModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPUs severely underutilized at tiny transforms.
+	gtx := models[paper.GTX285][FFTFamily]
+	if r := gtx.ThroughputAt(16) / gtx.ThroughputAt(64); r > 0.5 {
+		t.Errorf("GTX285 at N=16 should be well below N=64 (ratio %g)", r)
+	}
+	// ASIC area-normalized efficiency dwarfs the CPU (paper: ~1000x over
+	// i7, ~100x over flexible devices in GFLOP/s/mm²).
+	asic := models[paper.ASIC][FFTFamily]
+	i7 := models[paper.CoreI7][FFTFamily]
+	asicPerMM2 := asic.ThroughputAt(1024) / 1.51 // 4 mm² at 65nm -> 1.51 normalized
+	i7PerMM2 := i7.ThroughputAt(1024) / 193
+	if ratio := asicPerMM2 / i7PerMM2; ratio < 300 || ratio > 3000 {
+		t.Errorf("ASIC/i7 area-normalized ratio = %g, want ~1000x ballpark", ratio)
+	}
+}
+
+func TestBreakdownAt(t *testing.T) {
+	models, err := BuildModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := models[paper.GTX285][FFTFamily]
+	b := m.BreakdownAt(1024)
+	if math.Abs(b.Compute()-m.ComputePowerAt(1024)) > 1e-9 {
+		t.Error("breakdown compute must equal model compute power")
+	}
+	if b.UncoreStatic != 25 {
+		t.Errorf("GTX285 uncore static = %g, want 25", b.UncoreStatic)
+	}
+	if b.CoreLeakage <= 0 || b.CoreDynamic <= 0 {
+		t.Error("leakage split must be positive")
+	}
+	// Uncore dynamic grows with input size (more memory traffic).
+	if m.BreakdownAt(1<<20).UncoreDynamic <= m.BreakdownAt(16).UncoreDynamic {
+		t.Error("uncore dynamic should grow with N")
+	}
+	// ASIC has essentially no uncore.
+	ab := models[paper.ASIC][FFTFamily].BreakdownAt(1024)
+	if ab.UncoreStatic != 0 || ab.Unknown != 0 {
+		t.Errorf("ASIC uncore should be zero: %+v", ab)
+	}
+}
+
+func TestEfficiencyAt(t *testing.T) {
+	models, _ := BuildModels()
+	m := models[paper.LX760][FFTFamily]
+	e := m.EfficiencyAt(1024)
+	want := m.ThroughputAt(1024) / m.ComputePowerAt(1024)
+	if math.Abs(e-want) > 1e-12 {
+		t.Errorf("EfficiencyAt = %g, want %g", e, want)
+	}
+}

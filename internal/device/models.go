@@ -1,0 +1,268 @@
+package device
+
+import (
+	"fmt"
+
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/ucore"
+)
+
+// FFTFamily keys the size-parametric FFT model in BuildModels results;
+// the size-specific Table 5 workload IDs (FFT-64 etc.) are evaluations of
+// this one model at fixed sizes.
+const FFTFamily paper.WorkloadID = "FFT"
+
+// asicNativeAreaMM2 gives the synthesized 65nm core areas assumed for the
+// ASIC designs. MMM and BS are recovered from Table 4 (throughput /
+// per-mm² un-normalized back to 65nm); the FFT cores are Spiral-class
+// streaming datapaths whose size grows with transform length.
+var asicNativeAreaMM2 = map[paper.WorkloadID]float64{
+	paper.FFT64:    2.0,
+	paper.FFT1024:  4.0,
+	paper.FFT16384: 8.0,
+}
+
+// fftEdge describes how a device's FFT throughput and power extend beyond
+// the three Table 5 anchor sizes (2^6, 2^10, 2^14) to the sweep edges
+// (2^4 and 2^20), as fractions of the nearest anchor value. The shapes
+// follow Figure 2: GPUs are severely underutilized at tiny transforms;
+// FPGAs/ASICs with dedicated pipelines degrade much less.
+type fftEdge struct {
+	perfLo, perfHi float64 // multiply 2^6 anchor at 2^4 / 2^14 anchor at 2^20
+	powerLo        float64 // power at 2^4 relative to 2^6 anchor
+}
+
+var fftEdges = map[paper.DeviceID]fftEdge{
+	paper.GTX285: {perfLo: 0.15, perfHi: 1.05, powerLo: 0.60},
+	paper.GTX480: {perfLo: 0.15, perfHi: 1.05, powerLo: 0.60},
+	paper.LX760:  {perfLo: 0.55, perfHi: 1.00, powerLo: 0.80},
+	paper.ASIC:   {perfLo: 0.80, perfHi: 1.00, powerLo: 0.90},
+}
+
+// kindPowerShape captures the Figure 3 decomposition style per device
+// kind: leakage fraction of compute power, uncore components, and the
+// out-of-core traffic excess beyond the on-chip knee.
+type kindPowerShape struct {
+	leakFraction  float64
+	uncoreStatic  float64
+	uncoreDynLo   float64 // uncore dynamic watts at small inputs
+	uncoreDynHi   float64 // at large inputs (more memory traffic)
+	unknownW      float64
+	excessTraffic float64
+}
+
+func powerShape(d Device) kindPowerShape {
+	switch d.Kind {
+	case CPU:
+		// The EATX12V rail excludes the uncore; a small residual remains.
+		return kindPowerShape{leakFraction: 0.15, unknownW: 5, excessTraffic: 1.3}
+	case GPU:
+		static := 25.0
+		if d.ID == paper.GTX480 {
+			static = 35 // Fermi's larger L2/controllers
+		}
+		return kindPowerShape{leakFraction: 0.12, uncoreStatic: static,
+			uncoreDynLo: 15, uncoreDynHi: 45, unknownW: 8, excessTraffic: 1.6}
+	case FPGA:
+		return kindPowerShape{leakFraction: 0.25, uncoreStatic: 10,
+			uncoreDynLo: 2, uncoreDynHi: 6, unknownW: 3, excessTraffic: 1.2}
+	default: // ASIC
+		return kindPowerShape{leakFraction: 0.08, excessTraffic: 1.0}
+	}
+}
+
+// NativeAreaMM2 returns the compute-only silicon area, at the device's
+// native node, that a workload occupies on the device: the full core/cache
+// area for programmable devices (the design is scaled to fill the chip, as
+// the paper did for FPGAs) and the per-design synthesized area for ASICs.
+// For ASIC MMM/BS the native area is recovered from Table 4's normalized
+// per-mm² metric.
+func NativeAreaMM2(d Device, w paper.WorkloadID) (float64, error) {
+	if d.ID != paper.ASIC {
+		if d.Table2.CoreAreaMM2 <= 0 {
+			return 0, fmt.Errorf("device: %s has no published core area", d.ID)
+		}
+		return d.Table2.CoreAreaMM2, nil
+	}
+	if a, ok := asicNativeAreaMM2[w]; ok {
+		return a, nil
+	}
+	row, ok := paper.Table4[w][paper.ASIC]
+	if !ok {
+		return 0, fmt.Errorf("device: no ASIC area basis for workload %s", w)
+	}
+	a40 := row.Throughput / row.PerMM2
+	s := 40.0 / float64(d.Table2.Nm)
+	return a40 / (s * s), nil
+}
+
+// BuildModels constructs every (device, workload) model from published
+// data. MMM and Black-Scholes models are flat curves at the Table 4
+// operating point; FFT models are curves through the three Table 5 anchor
+// sizes (values synthesized by inverting the paper's own mu/phi
+// derivation) plus shaped edges.
+func BuildModels() (map[paper.DeviceID]map[paper.WorkloadID]Model, error) {
+	out := make(map[paper.DeviceID]map[paper.WorkloadID]Model)
+	put := func(id paper.DeviceID, w paper.WorkloadID, m Model) {
+		if out[id] == nil {
+			out[id] = make(map[paper.WorkloadID]Model)
+		}
+		out[id][w] = m
+	}
+
+	// MMM and Black-Scholes from Table 4.
+	for _, w := range []paper.WorkloadID{paper.MMM, paper.BS} {
+		for id, row := range paper.Table4[w] {
+			d, err := ByID(id)
+			if err != nil {
+				return nil, err
+			}
+			thr, err := Constant(row.Throughput)
+			if err != nil {
+				return nil, fmt.Errorf("device: %s/%s throughput: %w", id, w, err)
+			}
+			pw, err := Constant(row.Throughput / row.PerJoule)
+			if err != nil {
+				return nil, fmt.Errorf("device: %s/%s power: %w", id, w, err)
+			}
+			m, err := assemble(d, w, thr, pw)
+			if err != nil {
+				return nil, err
+			}
+			put(id, w, m)
+		}
+	}
+
+	// FFT family models.
+	for _, id := range []paper.DeviceID{paper.CoreI7, paper.GTX285, paper.GTX480, paper.LX760, paper.ASIC} {
+		d, err := ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		var thr, pw Curve
+		if id == paper.CoreI7 {
+			thr, pw, err = coreI7FFTCurves()
+		} else {
+			thr, pw, err = ucoreFFTCurves(d)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("device: %s FFT curves: %w", id, err)
+		}
+		m, err := assemble(d, FFTFamily, thr, pw)
+		if err != nil {
+			return nil, err
+		}
+		put(id, FFTFamily, m)
+	}
+	return out, nil
+}
+
+func assemble(d Device, w paper.WorkloadID, thr, pw Curve) (Model, error) {
+	shape := powerShape(d)
+	und, err := NewCurve(Point{X: 4, Y: epsilonFloor(shape.uncoreDynLo)},
+		Point{X: 20, Y: epsilonFloor(shape.uncoreDynHi)})
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{
+		Device:              d,
+		Workload:            w,
+		Throughput:          thr,
+		ComputeW:            pw,
+		LeakFraction:        shape.leakFraction,
+		UncoreStaticW:       shape.uncoreStatic,
+		UncoreDynW:          und,
+		UnknownW:            shape.unknownW,
+		ExcessTrafficFactor: shape.excessTraffic,
+	}, nil
+}
+
+// epsilonFloor keeps curves positive (NewCurve requires Y > 0) while
+// representing "effectively zero" uncore components.
+func epsilonFloor(w float64) float64 {
+	if w <= 0 {
+		return 1e-9
+	}
+	return w
+}
+
+// coreI7FFTCurves builds the reference CPU curves from the published
+// anchor set (Figure 2/3 magnitudes) with flat core power.
+func coreI7FFTCurves() (thr, pw Curve, err error) {
+	pts := make([]Point, 0, len(paper.CoreI7FFTAnchors))
+	for n, gf := range paper.CoreI7FFTAnchors {
+		l2, err := log2Exact(n)
+		if err != nil {
+			return Curve{}, Curve{}, err
+		}
+		pts = append(pts, Point{X: float64(l2), Y: gf})
+	}
+	thr, err = NewCurve(pts...)
+	if err != nil {
+		return Curve{}, Curve{}, err
+	}
+	pw, err = Constant(paper.CoreI7FFTCorePowerW)
+	return thr, pw, err
+}
+
+// ucoreFFTCurves synthesizes a U-core device's FFT throughput and compute
+// power curves by inverting the Table 5 parameters at the three anchor
+// sizes against the per-size BCE references, then extending the edges.
+func ucoreFFTCurves(d Device) (thr, pw Curve, err error) {
+	anchors := []struct {
+		w  paper.WorkloadID
+		l2 float64
+	}{
+		{paper.FFT64, 6},
+		{paper.FFT1024, 10},
+		{paper.FFT16384, 14},
+	}
+	var tPts, pPts []Point
+	for _, a := range anchors {
+		params, ok := ucore.PublishedParams(d.ID, a.w)
+		if !ok {
+			return Curve{}, Curve{}, fmt.Errorf("no published params for %s/%s", d.ID, a.w)
+		}
+		ref, err := ucore.DefaultBCE(a.w)
+		if err != nil {
+			return Curve{}, Curve{}, err
+		}
+		area := d.Table2.CoreAreaMM2
+		if d.ID == paper.ASIC {
+			area = asicNativeAreaMM2[a.w]
+		}
+		t, p, err := ucore.Invert(ucore.Params(params), area, d.Table2.Nm, ref)
+		if err != nil {
+			return Curve{}, Curve{}, err
+		}
+		tPts = append(tPts, Point{X: a.l2, Y: t})
+		pPts = append(pPts, Point{X: a.l2, Y: p})
+	}
+	edge, ok := fftEdges[d.ID]
+	if !ok {
+		return Curve{}, Curve{}, fmt.Errorf("no FFT edge shape for %s", d.ID)
+	}
+	tPts = append(tPts,
+		Point{X: 4, Y: tPts[0].Y * edge.perfLo},
+		Point{X: 20, Y: tPts[2].Y * edge.perfHi})
+	pPts = append(pPts,
+		Point{X: 4, Y: pPts[0].Y * edge.powerLo},
+		Point{X: 20, Y: pPts[2].Y})
+	thr, err = NewCurve(tPts...)
+	if err != nil {
+		return Curve{}, Curve{}, err
+	}
+	pw, err = NewCurve(pPts...)
+	return thr, pw, err
+}
+
+func log2Exact(n int) (int, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("device: %d is not a power of two", n)
+	}
+	l := 0
+	for v := n; v > 1; v >>= 1 {
+		l++
+	}
+	return l, nil
+}

@@ -1,0 +1,203 @@
+// Package itrs models the ITRS 2009 roadmap assumptions used by Chung et
+// al. (MICRO 2010) for their scaling projections: Table 6's per-node
+// technology parameters and Figure 5's normalized long-term trends for
+// package pins, supply voltage, and gate capacitance.
+//
+// The paper's essential observations, which this package encodes:
+//
+//   - Transistor density doubles per node (max area in BCE units doubles).
+//   - With flat clock frequencies, power per transistor falls only ~4x
+//     over fifteen years (1x, 0.75x, 0.5x, 0.36x, 0.25x).
+//   - Off-chip bandwidth (pin counts) grows < 1.5x over the same window
+//     (1x, 1.1x, 1.3x, 1.3x, 1.4x).
+package itrs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Node is one technology generation of the roadmap.
+type Node struct {
+	Year int    // first production year assumed by the paper
+	Name string // e.g. "40nm"
+	Nm   int    // feature size in nanometers
+
+	// MaxAreaBCE is the compute budget in BCE units at the paper's
+	// 432 mm^2 core-area budget (576 mm^2 die less 25% non-compute).
+	MaxAreaBCE float64
+
+	// RelPowerPerXtor is power per transistor relative to the 2011/40nm
+	// node (the "combined technology power reduction" of Figure 5).
+	RelPowerPerXtor float64
+
+	// RelBandwidth is off-chip bandwidth relative to 2011/40nm,
+	// following pin-count growth.
+	RelBandwidth float64
+
+	// Figure 5 constituents, normalized to 2011.
+	RelPins    float64
+	RelVdd     float64
+	RelGateCap float64
+}
+
+// Roadmap is an ordered sequence of nodes (earliest first).
+type Roadmap struct {
+	nodes []Node
+}
+
+// Paper budget constants (Table 6 and surrounding text).
+const (
+	// DieBudgetMM2 is the maximum die size assumed (a Power7-class die).
+	DieBudgetMM2 = 576.0
+	// NonComputeFraction of the die is reserved for memory controllers,
+	// I/O, and other non-compute components.
+	NonComputeFraction = 0.25
+	// CoreDieBudgetMM2 is the area available to cores and caches.
+	CoreDieBudgetMM2 = DieBudgetMM2 * (1 - NonComputeFraction)
+	// CorePowerBudgetW is the power budget for core- and cache-only
+	// components.
+	CorePowerBudgetW = 100.0
+	// BaseBandwidthGBs is the optimistic 2011 starting bandwidth
+	// (GTX480's 177 GB/s rounded up).
+	BaseBandwidthGBs = 180.0
+)
+
+// ITRS2009 returns the paper's Table 6 roadmap. The returned value is a
+// fresh copy each call; mutating it does not affect other callers.
+func ITRS2009() Roadmap {
+	mk := func(year int, name string, nm int, area, relPwr, relBW, pins, vdd, cgate float64) Node {
+		return Node{
+			Year: year, Name: name, Nm: nm,
+			MaxAreaBCE:      area,
+			RelPowerPerXtor: relPwr,
+			RelBandwidth:    relBW,
+			RelPins:         pins,
+			RelVdd:          vdd,
+			RelGateCap:      cgate,
+		}
+	}
+	// RelVdd and RelGateCap are chosen so RelVdd^2 * RelGateCap equals the
+	// published combined power reduction (Figure 5's series are consistent
+	// by construction: dynamic power ~ C V^2 f with flat f).
+	return Roadmap{nodes: []Node{
+		mk(2011, "40nm", 40, 19, 1.00, 1.0, 1.00, 1.000, 1.000),
+		mk(2013, "32nm", 32, 37, 0.75, 1.1, 1.10, 0.950, 0.831),
+		mk(2016, "22nm", 22, 75, 0.50, 1.3, 1.30, 0.870, 0.661),
+		mk(2019, "16nm", 16, 149, 0.36, 1.3, 1.30, 0.810, 0.549),
+		mk(2022, "11nm", 11, 298, 0.25, 1.4, 1.40, 0.740, 0.457),
+	}}
+}
+
+// CustomRoadmap builds a roadmap from caller-supplied nodes (earliest
+// first). Callers should Validate the result; validation is not forced
+// here so tests can construct deliberately inconsistent roadmaps.
+func CustomRoadmap(nodes []Node) Roadmap {
+	cp := make([]Node, len(nodes))
+	copy(cp, nodes)
+	return Roadmap{nodes: cp}
+}
+
+// Nodes returns the roadmap's nodes in order (a defensive copy).
+func (r Roadmap) Nodes() []Node {
+	out := make([]Node, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len returns the number of nodes.
+func (r Roadmap) Len() int { return len(r.nodes) }
+
+// ByName looks a node up by its name (e.g. "22nm").
+func (r Roadmap) ByName(name string) (Node, error) {
+	for _, n := range r.nodes {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("itrs: unknown node %q", name)
+}
+
+// ByYear looks a node up by its production year.
+func (r Roadmap) ByYear(year int) (Node, error) {
+	for _, n := range r.nodes {
+		if n.Year == year {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("itrs: no node for year %d", year)
+}
+
+// First returns the earliest node.
+func (r Roadmap) First() (Node, error) {
+	if len(r.nodes) == 0 {
+		return Node{}, errors.New("itrs: empty roadmap")
+	}
+	return r.nodes[0], nil
+}
+
+// BandwidthGBs returns the absolute off-chip bandwidth at node n given a
+// starting (first-node) bandwidth in GB/s. Table 6's row "Bandwidth
+// (GB/s)" is BandwidthGBs with base 180, rounded to the nearest integer.
+func (n Node) BandwidthGBs(baseGBs float64) float64 {
+	return baseGBs * n.RelBandwidth
+}
+
+// CombinedPowerReduction is the Figure 5 product Vdd^2 x Cgate; it should
+// equal RelPowerPerXtor by construction.
+func (n Node) CombinedPowerReduction() float64 {
+	return n.RelVdd * n.RelVdd * n.RelGateCap
+}
+
+// Validate checks internal consistency of a roadmap: positive budgets,
+// strictly increasing area, non-increasing power per transistor,
+// non-decreasing bandwidth, and Figure 5 consistency within 2%.
+func (r Roadmap) Validate() error {
+	if len(r.nodes) == 0 {
+		return errors.New("itrs: empty roadmap")
+	}
+	for i, n := range r.nodes {
+		if n.MaxAreaBCE <= 0 || n.RelPowerPerXtor <= 0 || n.RelBandwidth <= 0 {
+			return fmt.Errorf("itrs: node %s has non-positive parameters", n.Name)
+		}
+		combined := n.CombinedPowerReduction()
+		if diff := combined/n.RelPowerPerXtor - 1; diff > 0.02 || diff < -0.02 {
+			return fmt.Errorf("itrs: node %s Figure-5 inconsistency: Vdd^2*C = %.3f vs relPwr = %.3f",
+				n.Name, combined, n.RelPowerPerXtor)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := r.nodes[i-1]
+		if n.MaxAreaBCE <= prev.MaxAreaBCE {
+			return fmt.Errorf("itrs: area must grow: %s -> %s", prev.Name, n.Name)
+		}
+		if n.RelPowerPerXtor > prev.RelPowerPerXtor {
+			return fmt.Errorf("itrs: power per transistor must not grow: %s -> %s", prev.Name, n.Name)
+		}
+		if n.RelBandwidth < prev.RelBandwidth {
+			return fmt.Errorf("itrs: bandwidth must not shrink: %s -> %s", prev.Name, n.Name)
+		}
+	}
+	return nil
+}
+
+// NormalizeAreaTo40nm converts a silicon area measured at a given feature
+// size (in nm) to its 40 nm-equivalent area, the normalization step of
+// Section 5 used before comparing per-mm^2 metrics across devices. The
+// paper treats 45 nm and 40 nm as the same generation (Core i7 numbers are
+// not rescaled), so nm values of 40 and 45 return the area unchanged;
+// other nodes scale by (40/nm)^2.
+func NormalizeAreaTo40nm(areaMM2 float64, nm int) (float64, error) {
+	if areaMM2 <= 0 {
+		return 0, errors.New("itrs: area must be positive")
+	}
+	if nm <= 0 {
+		return 0, errors.New("itrs: feature size must be positive")
+	}
+	if nm == 40 || nm == 45 {
+		return areaMM2, nil
+	}
+	s := 40.0 / float64(nm)
+	return areaMM2 * s * s, nil
+}

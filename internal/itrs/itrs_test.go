@@ -1,0 +1,165 @@
+package itrs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoadmapMatchesTable6(t *testing.T) {
+	r := ITRS2009()
+	if r.Len() != 5 {
+		t.Fatalf("len = %d, want 5", r.Len())
+	}
+	want := []struct {
+		name   string
+		year   int
+		area   float64
+		relPwr float64
+		bwGBs  float64
+	}{
+		{"40nm", 2011, 19, 1.00, 180},
+		{"32nm", 2013, 37, 0.75, 198},
+		{"22nm", 2016, 75, 0.50, 234},
+		{"16nm", 2019, 149, 0.36, 234},
+		{"11nm", 2022, 298, 0.25, 252},
+	}
+	for i, n := range r.Nodes() {
+		w := want[i]
+		if n.Name != w.name || n.Year != w.year {
+			t.Errorf("node %d = %s/%d, want %s/%d", i, n.Name, n.Year, w.name, w.year)
+		}
+		if n.MaxAreaBCE != w.area {
+			t.Errorf("%s area = %g, want %g", n.Name, n.MaxAreaBCE, w.area)
+		}
+		if n.RelPowerPerXtor != w.relPwr {
+			t.Errorf("%s relPwr = %g, want %g", n.Name, n.RelPowerPerXtor, w.relPwr)
+		}
+		if got := n.BandwidthGBs(BaseBandwidthGBs); math.Abs(got-w.bwGBs) > 1e-9 {
+			t.Errorf("%s bandwidth = %g, want %g", n.Name, got, w.bwGBs)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := ITRS2009().Validate(); err != nil {
+		t.Fatalf("published roadmap must validate: %v", err)
+	}
+	if err := (Roadmap{}).Validate(); err == nil {
+		t.Error("empty roadmap must fail")
+	}
+	// Corrupt the area ordering.
+	bad := ITRS2009()
+	bad.nodes[2].MaxAreaBCE = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("non-increasing area must fail validation")
+	}
+	// Figure 5 inconsistency.
+	bad2 := ITRS2009()
+	bad2.nodes[1].RelVdd = 0.5
+	if err := bad2.Validate(); err == nil {
+		t.Error("Vdd^2*C != relPwr must fail validation")
+	}
+}
+
+func TestCombinedPowerReductionConsistent(t *testing.T) {
+	for _, n := range ITRS2009().Nodes() {
+		got := n.CombinedPowerReduction()
+		if math.Abs(got/n.RelPowerPerXtor-1) > 0.02 {
+			t.Errorf("%s: combined %g vs relPwr %g", n.Name, got, n.RelPowerPerXtor)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	r := ITRS2009()
+	n, err := r.ByName("22nm")
+	if err != nil || n.Year != 2016 {
+		t.Errorf("ByName(22nm) = %+v, %v", n, err)
+	}
+	if _, err := r.ByName("7nm"); err == nil {
+		t.Error("unknown node must error")
+	}
+	n, err = r.ByYear(2019)
+	if err != nil || n.Name != "16nm" {
+		t.Errorf("ByYear(2019) = %+v, %v", n, err)
+	}
+	if _, err := r.ByYear(1999); err == nil {
+		t.Error("unknown year must error")
+	}
+	first, err := r.First()
+	if err != nil || first.Name != "40nm" {
+		t.Errorf("First = %+v, %v", first, err)
+	}
+	if _, err := (Roadmap{}).First(); err == nil {
+		t.Error("First on empty roadmap must error")
+	}
+}
+
+func TestNodesDefensiveCopy(t *testing.T) {
+	r := ITRS2009()
+	ns := r.Nodes()
+	ns[0].MaxAreaBCE = -1
+	if got := r.Nodes()[0].MaxAreaBCE; got != 19 {
+		t.Errorf("mutating Nodes() result leaked: area = %g", got)
+	}
+}
+
+func TestAreaDoublesPerNode(t *testing.T) {
+	ns := ITRS2009().Nodes()
+	for i := 1; i < len(ns); i++ {
+		ratio := ns[i].MaxAreaBCE / ns[i-1].MaxAreaBCE
+		if ratio < 1.9 || ratio > 2.1 {
+			t.Errorf("%s -> %s area ratio = %g, want ~2", ns[i-1].Name, ns[i].Name, ratio)
+		}
+	}
+}
+
+func TestPaperHeadlineClaims(t *testing.T) {
+	ns := ITRS2009().Nodes()
+	last := ns[len(ns)-1]
+	// "power per transistor is expected to drop only by a factor of ~5x
+	// over the next fifteen years" — 1/0.25 = 4x in Table 6's horizon.
+	if f := 1 / last.RelPowerPerXtor; f < 3.5 || f > 5.5 {
+		t.Errorf("power reduction factor = %g, want ~4-5x", f)
+	}
+	// "pin counts grow < 1.5x over fifteen years".
+	if last.RelPins >= 1.5 {
+		t.Errorf("pin growth = %g, want < 1.5", last.RelPins)
+	}
+}
+
+func TestCoreDieBudget(t *testing.T) {
+	if CoreDieBudgetMM2 != 432 {
+		t.Errorf("core die budget = %g, want 432", CoreDieBudgetMM2)
+	}
+}
+
+func TestNormalizeAreaTo40nm(t *testing.T) {
+	// 45nm and 40nm are treated as the same generation.
+	for _, nm := range []int{40, 45} {
+		got, err := NormalizeAreaTo40nm(193, nm)
+		if err != nil || got != 193 {
+			t.Errorf("NormalizeAreaTo40nm(193, %d) = %g, %v; want 193", nm, got, err)
+		}
+	}
+	// GTX285 at 55nm: 338 mm^2 -> ~178.8 mm^2 (reproduces Table 4's
+	// 425 GFLOP/s / 2.40 GFLOP/s/mm^2 = 177).
+	got, err := NormalizeAreaTo40nm(338, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-178.8) > 0.5 {
+		t.Errorf("GTX285 normalized area = %g, want ~178.8", got)
+	}
+	// 65nm ASIC scales by (40/65)^2.
+	got, _ = NormalizeAreaTo40nm(100, 65)
+	if math.Abs(got-100*(40.0/65)*(40.0/65)) > 1e-9 {
+		t.Errorf("65nm scaling wrong: %g", got)
+	}
+	if _, err := NormalizeAreaTo40nm(-1, 40); err == nil {
+		t.Error("negative area must error")
+	}
+	if _, err := NormalizeAreaTo40nm(1, 0); err == nil {
+		t.Error("zero nm must error")
+	}
+}

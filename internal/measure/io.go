@@ -1,0 +1,73 @@
+package measure
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/ucore"
+)
+
+// measurementJSON is the on-disk form of one calibration measurement.
+// Users bring their own devices by writing these records; see
+// cmd/heterosim derive.
+type measurementJSON struct {
+	Device     string  `json:"device"`
+	Workload   string  `json:"workload"`
+	Throughput float64 `json:"throughput"` // work units per second
+	AreaMM2    float64 `json:"area_mm2"`   // compute-only area, native node
+	Nm         int     `json:"nm"`         // native feature size
+	PowerW     float64 `json:"power_w"`    // compute power
+}
+
+// SaveMeasurements writes a database as pretty-printed JSON.
+func SaveMeasurements(w io.Writer, db Database) error {
+	out := make([]measurementJSON, 0, len(db.Measurements))
+	for _, m := range db.Measurements {
+		out = append(out, measurementJSON{
+			Device:     string(m.Device),
+			Workload:   string(m.Workload),
+			Throughput: m.Throughput,
+			AreaMM2:    m.AreaMM2,
+			Nm:         m.Nm,
+			PowerW:     m.PowerW,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadMeasurements reads a JSON measurement set and validates every
+// record. Unknown devices and workloads are allowed — that is the point
+// of user-supplied measurements — but each record must be physically
+// sane and the set must include a "Core i7-960" reference row for every
+// workload it wants calibrated.
+func LoadMeasurements(r io.Reader) (Database, error) {
+	var raw []measurementJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return Database{}, fmt.Errorf("measure: parsing measurements: %w", err)
+	}
+	if len(raw) == 0 {
+		return Database{}, fmt.Errorf("measure: no measurements in input")
+	}
+	var db Database
+	for i, rm := range raw {
+		m := ucore.Measurement{
+			Device:     paper.DeviceID(rm.Device),
+			Workload:   paper.WorkloadID(rm.Workload),
+			Throughput: rm.Throughput,
+			AreaMM2:    rm.AreaMM2,
+			Nm:         rm.Nm,
+			PowerW:     rm.PowerW,
+		}
+		if err := m.Validate(); err != nil {
+			return Database{}, fmt.Errorf("measure: record %d: %w", i, err)
+		}
+		db.Measurements = append(db.Measurements, m)
+	}
+	return db, nil
+}

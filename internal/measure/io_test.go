@@ -1,0 +1,90 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/paper"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rig, err := IdealRig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := rig.BuildDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveMeasurements(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMeasurements(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Measurements) != len(db.Measurements) {
+		t.Fatalf("round trip lost records: %d vs %d",
+			len(back.Measurements), len(db.Measurements))
+	}
+	for i := range db.Measurements {
+		if back.Measurements[i] != db.Measurements[i] {
+			t.Fatalf("record %d changed: %+v vs %+v",
+				i, back.Measurements[i], db.Measurements[i])
+		}
+	}
+	// The reloaded database calibrates identically.
+	derived, err := back.DeriveTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := derived[paper.ASIC][paper.FFT1024]; got.Mu < 488 || got.Mu > 490 {
+		t.Errorf("reloaded calibration ASIC FFT-1024 mu = %g", got.Mu)
+	}
+}
+
+func TestLoadUserSuppliedDevice(t *testing.T) {
+	// A downstream user's hypothetical accelerator measured on MMM,
+	// with the required Core i7 reference row.
+	input := `[
+	  {"device": "Core i7-960", "workload": "MMM",
+	   "throughput": 96, "area_mm2": 193, "nm": 45, "power_w": 84.2},
+	  {"device": "MyNPU", "workload": "MMM",
+	   "throughput": 2000, "area_mm2": 100, "nm": 40, "power_w": 50}
+	]`
+	db, err := LoadMeasurements(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := db.DeriveTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := derived["MyNPU"][paper.MMM]
+	if !ok {
+		t.Fatal("user device not calibrated")
+	}
+	// mu = (2000/100) / (0.4974 * sqrt(2)) ~ 28.4.
+	if p.Mu < 27 || p.Mu > 30 {
+		t.Errorf("MyNPU mu = %g, want ~28", p.Mu)
+	}
+	if p.Phi <= 0 {
+		t.Errorf("MyNPU phi = %g", p.Phi)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty list":    `[]`,
+		"not json":      `{nope`,
+		"unknown field": `[{"device": "x", "workload": "MMM", "throughput": 1, "area_mm2": 1, "nm": 40, "power_w": 1, "frequency": 3}]`,
+		"bad record":    `[{"device": "x", "workload": "MMM", "throughput": -1, "area_mm2": 1, "nm": 40, "power_w": 1}]`,
+	}
+	for name, in := range cases {
+		if _, err := LoadMeasurements(strings.NewReader(in)); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+}

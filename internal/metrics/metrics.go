@@ -1,0 +1,257 @@
+// Package metrics implements the energy-oriented Amdahl's-law extensions
+// the paper builds on and cites as related work (Section 2.3):
+//
+//   - Woo & Lee, "Extending Amdahl's Law for Energy-Efficient Computing
+//     in the Many-Core Era": average power W, performance per watt, and
+//     performance per joule for multicores whose idle cores draw a
+//     fraction k of active power.
+//   - Eyerman & Eeckhout, "Modeling Critical Sections in Amdahl's Law":
+//     parallel speedup when a fraction of the parallel work executes in
+//     contended critical sections.
+//
+// Together with the U-core variants added here, they supply the
+// energy-efficiency vocabulary (perf/W, energy-delay) used when the
+// paper argues U-cores are "more broadly useful when power or energy
+// reduction is the goal".
+package metrics
+
+import (
+	"errors"
+	"math"
+)
+
+// Errors shared by the metric models.
+var (
+	ErrFraction = errors.New("metrics: fraction must be in [0, 1]")
+	ErrCores    = errors.New("metrics: core count must be >= 1")
+	ErrIdle     = errors.New("metrics: idle fraction k must be in [0, 1]")
+)
+
+// WooLee models a symmetric multicore of n identical cores where an
+// active core consumes power 1 and an idle core consumes k (0 = perfect
+// power gating, 1 = no gating at all).
+type WooLee struct {
+	N int     // cores
+	K float64 // idle power as a fraction of active power
+}
+
+// Validate reports an error for malformed parameters.
+func (m WooLee) Validate() error {
+	if m.N < 1 {
+		return ErrCores
+	}
+	if m.K < 0 || m.K > 1 || math.IsNaN(m.K) {
+		return ErrIdle
+	}
+	return nil
+}
+
+// Time returns normalized execution time at parallel fraction f
+// (relative to one core running everything).
+func (m WooLee) Time(f float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return 0, ErrFraction
+	}
+	return (1 - f) + f/float64(m.N), nil
+}
+
+// Energy returns normalized energy: sequential phase runs one active core
+// with n-1 idling; the parallel phase runs all n active.
+func (m WooLee) Energy(f float64) (float64, error) {
+	t, err := m.Time(f)
+	if err != nil {
+		return 0, err
+	}
+	_ = t
+	n := float64(m.N)
+	seq := (1 - f) * (1 + (n-1)*m.K)
+	par := f // n cores at power n for time f/n
+	return seq + par, nil
+}
+
+// AveragePower returns W = Energy / Time.
+func (m WooLee) AveragePower(f float64) (float64, error) {
+	e, err := m.Energy(f)
+	if err != nil {
+		return 0, err
+	}
+	t, err := m.Time(f)
+	if err != nil {
+		return 0, err
+	}
+	return e / t, nil
+}
+
+// PerfPerWatt returns performance per watt relative to the single core:
+// (1/T)/W = 1/E. Woo & Lee's central observation: perf/W of a symmetric
+// many-core can never exceed the single core's unless idle power is
+// zero and f = 1.
+func (m WooLee) PerfPerWatt(f float64) (float64, error) {
+	e, err := m.Energy(f)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / e, nil
+}
+
+// PerfPerJoule returns performance per joule = 1/(T·E), the
+// energy-delay-product reciprocal Woo & Lee also consider.
+func (m WooLee) PerfPerJoule(f float64) (float64, error) {
+	e, err := m.Energy(f)
+	if err != nil {
+		return 0, err
+	}
+	t, err := m.Time(f)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / (t * e), nil
+}
+
+// WooLeeUCore extends the Woo-Lee accounting to a heterogeneous chip in
+// the paper's style: a sequential core of size r (Pollack laws) plus
+// n-r BCE of U-core fabric (mu, phi), with idle fabric drawing fraction
+// k of its active power during sequential phases and the sequential core
+// fully gated during parallel phases (asymmetric-offload assumption).
+type WooLeeUCore struct {
+	N   float64 // total BCE resources
+	R   float64 // sequential core size
+	Mu  float64
+	Phi float64
+	K   float64 // idle power fraction
+	// Alpha is the sequential power exponent (1.75 in the paper).
+	Alpha float64
+}
+
+// Validate reports an error for malformed parameters.
+func (m WooLeeUCore) Validate() error {
+	switch {
+	case m.N <= 0 || m.R < 1 || m.R >= m.N:
+		return errors.New("metrics: need n > r >= 1")
+	case m.Mu <= 0 || m.Phi <= 0:
+		return errors.New("metrics: mu and phi must be positive")
+	case m.K < 0 || m.K > 1:
+		return ErrIdle
+	case m.Alpha <= 0:
+		return errors.New("metrics: alpha must be positive")
+	}
+	return nil
+}
+
+// Time returns normalized execution time at parallel fraction f.
+func (m WooLeeUCore) Time(f float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return 0, ErrFraction
+	}
+	return (1-f)/math.Sqrt(m.R) + f/(m.Mu*(m.N-m.R)), nil
+}
+
+// Energy returns normalized task energy. Sequential phase: the fast core
+// at r^(alpha/2) plus idle fabric at k·phi·(n-r). Parallel phase: fabric
+// at phi·(n-r) with the fast core gated.
+func (m WooLeeUCore) Energy(f float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return 0, ErrFraction
+	}
+	seqPower := math.Pow(m.R, m.Alpha/2) + m.K*m.Phi*(m.N-m.R)
+	seqTime := (1 - f) / math.Sqrt(m.R)
+	parPower := m.Phi * (m.N - m.R)
+	parTime := f / (m.Mu * (m.N - m.R))
+	return seqPower*seqTime + parPower*parTime, nil
+}
+
+// PerfPerWatt returns (1/T)/(E/T) = 1/E relative to one BCE at power 1.
+func (m WooLeeUCore) PerfPerWatt(f float64) (float64, error) {
+	e, err := m.Energy(f)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / e, nil
+}
+
+// EnergyDelay returns the energy-delay product E·T (lower is better).
+func (m WooLeeUCore) EnergyDelay(f float64) (float64, error) {
+	e, err := m.Energy(f)
+	if err != nil {
+		return 0, err
+	}
+	t, err := m.Time(f)
+	if err != nil {
+		return 0, err
+	}
+	return e * t, nil
+}
+
+// CriticalSections is Eyerman & Eeckhout's refinement of Amdahl's law: a
+// fraction fSeq of the program is sequential; of the parallel remainder,
+// a fraction fCrit executes inside critical sections that contend with
+// probability PCtn (0 = never contended, executes at full parallelism;
+// 1 = fully serialized).
+type CriticalSections struct {
+	FSeq  float64
+	FCrit float64
+	PCtn  float64
+	N     int
+}
+
+// Validate reports an error for malformed parameters.
+func (c CriticalSections) Validate() error {
+	for _, v := range []float64{c.FSeq, c.FCrit, c.PCtn} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return ErrFraction
+		}
+	}
+	if c.N < 1 {
+		return ErrCores
+	}
+	return nil
+}
+
+// Speedup returns the critical-section-aware speedup on n cores:
+//
+//	T = fSeq + fPar·(1-fCrit)/n + fPar·fCrit·[(1-PCtn)/n + PCtn]
+//
+// interpolating critical-section time between fully parallel and fully
+// serialized by the contention probability.
+func (c CriticalSections) Speedup() (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	fPar := 1 - c.FSeq
+	n := float64(c.N)
+	crit := fPar * c.FCrit * ((1-c.PCtn)/n + c.PCtn)
+	t := c.FSeq + fPar*(1-c.FCrit)/n + crit
+	return 1 / t, nil
+}
+
+// EffectiveF returns the parallel fraction a plain Amdahl model would
+// need to predict the same speedup at the same n — how much parallelism
+// critical sections "destroy". Returns an error when n == 1 (any f fits).
+func (c CriticalSections) EffectiveF() (float64, error) {
+	s, err := c.Speedup()
+	if err != nil {
+		return 0, err
+	}
+	if c.N == 1 {
+		return 0, errors.New("metrics: effective f undefined at n=1")
+	}
+	n := float64(c.N)
+	// Solve 1/s = (1-f) + f/n for f.
+	f := (1 - 1/s) / (1 - 1/n)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f, nil
+}

@@ -1,0 +1,276 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWooLeeValidate(t *testing.T) {
+	if err := (WooLee{N: 4, K: 0.3}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (WooLee{N: 0, K: 0.3}).Validate(); err != ErrCores {
+		t.Errorf("want ErrCores, got %v", err)
+	}
+	if err := (WooLee{N: 4, K: 1.5}).Validate(); err != ErrIdle {
+		t.Errorf("want ErrIdle, got %v", err)
+	}
+}
+
+func TestWooLeeDegenerateCases(t *testing.T) {
+	m := WooLee{N: 1, K: 0.5}
+	// One core: T = 1, E = 1, W = 1 regardless of f.
+	for _, f := range []float64{0, 0.5, 1} {
+		tt, err := m.Time(f)
+		if err != nil || math.Abs(tt-1) > 1e-12 {
+			t.Errorf("T(f=%g) = %g, %v", f, tt, err)
+		}
+		e, _ := m.Energy(f)
+		if math.Abs(e-1) > 1e-12 {
+			t.Errorf("E(f=%g) = %g", f, e)
+		}
+	}
+	// f = 1 with perfect gating: E = 1 (n cores, each at 1, for 1/n).
+	m = WooLee{N: 16, K: 0}
+	e, _ := m.Energy(1)
+	if math.Abs(e-1) > 1e-12 {
+		t.Errorf("E(f=1,k=0) = %g, want 1", e)
+	}
+	// f = 0 with no gating: E = 1 + (n-1)k.
+	m = WooLee{N: 4, K: 0.5}
+	e, _ = m.Energy(0)
+	if math.Abs(e-2.5) > 1e-12 {
+		t.Errorf("E(f=0) = %g, want 2.5", e)
+	}
+}
+
+func TestWooLeeAveragePower(t *testing.T) {
+	m := WooLee{N: 8, K: 0.25}
+	f := 0.9
+	e, _ := m.Energy(f)
+	tt, _ := m.Time(f)
+	w, err := m.AveragePower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-e/tt) > 1e-12 {
+		t.Errorf("W = %g, want E/T = %g", w, e/tt)
+	}
+}
+
+// Woo & Lee's headline: with imperfect gating, a symmetric many-core's
+// perf/W never exceeds the single core's.
+func TestWooLeePerfPerWattCeiling(t *testing.T) {
+	for _, k := range []float64{0.1, 0.3, 1} {
+		for _, n := range []int{2, 8, 64} {
+			m := WooLee{N: n, K: k}
+			for _, f := range []float64{0, 0.5, 0.9, 0.99, 1} {
+				ppw, err := m.PerfPerWatt(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ppw > 1+1e-12 {
+					t.Errorf("n=%d k=%g f=%g: perf/W = %g > 1", n, k, f, ppw)
+				}
+			}
+		}
+	}
+	// With perfect gating and f=1 it exactly reaches 1.
+	ppw, _ := (WooLee{N: 64, K: 0}).PerfPerWatt(1)
+	if math.Abs(ppw-1) > 1e-12 {
+		t.Errorf("perfect gating perf/W = %g", ppw)
+	}
+}
+
+func TestWooLeePerfPerJoule(t *testing.T) {
+	m := WooLee{N: 8, K: 0.2}
+	ppj, err := m.PerfPerJoule(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := m.Energy(0.9)
+	tt, _ := m.Time(0.9)
+	if math.Abs(ppj-1/(e*tt)) > 1e-12 {
+		t.Errorf("perf/J = %g", ppj)
+	}
+	// Parallelism helps perf/J (time shrinks) even when perf/W cannot
+	// beat 1.
+	low, _ := m.PerfPerJoule(0.1)
+	high, _ := m.PerfPerJoule(0.95)
+	if high <= low {
+		t.Errorf("perf/J should grow with f: %g vs %g", low, high)
+	}
+}
+
+// The U-core variant: an efficient U-core (phi/mu << 1) beats the BCE's
+// perf/W at high parallelism — the paper's energy argument.
+func TestWooLeeUCoreBeatsBCEEfficiency(t *testing.T) {
+	m := WooLeeUCore{N: 19, R: 2, Mu: 27.4, Phi: 0.79, K: 0, Alpha: 1.75}
+	ppw, err := m.PerfPerWatt(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppw <= 1 {
+		t.Errorf("ASIC-like U-core perf/W = %g, should exceed the BCE's 1", ppw)
+	}
+	// With a power-hungry U-core (phi/mu > 1) it cannot.
+	bad := m
+	bad.Mu, bad.Phi = 1, 4
+	ppw, err = bad.PerfPerWatt(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppw >= 1 {
+		t.Errorf("inefficient U-core perf/W = %g, should be below 1", ppw)
+	}
+}
+
+func TestWooLeeUCoreIdleFabricCost(t *testing.T) {
+	gated := WooLeeUCore{N: 100, R: 2, Mu: 2, Phi: 0.3, K: 0, Alpha: 1.75}
+	leaky := gated
+	leaky.K = 1
+	// At f = 0 the fabric never computes; leaky idle power still burns.
+	eg, err1 := gated.Energy(0)
+	el, err2 := leaky.Energy(0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if el <= eg {
+		t.Errorf("un-gated idle fabric should cost energy: %g vs %g", el, eg)
+	}
+	// Idle power scales with fabric size phi(n-r).
+	wantExtra := 1.0 * 0.3 * 98 / math.Sqrt(2)
+	if math.Abs((el-eg)-wantExtra) > 1e-9 {
+		t.Errorf("idle energy delta = %g, want %g", el-eg, wantExtra)
+	}
+}
+
+func TestWooLeeUCoreValidation(t *testing.T) {
+	bad := []WooLeeUCore{
+		{N: 2, R: 2, Mu: 1, Phi: 1, Alpha: 1.75}, // r >= n
+		{N: 10, R: 0.5, Mu: 1, Phi: 1, Alpha: 1.75},
+		{N: 10, R: 2, Mu: 0, Phi: 1, Alpha: 1.75},
+		{N: 10, R: 2, Mu: 1, Phi: -1, Alpha: 1.75},
+		{N: 10, R: 2, Mu: 1, Phi: 1, K: 2, Alpha: 1.75},
+		{N: 10, R: 2, Mu: 1, Phi: 1, Alpha: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d should fail: %+v", i, m)
+		}
+	}
+	good := WooLeeUCore{N: 10, R: 2, Mu: 1, Phi: 1, Alpha: 1.75}
+	if _, err := good.Time(2); err != ErrFraction {
+		t.Errorf("f=2: %v", err)
+	}
+	if _, err := good.Energy(-1); err != ErrFraction {
+		t.Errorf("f=-1: %v", err)
+	}
+}
+
+func TestWooLeeUCoreEnergyDelay(t *testing.T) {
+	m := WooLeeUCore{N: 19, R: 2, Mu: 2.88, Phi: 0.63, K: 0, Alpha: 1.75}
+	ed, err := m.EnergyDelay(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := m.Energy(0.9)
+	tt, _ := m.Time(0.9)
+	if math.Abs(ed-e*tt) > 1e-12 {
+		t.Errorf("ED = %g, want %g", ed, e*tt)
+	}
+}
+
+func TestCriticalSectionsLimits(t *testing.T) {
+	// No critical sections: plain Amdahl.
+	c := CriticalSections{FSeq: 0.1, FCrit: 0, PCtn: 0.5, N: 16}
+	s, err := c.Speedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	amdahl := 1 / (0.1 + 0.9/16)
+	if math.Abs(s-amdahl) > 1e-12 {
+		t.Errorf("fCrit=0 speedup = %g, want Amdahl %g", s, amdahl)
+	}
+	// Fully-contended critical sections serialize: fCrit joins the
+	// sequential fraction.
+	c = CriticalSections{FSeq: 0.1, FCrit: 0.5, PCtn: 1, N: 16}
+	s, _ = c.Speedup()
+	serialized := 1 / (0.1 + 0.9*0.5/16 + 0.9*0.5)
+	if math.Abs(s-serialized) > 1e-12 {
+		t.Errorf("PCtn=1 speedup = %g, want %g", s, serialized)
+	}
+	// Never-contended critical sections are free.
+	c.PCtn = 0
+	s, _ = c.Speedup()
+	if math.Abs(s-amdahl) > 1e-12 {
+		t.Errorf("PCtn=0 speedup = %g, want Amdahl %g", s, amdahl)
+	}
+}
+
+func TestCriticalSectionsEffectiveF(t *testing.T) {
+	c := CriticalSections{FSeq: 0.05, FCrit: 0.2, PCtn: 0.5, N: 64}
+	f, err := c.EffectiveF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contention destroys parallelism: effective f < nominal 0.95.
+	if f >= 0.95 {
+		t.Errorf("effective f = %g, want < 0.95", f)
+	}
+	// The effective f reproduces the speedup through plain Amdahl.
+	s, _ := c.Speedup()
+	back := 1 / ((1 - f) + f/64)
+	if math.Abs(back-s) > 1e-9 {
+		t.Errorf("effective f round-trip: %g vs %g", back, s)
+	}
+	if _, err := (CriticalSections{FSeq: 0.1, N: 1}).EffectiveF(); err == nil {
+		t.Error("n=1 must fail")
+	}
+}
+
+func TestCriticalSectionsValidation(t *testing.T) {
+	if _, err := (CriticalSections{FSeq: -0.1, N: 4}).Speedup(); err != ErrFraction {
+		t.Errorf("want ErrFraction, got %v", err)
+	}
+	if _, err := (CriticalSections{FSeq: 0.1, FCrit: 2, N: 4}).Speedup(); err != ErrFraction {
+		t.Errorf("want ErrFraction, got %v", err)
+	}
+	if _, err := (CriticalSections{FSeq: 0.1, N: 0}).Speedup(); err != ErrCores {
+		t.Errorf("want ErrCores, got %v", err)
+	}
+}
+
+// Property: speedup decreases monotonically with contention probability.
+func TestPropContentionHurts(t *testing.T) {
+	prop := func(a, b, c float64) bool {
+		fSeq := math.Mod(math.Abs(a), 0.5)
+		fCrit := math.Mod(math.Abs(b), 1)
+		p := math.Mod(math.Abs(c), 0.9)
+		lo := CriticalSections{FSeq: fSeq, FCrit: fCrit, PCtn: p, N: 32}
+		hi := CriticalSections{FSeq: fSeq, FCrit: fCrit, PCtn: p + 0.1, N: 32}
+		sLo, err1 := lo.Speedup()
+		sHi, err2 := hi.Speedup()
+		return err1 == nil && err2 == nil && sHi <= sLo+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Woo-Lee energy is monotone in k (leakier idle, more energy).
+func TestPropIdlePowerMonotone(t *testing.T) {
+	prop := func(a, b float64) bool {
+		f := math.Mod(math.Abs(a), 1)
+		k := math.Mod(math.Abs(b), 0.9)
+		m1 := WooLee{N: 16, K: k}
+		m2 := WooLee{N: 16, K: k + 0.1}
+		e1, err1 := m1.Energy(f)
+		e2, err2 := m2.Energy(f)
+		return err1 == nil && err2 == nil && e2 >= e1-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package mix implements the "mixing and matching" design the paper's
+// discussion (Section 6.3) proposes: fabricating several different U-core
+// fabrics on one die and powering each on-demand for the kernel that
+// suits it — e.g. a custom MMM core next to a GPU fabric for
+// bandwidth-limited FFTs. Area must be provisioned for every fabric, but
+// power and bandwidth are consumed only by the fabric that is active
+// (dark silicon working as intended).
+//
+// Given a kernel mix (time-weighted workloads with per-fabric U-core
+// parameters), the allocator splits the parallel area among fabrics to
+// maximize overall speedup, respecting each kernel's own power and
+// bandwidth ceilings while active.
+package mix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+// Kernel is one workload in the mix.
+type Kernel struct {
+	Name string
+	// Weight is the fraction of baseline execution time spent in this
+	// kernel's parallel section. Weights plus the serial fraction sum to 1.
+	Weight float64
+	// UCore is the fabric fabricated for this kernel.
+	UCore bounds.UCore
+	// BandwidthBCE is the off-chip bandwidth budget in this kernel's BCE
+	// compulsory-bandwidth units (workload-specific, like Table 1's B).
+	BandwidthBCE float64
+	// ExemptBandwidth lifts the bandwidth ceiling (ASIC MMM case).
+	ExemptBandwidth bool
+}
+
+// Chip is a mixed-fabric design problem.
+type Chip struct {
+	Law pollack.Law
+	// SerialFraction is the weight of the sequential section.
+	SerialFraction float64
+	Kernels        []Kernel
+	// AreaBCE and PowerBCE are the chip budgets in BCE units. Power
+	// applies per active fabric (only one fabric runs at a time).
+	AreaBCE  float64
+	PowerBCE float64
+	// MaxR bounds the sequential-core sweep.
+	MaxR int
+}
+
+// Validate reports an error for malformed problems.
+func (c Chip) Validate() error {
+	if c.SerialFraction < 0 || c.SerialFraction >= 1 {
+		return errors.New("mix: serial fraction must be in [0, 1)")
+	}
+	if len(c.Kernels) == 0 {
+		return errors.New("mix: at least one kernel required")
+	}
+	sum := c.SerialFraction
+	for i, k := range c.Kernels {
+		if k.Weight <= 0 {
+			return fmt.Errorf("mix: kernel %d weight must be positive", i)
+		}
+		if err := k.UCore.Validate(); err != nil {
+			return fmt.Errorf("mix: kernel %d: %w", i, err)
+		}
+		if !k.ExemptBandwidth && k.BandwidthBCE <= 0 {
+			return fmt.Errorf("mix: kernel %d needs a bandwidth budget", i)
+		}
+		sum += k.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("mix: weights sum to %g, want 1", sum)
+	}
+	if c.AreaBCE <= 0 || c.PowerBCE <= 0 {
+		return errors.New("mix: budgets must be positive")
+	}
+	if c.MaxR < 1 {
+		return errors.New("mix: MaxR must be >= 1")
+	}
+	return nil
+}
+
+// Allocation is the optimizer's answer.
+type Allocation struct {
+	R       int       // sequential core size
+	AreaBCE []float64 // fabric area per kernel (BCE units)
+	Speedup float64
+	// EffectiveN is min(area, power cap, bandwidth cap) per kernel — the
+	// resources that actually contribute while that kernel runs.
+	EffectiveN []float64
+}
+
+// capFor returns the largest useful fabric size for kernel k given the
+// active-power and bandwidth ceilings (area excluded).
+func (c Chip) capFor(k Kernel) float64 {
+	cap := c.PowerBCE / k.UCore.Phi
+	if !k.ExemptBandwidth {
+		if bw := k.BandwidthBCE / k.UCore.Mu; bw < cap {
+			cap = bw
+		}
+	}
+	return cap
+}
+
+// Optimize splits the parallel area among fabrics for each candidate r
+// and returns the best allocation. For a fixed r the optimal split of
+// area A among fabrics minimizing sum w_i/(mu_i n_i) subject to
+// sum n_i <= A and n_i <= cap_i follows the Lagrange condition
+// n_i ∝ sqrt(w_i/mu_i), water-filled against the caps.
+func (c Chip) Optimize() (Allocation, error) {
+	if err := c.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	var (
+		best  Allocation
+		found bool
+	)
+	for r := 1; r <= c.MaxR && float64(r) < c.AreaBCE; r++ {
+		// Serial bounds: the sequential core must fit the power budget.
+		pw, err := c.Law.Power(float64(r))
+		if err != nil {
+			return Allocation{}, err
+		}
+		if pw > c.PowerBCE {
+			break
+		}
+		areas, err := waterfill(c, c.AreaBCE-float64(r))
+		if err != nil {
+			continue
+		}
+		sp, eff, err := c.speedup(r, areas)
+		if err != nil {
+			continue
+		}
+		if !found || sp > best.Speedup {
+			best = Allocation{R: r, AreaBCE: areas, Speedup: sp, EffectiveN: eff}
+			found = true
+		}
+	}
+	if !found {
+		return Allocation{}, errors.New("mix: no feasible allocation")
+	}
+	return best, nil
+}
+
+// waterfill distributes parallel area by the sqrt(w/mu) rule, iteratively
+// clamping fabrics at their power/bandwidth caps and redistributing the
+// remainder.
+func waterfill(c Chip, area float64) ([]float64, error) {
+	if area <= 0 {
+		return nil, errors.New("mix: no parallel area")
+	}
+	n := len(c.Kernels)
+	alloc := make([]float64, n)
+	capped := make([]bool, n)
+	remaining := area
+	for iter := 0; iter < n+1; iter++ {
+		var denom float64
+		for i, k := range c.Kernels {
+			if !capped[i] {
+				denom += math.Sqrt(k.Weight / k.UCore.Mu)
+			}
+		}
+		if denom == 0 {
+			break
+		}
+		progressed := false
+		for i, k := range c.Kernels {
+			if capped[i] {
+				continue
+			}
+			share := remaining * math.Sqrt(k.Weight/k.UCore.Mu) / denom
+			if cap := c.capFor(k); share > cap {
+				alloc[i] = cap
+				capped[i] = true
+				remaining -= cap
+				progressed = true
+			} else {
+				alloc[i] = share
+			}
+		}
+		if !progressed {
+			break
+		}
+		// Recompute uncapped shares against the reduced remainder.
+		for i := range alloc {
+			if !capped[i] {
+				alloc[i] = 0
+			}
+		}
+	}
+	for i := range alloc {
+		if alloc[i] <= 0 && !capped[i] {
+			return nil, fmt.Errorf("mix: kernel %d starved of area", i)
+		}
+	}
+	return alloc, nil
+}
+
+// speedup evaluates the allocation: serial phase at sqrt(r), each kernel
+// at mu_i x effective n_i, where effective n_i re-applies the active
+// power/bandwidth caps.
+func (c Chip) speedup(r int, areas []float64) (float64, []float64, error) {
+	perfSeq, err := c.Law.Perf(float64(r))
+	if err != nil {
+		return 0, nil, err
+	}
+	time := c.SerialFraction / perfSeq
+	eff := make([]float64, len(areas))
+	for i, k := range c.Kernels {
+		n := math.Min(areas[i], c.capFor(k))
+		if n <= 0 {
+			return 0, nil, fmt.Errorf("mix: kernel %s has no usable fabric", k.Name)
+		}
+		eff[i] = n
+		time += k.Weight / (k.UCore.Mu * n)
+	}
+	return 1 / time, eff, nil
+}
+
+// SingleFabricSpeedup evaluates the alternative of building only kernel
+// j's fabric and running every kernel on it — using each kernel's own
+// (mu, phi) on that fabric is not possible, so foreign kernels run at the
+// CMP baseline rate (BCE cores are always implementable in any fabric's
+// place is not assumed; they run at throughput min(area, caps) x 1).
+// This quantifies the value of mixing versus specializing.
+func (c Chip) SingleFabricSpeedup(j int) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if j < 0 || j >= len(c.Kernels) {
+		return 0, errors.New("mix: fabric index out of range")
+	}
+	var best float64
+	for r := 1; r <= c.MaxR && float64(r) < c.AreaBCE; r++ {
+		pw, err := c.Law.Power(float64(r))
+		if err != nil {
+			return 0, err
+		}
+		if pw > c.PowerBCE {
+			break
+		}
+		area := c.AreaBCE - float64(r)
+		perfSeq := math.Sqrt(float64(r))
+		time := c.SerialFraction / perfSeq
+		feasible := true
+		for i, k := range c.Kernels {
+			var thr float64
+			if i == j {
+				thr = k.UCore.Mu * math.Min(area, c.capFor(k))
+			} else {
+				// Foreign kernel: the specialized fabric is useless; fall
+				// back to BCE-equivalent throughput under the same budgets.
+				n := math.Min(area, c.PowerBCE)
+				if !k.ExemptBandwidth {
+					n = math.Min(n, k.BandwidthBCE)
+				}
+				thr = n
+			}
+			if thr <= 0 {
+				feasible = false
+				break
+			}
+			time += k.Weight / thr
+		}
+		if !feasible {
+			continue
+		}
+		if sp := 1 / time; sp > best {
+			best = sp
+		}
+	}
+	if best == 0 {
+		return 0, errors.New("mix: no feasible single-fabric design")
+	}
+	return best, nil
+}

@@ -1,0 +1,199 @@
+package mix
+
+import (
+	"math"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+// The paper's own example: a custom MMM core alongside a GPU fabric for
+// bandwidth-limited FFTs (Section 6.3).
+func paperExample() Chip {
+	return Chip{
+		Law:            pollack.Default(),
+		SerialFraction: 0.10,
+		Kernels: []Kernel{
+			{
+				Name: "MMM-ASIC", Weight: 0.45,
+				UCore:           bounds.UCore{Mu: 27.4, Phi: 0.79},
+				ExemptBandwidth: true,
+			},
+			{
+				Name: "FFT-GPU", Weight: 0.45,
+				UCore:        bounds.UCore{Mu: 2.88, Phi: 0.63},
+				BandwidthBCE: 57.9,
+			},
+		},
+		AreaBCE:  75, // 22nm
+		PowerBCE: 17.3,
+		MaxR:     16,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := paperExample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := paperExample()
+	c.SerialFraction = 1
+	if err := c.Validate(); err == nil {
+		t.Error("serial fraction 1 must fail")
+	}
+	c = paperExample()
+	c.Kernels[0].Weight = 0.5
+	if err := c.Validate(); err == nil {
+		t.Error("weights not summing to 1 must fail")
+	}
+	c = paperExample()
+	c.Kernels = nil
+	if err := c.Validate(); err == nil {
+		t.Error("no kernels must fail")
+	}
+	c = paperExample()
+	c.Kernels[1].BandwidthBCE = 0
+	if err := c.Validate(); err == nil {
+		t.Error("missing bandwidth budget must fail")
+	}
+	c = paperExample()
+	c.PowerBCE = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero power must fail")
+	}
+	c = paperExample()
+	c.MaxR = 0
+	if err := c.Validate(); err == nil {
+		t.Error("MaxR=0 must fail")
+	}
+}
+
+func TestOptimizeProducesFeasibleAllocation(t *testing.T) {
+	c := paperExample()
+	a, err := c.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.R < 1 || a.R > c.MaxR {
+		t.Errorf("r = %d out of range", a.R)
+	}
+	var total float64
+	for i, area := range a.AreaBCE {
+		if area <= 0 {
+			t.Errorf("kernel %d got no area", i)
+		}
+		total += area
+	}
+	if total > c.AreaBCE-float64(a.R)+1e-9 {
+		t.Errorf("allocated %g BCE exceeds parallel area %g", total, c.AreaBCE-float64(a.R))
+	}
+	if a.Speedup <= 1 {
+		t.Errorf("speedup = %g", a.Speedup)
+	}
+	// Effective n respects the per-kernel caps.
+	for i, k := range c.Kernels {
+		if a.EffectiveN[i] > c.capFor(k)+1e-9 {
+			t.Errorf("kernel %d effective n %g exceeds cap %g", i, a.EffectiveN[i], c.capFor(k))
+		}
+	}
+}
+
+// The FFT fabric must stop growing at its bandwidth cap; surplus area
+// should flow to the exempt MMM fabric.
+func TestWaterfillRespectsCaps(t *testing.T) {
+	c := paperExample()
+	c.AreaBCE = 298 // 11nm: plenty of area
+	c.PowerBCE = 34.5
+	a, err := c.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fftCap := c.kernelCapForTest(1)
+	if a.EffectiveN[1] > fftCap+1e-9 {
+		t.Errorf("FFT fabric %g exceeds bandwidth cap %g", a.EffectiveN[1], fftCap)
+	}
+	// MMM (exempt, power-capped only) should receive the surplus up to
+	// its power cap.
+	mmmCap := c.kernelCapForTest(0)
+	if a.EffectiveN[0] < 0.9*math.Min(mmmCap, c.AreaBCE-float64(a.R)-fftCap) {
+		t.Errorf("MMM fabric %g did not absorb surplus (cap %g)", a.EffectiveN[0], mmmCap)
+	}
+}
+
+// Expose capFor for tests without exporting it generally.
+func (c Chip) kernelCapForTest(i int) float64 { return c.capFor(c.Kernels[i]) }
+
+// Mixing beats specializing when the workload genuinely mixes kernels.
+func TestMixBeatsSingleFabric(t *testing.T) {
+	c := paperExample()
+	mixAlloc, err := c.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range c.Kernels {
+		single, err := c.SingleFabricSpeedup(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single >= mixAlloc.Speedup {
+			t.Errorf("single fabric %d (%g) should not beat the mix (%g)",
+				j, single, mixAlloc.Speedup)
+		}
+	}
+}
+
+func TestSingleFabricValidation(t *testing.T) {
+	c := paperExample()
+	if _, err := c.SingleFabricSpeedup(-1); err == nil {
+		t.Error("negative index must fail")
+	}
+	if _, err := c.SingleFabricSpeedup(5); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	c := paperExample()
+	c.AreaBCE = 1 // no room for core + fabric
+	if _, err := c.Optimize(); err == nil {
+		t.Error("area=1 must be infeasible")
+	}
+}
+
+// Allocation follows the sqrt(w/mu) rule when no caps bind: the kernel
+// with lower mu gets more area (it needs it more).
+func TestAllocationProportions(t *testing.T) {
+	c := Chip{
+		Law:            pollack.Default(),
+		SerialFraction: 0.2,
+		Kernels: []Kernel{
+			{Name: "fast", Weight: 0.4, UCore: bounds.UCore{Mu: 16, Phi: 0.5}, BandwidthBCE: 1e9},
+			{Name: "slow", Weight: 0.4, UCore: bounds.UCore{Mu: 1, Phi: 0.5}, BandwidthBCE: 1e9},
+		},
+		AreaBCE:  40,
+		PowerBCE: 1e9, // no power cap
+		MaxR:     4,
+	}
+	a, err := c.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n_slow/n_fast = sqrt(mu_fast/mu_slow) = 4.
+	ratio := a.AreaBCE[1] / a.AreaBCE[0]
+	if math.Abs(ratio-4) > 1e-6 {
+		t.Errorf("area ratio = %g, want 4 (sqrt rule)", ratio)
+	}
+}
+
+// A serial-only-power-feasible chip: sequential power bound caps r.
+func TestSerialPowerBoundsR(t *testing.T) {
+	c := paperExample()
+	c.PowerBCE = 2 // r^0.875 <= 2 -> r <= 2
+	a, err := c.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.R > 2 {
+		t.Errorf("r = %d violates serial power bound", a.R)
+	}
+}

@@ -1,0 +1,171 @@
+// Package profile implements the paper's principal future-work direction
+// (Section 7): modeling applications with *varying degrees of
+// parallelism* rather than a single serial/parallel split, in the spirit
+// of Moncrieff et al.'s heterogeneous-machine analysis.
+//
+// A Profile decomposes a task into weighted phases, each with a maximum
+// exploitable parallelism width: the number of independent work streams
+// the phase exposes. Width-1 phases run on the sequential core at Pollack
+// performance sqrt(r); wider phases run on the chip's parallel fabric but
+// engage at most width worth of resources — extra U-cores beyond a
+// phase's width are wasted. On a U-core each engaged stream runs mu times
+// faster than on a BCE (the custom-logic/FPGA "pipeline a stream" view of
+// Section 6.3), so width-limited phases value U-cores *more* than
+// infinitely parallel ones, where the CMP can also soak the whole chip —
+// exactly the "suitability" effect the paper wants future models to
+// capture.
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/calcm/heterosim/internal/bounds"
+)
+
+// Phase is one segment of execution.
+type Phase struct {
+	// Weight is the fraction of baseline (1-BCE) execution time spent in
+	// the phase. Weights across a profile sum to 1.
+	Weight float64
+	// Width is the maximum number of BCE-equivalent workers the phase can
+	// keep busy; 1 means purely sequential, +Inf fully parallel.
+	Width float64
+}
+
+// Profile is a set of phases. The zero value is invalid; use New.
+type Profile struct {
+	phases []Phase
+}
+
+// New validates and builds a profile. Weights must be positive and sum
+// to 1 (within 1e-9); widths must be >= 1.
+func New(phases ...Phase) (Profile, error) {
+	if len(phases) == 0 {
+		return Profile{}, errors.New("profile: at least one phase required")
+	}
+	var sum float64
+	for i, p := range phases {
+		if p.Weight <= 0 || math.IsNaN(p.Weight) {
+			return Profile{}, fmt.Errorf("profile: phase %d weight must be positive", i)
+		}
+		if p.Width < 1 || math.IsNaN(p.Width) {
+			return Profile{}, fmt.Errorf("profile: phase %d width must be >= 1", i)
+		}
+		sum += p.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return Profile{}, fmt.Errorf("profile: weights sum to %g, want 1", sum)
+	}
+	cp := make([]Phase, len(phases))
+	copy(cp, phases)
+	return Profile{phases: cp}, nil
+}
+
+// TwoPhase builds the classic Amdahl profile: 1-f sequential, f with the
+// given parallel width.
+func TwoPhase(f, width float64) (Profile, error) {
+	if f <= 0 || f >= 1 {
+		return Profile{}, errors.New("profile: f must be in (0, 1) for a two-phase profile")
+	}
+	return New(Phase{Weight: 1 - f, Width: 1}, Phase{Weight: f, Width: width})
+}
+
+// Phases returns a copy of the phases.
+func (p Profile) Phases() []Phase {
+	out := make([]Phase, len(p.phases))
+	copy(out, p.phases)
+	return out
+}
+
+// SerialFraction returns the total weight of width-1 phases.
+func (p Profile) SerialFraction() float64 {
+	var s float64
+	for _, ph := range p.phases {
+		if ph.Width == 1 {
+			s += ph.Weight
+		}
+	}
+	return s
+}
+
+// AmdahlEquivalentF collapses the profile to the two-phase f the original
+// model would use: everything with width > 1 counts as parallel. This is
+// the information the richer profile preserves and the scalar f loses.
+func (p Profile) AmdahlEquivalentF() float64 {
+	return 1 - p.SerialFraction()
+}
+
+// SpeedupHeterogeneous evaluates the profile on a heterogeneous chip with
+// n total BCE resources, sequential core size r, and U-core u. Each
+// parallel phase runs at mu x min(width, n-r); sequential phases run at
+// sqrt(r). Speedup is relative to one BCE executing the whole profile.
+func (p Profile) SpeedupHeterogeneous(n, r float64, u bounds.UCore) (float64, error) {
+	if err := u.Validate(); err != nil {
+		return 0, err
+	}
+	return p.speedup(n, r, func(width, avail float64) float64 {
+		return u.Mu * math.Min(width, avail)
+	})
+}
+
+// SpeedupAsymmetricOffload evaluates the profile on the CMP baseline:
+// parallel phases run on min(width, n-r) BCE cores.
+func (p Profile) SpeedupAsymmetricOffload(n, r float64) (float64, error) {
+	return p.speedup(n, r, math.Min)
+}
+
+func (p Profile) speedup(n, r float64, parallelThroughput func(width, avail float64) float64) (float64, error) {
+	if len(p.phases) == 0 {
+		return 0, errors.New("profile: empty profile")
+	}
+	if n <= 0 || r < 1 || r > n || math.IsNaN(n) || math.IsNaN(r) {
+		return 0, errors.New("profile: need n > 0 and 1 <= r <= n")
+	}
+	seqPerf := math.Sqrt(r)
+	avail := n - r
+	var time float64
+	for _, ph := range p.phases {
+		if ph.Width == 1 {
+			time += ph.Weight / seqPerf
+			continue
+		}
+		if avail <= 0 {
+			return 0, errors.New("profile: no parallel resources (n == r) for a parallel phase")
+		}
+		thr := parallelThroughput(ph.Width, avail)
+		if thr <= 0 {
+			return 0, errors.New("profile: non-positive parallel throughput")
+		}
+		time += ph.Weight / thr
+	}
+	return 1 / time, nil
+}
+
+// Suitability compares a HET against the CMP baseline over the profile:
+// the ratio of their best speedups. Values > 1 mean the U-core's extra
+// throughput survives the profile's limited widths.
+func Suitability(p Profile, n float64, maxR int, u bounds.UCore) (float64, error) {
+	if maxR < 1 {
+		return 0, errors.New("profile: maxR must be >= 1")
+	}
+	bestHet, bestCMP := 0.0, 0.0
+	var lastErr error
+	for r := 1; r <= maxR && float64(r) <= n; r++ {
+		if h, err := p.SpeedupHeterogeneous(n, float64(r), u); err == nil && h > bestHet {
+			bestHet = h
+		} else if err != nil {
+			lastErr = err
+		}
+		if c, err := p.SpeedupAsymmetricOffload(n, float64(r)); err == nil && c > bestCMP {
+			bestCMP = c
+		} else if err != nil {
+			lastErr = err
+		}
+	}
+	if bestHet == 0 || bestCMP == 0 {
+		return 0, fmt.Errorf("profile: no feasible design: %v", lastErr)
+	}
+	return bestHet / bestCMP, nil
+}

@@ -1,0 +1,227 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/calcm/heterosim/internal/amdahl"
+	"github.com/calcm/heterosim/internal/bounds"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty profile must fail")
+	}
+	if _, err := New(Phase{Weight: 0.5, Width: 1}); err == nil {
+		t.Error("weights not summing to 1 must fail")
+	}
+	if _, err := New(Phase{Weight: -1, Width: 1}, Phase{Weight: 2, Width: 4}); err == nil {
+		t.Error("negative weight must fail")
+	}
+	if _, err := New(Phase{Weight: 1, Width: 0.5}); err == nil {
+		t.Error("width < 1 must fail")
+	}
+	p, err := New(Phase{Weight: 0.3, Width: 1}, Phase{Weight: 0.7, Width: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SerialFraction(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("SerialFraction = %g", got)
+	}
+	if got := p.AmdahlEquivalentF(); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("AmdahlEquivalentF = %g", got)
+	}
+}
+
+func TestTwoPhase(t *testing.T) {
+	p, err := TwoPhase(0.9, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases()) != 2 {
+		t.Fatal("two phases expected")
+	}
+	if _, err := TwoPhase(0, 4); err == nil {
+		t.Error("f=0 must fail")
+	}
+	if _, err := TwoPhase(1, 4); err == nil {
+		t.Error("f=1 must fail")
+	}
+}
+
+// With unlimited width, the profile model reduces exactly to the paper's
+// heterogeneous speedup formula.
+func TestReducesToHeterogeneousFormula(t *testing.T) {
+	u := bounds.UCore{Mu: 2.88, Phi: 0.63} // GTX285 FFT-1024
+	for _, f := range []float64{0.5, 0.9, 0.99} {
+		p, err := TwoPhase(f, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.SpeedupHeterogeneous(19, 2, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := amdahl.SpeedupHeterogeneous(f, 19, 2, u.Mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got/want-1) > 1e-12 {
+			t.Errorf("f=%g: profile %g != formula %g", f, got, want)
+		}
+	}
+}
+
+func TestReducesToOffloadFormula(t *testing.T) {
+	p, err := TwoPhase(0.9, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.SpeedupAsymmetricOffload(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := amdahl.SpeedupAsymmetricOffload(0.9, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got/want-1) > 1e-12 {
+		t.Errorf("profile %g != formula %g", got, want)
+	}
+}
+
+// Limited width caps the benefit: a phase with width 4 cannot use more
+// than 4 units no matter how many U-cores exist.
+func TestWidthCapsThroughput(t *testing.T) {
+	u := bounds.UCore{Mu: 10, Phi: 1}
+	p, err := New(Phase{Weight: 0.5, Width: 1}, Phase{Weight: 0.5, Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := p.SpeedupHeterogeneous(8, 1, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge, err := p.SpeedupHeterogeneous(10000, 1, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beyond width 4 more area is useless: n=8 already provides 7 >= 4.
+	if math.Abs(huge/small-1) > 1e-12 {
+		t.Errorf("width-capped speedup grew with area: %g vs %g", small, huge)
+	}
+	// The capped throughput is mu*width for the parallel phase.
+	want := 1 / (0.5/1 + 0.5/(10*4))
+	if math.Abs(small-want) > 1e-9 {
+		t.Errorf("speedup = %g, want %g", small, want)
+	}
+}
+
+func TestSpeedupValidation(t *testing.T) {
+	p, _ := TwoPhase(0.5, 8)
+	u := bounds.UCore{Mu: 2, Phi: 1}
+	if _, err := p.SpeedupHeterogeneous(0, 1, u); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := p.SpeedupHeterogeneous(4, 5, u); err == nil {
+		t.Error("r > n must fail")
+	}
+	if _, err := p.SpeedupHeterogeneous(4, 4, u); err == nil {
+		t.Error("no parallel resources with parallel phase must fail")
+	}
+	if _, err := p.SpeedupHeterogeneous(8, 1, bounds.UCore{}); err == nil {
+		t.Error("invalid U-core must fail")
+	}
+	if _, err := (Profile{}).SpeedupAsymmetricOffload(8, 1); err == nil {
+		t.Error("zero-value profile must fail")
+	}
+}
+
+// The headline insight the extension captures: two applications with the
+// same Amdahl-equivalent f but different width profiles value a U-core
+// very differently. Under the stream-pipelining semantics, a width-
+// limited phase benefits *more* from a U-core (each of its few streams
+// runs mu times faster) than an infinitely wide phase, where the CMP can
+// also soak the whole chip with BCEs.
+func TestSameFDifferentSuitability(t *testing.T) {
+	u := bounds.UCore{Mu: 27.4, Phi: 0.79} // ASIC MMM
+	wide, err := New(Phase{Weight: 0.1, Width: 1}, Phase{Weight: 0.9, Width: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := New(Phase{Weight: 0.1, Width: 1}, Phase{Weight: 0.9, Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.AmdahlEquivalentF() != narrow.AmdahlEquivalentF() {
+		t.Fatal("profiles must share the equivalent f")
+	}
+	sWide, err := Suitability(wide, 64, 16, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sNarrow, err := Suitability(narrow, 64, 16, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sNarrow <= sWide {
+		t.Errorf("narrow profile suitability %g should exceed wide %g", sNarrow, sWide)
+	}
+	if sWide < 1 {
+		t.Errorf("U-core should never lose to the CMP on equal footing: %g", sWide)
+	}
+	// The scalar f cannot distinguish the two profiles; the profile model
+	// can — the distinction the paper's future-work section asks for.
+	fWide, err := amdahl.SpeedupHeterogeneous(wide.AmdahlEquivalentF(), 64, 2, u.Mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fNarrow, err := amdahl.SpeedupHeterogeneous(narrow.AmdahlEquivalentF(), 64, 2, u.Mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fWide != fNarrow {
+		t.Error("scalar-f model should be blind to width profiles")
+	}
+}
+
+func TestSuitabilityValidation(t *testing.T) {
+	p, _ := TwoPhase(0.9, 8)
+	u := bounds.UCore{Mu: 2, Phi: 1}
+	if _, err := Suitability(p, 64, 0, u); err == nil {
+		t.Error("maxR < 1 must fail")
+	}
+}
+
+func TestPhasesDefensiveCopy(t *testing.T) {
+	p, _ := TwoPhase(0.5, 8)
+	ph := p.Phases()
+	ph[0].Weight = 99
+	if p.Phases()[0].Weight == 99 {
+		t.Error("Phases leaked internal storage")
+	}
+}
+
+// Property: speedup is monotone in every phase's width.
+func TestPropMonotoneInWidth(t *testing.T) {
+	u := bounds.UCore{Mu: 5, Phi: 0.5}
+	prop := func(seedW, seedF float64) bool {
+		w := 1 + math.Mod(math.Abs(seedW), 100)
+		f := 0.1 + math.Mod(math.Abs(seedF), 0.8)
+		p1, err := TwoPhase(f, w)
+		if err != nil {
+			return false
+		}
+		p2, err := TwoPhase(f, w*2)
+		if err != nil {
+			return false
+		}
+		s1, err1 := p1.SpeedupHeterogeneous(64, 2, u)
+		s2, err2 := p2.SpeedupHeterogeneous(64, 2, u)
+		return err1 == nil && err2 == nil && s2 >= s1-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

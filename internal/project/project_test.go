@@ -1,0 +1,448 @@
+package project
+
+import (
+	"math"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/itrs"
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/ucore"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	for _, w := range []paper.WorkloadID{paper.MMM, paper.BS, paper.FFT1024} {
+		if err := DefaultConfig(w).Validate(); err != nil {
+			t.Errorf("%s: %v", w, err)
+		}
+	}
+	bad := DefaultConfig(paper.MMM)
+	bad.PowerBudgetW = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero power budget must fail")
+	}
+	bad = DefaultConfig(paper.MMM)
+	bad.Workload = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty workload must fail")
+	}
+}
+
+func TestBudgetsAtFirstNode(t *testing.T) {
+	cfg := DefaultConfig(paper.FFT1024)
+	node, err := cfg.Roadmap.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.BudgetsAt(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Area != 19 {
+		t.Errorf("A = %g, want 19", b.Area)
+	}
+	// P = 100 / BCE watts. FFT BCE ~ 11.6 W -> P ~ 8.6.
+	if b.Power < 8 || b.Power > 9.3 {
+		t.Errorf("P = %g, want ~8.6", b.Power)
+	}
+	// B = 180 / (BCE GFLOP/s x 0.32 B/flop) ~ 58.
+	if b.Bandwidth < 55 || b.Bandwidth > 61 {
+		t.Errorf("B = %g, want ~58", b.Bandwidth)
+	}
+}
+
+func TestBudgetsScaleAcrossNodes(t *testing.T) {
+	cfg := DefaultConfig(paper.MMM)
+	nodes := cfg.Roadmap.Nodes()
+	var prev bounds.Budgets
+	for i, n := range nodes {
+		b, err := cfg.BudgetsAt(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if b.Area <= prev.Area {
+				t.Errorf("%s: area must grow", n.Name)
+			}
+			if b.Power <= prev.Power {
+				t.Errorf("%s: power budget in BCE units must grow as transistors cheapen", n.Name)
+			}
+			if b.Bandwidth < prev.Bandwidth {
+				t.Errorf("%s: bandwidth must not shrink", n.Name)
+			}
+		}
+		prev = b
+	}
+	// MMM's high arithmetic intensity makes B huge (~340 at 40nm).
+	b0, _ := cfg.BudgetsAt(nodes[0])
+	if b0.Bandwidth < 300 {
+		t.Errorf("MMM B = %g, want > 300 (rarely binding)", b0.Bandwidth)
+	}
+}
+
+func TestBCEBandwidthUnits(t *testing.T) {
+	refFFT, err := ucore.DefaultBCE(paper.FFT1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbFFT, err := BCEBandwidthGBs(paper.FFT1024, refFFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BCE FFT perf ~ 9.7 GFLOP/s x 0.32 -> ~3.1 GB/s.
+	if gbFFT < 2.8 || gbFFT > 3.4 {
+		t.Errorf("FFT BCE bandwidth = %g GB/s, want ~3.1", gbFFT)
+	}
+	refBS, err := ucore.DefaultBCE(paper.BS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbBS, err := BCEBandwidthGBs(paper.BS, refBS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BCE BS ~ 86 Mopt/s x 10 B = 0.86 GB/s.
+	if gbBS < 0.75 || gbBS > 1.0 {
+		t.Errorf("BS BCE bandwidth = %g GB/s, want ~0.86", gbBS)
+	}
+}
+
+func TestDesignsForLineups(t *testing.T) {
+	// FFT: SymCMP, AsymCMP, LX760, GTX285, GTX480, ASIC (no R5870).
+	ds, err := DesignsFor(paper.FFT1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]string, len(ds))
+	for i, d := range ds {
+		labels[i] = d.Label
+	}
+	want := []string{"(0) SymCMP", "(1) AsymCMP", "(2) LX760", "(3) GTX285", "(4) GTX480", "(6) ASIC"}
+	if len(labels) != len(want) {
+		t.Fatalf("FFT lineup = %v", labels)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("FFT lineup[%d] = %s, want %s", i, labels[i], want[i])
+		}
+	}
+	// MMM has all seven, and its ASIC is bandwidth-exempt.
+	ds, err = DesignsFor(paper.MMM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 7 {
+		t.Fatalf("MMM lineup size = %d, want 7", len(ds))
+	}
+	last := ds[len(ds)-1]
+	if last.Label != "(6) ASIC" || !last.ExemptBandwidth {
+		t.Errorf("MMM ASIC design = %+v, want bandwidth-exempt", last)
+	}
+	// BS: SymCMP, AsymCMP, LX760, GTX285, ASIC.
+	ds, err = DesignsFor(paper.BS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 5 {
+		t.Fatalf("BS lineup size = %d, want 5", len(ds))
+	}
+	if _, err := DesignsFor("bogus"); err == nil {
+		t.Error("unknown workload must fail")
+	}
+}
+
+func mustProject(t *testing.T, cfg Config, f float64) []Trajectory {
+	t.Helper()
+	ts, err := Project(cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func speedups(t *testing.T, ts []Trajectory, label string) []float64 {
+	t.Helper()
+	tr, err := FindTrajectory(ts, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(tr.Points))
+	for i, p := range tr.Points {
+		if p.Valid {
+			out[i] = p.Point.Speedup
+		}
+	}
+	return out
+}
+
+// Figure 6 (FFT-1024) headline behaviours.
+func TestFigure6FFTShape(t *testing.T) {
+	cfg := DefaultConfig(paper.FFT1024)
+
+	// ASIC is bandwidth-limited at every node and every f.
+	for _, f := range paper.ProjectionFractions {
+		ts := mustProject(t, cfg, f)
+		asic, err := FindTrajectory(ts, "(6) ASIC")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range asic.Points {
+			if !p.Valid {
+				t.Fatalf("f=%g %s: ASIC infeasible", f, p.Node.Name)
+			}
+			if p.Point.Limit != bounds.BandwidthLimited {
+				t.Errorf("f=%g %s: ASIC limit = %v, want bandwidth-limited",
+					f, p.Node.Name, p.Point.Limit)
+			}
+		}
+	}
+
+	// At f=0.5 no HET provides significant gain over the CMPs.
+	ts := mustProject(t, cfg, 0.5)
+	bestCMP := math.Max(speedups(t, ts, "(0) SymCMP")[4], speedups(t, ts, "(1) AsymCMP")[4])
+	asic05 := speedups(t, ts, "(6) ASIC")[4]
+	if asic05/bestCMP > 2 {
+		t.Errorf("f=0.5: ASIC/CMP gap = %g, should be < 2", asic05/bestCMP)
+	}
+
+	// At f=0.99 the HETs clearly beat the CMPs.
+	ts = mustProject(t, cfg, 0.99)
+	bestCMP = math.Max(speedups(t, ts, "(0) SymCMP")[4], speedups(t, ts, "(1) AsymCMP")[4])
+	fpga := speedups(t, ts, "(2) LX760")[4]
+	if fpga/bestCMP < 1.5 {
+		t.Errorf("f=0.99: FPGA/CMP gap = %g, want > 1.5", fpga/bestCMP)
+	}
+
+	// FPGA reaches ASIC-like bandwidth-limited performance by 32nm at
+	// high parallelism; GPUs catch up by 16nm.
+	ts = mustProject(t, cfg, 0.999)
+	asicS := speedups(t, ts, "(6) ASIC")
+	fpgaS := speedups(t, ts, "(2) LX760")
+	gtx285S := speedups(t, ts, "(3) GTX285")
+	if fpgaS[1] < 0.85*asicS[1] {
+		t.Errorf("32nm: FPGA %g should be ASIC-like (ASIC %g)", fpgaS[1], asicS[1])
+	}
+	if gtx285S[3] < 0.85*asicS[3] {
+		t.Errorf("16nm: GTX285 %g should be ASIC-like (ASIC %g)", gtx285S[3], asicS[3])
+	}
+}
+
+// Figure 7 (MMM) headline behaviours.
+func TestFigure7MMMShape(t *testing.T) {
+	cfg := DefaultConfig(paper.MMM)
+	for _, f := range paper.ProjectionFractions {
+		ts := mustProject(t, cfg, f)
+		asic, err := FindTrajectory(ts, "(6) ASIC")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range asic.Points {
+			if !p.Valid {
+				t.Fatalf("ASIC infeasible at node %d", i)
+			}
+			// ASIC never bandwidth-limited (exempt).
+			if p.Point.Limit == bounds.BandwidthLimited {
+				t.Errorf("f=%g %s: MMM ASIC bandwidth-limited", f, p.Node.Name)
+			}
+			// ASIC achieves the highest performance of all designs.
+			for _, other := range ts {
+				if other.Design.Label == "(6) ASIC" {
+					continue
+				}
+				if other.Points[i].Valid && other.Points[i].Point.Speedup > p.Point.Speedup+1e-9 {
+					t.Errorf("f=%g %s: %s (%g) beats ASIC (%g)", f, p.Node.Name,
+						other.Design.Label, other.Points[i].Point.Speedup, p.Point.Speedup)
+				}
+			}
+		}
+	}
+	// Unless f >= 0.999, GPUs/FPGAs stay within a factor of five of the
+	// ASIC (Section 6.1).
+	ts := mustProject(t, cfg, 0.99)
+	asicS := speedups(t, ts, "(6) ASIC")
+	r5870S := speedups(t, ts, "(5) R5870")
+	for i := range asicS {
+		if asicS[i]/r5870S[i] > 5 {
+			t.Errorf("f=0.99 node %d: ASIC/R5870 = %g, want <= 5", i, asicS[i]/r5870S[i])
+		}
+	}
+	// At f=0.999 the ASIC pulls far ahead (paper: up to ~1000 speedup).
+	ts = mustProject(t, cfg, 0.999)
+	asic999 := speedups(t, ts, "(6) ASIC")[4]
+	if asic999 < 400 {
+		t.Errorf("f=0.999 11nm ASIC speedup = %g, want large (paper ~1000-scale)", asic999)
+	}
+}
+
+// Figure 8 (Black-Scholes) headline behaviours.
+func TestFigure8BSShape(t *testing.T) {
+	cfg := DefaultConfig(paper.BS)
+	// At f=0.5 even conventional CMPs are within ~2x of the ASIC.
+	ts := mustProject(t, cfg, 0.5)
+	asicS := speedups(t, ts, "(6) ASIC")
+	cmpS := speedups(t, ts, "(1) AsymCMP")
+	for i := range asicS {
+		if asicS[i]/cmpS[i] > 2.2 {
+			t.Errorf("f=0.5 node %d: ASIC/CMP = %g, want ~<= 2", i, asicS[i]/cmpS[i])
+		}
+	}
+	// HETs converge to bandwidth-limited at later nodes for f=0.9.
+	ts = mustProject(t, cfg, 0.9)
+	for _, label := range []string{"(2) LX760", "(3) GTX285", "(6) ASIC"} {
+		tr, err := FindTrajectory(ts, label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := tr.Points[len(tr.Points)-1]
+		if !last.Valid {
+			t.Fatalf("%s infeasible at 11nm", label)
+		}
+		if last.Point.Limit != bounds.BandwidthLimited {
+			t.Errorf("%s at 11nm: limit = %v, want bandwidth-limited", label, last.Point.Limit)
+		}
+	}
+}
+
+// Speedup trajectories are non-decreasing across nodes (budgets only
+// relax), and speedup is monotone in f for HETs at high parallelism.
+func TestTrajectoriesMonotone(t *testing.T) {
+	for _, w := range []paper.WorkloadID{paper.FFT1024, paper.MMM, paper.BS} {
+		cfg := DefaultConfig(w)
+		ts := mustProject(t, cfg, 0.9)
+		for _, tr := range ts {
+			prev := 0.0
+			for _, p := range tr.Points {
+				if !p.Valid {
+					continue
+				}
+				if p.Point.Speedup < prev-1e-9 {
+					t.Errorf("%s/%s: speedup decreased across nodes", w, tr.Design.Label)
+				}
+				prev = p.Point.Speedup
+			}
+		}
+	}
+}
+
+func TestProjectEnergyNeverWorseThanSpeedupOptimal(t *testing.T) {
+	cfg := DefaultConfig(paper.MMM)
+	sp := mustProject(t, cfg, 0.9)
+	en, err := ProjectEnergy(cfg, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sp {
+		for j := range sp[i].Points {
+			if !sp[i].Points[j].Valid || !en[i].Points[j].Valid {
+				continue
+			}
+			if en[i].Points[j].EnergyNode > sp[i].Points[j].EnergyNode+1e-9 {
+				t.Errorf("%s node %d: energy-optimal %g > speedup-optimal %g",
+					sp[i].Design.Label, j,
+					en[i].Points[j].EnergyNode, sp[i].Points[j].EnergyNode)
+			}
+		}
+	}
+}
+
+// Figure 10: at moderate-to-high parallelism the ASIC achieves a large
+// energy reduction relative to the CMP baselines and the other U-cores.
+func TestFigure10EnergyShape(t *testing.T) {
+	cfg := DefaultConfig(paper.MMM)
+	ts, err := ProjectEnergy(cfg, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string, node int) float64 {
+		tr, err := FindTrajectory(ts, label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Points[node].Valid {
+			t.Fatalf("%s node %d infeasible", label, node)
+		}
+		return tr.Points[node].EnergyNode
+	}
+	asic := get("(6) ASIC", 0)
+	cmp := get("(1) AsymCMP", 0)
+	if cmp/asic < 3 {
+		t.Errorf("f=0.9 40nm: CMP/ASIC energy ratio = %g, want >= 3", cmp/asic)
+	}
+	// Energy falls across generations (circuit improvements).
+	if get("(6) ASIC", 4) >= asic {
+		t.Error("ASIC energy should fall across nodes")
+	}
+	// At f=0.5 the sequential core limits energy reduction: ratio shrinks.
+	ts05, err := ProjectEnergy(cfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := FindTrajectory(ts05, "(6) ASIC")
+	c, _ := FindTrajectory(ts05, "(1) AsymCMP")
+	ratio05 := c.Points[0].EnergyNode / a.Points[0].EnergyNode
+	ratio09 := cmp / asic
+	if ratio05 >= ratio09 {
+		t.Errorf("energy advantage should grow with f: %g (f=.5) vs %g (f=.9)",
+			ratio05, ratio09)
+	}
+}
+
+func TestFindTrajectoryError(t *testing.T) {
+	cfg := DefaultConfig(paper.BS)
+	ts := mustProject(t, cfg, 0.5)
+	if _, err := FindTrajectory(ts, "(9) TPU"); err == nil {
+		t.Error("unknown label must fail")
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	cfg := DefaultConfig(paper.MMM)
+	if _, err := Project(cfg, -1); err == nil {
+		t.Error("bad f must fail")
+	}
+	if _, err := Project(cfg, math.NaN()); err == nil {
+		t.Error("NaN f must fail")
+	}
+	bad := cfg
+	bad.AreaScale = -1
+	if _, err := Project(bad, 0.5); err == nil {
+		t.Error("bad config must fail")
+	}
+	if _, err := ProjectEnergy(bad, 0.5); err == nil {
+		t.Error("bad config must fail for energy too")
+	}
+}
+
+func TestMaxSpeedup(t *testing.T) {
+	cfg := DefaultConfig(paper.FFT1024)
+	ts := mustProject(t, cfg, 0.9)
+	tr, err := FindTrajectory(ts, "(6) ASIC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := tr.MaxSpeedup()
+	last := tr.Points[len(tr.Points)-1]
+	if !last.Valid || max < last.Point.Speedup {
+		t.Errorf("MaxSpeedup = %g, last = %g", max, last.Point.Speedup)
+	}
+	empty := Trajectory{}
+	if empty.MaxSpeedup() != 0 {
+		t.Error("empty trajectory max should be 0")
+	}
+}
+
+// The trajectories at 40nm should land in the magnitude range the paper
+// plots (Figure 6: f=0.999 ASIC ~50-70 at the bandwidth ceiling).
+func TestFigure6Magnitudes(t *testing.T) {
+	cfg := DefaultConfig(paper.FFT1024)
+	ts := mustProject(t, cfg, 0.999)
+	asic := speedups(t, ts, "(6) ASIC")
+	if asic[0] < 40 || asic[0] > 75 {
+		t.Errorf("40nm f=0.999 ASIC speedup = %g, paper plots ~55-65", asic[0])
+	}
+	sym := speedups(t, ts, "(0) SymCMP")
+	if sym[0] < 3 || sym[0] > 12 {
+		t.Errorf("40nm f=0.999 SymCMP speedup = %g, paper plots ~5", sym[0])
+	}
+	_ = itrs.ITRS2009()
+}

@@ -1,0 +1,284 @@
+// Package report renders heterosim results for terminals and files:
+// aligned ASCII tables, multi-series ASCII line charts (the repository's
+// stand-in for the paper's figures), and CSV export.
+package report
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; it is padded or truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through,
+// float64s are rendered compactly, everything else uses %v.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, FormatFloat(v))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FormatFloat renders a float compactly: 3 significant-ish decimals for
+// small magnitudes, fewer for large ones.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// Series is one line of a chart.
+type Series struct {
+	Name   string
+	Values []float64 // NaN marks a gap (e.g. infeasible node)
+	Marker rune      // plotted glyph; 0 picks automatically
+}
+
+// Chart is a multi-series ASCII line chart over a shared categorical X
+// axis (e.g. technology nodes or log2 N).
+type Chart struct {
+	Title   string
+	YLabel  string
+	XLabels []string
+	Series  []Series
+	// Height of the plotting area in rows (default 16).
+	Height int
+	// LogY plots log10(value) instead of value.
+	LogY bool
+}
+
+var defaultMarkers = []rune{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// Render writes the chart to w.
+func (c Chart) Render(w io.Writer) error {
+	if len(c.XLabels) == 0 {
+		return errors.New("report: chart needs X labels")
+	}
+	if len(c.Series) == 0 {
+		return errors.New("report: chart needs at least one series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.XLabels) {
+			return fmt.Errorf("report: series %q has %d values for %d labels",
+				s.Name, len(s.Values), len(c.XLabels))
+		}
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	transform := func(v float64) float64 {
+		if c.LogY {
+			if v <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			tv := transform(v)
+			if math.IsNaN(tv) {
+				continue
+			}
+			lo, hi = math.Min(lo, tv), math.Max(hi, tv)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return errors.New("report: chart has no plottable values")
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	if !c.LogY && lo > 0 {
+		lo = 0 // anchor linear charts at zero like the paper's figures
+	}
+
+	// Lay the points on a grid: one column group per X label.
+	colWidth := 0
+	for _, l := range c.XLabels {
+		if len(l) > colWidth {
+			colWidth = len(l)
+		}
+	}
+	colWidth += 2
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", colWidth*len(c.XLabels)))
+	}
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for xi, v := range s.Values {
+			tv := transform(v)
+			if math.IsNaN(tv) {
+				continue
+			}
+			row := int(math.Round((tv - lo) / (hi - lo) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row > height-1 {
+				row = height - 1
+			}
+			col := xi*colWidth + colWidth/2
+			grid[height-1-row][col] = marker
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop, yBot := hi, lo
+	if c.LogY {
+		yTop, yBot = math.Pow(10, hi), math.Pow(10, lo)
+	}
+	label := c.YLabel
+	if label != "" {
+		label += " "
+	}
+	fmt.Fprintf(&b, "%s(top=%s, bottom=%s%s)\n", label, FormatFloat(yTop), FormatFloat(yBot),
+		map[bool]string{true: ", log scale", false: ""}[c.LogY])
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", colWidth*len(c.XLabels)))
+	b.WriteByte('\n')
+	b.WriteString(" ")
+	for _, l := range c.XLabels {
+		pad := colWidth - len(l)
+		left := pad / 2
+		b.WriteString(strings.Repeat(" ", left))
+		b.WriteString(l)
+		b.WriteString(strings.Repeat(" ", pad-left))
+	}
+	b.WriteByte('\n')
+	// Legend.
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "  %c %s\n", marker, s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes headers and rows as CSV.
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FloatRow formats a string label followed by float columns for CSV use.
+func FloatRow(label string, vals ...float64) []string {
+	out := make([]string, 0, len(vals)+1)
+	out = append(out, label)
+	for _, v := range vals {
+		out = append(out, fmt.Sprintf("%g", v))
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Devices", "Name", "GFLOP/s")
+	tb.AddRow("Core i7", "96")
+	tb.AddRow("ASIC", "694")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Devices", "Name", "GFLOP/s", "Core i7", "694", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: header and rows share column start offsets.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "GFLOP/s") != strings.Index(row+strings.Repeat(" ", 20), "96") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf("x", 3.14159, 42)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3.14") {
+		t.Errorf("float not formatted: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "42") {
+		t.Errorf("int not formatted: %s", buf.String())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("one", "two", "three-ignored")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "three-ignored") {
+		t.Error("extra cells should be dropped")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234.6:  "1235",
+		56.78:   "56.8",
+		3.14159: "3.14",
+		0.0001:  "1.00e-04",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if FormatFloat(math.NaN()) != "-" {
+		t.Error("NaN should render as -")
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := Chart{
+		Title:   "FFT-1024 projection f=0.999",
+		YLabel:  "Speedup",
+		XLabels: []string{"40nm", "32nm", "22nm", "16nm", "11nm"},
+		Series: []Series{
+			{Name: "(6) ASIC", Values: []float64{57, 63, 74, 74, 80}},
+			{Name: "(0) SymCMP", Values: []float64{5, 6, 7, 8, 9}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FFT-1024", "Speedup", "40nm", "11nm", "(6) ASIC", "(0) SymCMP", "o", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartGapsForNaN(t *testing.T) {
+	c := Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "s", Values: []float64{math.NaN(), 5}, Marker: '!'}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one marker plotted in the grid (legend excluded).
+	n := 0
+	for _, l := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(l, "|") {
+			n += strings.Count(l, "!")
+		}
+	}
+	if n != 1 {
+		t.Errorf("marker count = %d, want 1", n)
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	c := Chart{
+		XLabels: []string{"a", "b", "c"},
+		Series:  []Series{{Name: "s", Values: []float64{1, 100, 10000}, Marker: '!'}},
+		LogY:    true,
+		Height:  9,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "log scale") {
+		t.Error("log scale annotation missing")
+	}
+	// On a log axis the three decade-spaced points should sit at evenly
+	// spaced rows: top, middle, bottom.
+	lines := strings.Split(out, "\n")
+	var rows []int
+	for i, l := range lines {
+		if strings.HasPrefix(l, "|") && strings.Contains(l, "!") {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("marker rows = %v", rows)
+	}
+	if (rows[1] - rows[0]) != (rows[2] - rows[1]) {
+		t.Errorf("log-spaced points not evenly spaced: %v", rows)
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Chart{}).Render(&buf); err == nil {
+		t.Error("empty chart must fail")
+	}
+	c := Chart{XLabels: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{1, 2}}}}
+	if err := c.Render(&buf); err == nil {
+		t.Error("mismatched series length must fail")
+	}
+	c = Chart{XLabels: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{math.NaN()}}}}
+	if err := c.Render(&buf); err == nil {
+		t.Error("all-NaN chart must fail")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"node", "speedup"}, [][]string{
+		{"40nm", "5.5"},
+		{"32nm", "7"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "node,speedup\n40nm,5.5\n32nm,7\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFloatRow(t *testing.T) {
+	row := FloatRow("x", 1.5, 2)
+	if len(row) != 3 || row[0] != "x" || row[1] != "1.5" || row[2] != "2" {
+		t.Errorf("FloatRow = %v", row)
+	}
+}

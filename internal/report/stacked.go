@@ -1,0 +1,126 @@
+package report
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// StackedBar renders horizontal stacked bars — the shape of the paper's
+// Figure 3 power-breakdown plot. Each row is one bar whose segments are
+// the components, drawn with per-component glyphs and scaled to Width.
+type StackedBar struct {
+	Title      string
+	Unit       string   // e.g. "W"
+	Components []string // segment names, in stacking order
+	Rows       []StackRow
+	Width      int // bar width in characters (default 50)
+}
+
+// StackRow is one bar.
+type StackRow struct {
+	Label  string
+	Values []float64 // one value per component; negatives are invalid
+}
+
+var stackGlyphs = []rune{'#', '=', '+', ':', '.', '%', '@', '*'}
+
+// Render writes the chart to w.
+func (s StackedBar) Render(w io.Writer) error {
+	if len(s.Components) == 0 {
+		return errors.New("report: stacked bar needs components")
+	}
+	if len(s.Components) > len(stackGlyphs) {
+		return fmt.Errorf("report: at most %d components supported", len(stackGlyphs))
+	}
+	if len(s.Rows) == 0 {
+		return errors.New("report: stacked bar needs rows")
+	}
+	width := s.Width
+	if width <= 0 {
+		width = 50
+	}
+	var maxTotal float64
+	labelW := 0
+	for _, r := range s.Rows {
+		if len(r.Values) != len(s.Components) {
+			return fmt.Errorf("report: row %q has %d values for %d components",
+				r.Label, len(r.Values), len(s.Components))
+		}
+		var total float64
+		for _, v := range r.Values {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("report: row %q has a negative or NaN segment", r.Label)
+			}
+			total += v
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if maxTotal == 0 {
+		return errors.New("report: all bars are zero")
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		b.WriteString(s.Title)
+		b.WriteByte('\n')
+	}
+	for _, r := range s.Rows {
+		b.WriteString(r.Label)
+		b.WriteString(strings.Repeat(" ", labelW-len(r.Label)))
+		b.WriteString(" |")
+		var total float64
+		for ci, v := range r.Values {
+			n := int(math.Round(v / maxTotal * float64(width)))
+			b.WriteString(strings.Repeat(string(stackGlyphs[ci]), n))
+			total += v
+		}
+		fmt.Fprintf(&b, " %s%s\n", FormatFloat(total), s.Unit)
+	}
+	b.WriteString("legend:")
+	for ci, name := range s.Components {
+		fmt.Fprintf(&b, " %c=%s", stackGlyphs[ci], name)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON pretty-prints v as JSON.
+func WriteJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// MarkdownTable writes a GitHub-flavored markdown table.
+func MarkdownTable(w io.Writer, headers []string, rows [][]string) error {
+	if len(headers) == 0 {
+		return errors.New("report: markdown table needs headers")
+	}
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, r := range rows {
+		cells := make([]string, len(headers))
+		for i := range cells {
+			if i < len(r) {
+				cells[i] = r[i]
+			}
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

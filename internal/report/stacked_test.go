@@ -1,0 +1,129 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleStack() StackedBar {
+	return StackedBar{
+		Title:      "FFT Power Breakdown",
+		Unit:       "W",
+		Components: []string{"core dynamic", "core leakage", "uncore"},
+		Rows: []StackRow{
+			{Label: "Core i7", Values: []float64{70, 12, 5}},
+			{Label: "GTX285", Values: []float64{90, 12, 48}},
+			{Label: "ASIC", Values: []float64{1, 0.1, 0}},
+		},
+		Width: 40,
+	}
+}
+
+func TestStackedBarRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleStack().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FFT Power Breakdown", "Core i7", "GTX285", "ASIC",
+		"legend:", "core dynamic", "150.0W"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The widest bar (GTX285, total 150) should use close to the full
+	// width; the ASIC bar should be nearly empty.
+	lines := strings.Split(out, "\n")
+	var gtxLen, asicLen int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "GTX285") {
+			gtxLen = strings.Count(l, "#") + strings.Count(l, "=") + strings.Count(l, "+")
+		}
+		if strings.HasPrefix(l, "ASIC") {
+			asicLen = strings.Count(l, "#") + strings.Count(l, "=") + strings.Count(l, "+")
+		}
+	}
+	if gtxLen < 35 {
+		t.Errorf("GTX bar too short: %d chars", gtxLen)
+	}
+	if asicLen > 2 {
+		t.Errorf("ASIC bar too long: %d chars", asicLen)
+	}
+}
+
+func TestStackedBarValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (StackedBar{}).Render(&buf); err == nil {
+		t.Error("empty must fail")
+	}
+	s := sampleStack()
+	s.Rows = nil
+	if err := s.Render(&buf); err == nil {
+		t.Error("no rows must fail")
+	}
+	s = sampleStack()
+	s.Rows[0].Values = []float64{1}
+	if err := s.Render(&buf); err == nil {
+		t.Error("ragged row must fail")
+	}
+	s = sampleStack()
+	s.Rows[0].Values[0] = -5
+	if err := s.Render(&buf); err == nil {
+		t.Error("negative segment must fail")
+	}
+	s = sampleStack()
+	s.Rows[0].Values[0] = math.NaN()
+	if err := s.Render(&buf); err == nil {
+		t.Error("NaN segment must fail")
+	}
+	s = sampleStack()
+	for i := range s.Rows {
+		for j := range s.Rows[i].Values {
+			s.Rows[i].Values[j] = 0
+		}
+	}
+	if err := s.Render(&buf); err == nil {
+		t.Error("all-zero bars must fail")
+	}
+	s = sampleStack()
+	s.Components = make([]string, 20)
+	if err := s.Render(&buf); err == nil {
+		t.Error("too many components must fail")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, map[string]float64{"speedup": 49.7}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"speedup\": 49.7") {
+		t.Errorf("JSON output wrong: %s", buf.String())
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := MarkdownTable(&buf, []string{"design", "speedup"}, [][]string{
+		{"ASIC", "56.9"},
+		{"FPGA"}, // short row padded
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| design | speedup |") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Errorf("separator wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| ASIC | 56.9 |") || !strings.Contains(out, "| FPGA |  |") {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+	if err := MarkdownTable(&buf, nil, nil); err == nil {
+		t.Error("no headers must fail")
+	}
+}

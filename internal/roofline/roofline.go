@@ -1,0 +1,149 @@
+// Package roofline implements the roofline performance model used to
+// position the paper's workloads against device limits: attainable
+// throughput is the minimum of peak compute and arithmetic intensity
+// times peak memory bandwidth. The measurement rig's compute-bound
+// verification (Section 5) is a roofline statement — a kernel is
+// compute-bound exactly when its intensity puts it right of the ridge.
+package roofline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Device is a roofline machine: peak compute throughput (work units/s,
+// e.g. GFLOP/s) and peak off-chip bandwidth (bytes/s in the same scale,
+// e.g. GB/s).
+type Device struct {
+	Name          string
+	PeakCompute   float64
+	PeakBandwidth float64
+}
+
+// Validate reports an error for non-physical parameters.
+func (d Device) Validate() error {
+	if d.PeakCompute <= 0 || math.IsNaN(d.PeakCompute) {
+		return errors.New("roofline: peak compute must be positive")
+	}
+	if d.PeakBandwidth <= 0 || math.IsNaN(d.PeakBandwidth) {
+		return errors.New("roofline: peak bandwidth must be positive")
+	}
+	return nil
+}
+
+// Ridge returns the arithmetic intensity (work per byte) at which the
+// compute and bandwidth ceilings meet. Kernels with intensity above the
+// ridge are compute-bound on this device.
+func (d Device) Ridge() (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	return d.PeakCompute / d.PeakBandwidth, nil
+}
+
+// Attainable returns the roofline ceiling at arithmetic intensity ai:
+// min(PeakCompute, ai x PeakBandwidth).
+func (d Device) Attainable(ai float64) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if ai <= 0 || math.IsNaN(ai) {
+		return 0, errors.New("roofline: arithmetic intensity must be positive")
+	}
+	return math.Min(d.PeakCompute, ai*d.PeakBandwidth), nil
+}
+
+// Bound classifies a kernel on a device.
+type Bound int
+
+const (
+	// ComputeBound kernels sit right of the ridge.
+	ComputeBound Bound = iota
+	// BandwidthBound kernels sit left of the ridge.
+	BandwidthBound
+)
+
+// String names the bound.
+func (b Bound) String() string {
+	if b == ComputeBound {
+		return "compute-bound"
+	}
+	return "bandwidth-bound"
+}
+
+// Classify reports whether a kernel of the given intensity is compute- or
+// bandwidth-bound on the device.
+func (d Device) Classify(ai float64) (Bound, error) {
+	ridge, err := d.Ridge()
+	if err != nil {
+		return 0, err
+	}
+	if ai <= 0 || math.IsNaN(ai) {
+		return 0, errors.New("roofline: arithmetic intensity must be positive")
+	}
+	if ai >= ridge {
+		return ComputeBound, nil
+	}
+	return BandwidthBound, nil
+}
+
+// Utilization returns achieved/attainable in [0, 1]; >1 achieved values
+// are an error (they contradict the model's ceilings).
+func (d Device) Utilization(ai, achieved float64) (float64, error) {
+	ceil, err := d.Attainable(ai)
+	if err != nil {
+		return 0, err
+	}
+	if achieved <= 0 || math.IsNaN(achieved) {
+		return 0, errors.New("roofline: achieved throughput must be positive")
+	}
+	u := achieved / ceil
+	if u > 1+1e-9 {
+		return 0, fmt.Errorf("roofline: achieved %g exceeds attainable %g", achieved, ceil)
+	}
+	if u > 1 {
+		u = 1
+	}
+	return u, nil
+}
+
+// Point is one kernel placed on a device's roofline.
+type Point struct {
+	Kernel      string
+	Intensity   float64
+	Achieved    float64
+	Attainable  float64
+	Bound       Bound
+	Utilization float64
+}
+
+// Place positions a kernel on the device's roofline.
+func (d Device) Place(kernel string, ai, achieved float64) (Point, error) {
+	att, err := d.Attainable(ai)
+	if err != nil {
+		return Point{}, err
+	}
+	b, err := d.Classify(ai)
+	if err != nil {
+		return Point{}, err
+	}
+	u, err := d.Utilization(ai, achieved)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Kernel: kernel, Intensity: ai, Achieved: achieved,
+		Attainable: att, Bound: b, Utilization: u,
+	}, nil
+}
+
+// BandwidthNeeded returns the off-chip bandwidth a kernel of intensity ai
+// needs to sustain the given throughput — the quantity the heterosim
+// bandwidth bounds are built from.
+func BandwidthNeeded(ai, throughput float64) (float64, error) {
+	if ai <= 0 || throughput <= 0 || math.IsNaN(ai) || math.IsNaN(throughput) {
+		return 0, errors.New("roofline: intensity and throughput must be positive")
+	}
+	return throughput / ai, nil
+}

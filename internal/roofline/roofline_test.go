@@ -1,0 +1,171 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/calcm/heterosim/internal/paper"
+)
+
+// gtx285 is the paper's GTX285: ~700 GFLOP/s single-precision class peak
+// for tuned kernels, 159 GB/s.
+var gtx285 = Device{Name: "GTX285", PeakCompute: 700, PeakBandwidth: 159}
+
+func TestValidate(t *testing.T) {
+	if err := gtx285.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Device{PeakCompute: 0, PeakBandwidth: 1}).Validate(); err == nil {
+		t.Error("zero compute must fail")
+	}
+	if err := (Device{PeakCompute: 1, PeakBandwidth: -1}).Validate(); err == nil {
+		t.Error("negative bandwidth must fail")
+	}
+}
+
+func TestRidge(t *testing.T) {
+	r, err := gtx285.Ridge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 700.0 / 159
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("ridge = %g, want %g", r, want)
+	}
+}
+
+func TestAttainable(t *testing.T) {
+	// Left of the ridge: bandwidth line.
+	got, err := gtx285.Attainable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 159 {
+		t.Errorf("attainable(1) = %g, want 159", got)
+	}
+	// Right of the ridge: flat compute roof.
+	got, _ = gtx285.Attainable(100)
+	if got != 700 {
+		t.Errorf("attainable(100) = %g, want 700", got)
+	}
+	if _, err := gtx285.Attainable(0); err == nil {
+		t.Error("zero intensity must fail")
+	}
+}
+
+func TestClassifyPaperWorkloads(t *testing.T) {
+	// MMM blocked at N=128: AI = 32 flop/B — comfortably compute-bound.
+	b, err := gtx285.Classify(paper.MMMArithmeticIntensity(paper.MMMBlockN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != ComputeBound {
+		t.Errorf("MMM should be compute-bound, got %v", b)
+	}
+	// FFT-1024: AI = 3.125 — also right of GTX285's ridge (~4.4)? No:
+	// 3.125 < 4.4, so on the raw roofline it is bandwidth-bound at peak;
+	// the paper's kernels are compute-bound only because they run far
+	// below peak compute (Figure 4's point).
+	b, _ = gtx285.Classify(paper.FFTArithmeticIntensity(1024))
+	if b != BandwidthBound {
+		t.Errorf("FFT-1024 at full peak would be bandwidth-bound, got %v", b)
+	}
+	// The measured FFT throughput (~392 pseudo-GFLOP/s) needs only
+	// 392/3.125 = 125 GB/s < 159: achievable, hence compute-bound in
+	// practice.
+	need, err := BandwidthNeeded(paper.FFTArithmeticIntensity(1024), 392)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if need >= 159 {
+		t.Errorf("FFT-1024 at 392 GFLOP/s needs %g GB/s, must fit under 159", need)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	u, err := gtx285.Utilization(32, 350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("utilization = %g, want 0.5", u)
+	}
+	if _, err := gtx285.Utilization(32, 1400); err == nil {
+		t.Error("achieved above the roof must fail")
+	}
+	if _, err := gtx285.Utilization(32, 0); err == nil {
+		t.Error("zero achieved must fail")
+	}
+}
+
+func TestPlace(t *testing.T) {
+	p, err := gtx285.Place("MMM", 32, 425)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bound != ComputeBound || p.Attainable != 700 {
+		t.Errorf("place = %+v", p)
+	}
+	if math.Abs(p.Utilization-425.0/700) > 1e-12 {
+		t.Errorf("utilization = %g", p.Utilization)
+	}
+	if _, err := gtx285.Place("bad", -1, 10); err == nil {
+		t.Error("bad intensity must fail")
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	if ComputeBound.String() != "compute-bound" || BandwidthBound.String() != "bandwidth-bound" {
+		t.Error("Bound.String mismatch")
+	}
+}
+
+func TestBandwidthNeeded(t *testing.T) {
+	// Throughput / intensity.
+	got, err := BandwidthNeeded(0.5, 100)
+	if err != nil || got != 200 {
+		t.Errorf("BandwidthNeeded = %g, %v", got, err)
+	}
+	if _, err := BandwidthNeeded(0, 1); err == nil {
+		t.Error("zero intensity must fail")
+	}
+}
+
+// Property: attainable is non-decreasing in intensity and capped by peak.
+func TestPropAttainableMonotone(t *testing.T) {
+	prop := func(a, b float64) bool {
+		ai := 0.01 + math.Mod(math.Abs(a), 100)
+		d := Device{PeakCompute: 1 + math.Mod(math.Abs(b), 1000), PeakBandwidth: 50}
+		v1, err1 := d.Attainable(ai)
+		v2, err2 := d.Attainable(ai * 2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return v2 >= v1 && v2 <= d.PeakCompute+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the ridge is the exact crossover of Classify.
+func TestPropRidgeIsCrossover(t *testing.T) {
+	prop := func(a, b float64) bool {
+		d := Device{
+			PeakCompute:   1 + math.Mod(math.Abs(a), 1000),
+			PeakBandwidth: 1 + math.Mod(math.Abs(b), 500),
+		}
+		ridge, err := d.Ridge()
+		if err != nil {
+			return false
+		}
+		below, err1 := d.Classify(ridge * 0.99)
+		above, err2 := d.Classify(ridge * 1.01)
+		return err1 == nil && err2 == nil &&
+			below == BandwidthBound && above == ComputeBound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,274 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/project"
+)
+
+func get(t *testing.T, id ID) Scenario {
+	t.Helper()
+	s, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func run(t *testing.T, id ID, w paper.WorkloadID, f float64) []project.Trajectory {
+	t.Helper()
+	ts, err := Run(get(t, id), w, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func find(t *testing.T, ts []project.Trajectory, label string) project.Trajectory {
+	t.Helper()
+	tr, err := project.FindTrajectory(ts, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAllScenariosListed(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("len = %d, want 7 (baseline + six)", len(all))
+	}
+	for i, s := range all {
+		if s.ID != ID(i) {
+			t.Errorf("scenario %d has ID %d", i, int(s.ID))
+		}
+		if s.Name == "" || s.Rationale == "" || s.Expectation == "" {
+			t.Errorf("scenario %d missing documentation", i)
+		}
+	}
+	if _, err := Get(ID(99)); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+}
+
+func TestBaselineApplyIsIdentity(t *testing.T) {
+	cfg := project.DefaultConfig(paper.MMM)
+	got := get(t, Baseline).Apply(cfg)
+	if got.PowerBudgetW != cfg.PowerBudgetW || got.BaseBandwidthGBs != cfg.BaseBandwidthGBs ||
+		got.AreaScale != cfg.AreaScale || got.Alpha != cfg.Alpha {
+		t.Error("baseline scenario must not modify the config")
+	}
+}
+
+func TestApplyTransforms(t *testing.T) {
+	cfg := project.DefaultConfig(paper.FFT1024)
+	if got := get(t, LowBandwidth).Apply(cfg); got.BaseBandwidthGBs != 90 {
+		t.Errorf("S1 bandwidth = %g", got.BaseBandwidthGBs)
+	}
+	if got := get(t, HighBandwidth).Apply(cfg); got.BaseBandwidthGBs != 1000 {
+		t.Errorf("S2 bandwidth = %g", got.BaseBandwidthGBs)
+	}
+	if got := get(t, HalfArea).Apply(cfg); got.AreaScale != 0.5 {
+		t.Errorf("S3 area scale = %g", got.AreaScale)
+	}
+	if got := get(t, DoublePower).Apply(cfg); got.PowerBudgetW != 200 {
+		t.Errorf("S4 power = %g", got.PowerBudgetW)
+	}
+	if got := get(t, MobilePower).Apply(cfg); got.PowerBudgetW != 10 {
+		t.Errorf("S5 power = %g", got.PowerBudgetW)
+	}
+	if got := get(t, SerialPower).Apply(cfg); got.Alpha != 2.25 {
+		t.Errorf("S6 alpha = %g", got.Alpha)
+	}
+}
+
+// Scenario 1: with 90 GB/s, FFT CMPs come within ~2x of the ASIC at 22nm
+// and beyond (any f) because the bandwidth ceiling is so low.
+func TestScenario1FFTCMPsCatchASIC(t *testing.T) {
+	ts := run(t, LowBandwidth, paper.FFT1024, 0.99)
+	asic := find(t, ts, "(6) ASIC")
+	cmp := find(t, ts, "(1) AsymCMP")
+	for i := 2; i < len(asic.Points); i++ { // 22nm onward
+		a, c := asic.Points[i], cmp.Points[i]
+		if !a.Valid || !c.Valid {
+			t.Fatalf("infeasible point at node %d", i)
+		}
+		if ratio := a.Point.Speedup / c.Point.Speedup; ratio > 2.6 {
+			t.Errorf("node %d: ASIC/CMP = %g, want within ~2x", i, ratio)
+		}
+	}
+	// FPGA converges to the ASIC by 32nm under the lower ceiling.
+	fpga := find(t, ts, "(2) LX760")
+	if fpga.Points[1].Point.Speedup < 0.85*asic.Points[1].Point.Speedup {
+		t.Errorf("32nm: FPGA %g should match ASIC %g under 90 GB/s",
+			fpga.Points[1].Point.Speedup, asic.Points[1].Point.Speedup)
+	}
+}
+
+// Scenario 1 for BS: the CMPs cannot reach the ceiling, so the HET gap
+// persists (unlike FFT).
+func TestScenario1BSGapPersists(t *testing.T) {
+	ts := run(t, LowBandwidth, paper.BS, 0.9)
+	asic := find(t, ts, "(6) ASIC")
+	cmp := find(t, ts, "(1) AsymCMP")
+	last := len(asic.Points) - 1
+	ratio := asic.Points[last].Point.Speedup / cmp.Points[last].Point.Speedup
+	if ratio < 1.5 {
+		t.Errorf("BS ASIC/CMP at 11nm = %g, the paper's large gap should persist", ratio)
+	}
+	// The gap is qualitatively different from FFT, where the CMPs catch
+	// the ASIC under the low ceiling.
+	fts := run(t, LowBandwidth, paper.FFT1024, 0.9)
+	fASIC := find(t, fts, "(6) ASIC")
+	fCMP := find(t, fts, "(1) AsymCMP")
+	fftRatio := fASIC.Points[last].Point.Speedup / fCMP.Points[last].Point.Speedup
+	if ratio <= fftRatio {
+		t.Errorf("BS gap (%g) should exceed FFT gap (%g) under 90 GB/s", ratio, fftRatio)
+	}
+}
+
+// Scenario 2 (Figure 9): at 1 TB/s most FFT HETs become power-limited;
+// at f=0.9 HETs gain ~2-3x over CMPs; the ASIC only shows ~2x over other
+// HETs at f >= 0.999.
+func TestScenario2HighBandwidth(t *testing.T) {
+	ts := run(t, HighBandwidth, paper.FFT1024, 0.9)
+	for _, label := range []string{"(2) LX760", "(3) GTX285", "(4) GTX480"} {
+		tr := find(t, ts, label)
+		last := tr.Points[len(tr.Points)-1]
+		if last.Point.Limit != bounds.PowerLimited {
+			t.Errorf("%s at 11nm under 1 TB/s: limit = %v, want power-limited",
+				label, last.Point.Limit)
+		}
+	}
+	hetGain := find(t, ts, "(2) LX760").Points[4].Point.Speedup /
+		find(t, ts, "(1) AsymCMP").Points[4].Point.Speedup
+	if hetGain < 1.5 || hetGain > 5 {
+		t.Errorf("f=0.9 HET/CMP gain = %g, paper reports ~2-3x", hetGain)
+	}
+	// ASIC vs best flexible HET: modest at f=0.9, ~2x at f=0.999.
+	asicOver := func(f float64) float64 {
+		ts := run(t, HighBandwidth, paper.FFT1024, f)
+		asic := find(t, ts, "(6) ASIC").Points[4].Point.Speedup
+		best := 0.0
+		for _, label := range []string{"(2) LX760", "(3) GTX285", "(4) GTX480"} {
+			if s := find(t, ts, label).Points[4].Point.Speedup; s > best {
+				best = s
+			}
+		}
+		return asic / best
+	}
+	if g := asicOver(0.9); g > 1.6 {
+		t.Errorf("f=0.9: ASIC over best HET = %g, should be modest", g)
+	}
+	if g := asicOver(0.999); g < 1.5 {
+		t.Errorf("f=0.999: ASIC over best HET = %g, want ~2x", g)
+	}
+}
+
+// Scenario 3: halving area hurts early nodes but the late nodes match the
+// full-area results because power limits them anyway.
+func TestScenario3HalfArea(t *testing.T) {
+	base, alt, err := Compare(get(t, HalfArea), paper.FFT1024, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := find(t, base, "(2) LX760")
+	a := find(t, alt, "(2) LX760")
+	// 40nm: noticeably worse with half the area.
+	if a.Points[0].Point.Speedup > 0.8*b.Points[0].Point.Speedup {
+		t.Errorf("40nm: half-area %g vs full %g — early nodes should suffer",
+			a.Points[0].Point.Speedup, b.Points[0].Point.Speedup)
+	}
+	// 16nm/11nm: within ~15% of the full budget.
+	for i := 3; i < 5; i++ {
+		ratio := a.Points[i].Point.Speedup / b.Points[i].Point.Speedup
+		if ratio < 0.85 {
+			t.Errorf("node %d: half-area ratio = %g, want ~1 (power-limited anyway)", i, ratio)
+		}
+	}
+}
+
+// Scenario 4: doubling power shrinks the HET advantage for FFT.
+func TestScenario4DoublePowerShrinksGap(t *testing.T) {
+	gap := func(id ID) float64 {
+		ts := run(t, id, paper.FFT1024, 0.99)
+		het := find(t, ts, "(3) GTX285").Points[4].Point.Speedup
+		cmp := find(t, ts, "(1) AsymCMP").Points[4].Point.Speedup
+		return het / cmp
+	}
+	if g200, g100 := gap(DoublePower), gap(Baseline); g200 >= g100 {
+		t.Errorf("200 W gap %g should be below 100 W gap %g", g200, g100)
+	}
+}
+
+// Scenario 5: at 10 W only the ASIC approaches the bandwidth ceiling; the
+// flexible HETs stay power-limited. The 40nm node is infeasible (one BCE
+// exceeds the budget).
+func TestScenario5MobilePower(t *testing.T) {
+	ts := run(t, MobilePower, paper.FFT1024, 0.9)
+	asic := find(t, ts, "(6) ASIC")
+	if asic.Points[0].Valid {
+		t.Error("40nm at 10 W should be infeasible (BCE power > budget)")
+	}
+	last := len(asic.Points) - 1
+	if !asic.Points[last].Valid {
+		t.Fatal("11nm ASIC should be feasible")
+	}
+	if asic.Points[last].Point.Limit != bounds.BandwidthLimited {
+		t.Errorf("ASIC at 11nm/10W: limit = %v, want bandwidth-limited",
+			asic.Points[last].Point.Limit)
+	}
+	for _, label := range []string{"(2) LX760", "(3) GTX285", "(4) GTX480"} {
+		tr := find(t, ts, label)
+		if !tr.Points[last].Valid {
+			t.Fatalf("%s infeasible at 11nm", label)
+		}
+		if tr.Points[last].Point.Limit != bounds.PowerLimited {
+			t.Errorf("%s at 11nm/10W: limit = %v, want power-limited",
+				label, tr.Points[last].Point.Limit)
+		}
+		if tr.Points[last].Point.Speedup >= asic.Points[last].Point.Speedup {
+			t.Errorf("%s should trail the ASIC at 10 W", label)
+		}
+	}
+}
+
+// Scenario 6: harsher serial power law cuts speedups at f <= 0.9.
+func TestScenario6SerialPower(t *testing.T) {
+	base, alt, err := Compare(get(t, SerialPower), paper.FFT1024, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serial power bound binds at the early nodes, where the power
+	// budget in BCE units is smallest (r <= P^(2/alpha)); by 11nm the
+	// budget has grown enough that the bound no longer constrains the
+	// r <= 16 sweep.
+	for _, label := range []string{"(0) SymCMP", "(1) AsymCMP", "(6) ASIC"} {
+		b := find(t, base, label).Points[0]
+		a := find(t, alt, label).Points[0]
+		if !b.Valid || !a.Valid {
+			t.Fatalf("%s infeasible", label)
+		}
+		if a.Point.Speedup > b.Point.Speedup*0.95 {
+			t.Errorf("%s: alpha=2.25 speedup %g should be well below baseline %g at 40nm",
+				label, a.Point.Speedup, b.Point.Speedup)
+		}
+		// The optimal sequential core shrinks under the harsher law.
+		if a.Point.R > b.Point.R {
+			t.Errorf("%s: optimal r grew from %d to %d under alpha=2.25",
+				label, b.Point.R, a.Point.R)
+		}
+	}
+}
+
+func TestCompareReturnsBothSets(t *testing.T) {
+	base, alt, err := Compare(get(t, DoublePower), paper.MMM, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(alt) || len(base) == 0 {
+		t.Errorf("trajectory set sizes: %d vs %d", len(base), len(alt))
+	}
+}

@@ -1,0 +1,221 @@
+// Package sched stress-tests the model's idealized scheduling assumption.
+// The paper assumes parallel work is "uniform, infinitely divisible, and
+// perfectly scheduled": parallel throughput is exactly mu x (n - r). Real
+// parallel sections are finite task lists placed by a scheduler onto
+// discrete workers. This package implements a discrete-event list
+// scheduler over heterogeneous workers and quantifies how close real
+// schedules come to the model's fluid ideal — and where (coarse tasks,
+// heavy-tailed work) the assumption breaks.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Task is one indivisible unit of parallel work, measured in BCE-seconds
+// (the time one BCE core needs to execute it).
+type Task struct {
+	ID   int
+	Work float64
+}
+
+// Worker is one execution lane with a speed relative to a BCE (a U-core
+// lane has speed mu; a BCE core speed 1).
+type Worker struct {
+	ID    int
+	Speed float64
+}
+
+// Uniform returns n workers of the given speed.
+func Uniform(n int, speed float64) ([]Worker, error) {
+	if n <= 0 {
+		return nil, errors.New("sched: need at least one worker")
+	}
+	if speed <= 0 || math.IsNaN(speed) {
+		return nil, errors.New("sched: speed must be positive")
+	}
+	ws := make([]Worker, n)
+	for i := range ws {
+		ws[i] = Worker{ID: i, Speed: speed}
+	}
+	return ws, nil
+}
+
+// TotalWork sums the task works.
+func TotalWork(tasks []Task) float64 {
+	var s float64
+	for _, t := range tasks {
+		s += t.Work
+	}
+	return s
+}
+
+// IdealMakespan is the fluid lower bound the paper's model assumes:
+// total work divided by total speed, floored by the time the fastest
+// worker needs for the largest single task.
+func IdealMakespan(tasks []Task, workers []Worker) (float64, error) {
+	if len(tasks) == 0 {
+		return 0, errors.New("sched: no tasks")
+	}
+	if len(workers) == 0 {
+		return 0, errors.New("sched: no workers")
+	}
+	var speed float64
+	maxSpeed := 0.0
+	for _, w := range workers {
+		if w.Speed <= 0 || math.IsNaN(w.Speed) {
+			return 0, fmt.Errorf("sched: worker %d has invalid speed", w.ID)
+		}
+		speed += w.Speed
+		if w.Speed > maxSpeed {
+			maxSpeed = w.Speed
+		}
+	}
+	var maxTask float64
+	for _, t := range tasks {
+		if t.Work <= 0 || math.IsNaN(t.Work) {
+			return 0, fmt.Errorf("sched: task %d has invalid work", t.ID)
+		}
+		if t.Work > maxTask {
+			maxTask = t.Work
+		}
+	}
+	fluid := TotalWork(tasks) / speed
+	floor := maxTask / maxSpeed
+	return math.Max(fluid, floor), nil
+}
+
+// workerState tracks when a worker becomes free.
+type workerState struct {
+	free  float64
+	speed float64
+	id    int
+}
+
+// Schedule is the result of a simulated placement.
+type Schedule struct {
+	Makespan   float64
+	Ideal      float64
+	Efficiency float64 // Ideal / Makespan, in (0, 1]
+	PerWorker  []float64
+}
+
+// LPT runs the longest-processing-time list scheduler: tasks sorted by
+// decreasing work, each assigned to the worker that will finish it
+// earliest. This is the classic 4/3-approximation on identical machines
+// and a strong heuristic on uniform (speed-scaled) machines.
+func LPT(tasks []Task, workers []Worker) (Schedule, error) {
+	ideal, err := IdealMakespan(tasks, workers)
+	if err != nil {
+		return Schedule{}, err
+	}
+	sorted := make([]Task, len(tasks))
+	copy(sorted, tasks)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Work > sorted[j].Work })
+	return listSchedule(sorted, workers, ideal)
+}
+
+// FCFS runs the first-come-first-served list scheduler (arrival order) —
+// the weaker baseline that shows why task order matters.
+func FCFS(tasks []Task, workers []Worker) (Schedule, error) {
+	ideal, err := IdealMakespan(tasks, workers)
+	if err != nil {
+		return Schedule{}, err
+	}
+	return listSchedule(tasks, workers, ideal)
+}
+
+// listSchedule greedily places each task on the worker that finishes it
+// earliest (earliest-finish-time rule on uniform machines). The linear
+// scan per task is O(tasks x workers) — ample for analysis-scale inputs
+// and exact for heterogeneous speeds, where a free-time heap alone picks
+// the wrong worker.
+func listSchedule(tasks []Task, workers []Worker, ideal float64) (Schedule, error) {
+	states := make([]workerState, len(workers))
+	for i, w := range workers {
+		states[i] = workerState{free: 0, speed: w.Speed, id: w.ID}
+	}
+	busy := make([]float64, len(workers))
+	for _, t := range tasks {
+		best := 0
+		bestFinish := math.Inf(1)
+		for i := range states {
+			finish := states[i].free + t.Work/states[i].speed
+			if finish < bestFinish {
+				bestFinish = finish
+				best = i
+			}
+		}
+		states[best].free = bestFinish
+		busy[states[best].id] += t.Work / states[best].speed
+	}
+	makespan := 0.0
+	for _, ws := range states {
+		if ws.free > makespan {
+			makespan = ws.free
+		}
+	}
+	eff := ideal / makespan
+	if eff > 1 {
+		eff = 1
+	}
+	return Schedule{Makespan: makespan, Ideal: ideal, Efficiency: eff, PerWorker: busy}, nil
+}
+
+// UniformTasks generates count tasks of identical work.
+func UniformTasks(count int, work float64) ([]Task, error) {
+	if count <= 0 || work <= 0 {
+		return nil, errors.New("sched: count and work must be positive")
+	}
+	ts := make([]Task, count)
+	for i := range ts {
+		ts[i] = Task{ID: i, Work: work}
+	}
+	return ts, nil
+}
+
+// HeavyTailedTasks generates count tasks with exponentially distributed
+// work around mean (a crude stand-in for skewed kernels), deterministic
+// per seed.
+func HeavyTailedTasks(count int, mean float64, seed int64) ([]Task, error) {
+	if count <= 0 || mean <= 0 {
+		return nil, errors.New("sched: count and mean must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]Task, count)
+	for i := range ts {
+		w := rng.ExpFloat64() * mean
+		if w < mean/100 {
+			w = mean / 100
+		}
+		ts[i] = Task{ID: i, Work: w}
+	}
+	return ts, nil
+}
+
+// ModelError quantifies the idealized-scheduling assumption for one
+// parallel section: the fraction of the paper's predicted parallel
+// throughput that an LPT schedule of the given tasks on (n - r) U-core
+// lanes of speed mu fails to deliver. Unlike Schedule.Ideal, the
+// reference here is the *pure fluid* makespan total/(lanes x mu) — the
+// paper's model has no max-task floor, so a single indivisible long task
+// counts as model error, not as an adjusted ideal.
+func ModelError(tasks []Task, lanes int, mu float64) (float64, error) {
+	workers, err := Uniform(lanes, mu)
+	if err != nil {
+		return 0, err
+	}
+	s, err := LPT(tasks, workers)
+	if err != nil {
+		return 0, err
+	}
+	fluid := TotalWork(tasks) / (float64(lanes) * mu)
+	if fluid <= 0 {
+		return 0, errors.New("sched: no work")
+	}
+	return 1 - fluid/s.Makespan, nil
+}

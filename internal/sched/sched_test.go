@@ -1,0 +1,267 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformWorkers(t *testing.T) {
+	ws, err := Uniform(4, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 || ws[3].Speed != 2.5 || ws[3].ID != 3 {
+		t.Errorf("workers = %+v", ws)
+	}
+	if _, err := Uniform(0, 1); err == nil {
+		t.Error("zero workers must fail")
+	}
+	if _, err := Uniform(2, 0); err == nil {
+		t.Error("zero speed must fail")
+	}
+}
+
+func TestIdealMakespan(t *testing.T) {
+	tasks, _ := UniformTasks(8, 1)
+	ws, _ := Uniform(4, 1)
+	ideal, err := IdealMakespan(tasks, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal != 2 {
+		t.Errorf("ideal = %g, want 2", ideal)
+	}
+	// A single huge task floors the ideal at work/maxSpeed.
+	tasks = append(tasks, Task{ID: 99, Work: 100})
+	ideal, _ = IdealMakespan(tasks, ws)
+	if ideal != 100 {
+		t.Errorf("ideal with giant task = %g, want 100", ideal)
+	}
+	if _, err := IdealMakespan(nil, ws); err == nil {
+		t.Error("no tasks must fail")
+	}
+	if _, err := IdealMakespan(tasks, nil); err == nil {
+		t.Error("no workers must fail")
+	}
+	bad := []Task{{ID: 0, Work: -1}}
+	if _, err := IdealMakespan(bad, ws); err == nil {
+		t.Error("negative work must fail")
+	}
+}
+
+func TestPerfectlyDivisibleWorkReachesIdeal(t *testing.T) {
+	// Many identical fine-grained tasks on identical workers: LPT hits
+	// the fluid ideal exactly — the regime where the paper's assumption
+	// is exact.
+	tasks, _ := UniformTasks(64, 1)
+	ws, _ := Uniform(8, 1)
+	s, err := LPT(tasks, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Efficiency-1) > 1e-12 {
+		t.Errorf("efficiency = %g, want 1", s.Efficiency)
+	}
+	if s.Makespan != 8 {
+		t.Errorf("makespan = %g, want 8", s.Makespan)
+	}
+}
+
+func TestCoarseTasksBreakTheAssumption(t *testing.T) {
+	// 5 unit tasks on 4 workers: ideal 1.25, real 2 (one worker does
+	// two) — a 37.5% loss the fluid model cannot see.
+	tasks, _ := UniformTasks(5, 1)
+	ws, _ := Uniform(4, 1)
+	s, err := LPT(tasks, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 2 {
+		t.Errorf("makespan = %g, want 2", s.Makespan)
+	}
+	if math.Abs(s.Efficiency-0.625) > 1e-12 {
+		t.Errorf("efficiency = %g, want 0.625", s.Efficiency)
+	}
+}
+
+func TestLPTBeatsFCFSOnAdversarialOrder(t *testing.T) {
+	// Small tasks first, then a giant one: FCFS parks the giant task on
+	// a busy worker's tail; LPT schedules it first.
+	tasks := []Task{
+		{0, 1}, {1, 1}, {2, 1}, {3, 1}, {4, 4},
+	}
+	ws, _ := Uniform(2, 1)
+	lpt, err := LPT(tasks, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs, err := FCFS(tasks, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpt.Makespan > fcfs.Makespan {
+		t.Errorf("LPT %g should not lose to FCFS %g", lpt.Makespan, fcfs.Makespan)
+	}
+	if lpt.Makespan != 4 {
+		t.Errorf("LPT makespan = %g, want 4 (giant on its own worker)", lpt.Makespan)
+	}
+}
+
+func TestHeterogeneousWorkersPreferFastLane(t *testing.T) {
+	// One task, two workers (speed 1 and 10): it must land on the fast one.
+	tasks := []Task{{0, 10}}
+	ws := []Worker{{ID: 0, Speed: 1}, {ID: 1, Speed: 10}}
+	s, err := LPT(tasks, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 1 {
+		t.Errorf("makespan = %g, want 1 (fast lane)", s.Makespan)
+	}
+	if s.PerWorker[0] != 0 || s.PerWorker[1] != 1 {
+		t.Errorf("per-worker = %v", s.PerWorker)
+	}
+}
+
+func TestTaskGenerators(t *testing.T) {
+	if _, err := UniformTasks(0, 1); err == nil {
+		t.Error("zero count must fail")
+	}
+	if _, err := HeavyTailedTasks(5, 0, 1); err == nil {
+		t.Error("zero mean must fail")
+	}
+	a, err := HeavyTailedTasks(100, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := HeavyTailedTasks(100, 2, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("heavy-tailed generation not deterministic")
+		}
+	}
+	// Mean roughly right.
+	if tw := TotalWork(a) / 100; tw < 1 || tw > 3.5 {
+		t.Errorf("empirical mean = %g, want ~2", tw)
+	}
+}
+
+// The quantified verdict on the paper's assumption: with fine-grained
+// work the model error is negligible; with coarse heavy-tailed work it
+// is material.
+func TestModelErrorRegimes(t *testing.T) {
+	fine, err := UniformTasks(10000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errFine, err := ModelError(fine, 17, 2.88) // GTX285 FFT lanes at 40nm
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errFine > 0.01 {
+		t.Errorf("fine-grained model error = %g, want < 1%%", errFine)
+	}
+	coarse, err := HeavyTailedTasks(25, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCoarse, err := ModelError(coarse, 17, 2.88)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errCoarse <= errFine {
+		t.Errorf("coarse error %g should exceed fine error %g", errCoarse, errFine)
+	}
+	if _, err := ModelError(fine, 0, 1); err == nil {
+		t.Error("zero lanes must fail")
+	}
+}
+
+// Property: Graham's list-scheduling guarantee on identical machines —
+// any list schedule satisfies makespan <= total/m + (1 - 1/m)·maxTask,
+// which is <= ideal + maxTask. Both LPT and FCFS must respect it, and
+// the makespan can never undercut the fluid ideal.
+func TestPropGrahamListBound(t *testing.T) {
+	prop := func(seed int64) bool {
+		tasks, err := HeavyTailedTasks(40, 1, seed)
+		if err != nil {
+			return false
+		}
+		m := 6
+		ws, err := Uniform(m, 1)
+		if err != nil {
+			return false
+		}
+		maxTask := 0.0
+		for _, task := range tasks {
+			if task.Work > maxTask {
+				maxTask = task.Work
+			}
+		}
+		bound := TotalWork(tasks)/float64(m) + (1-1/float64(m))*maxTask
+		for _, run := range []func([]Task, []Worker) (Schedule, error){LPT, FCFS} {
+			s, err := run(tasks, ws)
+			if err != nil {
+				return false
+			}
+			if s.Makespan < s.Ideal-1e-9 {
+				return false
+			}
+			if s.Makespan > bound+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: efficiency is in (0, 1] and improves (weakly) as tasks are
+// split finer.
+func TestPropFinerTasksImproveEfficiency(t *testing.T) {
+	prop := func(seed int64) bool {
+		coarse, err := UniformTasks(9, 1)
+		if err != nil {
+			return false
+		}
+		fine, err := UniformTasks(9*8, 1.0/8)
+		if err != nil {
+			return false
+		}
+		ws, err := Uniform(4, 1)
+		if err != nil {
+			return false
+		}
+		sc, err1 := LPT(coarse, ws)
+		sf, err2 := LPT(fine, ws)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sc.Efficiency > 0 && sc.Efficiency <= 1 &&
+			sf.Efficiency >= sc.Efficiency-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLPT1000x16(b *testing.B) {
+	tasks, err := HeavyTailedTasks(1000, 1, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws, err := Uniform(16, 2.88)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LPT(tasks, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

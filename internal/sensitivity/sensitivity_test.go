@@ -1,0 +1,161 @@
+package sensitivity
+
+import (
+	"math"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/core"
+)
+
+var (
+	ev        = core.NewEvaluator()
+	fftBudget = bounds.Budgets{Area: 19, Power: 8.6, Bandwidth: 57.9}
+	asic      = core.Design{Kind: core.Het, Label: "ASIC", UCore: bounds.UCore{Mu: 489, Phi: 4.96}}
+	fpga      = core.Design{Kind: core.Het, Label: "FPGA", UCore: bounds.UCore{Mu: 2.02, Phi: 0.29}}
+	cmp       = core.Design{Kind: core.AsymCMP, Label: "CMP"}
+)
+
+func TestInputString(t *testing.T) {
+	names := map[Input]string{Mu: "mu", Phi: "phi", Area: "area", Power: "power", Bandwidth: "bandwidth"}
+	for in, want := range names {
+		if in.String() != want {
+			t.Errorf("%d.String() = %q", int(in), in.String())
+		}
+	}
+	if Input(9).String() == "" {
+		t.Error("unknown input should print")
+	}
+}
+
+// The ASIC on FFT is bandwidth-limited: its speedup should be elastic in
+// bandwidth (~1) and inelastic in mu, area, and power (~0) — the
+// elasticities must agree with the limiting-factor attribution.
+func TestElasticitiesMatchLimitingFactor(t *testing.T) {
+	prof, err := Profile(ev, asic, 0.999, fftBudget, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[Bandwidth] < 0.7 {
+		t.Errorf("bandwidth elasticity = %g, want ~1 for a bandwidth-limited design", prof[Bandwidth])
+	}
+	for _, in := range []Input{Mu, Area, Power} {
+		if math.Abs(prof[in]) > 0.15 {
+			t.Errorf("%v elasticity = %g, want ~0 (not binding)", in, prof[in])
+		}
+	}
+	// The CMP at the same point is power-limited.
+	profCMP, err := Profile(ev, cmp, 0.999, fftBudget, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profCMP[Power] < 0.5 {
+		t.Errorf("CMP power elasticity = %g, want large", profCMP[Power])
+	}
+	if math.Abs(profCMP[Bandwidth]) > 0.15 {
+		t.Errorf("CMP bandwidth elasticity = %g, want ~0", profCMP[Bandwidth])
+	}
+	// CMP profiles skip mu/phi.
+	if _, ok := profCMP[Mu]; ok {
+		t.Error("CMP profile should not contain mu")
+	}
+}
+
+// The area-limited FPGA at 40nm responds to area, not power.
+func TestAreaLimitedFPGA(t *testing.T) {
+	prof, err := Profile(ev, fpga, 0.999, fftBudget, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[Area] < 0.5 {
+		t.Errorf("area elasticity = %g, want large for area-limited FPGA", prof[Area])
+	}
+	if prof[Phi] < -0.2 {
+		// Phi isn't binding (power bound slack), so lowering it buys ~0.
+		t.Errorf("phi elasticity = %g, want ~0", prof[Phi])
+	}
+}
+
+func TestElasticityValidation(t *testing.T) {
+	if _, err := Elasticity(ev, asic, 0.9, fftBudget, Mu, 0); err == nil {
+		t.Error("h=0 must fail")
+	}
+	if _, err := Elasticity(ev, asic, 0.9, fftBudget, Mu, 0.7); err == nil {
+		t.Error("h too large must fail")
+	}
+	if _, err := Elasticity(ev, cmp, 0.9, fftBudget, Mu, 0.01); err == nil {
+		t.Error("mu on a CMP must fail")
+	}
+}
+
+func TestMonteCarloIntervals(t *testing.T) {
+	iv, err := MonteCarlo(ev, asic, 0.999, fftBudget, 0.2, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Samples < 250 {
+		t.Fatalf("too few feasible samples: %d", iv.Samples)
+	}
+	if !(iv.P05 <= iv.Median && iv.Median <= iv.P95) {
+		t.Errorf("quantiles disordered: %+v", iv)
+	}
+	// The nominal point sits inside the 90% interval.
+	if iv.Nominal < iv.P05 || iv.Nominal > iv.P95 {
+		t.Errorf("nominal %g outside [%g, %g]", iv.Nominal, iv.P05, iv.P95)
+	}
+	// A 20% input uncertainty cannot produce a degenerate interval.
+	if iv.P95/iv.P05 < 1.05 {
+		t.Errorf("interval suspiciously tight: %+v", iv)
+	}
+}
+
+func TestMonteCarloDeterministicPerSeed(t *testing.T) {
+	a, err := MonteCarlo(ev, fpga, 0.99, fftBudget, 0.1, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(ev, fpga, 0.99, fftBudget, 0.1, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed must reproduce the interval")
+	}
+	c, err := MonteCarlo(ev, fpga, 0.99, fftBudget, 0.1, 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	if _, err := MonteCarlo(ev, asic, 0.9, fftBudget, 0, 100, 1); err == nil {
+		t.Error("sigma=0 must fail")
+	}
+	if _, err := MonteCarlo(ev, asic, 0.9, fftBudget, 0.1, 5, 1); err == nil {
+		t.Error("too few samples must fail")
+	}
+	// Infeasible nominal point.
+	poor := bounds.Budgets{Area: 19, Power: 0.5, Bandwidth: 57.9}
+	if _, err := MonteCarlo(ev, asic, 0.9, poor, 0.1, 100, 1); err == nil {
+		t.Error("infeasible nominal must fail")
+	}
+}
+
+// Bigger uncertainty widens the interval.
+func TestMonteCarloWidensWithSigma(t *testing.T) {
+	narrow, err := MonteCarlo(ev, asic, 0.99, fftBudget, 0.05, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := MonteCarlo(ev, asic, 0.99, fftBudget, 0.3, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.P95/wide.P05 <= narrow.P95/narrow.P05 {
+		t.Errorf("sigma=0.3 interval (%g) should be wider than sigma=0.05 (%g)",
+			wide.P95/wide.P05, narrow.P95/narrow.P05)
+	}
+}

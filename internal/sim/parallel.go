@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/calcm/heterosim/internal/device"
+	"github.com/calcm/heterosim/internal/paper"
+)
+
+// SweepAllFFT runs the FFT sweep for every FFT-capable device
+// concurrently, one goroutine per device. Results are keyed by device and
+// identical to sequential SweepFFT calls; the first error aborts the
+// whole sweep. The concurrency matters for the execute=true path, where
+// every size runs and verifies the real kernel.
+func (s *Simulator) SweepAllFFT(lo2, hi2 int, execute bool) (map[paper.DeviceID][]Record, error) {
+	var devices []paper.DeviceID
+	for _, d := range device.Catalog() {
+		if s.HasModel(d.ID, device.FFTFamily) {
+			devices = append(devices, d.ID)
+		}
+	}
+	sort.Slice(devices, func(i, j int) bool { return devices[i] < devices[j] })
+
+	type result struct {
+		id   paper.DeviceID
+		recs []Record
+		err  error
+	}
+	results := make(chan result, len(devices))
+	var wg sync.WaitGroup
+	for _, id := range devices {
+		wg.Add(1)
+		go func(id paper.DeviceID) {
+			defer wg.Done()
+			recs, err := s.SweepFFT(id, lo2, hi2, execute)
+			results <- result{id: id, recs: recs, err: err}
+		}(id)
+	}
+	wg.Wait()
+	close(results)
+
+	out := make(map[paper.DeviceID][]Record, len(devices))
+	for r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", r.id, r.err)
+		}
+		out[r.id] = r.recs
+	}
+	return out, nil
+}

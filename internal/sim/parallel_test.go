@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/calcm/heterosim/internal/paper"
+)
+
+func TestSweepAllFFTMatchesSequential(t *testing.T) {
+	s := newSim(t)
+	all, err := s.SweepAllFFT(4, 14, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("swept %d devices, want 5", len(all))
+	}
+	for _, id := range []paper.DeviceID{paper.CoreI7, paper.GTX285, paper.GTX480, paper.LX760, paper.ASIC} {
+		seq, err := s.SweepFFT(id, 4, 14, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := all[id]
+		if len(par) != len(seq) {
+			t.Fatalf("%s: %d vs %d records", id, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Errorf("%s record %d differs between parallel and sequential", id, i)
+			}
+		}
+	}
+	// R5870 has no FFT model and must be absent.
+	if _, ok := all[paper.R5870]; ok {
+		t.Error("R5870 should not appear")
+	}
+}
+
+func TestSweepAllFFTWithExecution(t *testing.T) {
+	s := newSim(t)
+	all, err := s.SweepAllFFT(4, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, recs := range all {
+		for _, r := range recs {
+			if !r.Executed {
+				t.Errorf("%s size %d not executed", id, r.Size)
+			}
+		}
+	}
+}
+
+func TestSweepAllFFTPropagatesErrors(t *testing.T) {
+	s := newSim(t)
+	if _, err := s.SweepAllFFT(10, 4, false); err == nil {
+		t.Error("reversed range must fail")
+	}
+}
+
+func BenchmarkSweepAllFFTConcurrent(b *testing.B) {
+	s, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SweepAllFFT(4, 20, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

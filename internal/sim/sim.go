@@ -1,0 +1,340 @@
+// Package sim is the device execution simulator: it runs the repository's
+// real kernel implementations (FFT, MMM, Black-Scholes), verifies their
+// outputs against independent references, accounts their nominal work, and
+// maps that work through the analytic device models to produce simulated
+// wall time, power, and off-chip bandwidth — the raw material the
+// measurement rig (package measure) turns into the paper's Section 5 data.
+//
+// Simulated time for a run is nominal work divided by the device model's
+// throughput at that operating point; simulated off-chip traffic is the
+// compulsory traffic, inflated by the device's out-of-core excess factor
+// once the working set exceeds on-chip capacity (Figure 4 bottom).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/calcm/heterosim/internal/device"
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/workload"
+	"github.com/calcm/heterosim/internal/workload/blackscholes"
+	"github.com/calcm/heterosim/internal/workload/fft"
+	"github.com/calcm/heterosim/internal/workload/mmm"
+)
+
+// Record is one simulated kernel execution on one device.
+type Record struct {
+	Device   paper.DeviceID
+	Workload paper.WorkloadID
+	Size     int // FFT length, MMM dimension, or option count
+
+	Counts     workload.Counts
+	Seconds    float64 // simulated steady-state time for Counts
+	Throughput float64 // work units per second (GFLOP/s-family or Mopt/s)
+
+	Power device.PowerBreakdown // simulated wall decomposition
+
+	CompulsoryGBs float64 // compulsory off-chip bandwidth during the run
+	MeasuredGBs   float64 // simulated observed bandwidth (>= compulsory)
+
+	Executed bool // the real Go kernel ran and was verified
+}
+
+// EnergyJ returns compute energy (compute power x time).
+func (r Record) EnergyJ() float64 { return r.Power.Compute() * r.Seconds }
+
+// Simulator owns the calibrated device models.
+type Simulator struct {
+	models map[paper.DeviceID]map[paper.WorkloadID]device.Model
+}
+
+// New builds a simulator over the full calibrated model set.
+func New() (*Simulator, error) {
+	models, err := device.BuildModels()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{models: models}, nil
+}
+
+// Model returns the model for a device/workload pair.
+func (s *Simulator) Model(d paper.DeviceID, w paper.WorkloadID) (device.Model, error) {
+	m, ok := s.models[d][w]
+	if !ok {
+		return device.Model{}, fmt.Errorf("sim: no model for %s/%s (the paper could not measure it)", d, w)
+	}
+	return m, nil
+}
+
+// HasModel reports whether the pair was measurable in the paper.
+func (s *Simulator) HasModel(d paper.DeviceID, w paper.WorkloadID) bool {
+	_, ok := s.models[d][w]
+	return ok
+}
+
+// RunFFT simulates a size-n FFT on the device. When execute is true the
+// real Go kernel runs on a deterministic random signal and its output is
+// verified against the recursive implementation before the record is
+// produced; an unverified kernel aborts the measurement.
+func (s *Simulator) RunFFT(d paper.DeviceID, n int, execute bool) (Record, error) {
+	m, err := s.Model(d, device.FFTFamily)
+	if err != nil {
+		return Record{}, err
+	}
+	counts, err := workload.FFTCounts(n)
+	if err != nil {
+		return Record{}, err
+	}
+	executed := false
+	if execute {
+		if err := executeFFT(n); err != nil {
+			return Record{}, err
+		}
+		executed = true
+	}
+	return s.finish(m, workloadIDForFFT(n), n, counts, executed)
+}
+
+// RunMMM simulates an n x n x n matrix multiplication. When execute is
+// true, the blocked kernel runs on random matrices and is verified against
+// the naive product (bounded to modest sizes to keep test times sane).
+func (s *Simulator) RunMMM(d paper.DeviceID, n, block int, execute bool) (Record, error) {
+	m, err := s.Model(d, paper.MMM)
+	if err != nil {
+		return Record{}, err
+	}
+	counts, err := workload.MMMCounts(n, float64(block))
+	if err != nil {
+		return Record{}, err
+	}
+	executed := false
+	if execute {
+		if err := executeMMM(n, block); err != nil {
+			return Record{}, err
+		}
+		executed = true
+	}
+	return s.finish(m, paper.MMM, n, counts, executed)
+}
+
+// RunBS simulates pricing count options. When execute is true a random
+// portfolio is priced in parallel and spot-checked against serial pricing
+// and put-call parity.
+func (s *Simulator) RunBS(d paper.DeviceID, count int, execute bool) (Record, error) {
+	m, err := s.Model(d, paper.BS)
+	if err != nil {
+		return Record{}, err
+	}
+	counts, err := workload.BSCounts(count)
+	if err != nil {
+		return Record{}, err
+	}
+	executed := false
+	if execute {
+		if err := executeBS(count); err != nil {
+			return Record{}, err
+		}
+		executed = true
+	}
+	return s.finish(m, paper.BS, count, counts, executed)
+}
+
+// finish maps verified work through the device model into a Record.
+func (s *Simulator) finish(m device.Model, w paper.WorkloadID, size int, counts workload.Counts, executed bool) (Record, error) {
+	thr := m.ThroughputAt(size)
+	if thr <= 0 {
+		return Record{}, fmt.Errorf("sim: model %s/%s has no throughput at size %d", m.Device.ID, w, size)
+	}
+	// Work units: GFLOP for FLOP-counted kernels, Mopt for Black-Scholes.
+	var unitsOfWork float64
+	var bytesPerUnit float64
+	if w == paper.BS {
+		unitsOfWork = counts.Items / 1e6 // Mopt
+		bytesPerUnit = counts.Bytes / counts.Items * 1e6
+	} else {
+		unitsOfWork = counts.FLOPs / 1e9 // GFLOP
+		bytesPerUnit = counts.Bytes / counts.FLOPs * 1e9
+	}
+	seconds := unitsOfWork / thr
+	// Bandwidth in GB/s: units/s x bytes-per-unit / 1e9.
+	compulsory := thr * bytesPerUnit / 1e9
+	measured := compulsory
+	if knee := m.Device.OnChipKneeLog2N(); knee > 0 && sizeLog2(size) > float64(knee) {
+		measured *= m.ExcessTrafficFactor
+	}
+	if m.Device.PeakBandwidthGBs > 0 && measured > 0.92*m.Device.PeakBandwidthGBs {
+		measured = 0.92 * m.Device.PeakBandwidthGBs
+	}
+	return Record{
+		Device:        m.Device.ID,
+		Workload:      w,
+		Size:          size,
+		Counts:        counts,
+		Seconds:       seconds,
+		Throughput:    thr,
+		Power:         m.BreakdownAt(size),
+		CompulsoryGBs: compulsory,
+		MeasuredGBs:   measured,
+		Executed:      executed,
+	}, nil
+}
+
+// SweepFFT simulates FFTs for log2 sizes [lo2, hi2] on one device,
+// executing (and verifying) the real kernel at every size when execute is
+// set. Sizes the device has no model for return an error.
+func (s *Simulator) SweepFFT(d paper.DeviceID, lo2, hi2 int, execute bool) ([]Record, error) {
+	if lo2 < 1 || hi2 < lo2 {
+		return nil, fmt.Errorf("sim: bad sweep range [%d, %d]", lo2, hi2)
+	}
+	out := make([]Record, 0, hi2-lo2+1)
+	for l2 := lo2; l2 <= hi2; l2++ {
+		rec, err := s.RunFFT(d, 1<<uint(l2), execute)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// CompulsoryOnly returns what the record's bandwidth would be if the
+// device achieved exactly compulsory traffic — Figure 4's reference line.
+func CompulsoryOnly(r Record) float64 { return r.CompulsoryGBs }
+
+// --- kernel execution & verification ---------------------------------------
+
+const maxExecFFT = 1 << 16 // cap real execution size to keep sweeps fast
+
+func executeFFT(n int) error {
+	if n > maxExecFFT {
+		// Verify a congruent smaller transform instead; the device model,
+		// not the Go runtime, determines simulated performance.
+		n = maxExecFFT
+	}
+	rng := rand.New(rand.NewSource(int64(n)))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want, err := fft.ForwardRecursive(x)
+	if err != nil {
+		return err
+	}
+	// Execute through the planned path (the production transform shape)
+	// and cross-check against the recursive reference.
+	plan, err := fft.NewPlan(n)
+	if err != nil {
+		return err
+	}
+	got := make([]complex128, n)
+	copy(got, x)
+	if err := plan.Execute(got); err != nil {
+		return err
+	}
+	diff, err := fft.MaxAbsDiff(got, want)
+	if err != nil {
+		return err
+	}
+	if diff > 1e-8*float64(n) {
+		return fmt.Errorf("sim: FFT verification failed at n=%d (diff %g)", n, diff)
+	}
+	return nil
+}
+
+func executeMMM(n, block int) error {
+	const maxExecMMM = 192
+	if n > maxExecMMM {
+		n = maxExecMMM
+	}
+	if block > n {
+		block = n
+	}
+	rng := rand.New(rand.NewSource(int64(n)))
+	a, err := mmm.New(n, n)
+	if err != nil {
+		return err
+	}
+	b, err := mmm.New(n, n)
+	if err != nil {
+		return err
+	}
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+		b.Data[i] = rng.NormFloat64()
+	}
+	want, err := mmm.Naive(a, b)
+	if err != nil {
+		return err
+	}
+	got, err := mmm.Parallel(a, b, block, 0)
+	if err != nil {
+		return err
+	}
+	if !got.Equalish(want, 1e-8*float64(n)) {
+		return errors.New("sim: MMM verification failed")
+	}
+	return nil
+}
+
+func executeBS(count int) error {
+	const maxExecBS = 1 << 15
+	if count > maxExecBS {
+		count = maxExecBS
+	}
+	opts, err := blackscholes.RandomPortfolio(count, int64(count))
+	if err != nil {
+		return err
+	}
+	par, err := blackscholes.PriceBatchParallel(opts, 0)
+	if err != nil {
+		return err
+	}
+	ser, err := blackscholes.PriceBatch(opts, nil)
+	if err != nil {
+		return err
+	}
+	for i := range ser {
+		if ser[i] != par[i] {
+			return fmt.Errorf("sim: BS verification failed at option %d", i)
+		}
+	}
+	// Parity spot-check on the first option.
+	o := opts[0]
+	co, po := o, o
+	co.Kind, po.Kind = blackscholes.Call, blackscholes.Put
+	c, err := blackscholes.Price(co)
+	if err != nil {
+		return err
+	}
+	p, err := blackscholes.Price(po)
+	if err != nil {
+		return err
+	}
+	if resid := blackscholes.Parity(c, p, o); math.Abs(resid) > 1e-8*o.Spot {
+		return fmt.Errorf("sim: put-call parity violated: %g", resid)
+	}
+	return nil
+}
+
+func workloadIDForFFT(n int) paper.WorkloadID {
+	switch n {
+	case 64:
+		return paper.FFT64
+	case 1024:
+		return paper.FFT1024
+	case 16384:
+		return paper.FFT16384
+	default:
+		return paper.WorkloadID(fmt.Sprintf("FFT-%d", n))
+	}
+}
+
+func sizeLog2(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return math.Log2(float64(n))
+}

@@ -1,0 +1,255 @@
+// Package stats provides small numeric helpers shared by the heterosim
+// model, simulator, and reporting layers: series construction, reductions,
+// and tolerant floating-point comparison.
+//
+// The helpers are deliberately dependency-free (standard library only) and
+// operate on plain float64 slices so they compose with every other package
+// in the module.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reductions that are undefined on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n must be >= 2; Linspace panics otherwise because a malformed grid is a
+// programming error, not a runtime condition.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("stats: Linspace requires n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // avoid accumulated rounding at the endpoint
+	return out
+}
+
+// Logspace returns n values evenly spaced in log10 between 10^lo and 10^hi.
+func Logspace(lo, hi float64, n int) []float64 {
+	lin := Linspace(lo, hi, n)
+	for i, v := range lin {
+		lin[i] = math.Pow(10, v)
+	}
+	return lin
+}
+
+// PowersOfTwo returns [2^lo, 2^(lo+1), ..., 2^hi].
+func PowersOfTwo(lo, hi int) []int {
+	if hi < lo {
+		panic("stats: PowersOfTwo requires hi >= lo")
+	}
+	out := make([]int, 0, hi-lo+1)
+	for e := lo; e <= hi; e++ {
+		out = append(out, 1<<uint(e))
+	}
+	return out
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// Geomean returns the geometric mean of xs. All values must be positive.
+func Geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: Geomean requires positive values")
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// ArgMax returns the index of the largest element (first on ties).
+func ArgMax(xs []float64) (int, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// Median returns the median of xs without modifying the input.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2], nil
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) of xs using the
+// nearest-rank method on a sorted copy. The input is not modified.
+func Quantile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, errors.New("stats: quantile p must be in [0, 1]")
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(p * float64(len(cp)-1))
+	return cp[idx], nil
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// Close reports whether a and b agree to within rel relative tolerance
+// (falling back to an absolute tolerance of rel near zero).
+func Close(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return diff <= rel
+	}
+	return diff <= rel*scale
+}
+
+// WithinFactor reports whether a and b are within a multiplicative factor k
+// of one another. Both must be positive; k must be >= 1.
+func WithinFactor(a, b, k float64) bool {
+	if a <= 0 || b <= 0 || k < 1 {
+		return false
+	}
+	r := a / b
+	if r < 1 {
+		r = 1 / r
+	}
+	return r <= k
+}
+
+// Scale returns a copy of xs with every element multiplied by k.
+func Scale(xs []float64, k float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * k
+	}
+	return out
+}
+
+// Normalize returns xs scaled so that the element at index ref equals 1.
+func Normalize(xs []float64, ref int) ([]float64, error) {
+	if ref < 0 || ref >= len(xs) {
+		return nil, errors.New("stats: Normalize reference index out of range")
+	}
+	if xs[ref] == 0 {
+		return nil, errors.New("stats: Normalize reference value is zero")
+	}
+	return Scale(xs, 1/xs[ref]), nil
+}
+
+// Ratio returns element-wise a[i]/b[i]. Slices must be the same length and
+// b must contain no zeros.
+func Ratio(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, errors.New("stats: Ratio length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		if b[i] == 0 {
+			return nil, errors.New("stats: Ratio division by zero")
+		}
+		out[i] = a[i] / b[i]
+	}
+	return out, nil
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// IsMonotoneNonDecreasing reports whether xs never decreases.
+func IsMonotoneNonDecreasing(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}

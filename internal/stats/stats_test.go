@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !Close(got[i], want[i], 1e-12) {
+			t.Errorf("Linspace[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLinspaceEndpointExact(t *testing.T) {
+	got := Linspace(0.1, 0.9, 7)
+	if got[0] != 0.1 || got[6] != 0.9 {
+		t.Errorf("endpoints = %g, %g; want exact 0.1, 0.9", got[0], got[6])
+	}
+}
+
+func TestLinspacePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n < 2")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+func TestLogspace(t *testing.T) {
+	got := Logspace(0, 2, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if !Close(got[i], want[i], 1e-12) {
+			t.Errorf("Logspace[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(4, 7)
+	want := []int{16, 32, 64, 128}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("PowersOfTwo[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSumMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if s := Sum(xs); s != 10 {
+		t.Errorf("Sum = %g, want 10", s)
+	}
+	m, err := Mean(xs)
+	if err != nil || m != 2.5 {
+		t.Errorf("Mean = %g, %v; want 2.5, nil", m, err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	g, err := Geomean([]float64{1, 100})
+	if err != nil || !Close(g, 10, 1e-12) {
+		t.Errorf("Geomean = %g, %v; want 10", g, err)
+	}
+	if _, err := Geomean([]float64{1, -1}); err == nil {
+		t.Error("Geomean with negative value should error")
+	}
+	if _, err := Geomean(nil); err != ErrEmpty {
+		t.Errorf("Geomean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMinMaxArgMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if m, _ := Min(xs); m != 1 {
+		t.Errorf("Min = %g, want 1", m)
+	}
+	if m, _ := Max(xs); m != 5 {
+		t.Errorf("Max = %g, want 5", m)
+	}
+	if i, _ := ArgMax(xs); i != 4 {
+		t.Errorf("ArgMax = %d, want 4", i)
+	}
+	if _, err := ArgMax(nil); err != ErrEmpty {
+		t.Errorf("ArgMax(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m, _ := Median([]float64{5, 1, 3}); m != 3 {
+		t.Errorf("odd Median = %g, want 3", m)
+	}
+	if m, _ := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even Median = %g, want 2.5", m)
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	sd, err := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || !Close(sd, 2, 1e-12) {
+		t.Errorf("Stddev = %g, %v; want 2", sd, err)
+	}
+}
+
+func TestClose(t *testing.T) {
+	if !Close(100, 100.4, 0.005) {
+		t.Error("100 vs 100.4 should be close at 0.5%")
+	}
+	if Close(100, 102, 0.005) {
+		t.Error("100 vs 102 should not be close at 0.5%")
+	}
+	if !Close(0, 1e-9, 1e-6) {
+		t.Error("near-zero absolute fallback failed")
+	}
+}
+
+func TestWithinFactor(t *testing.T) {
+	if !WithinFactor(10, 19, 2) {
+		t.Error("10 and 19 are within 2x")
+	}
+	if WithinFactor(10, 21, 2) {
+		t.Error("10 and 21 are not within 2x")
+	}
+	if WithinFactor(-1, 5, 2) {
+		t.Error("negative inputs must fail")
+	}
+	// Symmetry.
+	if WithinFactor(3, 7, 2) != WithinFactor(7, 3, 2) {
+		t.Error("WithinFactor must be symmetric")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{2, 4, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 4}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("Normalize[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+	if _, err := Normalize([]float64{0, 1}, 0); err == nil {
+		t.Error("zero reference must error")
+	}
+	if _, err := Normalize([]float64{1}, 5); err == nil {
+		t.Error("out-of-range reference must error")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	out, err := Ratio([]float64{2, 9}, []float64{1, 3})
+	if err != nil || out[0] != 2 || out[1] != 3 {
+		t.Errorf("Ratio = %v, %v", out, err)
+	}
+	if _, err := Ratio([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := Ratio([]float64{1}, []float64{0}); err == nil {
+		t.Error("division by zero must error")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestIsMonotoneNonDecreasing(t *testing.T) {
+	if !IsMonotoneNonDecreasing([]float64{1, 1, 2}) {
+		t.Error("non-strict monotone should pass")
+	}
+	if IsMonotoneNonDecreasing([]float64{1, 0.5}) {
+		t.Error("decreasing should fail")
+	}
+	if !IsMonotoneNonDecreasing(nil) {
+		t.Error("empty is trivially monotone")
+	}
+}
+
+// Property: geometric mean lies between min and max for positive inputs.
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			v = math.Abs(v)
+			if v > 1e-6 && v < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g, err := Geomean(xs)
+		if err != nil {
+			return false
+		}
+		lo, _ := Min(xs)
+		hi, _ := Max(xs)
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Scale then Scale by reciprocal is identity.
+func TestScaleRoundTrip(t *testing.T) {
+	prop := func(raw []float64, k float64) bool {
+		k = math.Abs(k)
+		if k < 1e-3 || k > 1e3 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+		}
+		back := Scale(Scale(raw, k), 1/k)
+		for i := range raw {
+			if !Close(back[i], raw[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if q, _ := Quantile(xs, 0); q != 1 {
+		t.Errorf("Q(0) = %g", q)
+	}
+	if q, _ := Quantile(xs, 1); q != 5 {
+		t.Errorf("Q(1) = %g", q)
+	}
+	if q, _ := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("Q(.5) = %g", q)
+	}
+	// Input unmodified.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated input")
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("p > 1 must fail")
+	}
+	if _, err := Quantile(xs, math.NaN()); err == nil {
+		t.Error("NaN p must fail")
+	}
+}

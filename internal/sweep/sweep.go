@@ -1,0 +1,138 @@
+// Package sweep provides small generic helpers for parameter studies:
+// named-axis grids, cartesian products, and argmax searches. The CLI and
+// examples use it for design-space exploration (e.g. iso-speedup frontiers
+// over the U-core (mu, phi) plane).
+package sweep
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Axis is one named sweep dimension.
+type Axis struct {
+	Name   string
+	Values []float64
+}
+
+// Grid is an ordered set of axes.
+type Grid struct {
+	axes []Axis
+}
+
+// NewGrid builds a grid; every axis needs a name and at least one value.
+func NewGrid(axes ...Axis) (*Grid, error) {
+	if len(axes) == 0 {
+		return nil, errors.New("sweep: grid needs at least one axis")
+	}
+	seen := map[string]bool{}
+	for _, a := range axes {
+		if a.Name == "" {
+			return nil, errors.New("sweep: axis needs a name")
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("sweep: duplicate axis %q", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Values) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no values", a.Name)
+		}
+	}
+	return &Grid{axes: axes}, nil
+}
+
+// Size returns the number of grid points.
+func (g *Grid) Size() int {
+	n := 1
+	for _, a := range g.axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Point is one grid sample, keyed by axis name.
+type Point map[string]float64
+
+// Each invokes fn for every point in row-major order (last axis fastest).
+// The first error aborts the sweep.
+func (g *Grid) Each(fn func(Point) error) error {
+	idx := make([]int, len(g.axes))
+	for {
+		p := make(Point, len(g.axes))
+		for i, a := range g.axes {
+			p[a.Name] = a.Values[idx[i]]
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+		// Increment the multi-index.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(g.axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
+// Result couples a grid point with its objective value.
+type Result struct {
+	Point Point
+	Value float64
+}
+
+// ArgMax evaluates objective at every point and returns the best result.
+// Points where objective returns an error are skipped; if all fail, the
+// last error is returned.
+func (g *Grid) ArgMax(objective func(Point) (float64, error)) (Result, error) {
+	var (
+		best    Result
+		found   bool
+		lastErr error
+	)
+	err := g.Each(func(p Point) error {
+		v, err := objective(p)
+		if err != nil {
+			lastErr = err
+			return nil
+		}
+		if !found || v > best.Value {
+			cp := make(Point, len(p))
+			for k, x := range p {
+				cp[k] = x
+			}
+			best = Result{Point: cp, Value: v}
+			found = true
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if !found {
+		return Result{}, fmt.Errorf("sweep: no feasible point: %w", lastErr)
+	}
+	return best, nil
+}
+
+// Range returns count evenly spaced values from lo to hi inclusive.
+func Range(lo, hi float64, count int) ([]float64, error) {
+	if count < 1 {
+		return nil, errors.New("sweep: count must be >= 1")
+	}
+	if count == 1 {
+		return []float64{lo}, nil
+	}
+	out := make([]float64, count)
+	step := (hi - lo) / float64(count-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[count-1] = hi
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(); err == nil {
+		t.Error("empty grid must fail")
+	}
+	if _, err := NewGrid(Axis{Name: "", Values: []float64{1}}); err == nil {
+		t.Error("unnamed axis must fail")
+	}
+	if _, err := NewGrid(Axis{Name: "a", Values: nil}); err == nil {
+		t.Error("empty axis must fail")
+	}
+	if _, err := NewGrid(Axis{Name: "a", Values: []float64{1}}, Axis{Name: "a", Values: []float64{2}}); err == nil {
+		t.Error("duplicate axis must fail")
+	}
+}
+
+func TestGridSizeAndOrder(t *testing.T) {
+	g, err := NewGrid(
+		Axis{Name: "x", Values: []float64{1, 2}},
+		Axis{Name: "y", Values: []float64{10, 20, 30}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", g.Size())
+	}
+	var visits []Point
+	if err := g.Each(func(p Point) error {
+		cp := Point{"x": p["x"], "y": p["y"]}
+		visits = append(visits, cp)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 6 {
+		t.Fatalf("visited %d points", len(visits))
+	}
+	// Row-major: y varies fastest.
+	if visits[0]["x"] != 1 || visits[0]["y"] != 10 {
+		t.Errorf("first = %v", visits[0])
+	}
+	if visits[1]["x"] != 1 || visits[1]["y"] != 20 {
+		t.Errorf("second = %v", visits[1])
+	}
+	if visits[3]["x"] != 2 || visits[3]["y"] != 10 {
+		t.Errorf("fourth = %v", visits[3])
+	}
+}
+
+func TestEachAbortsOnError(t *testing.T) {
+	g, _ := NewGrid(Axis{Name: "x", Values: []float64{1, 2, 3}})
+	boom := errors.New("boom")
+	count := 0
+	err := g.Each(func(Point) error {
+		count++
+		if count == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || count != 2 {
+		t.Errorf("err = %v, count = %d", err, count)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	g, _ := NewGrid(
+		Axis{Name: "x", Values: []float64{-2, -1, 0, 1, 2}},
+		Axis{Name: "y", Values: []float64{-1, 0, 1}},
+	)
+	// Maximize -(x-1)^2 - y^2: best at x=1, y=0.
+	best, err := g.ArgMax(func(p Point) (float64, error) {
+		dx := p["x"] - 1
+		return -dx*dx - p["y"]*p["y"], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Point["x"] != 1 || best.Point["y"] != 0 || best.Value != 0 {
+		t.Errorf("best = %+v", best)
+	}
+}
+
+func TestArgMaxSkipsErrors(t *testing.T) {
+	g, _ := NewGrid(Axis{Name: "x", Values: []float64{1, 2, 3}})
+	best, err := g.ArgMax(func(p Point) (float64, error) {
+		if p["x"] == 3 {
+			return 100, nil
+		}
+		return 0, errors.New("infeasible")
+	})
+	if err != nil || best.Value != 100 {
+		t.Errorf("best = %+v, err = %v", best, err)
+	}
+	// All infeasible.
+	if _, err := g.ArgMax(func(Point) (float64, error) {
+		return 0, errors.New("nope")
+	}); err == nil {
+		t.Error("all-infeasible ArgMax must fail")
+	}
+}
+
+func TestRange(t *testing.T) {
+	vals, err := Range(0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("Range[%d] = %g", i, vals[i])
+		}
+	}
+	one, err := Range(7, 9, 1)
+	if err != nil || len(one) != 1 || one[0] != 7 {
+		t.Errorf("Range count=1 = %v, %v", one, err)
+	}
+	if _, err := Range(0, 1, 0); err == nil {
+		t.Error("count=0 must fail")
+	}
+}

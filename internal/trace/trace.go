@@ -1,0 +1,221 @@
+// Package trace replays synthetic kernel-invocation streams on a
+// mixed-fabric chip, simulating the paper's Section 6.3 proposal in the
+// time domain: several U-core fabrics share one die, each is powered
+// only while a job of its kind runs, and the sequential core handles the
+// serial prologue of every job. Where package mix answers "how should I
+// split the area?" with a fluid model, trace answers "what actually
+// happens over a concrete run" — per-fabric busy time, utilization, and
+// energy — and the two must agree on balanced streams (tested).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+// Job is one kernel invocation: a serial prologue (BCE-seconds executed
+// on the sequential core) followed by a parallel body (BCE-seconds
+// executed on the job's fabric).
+type Job struct {
+	Kernel string
+	Serial float64
+	Work   float64
+}
+
+// Fabric is one on-die U-core pool.
+type Fabric struct {
+	UCore   bounds.UCore
+	AreaBCE float64
+}
+
+// Chip is the replay target.
+type Chip struct {
+	Law pollack.Law
+	R   float64 // sequential core size (BCE)
+	// IdleFraction is the power an idle fabric draws relative to its
+	// active power (0 = perfect gating, the paper's assumption).
+	IdleFraction float64
+	Fabrics      map[string]Fabric
+}
+
+// Validate reports an error for malformed chips.
+func (c Chip) Validate() error {
+	if c.R < 1 || math.IsNaN(c.R) {
+		return errors.New("trace: sequential core must be >= 1 BCE")
+	}
+	if c.IdleFraction < 0 || c.IdleFraction > 1 {
+		return errors.New("trace: idle fraction must be in [0, 1]")
+	}
+	if len(c.Fabrics) == 0 {
+		return errors.New("trace: at least one fabric required")
+	}
+	for name, f := range c.Fabrics {
+		if err := f.UCore.Validate(); err != nil {
+			return fmt.Errorf("trace: fabric %s: %w", name, err)
+		}
+		if f.AreaBCE <= 0 || math.IsNaN(f.AreaBCE) {
+			return fmt.Errorf("trace: fabric %s needs positive area", name)
+		}
+	}
+	return nil
+}
+
+// Result summarizes one replay.
+type Result struct {
+	Seconds     float64            // total wall time
+	EnergyBCEs  float64            // energy in BCE-power-seconds
+	SerialBusy  float64            // sequential core active seconds
+	FabricBusy  map[string]float64 // active seconds per fabric
+	Utilization map[string]float64 // busy / total per fabric
+	AvgPowerBCE float64            // EnergyBCEs / Seconds
+	Jobs        int
+}
+
+// Replay executes the jobs in order. Jobs run serially (the paper's
+// single-program model): the sequential core executes the prologue at
+// sqrt(r) while every fabric idles, then the job's fabric executes the
+// body at mu x area while the core and the other fabrics idle (gated to
+// IdleFraction of their active power).
+func Replay(jobs []Job, c Chip) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(jobs) == 0 {
+		return Result{}, errors.New("trace: no jobs")
+	}
+	seqPerf, err := c.Law.Perf(c.R)
+	if err != nil {
+		return Result{}, err
+	}
+	seqPower, err := c.Law.Power(c.R)
+	if err != nil {
+		return Result{}, err
+	}
+	idleFabricPower := func(except string) float64 {
+		var p float64
+		for name, f := range c.Fabrics {
+			if name == except {
+				continue
+			}
+			p += c.IdleFraction * f.UCore.Phi * f.AreaBCE
+		}
+		return p
+	}
+	res := Result{
+		FabricBusy:  make(map[string]float64, len(c.Fabrics)),
+		Utilization: make(map[string]float64, len(c.Fabrics)),
+	}
+	for i, j := range jobs {
+		if j.Serial < 0 || j.Work < 0 || math.IsNaN(j.Serial) || math.IsNaN(j.Work) {
+			return Result{}, fmt.Errorf("trace: job %d has negative work", i)
+		}
+		if j.Serial == 0 && j.Work == 0 {
+			continue
+		}
+		if j.Serial > 0 {
+			dt := j.Serial / seqPerf
+			res.Seconds += dt
+			res.SerialBusy += dt
+			res.EnergyBCEs += dt * (seqPower + idleFabricPower(""))
+		}
+		if j.Work > 0 {
+			f, ok := c.Fabrics[j.Kernel]
+			if !ok {
+				return Result{}, fmt.Errorf("trace: job %d targets unknown fabric %q", i, j.Kernel)
+			}
+			thr := f.UCore.Mu * f.AreaBCE
+			dt := j.Work / thr
+			res.Seconds += dt
+			res.FabricBusy[j.Kernel] += dt
+			// Active fabric at full power, sequential core gated off,
+			// other fabrics at idle power.
+			res.EnergyBCEs += dt * (f.UCore.Phi*f.AreaBCE + idleFabricPower(j.Kernel))
+		}
+		res.Jobs++
+	}
+	if res.Seconds == 0 {
+		return Result{}, errors.New("trace: all jobs were empty")
+	}
+	for name := range c.Fabrics {
+		res.Utilization[name] = res.FabricBusy[name] / res.Seconds
+	}
+	res.AvgPowerBCE = res.EnergyBCEs / res.Seconds
+	return res, nil
+}
+
+// BaselineSeconds returns the time one BCE core would need for the whole
+// trace (serial and parallel work alike) — the denominator for speedup.
+func BaselineSeconds(jobs []Job) float64 {
+	var s float64
+	for _, j := range jobs {
+		s += j.Serial + j.Work
+	}
+	return s
+}
+
+// Speedup returns baseline time over replay time.
+func Speedup(jobs []Job, res Result) (float64, error) {
+	if res.Seconds <= 0 {
+		return 0, errors.New("trace: empty result")
+	}
+	return BaselineSeconds(jobs) / res.Seconds, nil
+}
+
+// Generate builds a deterministic random trace: count jobs whose kernels
+// are drawn according to mix (weights need not sum to 1), each with
+// exponentially distributed parallel work around meanWork and a serial
+// prologue of serialFraction x meanWork on average.
+func Generate(count int, mix map[string]float64, meanWork, serialFraction float64, seed int64) ([]Job, error) {
+	if count <= 0 {
+		return nil, errors.New("trace: count must be positive")
+	}
+	if meanWork <= 0 || serialFraction < 0 {
+		return nil, errors.New("trace: meanWork must be positive and serialFraction non-negative")
+	}
+	if len(mix) == 0 {
+		return nil, errors.New("trace: empty kernel mix")
+	}
+	type entry struct {
+		name   string
+		weight float64
+	}
+	var entries []entry
+	var total float64
+	for name, w := range mix {
+		if w <= 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("trace: kernel %s needs positive weight", name)
+		}
+		entries = append(entries, entry{name, w})
+		total += w
+	}
+	// Deterministic iteration order for reproducibility.
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j-1].name > entries[j].name; j-- {
+			entries[j-1], entries[j] = entries[j], entries[j-1]
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]Job, count)
+	for i := range jobs {
+		pick := rng.Float64() * total
+		name := entries[len(entries)-1].name
+		for _, e := range entries {
+			if pick < e.weight {
+				name = e.name
+				break
+			}
+			pick -= e.weight
+		}
+		jobs[i] = Job{
+			Kernel: name,
+			Work:   rng.ExpFloat64() * meanWork,
+			Serial: rng.ExpFloat64() * meanWork * serialFraction,
+		}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/mix"
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+func testChip() Chip {
+	return Chip{
+		Law: pollack.Default(),
+		R:   4,
+		Fabrics: map[string]Fabric{
+			"mmm": {UCore: bounds.UCore{Mu: 27.4, Phi: 0.79}, AreaBCE: 20},
+			"fft": {UCore: bounds.UCore{Mu: 2.88, Phi: 0.63}, AreaBCE: 30},
+		},
+	}
+}
+
+func TestChipValidate(t *testing.T) {
+	if err := testChip().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := testChip()
+	c.R = 0.5
+	if err := c.Validate(); err == nil {
+		t.Error("r < 1 must fail")
+	}
+	c = testChip()
+	c.IdleFraction = 2
+	if err := c.Validate(); err == nil {
+		t.Error("idle fraction > 1 must fail")
+	}
+	c = testChip()
+	c.Fabrics = nil
+	if err := c.Validate(); err == nil {
+		t.Error("no fabrics must fail")
+	}
+	c = testChip()
+	c.Fabrics["bad"] = Fabric{UCore: bounds.UCore{Mu: -1, Phi: 1}, AreaBCE: 5}
+	if err := c.Validate(); err == nil {
+		t.Error("invalid U-core must fail")
+	}
+}
+
+func TestReplaySingleJobArithmetic(t *testing.T) {
+	c := testChip()
+	// Serial 2 BCE-seconds at perf sqrt(4)=2 -> 1 s; power r^0.875 = 3.36.
+	// Parallel 54.8 BCE-seconds on mmm at 27.4*20 = 548 -> 0.1 s;
+	// power 0.79*20 = 15.8.
+	jobs := []Job{{Kernel: "mmm", Serial: 2, Work: 54.8}}
+	res, err := Replay(jobs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Seconds-1.1) > 1e-12 {
+		t.Errorf("seconds = %g, want 1.1", res.Seconds)
+	}
+	wantE := 1*math.Pow(4, 0.875) + 0.1*15.8
+	if math.Abs(res.EnergyBCEs-wantE) > 1e-9 {
+		t.Errorf("energy = %g, want %g", res.EnergyBCEs, wantE)
+	}
+	if res.SerialBusy != 1 || math.Abs(res.FabricBusy["mmm"]-0.1) > 1e-12 {
+		t.Errorf("busy accounting wrong: %+v", res)
+	}
+	if res.FabricBusy["fft"] != 0 {
+		t.Error("fft fabric should be idle")
+	}
+	// Speedup vs one BCE: baseline 56.8 s over 1.1 s.
+	sp, err := Speedup(jobs, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp-56.8/1.1) > 1e-9 {
+		t.Errorf("speedup = %g", sp)
+	}
+}
+
+func TestIdleFractionCostsEnergyNotTime(t *testing.T) {
+	gated := testChip()
+	leaky := testChip()
+	leaky.IdleFraction = 0.3
+	jobs := []Job{{Kernel: "fft", Serial: 1, Work: 10}}
+	rg, err := Replay(jobs, gated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Replay(jobs, leaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Seconds != rg.Seconds {
+		t.Error("idle power must not change timing")
+	}
+	if rl.EnergyBCEs <= rg.EnergyBCEs {
+		t.Errorf("leaky idle should cost energy: %g vs %g", rl.EnergyBCEs, rg.EnergyBCEs)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	c := testChip()
+	if _, err := Replay(nil, c); err == nil {
+		t.Error("no jobs must fail")
+	}
+	if _, err := Replay([]Job{{Kernel: "gpu", Work: 1}}, c); err == nil {
+		t.Error("unknown fabric must fail")
+	}
+	if _, err := Replay([]Job{{Kernel: "mmm", Work: -1}}, c); err == nil {
+		t.Error("negative work must fail")
+	}
+	if _, err := Replay([]Job{{Kernel: "mmm"}}, c); err == nil {
+		t.Error("all-empty jobs must fail")
+	}
+}
+
+func TestGenerateDeterministicAndMixed(t *testing.T) {
+	mixW := map[string]float64{"mmm": 1, "fft": 3}
+	a, err := Generate(2000, mixW, 5, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(2000, mixW, 5, 0.1, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	counts := map[string]int{}
+	for _, j := range a {
+		counts[j.Kernel]++
+		if j.Work < 0 || j.Serial < 0 {
+			t.Fatal("negative work generated")
+		}
+	}
+	// fft should dominate ~3:1.
+	ratio := float64(counts["fft"]) / float64(counts["mmm"])
+	if ratio < 2 || ratio > 4.5 {
+		t.Errorf("kernel mix ratio = %g, want ~3", ratio)
+	}
+	if _, err := Generate(0, mixW, 5, 0.1, 9); err == nil {
+		t.Error("zero count must fail")
+	}
+	if _, err := Generate(5, nil, 5, 0.1, 9); err == nil {
+		t.Error("empty mix must fail")
+	}
+	if _, err := Generate(5, map[string]float64{"x": -1}, 5, 0.1, 9); err == nil {
+		t.Error("negative weight must fail")
+	}
+}
+
+// The fluid allocator (package mix) and the trace replayer must agree:
+// replaying a large balanced trace on the optimizer's allocation yields
+// the speedup the fluid model predicted, within sampling noise.
+func TestReplayMatchesFluidMixModel(t *testing.T) {
+	chipProblem := mix.Chip{
+		Law:            pollack.Default(),
+		SerialFraction: 0.10,
+		Kernels: []mix.Kernel{
+			{Name: "mmm", Weight: 0.45, UCore: bounds.UCore{Mu: 27.4, Phi: 0.79}, ExemptBandwidth: true},
+			{Name: "fft", Weight: 0.45, UCore: bounds.UCore{Mu: 2.88, Phi: 0.63}, BandwidthBCE: 1e9},
+		},
+		AreaBCE:  75,
+		PowerBCE: 1e9, // uncapped: the trace replayer has no power bound
+		MaxR:     16,
+	}
+	alloc, err := chipProblem.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the replay chip from the allocation.
+	chip := Chip{
+		Law: pollack.Default(),
+		R:   float64(alloc.R),
+		Fabrics: map[string]Fabric{
+			"mmm": {UCore: chipProblem.Kernels[0].UCore, AreaBCE: alloc.AreaBCE[0]},
+			"fft": {UCore: chipProblem.Kernels[1].UCore, AreaBCE: alloc.AreaBCE[1]},
+		},
+	}
+	// A trace matching the fluid weights exactly: per unit of baseline
+	// time, 0.1 serial, 0.45 mmm, 0.45 fft.
+	var jobs []Job
+	for i := 0; i < 200; i++ {
+		jobs = append(jobs,
+			Job{Kernel: "mmm", Serial: 0.05, Work: 0.45},
+			Job{Kernel: "fft", Serial: 0.05, Work: 0.45},
+		)
+	}
+	res, err := Replay(jobs, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Speedup(jobs, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp/alloc.Speedup-1) > 1e-9 {
+		t.Errorf("replay speedup %g != fluid model %g", sp, alloc.Speedup)
+	}
+}
+
+// Dark-silicon bookkeeping: average power stays far below the sum of all
+// fabrics' peak power because only one is on at a time.
+func TestAveragePowerReflectsGating(t *testing.T) {
+	c := testChip()
+	jobs, err := Generate(500, map[string]float64{"mmm": 1, "fft": 1}, 2, 0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(jobs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakSum := 27.4*0 + 0.79*20 + 0.63*30 // both fabrics active would be 34.7
+	if res.AvgPowerBCE >= peakSum {
+		t.Errorf("average power %g should sit below all-fabrics-on %g", res.AvgPowerBCE, peakSum)
+	}
+	// Utilizations sum to <= 1 (plus serial time).
+	var u float64
+	for _, v := range res.Utilization {
+		u += v
+	}
+	if u > 1+1e-9 {
+		t.Errorf("fabric utilizations sum to %g > 1", u)
+	}
+}

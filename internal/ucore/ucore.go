@@ -1,0 +1,300 @@
+// Package ucore implements Section 5.1 of the paper: deriving the U-core
+// parameters (mu, phi) that characterize a BCE-sized unconventional core
+// from measured device performance and power, and calibrating the
+// Base-Core-Equivalent (BCE) reference from Core i7 measurements.
+//
+// The derivation (footnote 1 of the paper):
+//
+//	mu  = x_ucore / (x_i7 · sqrt(r))          x = perf / mm²  (40nm-normalized)
+//	phi = mu · e_i7 / (r^((1-alpha)/2) · e_ucore)   e = perf / W
+//
+// where r = 2 is the Core i7 core size in BCE units (sized against an
+// Intel Atom) and alpha = 1.75 is the sequential power-law exponent.
+//
+// The package also provides the inverse mapping — synthesizing absolute
+// device throughput and power from published (mu, phi) — which the
+// measurement simulator uses to construct FFT device models whose derived
+// parameters land exactly on Table 5.
+package ucore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/calcm/heterosim/internal/itrs"
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+// Measurement is one (device, workload) observation: absolute throughput
+// in the workload's reporting unit (GFLOP/s, pseudo-GFLOP/s, or Mopt/s),
+// the compute-only silicon area at the device's native node, and the
+// steady-state compute power.
+type Measurement struct {
+	Device     paper.DeviceID
+	Workload   paper.WorkloadID
+	Throughput float64 // work units per second
+	AreaMM2    float64 // core/cache-only area at native node
+	Nm         int     // native feature size
+	PowerW     float64 // compute power in watts
+}
+
+// Validate reports an error for non-physical measurements.
+func (m Measurement) Validate() error {
+	switch {
+	case m.Throughput <= 0 || math.IsNaN(m.Throughput):
+		return fmt.Errorf("ucore: %s/%s throughput must be positive", m.Device, m.Workload)
+	case m.AreaMM2 <= 0 || math.IsNaN(m.AreaMM2):
+		return fmt.Errorf("ucore: %s/%s area must be positive", m.Device, m.Workload)
+	case m.Nm <= 0:
+		return fmt.Errorf("ucore: %s/%s feature size must be positive", m.Device, m.Workload)
+	case m.PowerW <= 0 || math.IsNaN(m.PowerW):
+		return fmt.Errorf("ucore: %s/%s power must be positive", m.Device, m.Workload)
+	}
+	return nil
+}
+
+// PerMM2 returns throughput per 40nm-equivalent mm² (the paper's
+// area-normalization step before any cross-device comparison).
+func (m Measurement) PerMM2() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	a40, err := itrs.NormalizeAreaTo40nm(m.AreaMM2, m.Nm)
+	if err != nil {
+		return 0, err
+	}
+	return m.Throughput / a40, nil
+}
+
+// PerJoule returns throughput per watt (equivalently work per joule).
+func (m Measurement) PerJoule() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	return m.Throughput / m.PowerW, nil
+}
+
+// BCE is the calibrated Base-Core-Equivalent reference for one workload.
+// All model quantities (budgets, bandwidths) are expressed relative to it.
+type BCE struct {
+	Workload paper.WorkloadID
+	Law      pollack.Law
+	R        float64 // fast-core size in BCE units (paper: 2)
+
+	// Reference (Core i7) normalized metrics.
+	XRef float64 // i7 throughput per 40nm-equivalent mm²
+	ERef float64 // i7 throughput per watt
+
+	// Absolute BCE anchors derived from the reference.
+	PerfUnits float64 // BCE throughput in workload units/s
+	Watts     float64 // BCE active power in watts
+	AreaMM2   float64 // BCE area in mm² (at the reference node)
+}
+
+// CalibrateBCE derives the BCE reference from a Core i7 measurement. The
+// i7 package-level throughput covers cores identical cores; each core is
+// r BCE in size, so:
+//
+//	BCE perf  = (throughput/cores) / sqrt(r)         (Pollack)
+//	BCE watts = BCE perf · r^((1-alpha)/2) / e_i7    (power law)
+//	BCE area  = coreArea/cores/r
+func CalibrateBCE(m Measurement, cores int, r float64, law pollack.Law) (BCE, error) {
+	if err := m.Validate(); err != nil {
+		return BCE{}, err
+	}
+	if m.Device != paper.CoreI7 {
+		return BCE{}, fmt.Errorf("ucore: BCE calibration requires the Core i7 reference, got %s", m.Device)
+	}
+	if cores <= 0 {
+		return BCE{}, errors.New("ucore: core count must be positive")
+	}
+	if r < 1 || math.IsNaN(r) {
+		return BCE{}, errors.New("ucore: r must be >= 1")
+	}
+	x, err := m.PerMM2()
+	if err != nil {
+		return BCE{}, err
+	}
+	e, err := m.PerJoule()
+	if err != nil {
+		return BCE{}, err
+	}
+	perCore := m.Throughput / float64(cores)
+	bcePerf := perCore / math.Sqrt(r)
+	bceWatts := bcePerf * math.Pow(r, (1-law.Alpha())/2) / e
+	return BCE{
+		Workload:  m.Workload,
+		Law:       law,
+		R:         r,
+		XRef:      x,
+		ERef:      e,
+		PerfUnits: bcePerf,
+		Watts:     bceWatts,
+		AreaMM2:   m.AreaMM2 / float64(cores) / r,
+	}, nil
+}
+
+// DefaultBCE calibrates the BCE for a workload from the published Table 4
+// Core i7 row (or the FFT anchor curve), using r = 2 and alpha = 1.75.
+func DefaultBCE(w paper.WorkloadID) (BCE, error) {
+	m, err := CoreI7Measurement(w)
+	if err != nil {
+		return BCE{}, err
+	}
+	return CalibrateBCE(m, 4, paper.SeqCoreBCE, pollack.Default())
+}
+
+// CoreI7Measurement reconstructs the Core i7 measurement for a workload
+// from published data: Table 4 for MMM and BS, and the Figure 2/3 anchor
+// curve for the FFT sizes.
+func CoreI7Measurement(w paper.WorkloadID) (Measurement, error) {
+	dev := paper.Table2[paper.CoreI7]
+	switch w {
+	case paper.MMM, paper.BS:
+		row, ok := paper.Table4[w][paper.CoreI7]
+		if !ok {
+			return Measurement{}, fmt.Errorf("ucore: no Table 4 entry for i7/%s", w)
+		}
+		return Measurement{
+			Device: paper.CoreI7, Workload: w,
+			Throughput: row.Throughput,
+			AreaMM2:    dev.CoreAreaMM2,
+			Nm:         dev.Nm,
+			PowerW:     row.Throughput / row.PerJoule,
+		}, nil
+	case paper.FFT64, paper.FFT1024, paper.FFT16384:
+		n, err := fftSize(w)
+		if err != nil {
+			return Measurement{}, err
+		}
+		gflops, ok := paper.CoreI7FFTAnchors[n]
+		if !ok {
+			return Measurement{}, fmt.Errorf("ucore: no i7 FFT anchor for N=%d", n)
+		}
+		return Measurement{
+			Device: paper.CoreI7, Workload: w,
+			Throughput: gflops,
+			AreaMM2:    dev.CoreAreaMM2,
+			Nm:         dev.Nm,
+			PowerW:     paper.CoreI7FFTCorePowerW,
+		}, nil
+	default:
+		return Measurement{}, fmt.Errorf("ucore: unknown workload %q", w)
+	}
+}
+
+// Params holds a derived (mu, phi) pair.
+type Params struct {
+	Mu  float64
+	Phi float64
+}
+
+// Derive computes (mu, phi) for a U-core device measurement against the
+// calibrated BCE (footnote 1 of the paper).
+func Derive(m Measurement, ref BCE) (Params, error) {
+	if m.Device == paper.CoreI7 {
+		return Params{}, errors.New("ucore: the reference CPU is not a U-core")
+	}
+	if m.Workload != ref.Workload {
+		return Params{}, fmt.Errorf("ucore: workload mismatch: measurement %s vs BCE %s", m.Workload, ref.Workload)
+	}
+	x, err := m.PerMM2()
+	if err != nil {
+		return Params{}, err
+	}
+	e, err := m.PerJoule()
+	if err != nil {
+		return Params{}, err
+	}
+	mu := x / (ref.XRef * math.Sqrt(ref.R))
+	phi := mu * ref.ERef / (math.Pow(ref.R, (1-ref.Law.Alpha())/2) * e)
+	return Params{Mu: mu, Phi: phi}, nil
+}
+
+// Invert synthesizes the absolute throughput and power a device must
+// exhibit for Derive to return exactly p, given the device's compute area
+// and native node. It is the exact inverse of Derive and is used to
+// construct the FFT measurement database from published Table 5 values.
+func Invert(p Params, areaMM2 float64, nm int, ref BCE) (throughput, powerW float64, err error) {
+	if p.Mu <= 0 || p.Phi <= 0 {
+		return 0, 0, errors.New("ucore: mu and phi must be positive")
+	}
+	a40, err := itrs.NormalizeAreaTo40nm(areaMM2, nm)
+	if err != nil {
+		return 0, 0, err
+	}
+	x := p.Mu * ref.XRef * math.Sqrt(ref.R)
+	throughput = x * a40
+	e := p.Mu * ref.ERef / (math.Pow(ref.R, (1-ref.Law.Alpha())/2) * p.Phi)
+	powerW = throughput / e
+	return throughput, powerW, nil
+}
+
+// DeriveTable5 recomputes the full Table 5 from a set of measurements
+// (one Core i7 reference plus U-core rows per workload). Results are
+// keyed like paper.Table5. Measurements for the i7 are used to calibrate
+// the per-workload BCE.
+func DeriveTable5(ms []Measurement) (map[paper.DeviceID]map[paper.WorkloadID]Params, error) {
+	refs := make(map[paper.WorkloadID]BCE)
+	for _, m := range ms {
+		if m.Device != paper.CoreI7 {
+			continue
+		}
+		ref, err := CalibrateBCE(m, 4, paper.SeqCoreBCE, pollack.Default())
+		if err != nil {
+			return nil, err
+		}
+		refs[m.Workload] = ref
+	}
+	out := make(map[paper.DeviceID]map[paper.WorkloadID]Params)
+	for _, m := range ms {
+		if m.Device == paper.CoreI7 {
+			continue
+		}
+		ref, ok := refs[m.Workload]
+		if !ok {
+			return nil, fmt.Errorf("ucore: no Core i7 reference for workload %s", m.Workload)
+		}
+		p, err := Derive(m, ref)
+		if err != nil {
+			return nil, err
+		}
+		if out[m.Device] == nil {
+			out[m.Device] = make(map[paper.WorkloadID]Params)
+		}
+		out[m.Device][m.Workload] = p
+	}
+	return out, nil
+}
+
+// PublishedParams returns the Table 5 (mu, phi) for a device/workload
+// pair, with ok=false for the paper's dashes.
+func PublishedParams(d paper.DeviceID, w paper.WorkloadID) (Params, bool) {
+	row, ok := paper.Table5[d]
+	if !ok {
+		return Params{}, false
+	}
+	p, ok := row[w]
+	if !ok {
+		return Params{}, false
+	}
+	return Params{Mu: p.Mu, Phi: p.Phi}, true
+}
+
+func fftSize(w paper.WorkloadID) (int, error) {
+	switch w {
+	case paper.FFT64:
+		return 64, nil
+	case paper.FFT1024:
+		return 1024, nil
+	case paper.FFT16384:
+		return 16384, nil
+	default:
+		return 0, fmt.Errorf("ucore: %s is not an FFT workload", w)
+	}
+}
+
+// FFTSize exposes the input size behind an FFT workload ID.
+func FFTSize(w paper.WorkloadID) (int, error) { return fftSize(w) }

@@ -1,0 +1,268 @@
+// Package validate implements the paper's model-validity check
+// (Section 6.3): "to check the quality of our predictions, we are
+// pursuing further studies using older devices; data already collected
+// from 55nm/65nm devices support the same conclusions."
+//
+// It encodes the paper's four conclusions as machine-checkable findings
+// and evaluates them over any roadmap — the forward ITRS 2009 roadmap or
+// a back-cast roadmap anchored at 65 nm. A reproduction whose conclusions
+// flip when the technology window shifts would be curve-fitting, not
+// modeling; this package is the guard against that.
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/itrs"
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/project"
+)
+
+// Finding identifies one of the paper's four conclusions.
+type Finding int
+
+const (
+	// ParallelismGate: U-cores need f >= 0.9 to offer significant gains.
+	ParallelismGate Finding = iota
+	// BandwidthFirstOrder: flexible U-cores reach the same bandwidth
+	// ceiling as custom logic on low-intensity kernels.
+	BandwidthFirstOrder
+	// FlexibleCompetitive: GPUs/FPGAs stay within a small factor of
+	// custom logic at moderate-to-high parallelism even without a
+	// bandwidth wall.
+	FlexibleCompetitive
+	// EnergyBroaderWin: custom logic's advantage is larger for energy
+	// than for speed.
+	EnergyBroaderWin
+)
+
+// String names the finding.
+func (f Finding) String() string {
+	switch f {
+	case ParallelismGate:
+		return "parallelism-gate"
+	case BandwidthFirstOrder:
+		return "bandwidth-first-order"
+	case FlexibleCompetitive:
+		return "flexible-competitive"
+	case EnergyBroaderWin:
+		return "energy-broader-win"
+	default:
+		return fmt.Sprintf("Finding(%d)", int(f))
+	}
+}
+
+// Result is one evaluated finding.
+type Result struct {
+	Finding  Finding
+	Holds    bool
+	Evidence string // human-readable supporting numbers
+}
+
+// Report is the full conclusion check over one roadmap.
+type Report struct {
+	RoadmapName string
+	Results     []Result
+}
+
+// AllHold reports whether every conclusion held.
+func (r Report) AllHold() bool {
+	for _, res := range r.Results {
+		if !res.Holds {
+			return false
+		}
+	}
+	return len(r.Results) > 0
+}
+
+// BackcastRoadmap returns a four-node roadmap anchored at 65 nm
+// (2008-2011) with the calibration node (40 nm) last: smaller area
+// budgets, higher power per transistor, and lower off-chip bandwidth at
+// the older nodes, all expressed relative to the 40 nm calibration point
+// like the forward roadmap.
+func BackcastRoadmap() itrs.Roadmap {
+	return itrs.CustomRoadmap([]itrs.Node{
+		{Year: 2008, Name: "65nm", Nm: 65, MaxAreaBCE: 7.2,
+			RelPowerPerXtor: 1.80, RelBandwidth: 0.60,
+			RelPins: 0.60, RelVdd: 1.150, RelGateCap: 1.361},
+		{Year: 2009, Name: "55nm", Nm: 55, MaxAreaBCE: 10.0,
+			RelPowerPerXtor: 1.40, RelBandwidth: 0.75,
+			RelPins: 0.75, RelVdd: 1.080, RelGateCap: 1.200},
+		{Year: 2010, Name: "45nm", Nm: 45, MaxAreaBCE: 15.0,
+			RelPowerPerXtor: 1.10, RelBandwidth: 0.90,
+			RelPins: 0.90, RelVdd: 1.020, RelGateCap: 1.057},
+		{Year: 2011, Name: "40nm", Nm: 40, MaxAreaBCE: 19.0,
+			RelPowerPerXtor: 1.00, RelBandwidth: 1.00,
+			RelPins: 1.00, RelVdd: 1.000, RelGateCap: 1.000},
+	})
+}
+
+// CheckConclusions evaluates the four findings over the given roadmap.
+func CheckConclusions(name string, roadmap itrs.Roadmap) (Report, error) {
+	if err := roadmap.Validate(); err != nil {
+		return Report{}, err
+	}
+	rep := Report{RoadmapName: name}
+
+	cfgFFT := project.DefaultConfig(paper.FFT1024)
+	cfgFFT.Roadmap = roadmap
+	cfgMMM := project.DefaultConfig(paper.MMM)
+	cfgMMM.Roadmap = roadmap
+
+	last := roadmap.Len() - 1
+	if last < 0 {
+		return Report{}, errors.New("validate: empty roadmap")
+	}
+
+	// 1. Parallelism gate: best-HET/best-CMP gain at f=0.5 vs f=0.99 on
+	// FFT at the final node.
+	gain := func(f float64) (float64, error) {
+		ts, err := project.Project(cfgFFT, f)
+		if err != nil {
+			return 0, err
+		}
+		bestHET, bestCMP := 0.0, 0.0
+		for _, tr := range ts {
+			p := tr.Points[last]
+			if !p.Valid {
+				continue
+			}
+			if tr.Design.Label == "(0) SymCMP" || tr.Design.Label == "(1) AsymCMP" {
+				bestCMP = math.Max(bestCMP, p.Point.Speedup)
+			} else {
+				bestHET = math.Max(bestHET, p.Point.Speedup)
+			}
+		}
+		if bestCMP == 0 {
+			return 0, errors.New("validate: no feasible CMP point")
+		}
+		return bestHET / bestCMP, nil
+	}
+	lowGain, err := gain(0.5)
+	if err != nil {
+		return Report{}, err
+	}
+	highGain, err := gain(0.99)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Results = append(rep.Results, Result{
+		Finding: ParallelismGate,
+		Holds:   lowGain < 1.6 && highGain > 1.6 && highGain > lowGain,
+		Evidence: fmt.Sprintf("HET/CMP gain %.2fx at f=0.5 vs %.2fx at f=0.99",
+			lowGain, highGain),
+	})
+
+	// 2. Bandwidth first-order: the ASIC hits the bandwidth ceiling on
+	// FFT at every node, and the flexible U-cores close on it across the
+	// roadmap (ratio to the ASIC improves and ends >= 0.6).
+	ts, err := project.Project(cfgFFT, 0.999)
+	if err != nil {
+		return Report{}, err
+	}
+	asic, err := project.FindTrajectory(ts, "(6) ASIC")
+	if err != nil {
+		return Report{}, err
+	}
+	asicBandwidthLimited := true
+	for _, p := range asic.Points {
+		if !p.Valid || p.Point.Limit != bounds.BandwidthLimited {
+			asicBandwidthLimited = false
+		}
+	}
+	flexRatioAt := func(idx int) float64 {
+		best := 0.0
+		for _, label := range []string{"(2) LX760", "(3) GTX285", "(4) GTX480"} {
+			tr, err := project.FindTrajectory(ts, label)
+			if err != nil {
+				continue
+			}
+			if p := tr.Points[idx]; p.Valid {
+				best = math.Max(best, p.Point.Speedup)
+			}
+		}
+		if !asic.Points[idx].Valid || asic.Points[idx].Point.Speedup == 0 {
+			return 0
+		}
+		return best / asic.Points[idx].Point.Speedup
+	}
+	firstRatio, lastRatio := flexRatioAt(0), flexRatioAt(last)
+	holds2 := asicBandwidthLimited && lastRatio >= 0.6 && lastRatio > firstRatio
+	rep.Results = append(rep.Results, Result{
+		Finding: BandwidthFirstOrder,
+		Holds:   holds2,
+		Evidence: fmt.Sprintf("FFT f=0.999: ASIC bandwidth-limited throughout=%v; flexible/ASIC ratio %.2f -> %.2f",
+			asicBandwidthLimited, firstRatio, lastRatio),
+	})
+
+	// 3. Flexible competitive on MMM (no bandwidth wall): ASIC within 5x
+	// of the best flexible U-core at f = 0.99.
+	ts, err = project.Project(cfgMMM, 0.99)
+	if err != nil {
+		return Report{}, err
+	}
+	asicTr, err := project.FindTrajectory(ts, "(6) ASIC")
+	if err != nil {
+		return Report{}, err
+	}
+	bestFlexMMM := 0.0
+	for _, label := range []string{"(2) LX760", "(3) GTX285", "(4) GTX480", "(5) R5870"} {
+		tr, err := project.FindTrajectory(ts, label)
+		if err != nil {
+			continue
+		}
+		if p := tr.Points[last]; p.Valid {
+			bestFlexMMM = math.Max(bestFlexMMM, p.Point.Speedup)
+		}
+	}
+	ratio := math.Inf(1)
+	if bestFlexMMM > 0 && asicTr.Points[last].Valid {
+		ratio = asicTr.Points[last].Point.Speedup / bestFlexMMM
+	}
+	rep.Results = append(rep.Results, Result{
+		Finding:  FlexibleCompetitive,
+		Holds:    ratio <= 5,
+		Evidence: fmt.Sprintf("MMM f=0.99 final node: ASIC/best-flexible = %.2fx", ratio),
+	})
+
+	// 4. Energy broader win: at LOW parallelism (f=0.5), where the
+	// speedup advantage has largely evaporated, the ASIC's energy
+	// advantage over the CMP persists and exceeds the speedup advantage
+	// — "more broadly useful when energy is the goal".
+	es, err := project.ProjectEnergy(cfgMMM, 0.5)
+	if err != nil {
+		return Report{}, err
+	}
+	ss, err := project.Project(cfgMMM, 0.5)
+	if err != nil {
+		return Report{}, err
+	}
+	eASIC, err := project.FindTrajectory(es, "(6) ASIC")
+	if err != nil {
+		return Report{}, err
+	}
+	eCMP, err := project.FindTrajectory(es, "(1) AsymCMP")
+	if err != nil {
+		return Report{}, err
+	}
+	sASIC, err := project.FindTrajectory(ss, "(6) ASIC")
+	if err != nil {
+		return Report{}, err
+	}
+	sCMP, err := project.FindTrajectory(ss, "(1) AsymCMP")
+	if err != nil {
+		return Report{}, err
+	}
+	energyAdv := eCMP.Points[last].EnergyNode / eASIC.Points[last].EnergyNode
+	speedAdv := sASIC.Points[last].Point.Speedup / sCMP.Points[last].Point.Speedup
+	rep.Results = append(rep.Results, Result{
+		Finding: EnergyBroaderWin,
+		Holds:   energyAdv > 1 && energyAdv > speedAdv,
+		Evidence: fmt.Sprintf("MMM f=0.5 final node: energy advantage %.2fx vs speedup advantage %.2fx",
+			energyAdv, speedAdv),
+	})
+	return rep, nil
+}

@@ -1,0 +1,130 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/itrs"
+)
+
+func TestBackcastRoadmapValid(t *testing.T) {
+	if err := BackcastRoadmap().Validate(); err != nil {
+		t.Fatalf("backcast roadmap must validate: %v", err)
+	}
+	nodes := BackcastRoadmap().Nodes()
+	if nodes[0].Name != "65nm" || nodes[len(nodes)-1].Name != "40nm" {
+		t.Error("backcast roadmap should run 65nm -> 40nm")
+	}
+	// Older nodes: less area, more power per transistor, less bandwidth.
+	if nodes[0].MaxAreaBCE >= nodes[3].MaxAreaBCE {
+		t.Error("area must grow toward 40nm")
+	}
+	if nodes[0].RelPowerPerXtor <= nodes[3].RelPowerPerXtor {
+		t.Error("power per transistor must fall toward 40nm")
+	}
+	if nodes[0].RelBandwidth >= nodes[3].RelBandwidth {
+		t.Error("bandwidth must grow toward 40nm")
+	}
+}
+
+// The centerpiece: all four published conclusions hold on the forward
+// ITRS 2009 roadmap.
+func TestConclusionsHoldForward(t *testing.T) {
+	rep, err := CheckConclusions("ITRS-2009", itrs.ITRS2009())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("expected 4 findings, got %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if !r.Holds {
+			t.Errorf("forward roadmap: %v failed: %s", r.Finding, r.Evidence)
+		}
+		if r.Evidence == "" {
+			t.Errorf("%v: missing evidence", r.Finding)
+		}
+	}
+	if !rep.AllHold() {
+		t.Error("AllHold should be true")
+	}
+}
+
+// The paper's own validity check: the same conclusions hold when the
+// study is back-cast onto 65nm-era technology.
+func TestConclusionsHoldBackcast(t *testing.T) {
+	rep, err := CheckConclusions("backcast-65nm", BackcastRoadmap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if !r.Holds {
+			t.Errorf("backcast roadmap: %v failed: %s", r.Finding, r.Evidence)
+		}
+	}
+}
+
+func TestCheckConclusionsRejectsBadRoadmap(t *testing.T) {
+	if _, err := CheckConclusions("empty", itrs.CustomRoadmap(nil)); err == nil {
+		t.Error("empty roadmap must fail")
+	}
+	// Inconsistent roadmap (Figure-5 violation).
+	bad := itrs.CustomRoadmap([]itrs.Node{{
+		Year: 2011, Name: "40nm", Nm: 40, MaxAreaBCE: 19,
+		RelPowerPerXtor: 1, RelBandwidth: 1,
+		RelPins: 1, RelVdd: 0.5, RelGateCap: 1,
+	}})
+	if _, err := CheckConclusions("bad", bad); err == nil {
+		t.Error("inconsistent roadmap must fail")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	names := map[Finding]string{
+		ParallelismGate:     "parallelism-gate",
+		BandwidthFirstOrder: "bandwidth-first-order",
+		FlexibleCompetitive: "flexible-competitive",
+		EnergyBroaderWin:    "energy-broader-win",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q", int(f), f.String())
+		}
+	}
+	if !strings.HasPrefix(Finding(9).String(), "Finding(") {
+		t.Error("unknown finding should print its number")
+	}
+}
+
+func TestAllHoldEmptyReport(t *testing.T) {
+	if (Report{}).AllHold() {
+		t.Error("empty report must not claim success")
+	}
+}
+
+// A hostile roadmap where bandwidth explodes (so the ASIC is never
+// bandwidth-limited) must fail the bandwidth-first-order finding — the
+// check has teeth.
+func TestConclusionsCanFail(t *testing.T) {
+	nodes := itrs.ITRS2009().Nodes()
+	for i := range nodes {
+		nodes[i].RelBandwidth *= 1000
+		nodes[i].RelPins *= 1000
+	}
+	rep, err := CheckConclusions("infinite-bandwidth", itrs.CustomRoadmap(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bw Result
+	for _, r := range rep.Results {
+		if r.Finding == BandwidthFirstOrder {
+			bw = r
+		}
+	}
+	if bw.Holds {
+		t.Errorf("with unlimited bandwidth the finding should fail: %s", bw.Evidence)
+	}
+	if rep.AllHold() {
+		t.Error("report must reflect the failure")
+	}
+}

@@ -1,0 +1,45 @@
+package blackscholes
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzNoArbitrage drives Price with arbitrary (bounded) parameters and
+// checks the no-arbitrage envelope and put-call parity on every valid
+// draw.
+func FuzzNoArbitrage(f *testing.F) {
+	f.Add(100.0, 100.0, 0.05, 0.2, 1.0)
+	f.Add(42.0, 40.0, 0.10, 0.2, 0.5)
+	f.Add(1.0, 500.0, 0.0, 0.9, 10.0)
+	f.Fuzz(func(t *testing.T, spot, strike, rate, vol, expiry float64) {
+		o := Option{Kind: Call, Spot: spot, Strike: strike, Rate: rate, Vol: vol, Time: expiry}
+		if o.Validate() != nil {
+			t.Skip()
+		}
+		// Bound the domain to numerically sane territory.
+		if spot > 1e6 || strike > 1e6 || vol > 5 || expiry > 50 ||
+			rate > 1 || rate < -0.5 {
+			t.Skip()
+		}
+		call, err := Price(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if call < IntrinsicLowerBound(o)-1e-6*(1+spot) {
+			t.Fatalf("call %g below intrinsic bound %g", call, IntrinsicLowerBound(o))
+		}
+		if call > spot+1e-9*(1+spot) {
+			t.Fatalf("call %g above spot %g", call, spot)
+		}
+		po := o
+		po.Kind = Put
+		put, err := Price(po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resid := Parity(call, put, o); math.Abs(resid) > 1e-6*(1+spot+strike) {
+			t.Fatalf("parity residual %g", resid)
+		}
+	})
+}

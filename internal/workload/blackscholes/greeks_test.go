@@ -1,0 +1,184 @@
+package blackscholes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyticGreeksKnownValues(t *testing.T) {
+	// Hull's example again: S=42, K=40, r=10%, sigma=20%, T=0.5.
+	call := Option{Call, 42, 40, 0.10, 0.20, 0.5}
+	g, err := AnalyticGreeks(call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Delta-0.7791) > 5e-4 {
+		t.Errorf("call delta = %.4f, want ~0.779", g.Delta)
+	}
+	put := call
+	put.Kind = Put
+	gp, err := AnalyticGreeks(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delta parity: deltaCall - deltaPut = 1.
+	if math.Abs((g.Delta-gp.Delta)-1) > 1e-12 {
+		t.Errorf("delta parity violated: %g vs %g", g.Delta, gp.Delta)
+	}
+	// Gamma and vega are kind-independent.
+	if g.Gamma != gp.Gamma || g.Vega != gp.Vega {
+		t.Error("gamma/vega must match across call and put")
+	}
+	if g.Gamma <= 0 || g.Vega <= 0 {
+		t.Error("gamma and vega must be positive")
+	}
+}
+
+func TestAnalyticMatchesNumericalGreeks(t *testing.T) {
+	opts, err := RandomPortfolio(40, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range opts {
+		a, err := AnalyticGreeks(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := NumericalGreeks(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(name string, av, nv, scale float64) {
+			if math.Abs(av-nv) > 1e-3*(1+scale) {
+				t.Errorf("%+v: %s analytic %g vs numerical %g", o, name, av, nv)
+			}
+		}
+		check("delta", a.Delta, n.Delta, 1)
+		check("gamma", a.Gamma, n.Gamma, math.Abs(a.Gamma))
+		check("vega", a.Vega, n.Vega, math.Abs(a.Vega))
+		check("theta", a.Theta, n.Theta, math.Abs(a.Theta))
+		check("rho", a.Rho, n.Rho, math.Abs(a.Rho))
+	}
+}
+
+func TestGreeksValidation(t *testing.T) {
+	bad := Option{Call, -1, 100, 0.05, 0.2, 1}
+	if _, err := AnalyticGreeks(bad); err == nil {
+		t.Error("invalid option must fail")
+	}
+	if _, err := NumericalGreeks(bad); err == nil {
+		t.Error("invalid option must fail numerically too")
+	}
+	unknown := Option{Kind(9), 100, 100, 0.05, 0.2, 1}
+	if _, err := AnalyticGreeks(unknown); err == nil {
+		t.Error("unknown kind must fail")
+	}
+}
+
+func TestCallDeltaBounds(t *testing.T) {
+	// Call delta in (0, 1); deep ITM -> 1, deep OTM -> 0.
+	deep := Option{Call, 1000, 10, 0.05, 0.2, 1}
+	g, _ := AnalyticGreeks(deep)
+	if g.Delta < 0.999 {
+		t.Errorf("deep ITM delta = %g", g.Delta)
+	}
+	otm := Option{Call, 10, 1000, 0.05, 0.2, 1}
+	g, _ = AnalyticGreeks(otm)
+	if g.Delta > 0.001 {
+		t.Errorf("deep OTM delta = %g", g.Delta)
+	}
+}
+
+func TestImpliedVolRoundTrip(t *testing.T) {
+	opts, err := RandomPortfolio(50, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range opts {
+		price, err := Price(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Skip numerically degenerate targets (price at the band edge,
+		// where vega vanishes and any vol reprices equally).
+		if price < 1e-6 || price > o.Spot-1e-6 {
+			continue
+		}
+		iv, err := ImpliedVol(o, price)
+		if err != nil {
+			t.Fatalf("%+v: %v", o, err)
+		}
+		// Either the vol matches, or it reprices identically (flat vega).
+		trial := o
+		trial.Vol = iv
+		back, err := Price(trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(back-price) > 1e-6*(1+price) {
+			t.Errorf("%+v: implied vol %g reprices to %g, want %g", o, iv, back, price)
+		}
+	}
+}
+
+func TestImpliedVolRejectsArbitrage(t *testing.T) {
+	o := Option{Call, 100, 100, 0.05, 0.3, 1}
+	if _, err := ImpliedVol(o, -1); err == nil {
+		t.Error("negative price must fail")
+	}
+	if _, err := ImpliedVol(o, 150); err == nil {
+		t.Error("price above spot must fail for a call")
+	}
+	bad := o
+	bad.Spot = -1
+	if _, err := ImpliedVol(bad, 5); err == nil {
+		t.Error("invalid option must fail")
+	}
+}
+
+// Property: vega > 0 implies price is strictly monotone in vol, so the
+// implied vol of a higher target is higher.
+func TestPropImpliedVolMonotone(t *testing.T) {
+	o := Option{Call, 100, 110, 0.03, 0.4, 2}
+	prop := func(seed int64) bool {
+		base, err := Price(o)
+		if err != nil {
+			return false
+		}
+		lo, err1 := ImpliedVol(o, base*0.9)
+		hi, err2 := ImpliedVol(o, base*1.1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return hi > lo
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAnalyticGreeks(b *testing.B) {
+	o := Option{Call, 100, 105, 0.05, 0.25, 0.75}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyticGreeks(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImpliedVol(b *testing.B) {
+	o := Option{Call, 100, 105, 0.05, 0.25, 0.75}
+	price, err := Price(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ImpliedVol(o, price); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

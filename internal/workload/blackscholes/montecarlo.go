@@ -1,0 +1,115 @@
+package blackscholes
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// MCResult is a Monte Carlo price estimate with its standard error.
+type MCResult struct {
+	Price    float64
+	StdError float64
+	Paths    int
+}
+
+// MonteCarloPrice estimates the option value by simulating terminal
+// prices under geometric Brownian motion:
+//
+//	S_T = S · exp((r - σ²/2)T + σ√T·Z),  Z ~ N(0,1)
+//
+// discounting the expected payoff at the risk-free rate. It is an
+// independent implementation of the same quantity the closed form
+// computes — the pricing analogue of the naive DFT that cross-checks the
+// FFT — and converges to Price(o) at the usual 1/sqrt(paths) rate.
+// Antithetic variates halve the variance at no extra randomness cost.
+func MonteCarloPrice(o Option, paths int, seed int64) (MCResult, error) {
+	if err := o.Validate(); err != nil {
+		return MCResult{}, err
+	}
+	if paths < 2 {
+		return MCResult{}, errors.New("blackscholes: need at least 2 paths")
+	}
+	drift := (o.Rate - 0.5*o.Vol*o.Vol) * o.Time
+	diffusion := o.Vol * math.Sqrt(o.Time)
+	disc := math.Exp(-o.Rate * o.Time)
+	payoff := func(sT float64) float64 {
+		switch o.Kind {
+		case Call:
+			if sT > o.Strike {
+				return sT - o.Strike
+			}
+		case Put:
+			if sT < o.Strike {
+				return o.Strike - sT
+			}
+		}
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sum, sumSq float64
+	n := paths / 2 // antithetic pairs
+	for i := 0; i < n; i++ {
+		z := rng.NormFloat64()
+		up := disc * payoff(o.Spot*math.Exp(drift+diffusion*z))
+		dn := disc * payoff(o.Spot*math.Exp(drift-diffusion*z))
+		v := (up + dn) / 2
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return MCResult{
+		Price:    mean,
+		StdError: math.Sqrt(variance / float64(n)),
+		Paths:    2 * n,
+	}, nil
+}
+
+// MonteCarloPriceParallel distributes the paths over workers goroutines
+// (0 means GOMAXPROCS), each with an independent, deterministic
+// sub-stream, and pools the estimates.
+func MonteCarloPriceParallel(o Option, paths int, seed int64, workers int) (MCResult, error) {
+	if err := o.Validate(); err != nil {
+		return MCResult{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if paths < 2*workers {
+		return MonteCarloPrice(o, paths, seed)
+	}
+	per := paths / workers
+	results := make([]MCResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = MonteCarloPrice(o, per, seed+int64(w)*7919)
+		}(w)
+	}
+	wg.Wait()
+	var sum, varSum float64
+	total := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return MCResult{}, errs[w]
+		}
+		sum += results[w].Price * float64(results[w].Paths)
+		varSum += results[w].StdError * results[w].StdError *
+			float64(results[w].Paths) * float64(results[w].Paths)
+		total += results[w].Paths
+	}
+	return MCResult{
+		Price:    sum / float64(total),
+		StdError: math.Sqrt(varSum) / float64(total),
+		Paths:    total,
+	}, nil
+}

@@ -1,0 +1,115 @@
+package fft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Plan precomputes everything a fixed-size transform needs — twiddle
+// table, bit-reversal permutation — so repeated transforms of the same
+// length do no allocation and no trigonometry, the way tuned FFT
+// libraries (FFTW, Spiral's generated code) amortize setup. A Plan is
+// safe for concurrent use by multiple goroutines: Execute works in the
+// caller's buffer and the plan itself is immutable after NewPlan.
+type Plan struct {
+	n       int
+	twiddle []complex128 // exp(-2πik/n), k in [0, n/2)
+	rev     []int        // bit-reversal permutation
+}
+
+// NewPlan prepares a transform of length n (a power of two >= 2).
+func NewPlan(n int) (*Plan, error) {
+	if !IsPow2(n) {
+		return nil, ErrNotPow2
+	}
+	p := &Plan{
+		n:       n,
+		twiddle: make([]complex128, n/2),
+		rev:     make([]int, n),
+	}
+	for k := range p.twiddle {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = cmplx.Exp(complex(0, angle))
+	}
+	// Bit-reversal permutation table.
+	bits := 0
+	for v := n; v > 1; v >>= 1 {
+		bits++
+	}
+	for i := range p.rev {
+		r := 0
+		for b := 0; b < bits; b++ {
+			r = (r << 1) | ((i >> uint(b)) & 1)
+		}
+		p.rev[i] = r
+	}
+	return p, nil
+}
+
+// N returns the transform length.
+func (p *Plan) N() int { return p.n }
+
+// Execute computes the in-place forward FFT of x, which must have the
+// plan's length.
+func (p *Plan) Execute(x []complex128) error {
+	if len(x) != p.n {
+		return fmt.Errorf("fft: plan is for n=%d, input has %d", p.n, len(x))
+	}
+	// Permute via the precomputed table.
+	for i, r := range p.rev {
+		if i < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	// Butterflies with the precomputed twiddles.
+	n := p.n
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// ExecuteInverse computes the in-place inverse FFT with 1/N scaling.
+func (p *Plan) ExecuteInverse(x []complex128) error {
+	if len(x) != p.n {
+		return fmt.Errorf("fft: plan is for n=%d, input has %d", p.n, len(x))
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := p.Execute(x); err != nil {
+		return err
+	}
+	inv := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+	return nil
+}
+
+// ExecuteBatch transforms every row of a batch laid out contiguously
+// (len(batch) must be a multiple of the plan length) — the paper's
+// throughput-driven shape: many independent transforms back to back.
+func (p *Plan) ExecuteBatch(batch []complex128) error {
+	if len(batch) == 0 || len(batch)%p.n != 0 {
+		return errors.New("fft: batch length must be a positive multiple of the plan length")
+	}
+	for off := 0; off < len(batch); off += p.n {
+		if err := p.Execute(batch[off : off+p.n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package fft
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPlanMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, n := range []int{2, 8, 64, 1024, 4096} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.N() != n {
+			t.Errorf("N = %d", p.N())
+		}
+		x := randomSignal(rng, n)
+		want, err := ForwardCopy(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append([]complex128(nil), x...)
+		if err := p.Execute(got); err != nil {
+			t.Fatal(err)
+		}
+		diff, _ := MaxAbsDiff(got, want)
+		if diff > 1e-9*float64(n) {
+			t.Errorf("n=%d: plan vs Forward diff = %g", n, diff)
+		}
+	}
+}
+
+func TestPlanInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	p, err := NewPlan(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := randomSignal(rng, 512)
+	x := append([]complex128(nil), orig...)
+	if err := p.Execute(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ExecuteInverse(x); err != nil {
+		t.Fatal(err)
+	}
+	diff, _ := MaxAbsDiff(x, orig)
+	if diff > 1e-9*512 {
+		t.Errorf("plan round trip diff = %g", diff)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := NewPlan(12); err != ErrNotPow2 {
+		t.Errorf("NewPlan(12): %v", err)
+	}
+	p, _ := NewPlan(8)
+	if err := p.Execute(make([]complex128, 4)); err == nil {
+		t.Error("wrong length must fail")
+	}
+	if err := p.ExecuteInverse(make([]complex128, 16)); err == nil {
+		t.Error("wrong inverse length must fail")
+	}
+	if err := p.ExecuteBatch(make([]complex128, 12)); err == nil {
+		t.Error("non-multiple batch must fail")
+	}
+	if err := p.ExecuteBatch(nil); err == nil {
+		t.Error("empty batch must fail")
+	}
+}
+
+func TestPlanBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p, _ := NewPlan(64)
+	const rows = 8
+	batch := randomSignal(rng, 64*rows)
+	want := make([]complex128, len(batch))
+	for r := 0; r < rows; r++ {
+		row, err := ForwardCopy(batch[r*64 : (r+1)*64])
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(want[r*64:], row)
+	}
+	if err := p.ExecuteBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	diff, _ := MaxAbsDiff(batch, want)
+	if diff > 1e-9*64*rows {
+		t.Errorf("batch diff = %g", diff)
+	}
+}
+
+func TestPlanConcurrentUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	p, _ := NewPlan(256)
+	inputs := make([][]complex128, 16)
+	wants := make([][]complex128, 16)
+	for i := range inputs {
+		inputs[i] = randomSignal(rng, 256)
+		w, err := ForwardCopy(inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(inputs))
+	for i := range inputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = p.Execute(inputs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range inputs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		diff, _ := MaxAbsDiff(inputs[i], wants[i])
+		if diff > 1e-9*256 {
+			t.Errorf("goroutine %d diverged: %g", i, diff)
+		}
+	}
+}
+
+// The point of plans: zero allocations per transform.
+func TestPlanExecuteDoesNotAllocate(t *testing.T) {
+	p, _ := NewPlan(1024)
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(float64(i%7), float64(i%5))
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := p.Execute(x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Execute allocates %g objects per run, want 0", allocs)
+	}
+}
+
+func BenchmarkPlanExecute1024(b *testing.B) {
+	p, err := NewPlan(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(float64(i%7), float64(i%5))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Execute(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanVsPlanless quantifies what plan reuse buys over the
+// convenience API (which recomputes bit reversal and consults the global
+// twiddle cache every call).
+func BenchmarkPlanVsPlanless(b *testing.B) {
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(float64(i%11), float64(i%3))
+	}
+	b.Run("planned", func(b *testing.B) {
+		p, err := NewPlan(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := p.Execute(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("planless", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := Forward(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

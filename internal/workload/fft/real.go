@@ -1,0 +1,173 @@
+package fft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrBadSpectrum is returned when an inverse-real transform receives a
+// spectrum that cannot have come from real input.
+var ErrBadSpectrum = errors.New("fft: spectrum is not conjugate-symmetric")
+
+// ForwardReal computes the DFT of a real signal using the packed
+// half-complex algorithm: the n real samples are treated as n/2 complex
+// samples, transformed with a half-size FFT, and unpacked. It returns the
+// n/2+1 non-redundant bins X[0..n/2] (the remaining bins are the
+// conjugate mirror). n must be a power of two >= 4.
+//
+// This is the transform shape hardware FFT pipelines (and Spiral's
+// generated cores) implement for real inputs at roughly half the cost of
+// a complex FFT.
+func ForwardReal(x []float64) ([]complex128, error) {
+	n := len(x)
+	if n < 4 || !IsPow2(n) {
+		return nil, ErrNotPow2
+	}
+	half := n / 2
+	// Pack adjacent real samples into complex values.
+	z := make([]complex128, half)
+	for i := 0; i < half; i++ {
+		z[i] = complex(x[2*i], x[2*i+1])
+	}
+	if err := Forward(z); err != nil {
+		return nil, err
+	}
+	// Unpack: split Z into the transforms of the even and odd samples,
+	// then combine with twiddles.
+	out := make([]complex128, half+1)
+	tw := twiddles(n)
+	for k := 1; k < half; k++ {
+		zk := z[k]
+		zc := cmplx.Conj(z[half-k])
+		even := (zk + zc) / 2
+		odd := (zk - zc) / complex(0, 2)
+		out[k] = even + tw[k]*odd
+	}
+	// DC and Nyquist bins are real.
+	re0, im0 := real(z[0]), imag(z[0])
+	out[0] = complex(re0+im0, 0)
+	out[half] = complex(re0-im0, 0)
+	return out, nil
+}
+
+// InverseReal reconstructs the real signal of length n from its n/2+1
+// non-redundant spectrum bins (the inverse of ForwardReal). The DC and
+// Nyquist bins must be (numerically) real.
+func InverseReal(spec []complex128, n int) ([]float64, error) {
+	if n < 4 || !IsPow2(n) {
+		return nil, ErrNotPow2
+	}
+	half := n / 2
+	if len(spec) != half+1 {
+		return nil, fmt.Errorf("fft: spectrum length %d, want %d", len(spec), half+1)
+	}
+	tol := 1e-9 * (1 + cmplx.Abs(spec[0]) + cmplx.Abs(spec[half]))
+	if math.Abs(imag(spec[0])) > tol || math.Abs(imag(spec[half])) > tol {
+		return nil, ErrBadSpectrum
+	}
+	// Repack into the half-size complex spectrum.
+	z := make([]complex128, half)
+	tw := twiddles(n)
+	for k := 1; k < half; k++ {
+		xk := spec[k]
+		xc := cmplx.Conj(spec[half-k])
+		even := (xk + xc) / 2
+		odd := (xk - xc) / 2 * cmplx.Conj(tw[k]) * complex(0, 1)
+		// Note: forward did out[k] = even + tw[k]*odd with odd multiplied
+		// by -i/2 packing; invert the algebra.
+		z[k] = even + odd
+	}
+	z[0] = complex((real(spec[0])+real(spec[half]))/2, (real(spec[0])-real(spec[half]))/2)
+	if err := Inverse(z); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := 0; i < half; i++ {
+		out[2*i] = real(z[i])
+		out[2*i+1] = imag(z[i])
+	}
+	return out, nil
+}
+
+// FullSpectrum expands the n/2+1 non-redundant real-input bins into the
+// full length-n conjugate-symmetric spectrum.
+func FullSpectrum(spec []complex128, n int) ([]complex128, error) {
+	if n < 4 || !IsPow2(n) {
+		return nil, ErrNotPow2
+	}
+	half := n / 2
+	if len(spec) != half+1 {
+		return nil, fmt.Errorf("fft: spectrum length %d, want %d", len(spec), half+1)
+	}
+	out := make([]complex128, n)
+	copy(out, spec)
+	for k := half + 1; k < n; k++ {
+		out[k] = cmplx.Conj(spec[n-k])
+	}
+	return out, nil
+}
+
+// Forward2D computes the in-place 2D FFT of a rows x cols matrix stored
+// row-major: an FFT over every row followed by an FFT over every column.
+// Both dimensions must be powers of two.
+func Forward2D(x []complex128, rows, cols int) error {
+	return transform2D(x, rows, cols, Forward)
+}
+
+// Inverse2D computes the in-place 2D inverse FFT with full 1/(rows*cols)
+// normalization.
+func Inverse2D(x []complex128, rows, cols int) error {
+	return transform2D(x, rows, cols, Inverse)
+}
+
+func transform2D(x []complex128, rows, cols int, t func([]complex128) error) error {
+	if rows < 2 || cols < 2 || !IsPow2(rows) || !IsPow2(cols) {
+		return ErrNotPow2
+	}
+	if len(x) != rows*cols {
+		return fmt.Errorf("fft: matrix is %d elements, want %d", len(x), rows*cols)
+	}
+	// Rows in place.
+	for r := 0; r < rows; r++ {
+		if err := t(x[r*cols : (r+1)*cols]); err != nil {
+			return err
+		}
+	}
+	// Columns via a scratch vector.
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = x[r*cols+c]
+		}
+		if err := t(col); err != nil {
+			return err
+		}
+		for r := 0; r < rows; r++ {
+			x[r*cols+c] = col[r]
+		}
+	}
+	return nil
+}
+
+// DFT2D is the quadratic-time 2D reference transform.
+func DFT2D(x []complex128, rows, cols int) ([]complex128, error) {
+	if len(x) != rows*cols {
+		return nil, fmt.Errorf("fft: matrix is %d elements, want %d", len(x), rows*cols)
+	}
+	out := make([]complex128, rows*cols)
+	for kr := 0; kr < rows; kr++ {
+		for kc := 0; kc < cols; kc++ {
+			var sum complex128
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					angle := -2 * math.Pi * (float64(kr*r)/float64(rows) + float64(kc*c)/float64(cols))
+					sum += x[r*cols+c] * cmplx.Exp(complex(0, angle))
+				}
+			}
+			out[kr*cols+kc] = sum
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomReal(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestForwardRealMatchesComplexFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{4, 8, 16, 64, 256, 1024} {
+		x := randomReal(rng, n)
+		// Reference: complex FFT of the real signal.
+		z := make([]complex128, n)
+		for i, v := range x {
+			z[i] = complex(v, 0)
+		}
+		want, err := ForwardCopy(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ForwardReal(x)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n/2+1 {
+			t.Fatalf("n=%d: %d bins, want %d", n, len(got), n/2+1)
+		}
+		for k := range got {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Errorf("n=%d bin %d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestRealRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{4, 16, 128, 2048} {
+		x := randomReal(rng, n)
+		spec, err := ForwardReal(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := InverseReal(spec, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: round trip diverged at %d: %g vs %g", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestForwardRealValidation(t *testing.T) {
+	if _, err := ForwardReal(make([]float64, 12)); err != ErrNotPow2 {
+		t.Errorf("non-pow2: %v", err)
+	}
+	if _, err := ForwardReal(make([]float64, 2)); err != ErrNotPow2 {
+		t.Errorf("n=2 too small: %v", err)
+	}
+	if _, err := InverseReal(make([]complex128, 5), 12); err != ErrNotPow2 {
+		t.Errorf("inverse non-pow2: %v", err)
+	}
+	if _, err := InverseReal(make([]complex128, 4), 16); err == nil {
+		t.Error("wrong spectrum length must fail")
+	}
+	// Complex DC bin cannot come from real input.
+	spec := make([]complex128, 9)
+	spec[0] = complex(1, 5)
+	if _, err := InverseReal(spec, 16); err != ErrBadSpectrum {
+		t.Errorf("bad spectrum: %v", err)
+	}
+}
+
+func TestFullSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 64
+	x := randomReal(rng, n)
+	spec, err := ForwardReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := FullSpectrum(spec, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := make([]complex128, n)
+	for i, v := range x {
+		z[i] = complex(v, 0)
+	}
+	want, _ := ForwardCopy(z)
+	diff, _ := MaxAbsDiff(full, want)
+	if diff > 1e-9*float64(n) {
+		t.Errorf("FullSpectrum diff = %g", diff)
+	}
+	if _, err := FullSpectrum(spec, 12); err != ErrNotPow2 {
+		t.Errorf("bad n: %v", err)
+	}
+	if _, err := FullSpectrum(spec[:3], n); err == nil {
+		t.Error("short spectrum must fail")
+	}
+}
+
+func TestForward2DMatchesDFT2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rows, cols := 8, 16
+	x := randomSignal(rng, rows*cols)
+	want, err := DFT2D(x, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]complex128(nil), x...)
+	if err := Forward2D(got, rows, cols); err != nil {
+		t.Fatal(err)
+	}
+	diff, _ := MaxAbsDiff(got, want)
+	if diff > 1e-8*float64(rows*cols) {
+		t.Errorf("2D diff = %g", diff)
+	}
+}
+
+func TestInverse2DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	rows, cols := 16, 8
+	orig := randomSignal(rng, rows*cols)
+	x := append([]complex128(nil), orig...)
+	if err := Forward2D(x, rows, cols); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse2D(x, rows, cols); err != nil {
+		t.Fatal(err)
+	}
+	diff, _ := MaxAbsDiff(x, orig)
+	if diff > 1e-9*float64(rows*cols) {
+		t.Errorf("2D round-trip diff = %g", diff)
+	}
+}
+
+func Test2DValidation(t *testing.T) {
+	x := make([]complex128, 12)
+	if err := Forward2D(x, 3, 4); err != ErrNotPow2 {
+		t.Errorf("non-pow2 rows: %v", err)
+	}
+	if err := Forward2D(make([]complex128, 7), 2, 4); err == nil {
+		t.Error("wrong element count must fail")
+	}
+	if _, err := DFT2D(make([]complex128, 7), 2, 4); err == nil {
+		t.Error("DFT2D wrong count must fail")
+	}
+}
+
+// Property: a 2D separable signal (outer product) transforms to the outer
+// product of the 1D transforms.
+func TestProp2DSeparability(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 8, 8
+		u := randomSignal(rng, rows)
+		v := randomSignal(rng, cols)
+		x := make([]complex128, rows*cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				x[r*cols+c] = u[r] * v[c]
+			}
+		}
+		if err := Forward2D(x, rows, cols); err != nil {
+			return false
+		}
+		fu, err1 := ForwardCopy(u)
+		fv, err2 := ForwardCopy(v)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				want := fu[r] * fv[c]
+				if cmplx.Abs(x[r*cols+c]-want) > 1e-8*float64(rows*cols) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForwardReal4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	x := randomReal(rng, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ForwardReal(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

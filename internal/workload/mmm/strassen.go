@@ -1,0 +1,188 @@
+package mmm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transpose returns the transpose of m.
+func Transpose(m *Matrix) (*Matrix, error) {
+	if m == nil {
+		return nil, errors.New("mmm: nil matrix")
+	}
+	out, err := New(m.Cols, m.Rows)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out, nil
+}
+
+// NaiveTransposed computes C = A*B after transposing B, turning the inner
+// product into two unit-stride streams — the classic cache optimization
+// tuned BLAS kernels build on.
+func NaiveTransposed(a, b *Matrix) (*Matrix, error) {
+	if err := checkDims(a, b); err != nil {
+		return nil, err
+	}
+	bt, err := Transpose(b)
+	if err != nil {
+		return nil, err
+	}
+	c, err := New(a.Rows, b.Cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < bt.Rows; j++ {
+			brow := bt.Data[j*bt.Cols : (j+1)*bt.Cols]
+			var sum float64
+			for k := range arow {
+				sum += arow[k] * brow[k]
+			}
+			c.Data[i*c.Cols+j] = sum
+		}
+	}
+	return c, nil
+}
+
+// StrassenThreshold is the dimension below which Strassen falls back to
+// the blocked kernel (recursion overhead dominates under it).
+const StrassenThreshold = 64
+
+// Strassen computes C = A*B for square power-of-two matrices using
+// Strassen's seven-multiplication recursion. It exists as a third
+// independent implementation for cross-checking and as the
+// asymptotically-faster baseline an ASIC MMM core would be compared
+// against in a fuller study.
+func Strassen(a, b *Matrix) (*Matrix, error) {
+	if err := checkDims(a, b); err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	if a.Cols != n || b.Rows != n || b.Cols != n {
+		return nil, errors.New("mmm: Strassen requires square matrices")
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("mmm: Strassen requires power-of-two size, got %d", n)
+	}
+	return strassen(a, b)
+}
+
+func strassen(a, b *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if n <= StrassenThreshold {
+		return Blocked(a, b, 32)
+	}
+	h := n / 2
+	a11, a12, a21, a22 := quarter(a, h)
+	b11, b12, b21, b22 := quarter(b, h)
+
+	// The seven Strassen products.
+	m1, err := strassen(add(a11, a22), add(b11, b22))
+	if err != nil {
+		return nil, err
+	}
+	m2, err := strassen(add(a21, a22), b11)
+	if err != nil {
+		return nil, err
+	}
+	m3, err := strassen(a11, sub(b12, b22))
+	if err != nil {
+		return nil, err
+	}
+	m4, err := strassen(a22, sub(b21, b11))
+	if err != nil {
+		return nil, err
+	}
+	m5, err := strassen(add(a11, a12), b22)
+	if err != nil {
+		return nil, err
+	}
+	m6, err := strassen(sub(a21, a11), add(b11, b12))
+	if err != nil {
+		return nil, err
+	}
+	m7, err := strassen(sub(a12, a22), add(b21, b22))
+	if err != nil {
+		return nil, err
+	}
+
+	c11 := add(sub(add(m1, m4), m5), m7)
+	c12 := add(m3, m5)
+	c21 := add(m2, m4)
+	c22 := add(add(sub(m1, m2), m3), m6)
+
+	c, err := New(n, n)
+	if err != nil {
+		return nil, err
+	}
+	paste(c, c11, 0, 0)
+	paste(c, c12, 0, h)
+	paste(c, c21, h, 0)
+	paste(c, c22, h, h)
+	return c, nil
+}
+
+// quarter splits a square matrix into its four h x h quadrants (copies).
+func quarter(m *Matrix, h int) (q11, q12, q21, q22 *Matrix) {
+	q11 = extract(m, 0, 0, h)
+	q12 = extract(m, 0, h, h)
+	q21 = extract(m, h, 0, h)
+	q22 = extract(m, h, h, h)
+	return
+}
+
+func extract(m *Matrix, r0, c0, h int) *Matrix {
+	out, _ := New(h, h)
+	for i := 0; i < h; i++ {
+		copy(out.Data[i*h:(i+1)*h], m.Data[(r0+i)*m.Cols+c0:(r0+i)*m.Cols+c0+h])
+	}
+	return out
+}
+
+func paste(dst, src *Matrix, r0, c0 int) {
+	h := src.Rows
+	for i := 0; i < h; i++ {
+		copy(dst.Data[(r0+i)*dst.Cols+c0:(r0+i)*dst.Cols+c0+h], src.Data[i*h:(i+1)*h])
+	}
+}
+
+func add(a, b *Matrix) *Matrix {
+	out, _ := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+func sub(a, b *Matrix) *Matrix {
+	out, _ := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// StrassenFLOPs returns the asymptotic multiplication count of Strassen's
+// recursion down to the threshold: 7^d multiplications of size n/2^d,
+// versus 2n^3 for the classical algorithm — the kind of algorithmic
+// leverage the paper's fixed 2N^3 accounting deliberately ignores.
+func StrassenFLOPs(n int) (float64, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("mmm: need power-of-two size, got %d", n)
+	}
+	mults := 1.0
+	size := n
+	for size > StrassenThreshold {
+		mults *= 7
+		size /= 2
+	}
+	base := 2 * float64(size) * float64(size) * float64(size)
+	return mults * base, nil
+}

@@ -1,0 +1,142 @@
+package mmm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTranspose(t *testing.T) {
+	m, _ := New(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	mt, err := Transpose(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", mt.Rows, mt.Cols)
+	}
+	want := []float64{1, 4, 2, 5, 3, 6}
+	for i, w := range want {
+		if mt.Data[i] != w {
+			t.Errorf("T[%d] = %g, want %g", i, mt.Data[i], w)
+		}
+	}
+	// Double transpose is identity.
+	back, _ := Transpose(mt)
+	if !back.Equalish(m, 0) {
+		t.Error("double transpose != identity")
+	}
+	if _, err := Transpose(nil); err == nil {
+		t.Error("nil must fail")
+	}
+}
+
+func TestNaiveTransposedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	a := randomMatrix(rng, 23, 17)
+	b := randomMatrix(rng, 17, 31)
+	want, err := Naive(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NaiveTransposed(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equalish(want, 1e-9) {
+		t.Error("transposed product mismatch")
+	}
+	bad, _ := New(5, 5)
+	if _, err := NaiveTransposed(a, bad); err == nil {
+		t.Error("dimension mismatch must fail")
+	}
+}
+
+func TestStrassenMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{2, 4, 16, 64, 128, 256} {
+		a := randomMatrix(rng, n, n)
+		b := randomMatrix(rng, n, n)
+		want, err := Naive(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Strassen(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Strassen loses a little precision to the adds/subs.
+		if !got.Equalish(want, 1e-7*float64(n)) {
+			t.Errorf("n=%d: Strassen mismatch", n)
+		}
+	}
+}
+
+func TestStrassenValidation(t *testing.T) {
+	a, _ := New(6, 6)
+	b, _ := New(6, 6)
+	if _, err := Strassen(a, b); err == nil {
+		t.Error("non-power-of-two must fail")
+	}
+	c, _ := New(4, 8)
+	d, _ := New(8, 4)
+	if _, err := Strassen(c, d); err == nil {
+		t.Error("non-square must fail")
+	}
+	e, _ := New(4, 4)
+	f, _ := New(8, 8)
+	if _, err := Strassen(e, f); err == nil {
+		t.Error("dimension mismatch must fail")
+	}
+}
+
+func TestStrassenFLOPs(t *testing.T) {
+	// At or below the threshold, classical cost.
+	got, err := StrassenFLOPs(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2*64*64*64 {
+		t.Errorf("FLOPs(64) = %g", got)
+	}
+	// One recursion level: 7 multiplications of half size.
+	got, _ = StrassenFLOPs(128)
+	if want := 7 * 2 * 64.0 * 64 * 64; got != want {
+		t.Errorf("FLOPs(128) = %g, want %g", got, want)
+	}
+	// Strassen beats classical asymptotically.
+	classical := 2 * 1024.0 * 1024 * 1024
+	s, _ := StrassenFLOPs(1024)
+	if s >= classical {
+		t.Errorf("Strassen %g should beat classical %g at n=1024", s, classical)
+	}
+	if _, err := StrassenFLOPs(100); err == nil {
+		t.Error("non-pow2 must fail")
+	}
+}
+
+func BenchmarkStrassen256(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	x := randomMatrix(rng, 256, 256)
+	y := randomMatrix(rng, 256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Strassen(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveTransposed256(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	x := randomMatrix(rng, 256, 256)
+	y := randomMatrix(rng, 256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NaiveTransposed(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
