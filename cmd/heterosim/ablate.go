@@ -18,6 +18,7 @@ func cmdAblate(args []string) error {
 	wname := fs.String("workload", "FFT-1024", "workload")
 	f := fs.Float64("f", 0.999, "parallel fraction")
 	node := fs.Int("node", 4, "roadmap node index (0=40nm .. 4=11nm)")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,28 +44,24 @@ func cmdAblate(args []string) error {
 		return nil
 	}
 
-	rs, err := ablation.BandwidthBound(w, *f, *node)
+	// All three ablation studies run concurrently across the worker pool
+	// and come back in a fixed order, so the report is deterministic.
+	studies, err := ablation.Studies(w, *f, *node, *workers)
 	if err != nil {
 		return err
 	}
-	if err := render(fmt.Sprintf("Ablation: bandwidth bound removed (%s, f=%.3f, node %d)", w, *f, *node), rs, true); err != nil {
-		return err
-	}
-
-	rs, err = ablation.PowerBound(w, *f, *node)
-	if err != nil {
-		return err
-	}
-	if err := render(fmt.Sprintf("Ablation: power bound removed (%s, f=%.3f, node %d)", w, *f, *node), rs, true); err != nil {
-		return err
-	}
-
-	rs, err = ablation.SequentialSizing(w, *f, *node)
-	if err != nil {
-		return err
-	}
-	if err := render(fmt.Sprintf("Ablation: sequential core pinned at r=1 (%s, f=%.3f, node %d)", w, *f, *node), rs, false); err != nil {
-		return err
+	for i, part := range []struct {
+		title           string
+		removedIsBetter bool
+	}{
+		{"Ablation: bandwidth bound removed", true},
+		{"Ablation: power bound removed", true},
+		{"Ablation: sequential core pinned at r=1", false},
+	} {
+		title := fmt.Sprintf("%s (%s, f=%.3f, node %d)", part.title, w, *f, *node)
+		if err := render(title, studies[i], part.removedIsBetter); err != nil {
+			return err
+		}
 	}
 
 	// The offload assumption at the 40nm FFT budgets.

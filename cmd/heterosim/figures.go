@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -18,6 +19,7 @@ import (
 func cmdFigure(args []string) error {
 	fs := newFlagSet("figure")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of an ASCII chart")
+	workers := workersFlag(fs)
 	if len(args) < 1 {
 		return fmt.Errorf("figure: which one? (2-10)")
 	}
@@ -30,27 +32,27 @@ func cmdFigure(args []string) error {
 	}
 	switch n {
 	case 2:
-		return renderFigure2(*csvOut)
+		return renderFigure2(os.Stdout, *csvOut)
 	case 3:
-		return renderFigure3(*csvOut)
+		return renderFigure3(os.Stdout, *csvOut)
 	case 4:
-		return renderFigure4(*csvOut)
+		return renderFigure4(os.Stdout, *csvOut)
 	case 5:
-		return renderFigure5(*csvOut)
+		return renderFigure5(os.Stdout, *csvOut)
 	case 6:
-		return renderProjectionFigure(paper.FFT1024, paper.ProjectionFractions,
-			"Figure 6: FFT-1024 projection", scenario.Baseline, *csvOut)
+		return renderProjectionFigure(os.Stdout, paper.FFT1024, paper.ProjectionFractions,
+			"Figure 6: FFT-1024 projection", scenario.Baseline, *csvOut, *workers)
 	case 7:
-		return renderProjectionFigure(paper.MMM, paper.ProjectionFractions,
-			"Figure 7: MMM projection", scenario.Baseline, *csvOut)
+		return renderProjectionFigure(os.Stdout, paper.MMM, paper.ProjectionFractions,
+			"Figure 7: MMM projection", scenario.Baseline, *csvOut, *workers)
 	case 8:
-		return renderProjectionFigure(paper.BS, paper.BSProjectionFractions,
-			"Figure 8: Black-Scholes projection", scenario.Baseline, *csvOut)
+		return renderProjectionFigure(os.Stdout, paper.BS, paper.BSProjectionFractions,
+			"Figure 8: Black-Scholes projection", scenario.Baseline, *csvOut, *workers)
 	case 9:
-		return renderProjectionFigure(paper.FFT1024, paper.ProjectionFractions,
-			"Figure 9: FFT-1024 projection at 1 TB/s", scenario.HighBandwidth, *csvOut)
+		return renderProjectionFigure(os.Stdout, paper.FFT1024, paper.ProjectionFractions,
+			"Figure 9: FFT-1024 projection at 1 TB/s", scenario.HighBandwidth, *csvOut, *workers)
 	case 10:
-		return renderFigure10(*csvOut)
+		return renderFigure10(os.Stdout, *csvOut, *workers)
 	default:
 		return fmt.Errorf("figure: no figure %d is reproducible (1 is a diagram)", n)
 	}
@@ -64,7 +66,7 @@ func fftXLabels(log2N []int) []string {
 	return out
 }
 
-func renderFigure2(csvOut bool) error {
+func renderFigure2(out io.Writer, csvOut bool) error {
 	s, err := sim.New()
 	if err != nil {
 		return err
@@ -83,7 +85,7 @@ func renderFigure2(csvOut bool) error {
 			rows = append(rows, report.FloatRow(string(id)+" raw", fig.Raw[id]...))
 			rows = append(rows, report.FloatRow(string(id)+" norm", fig.Normalized[id]...))
 		}
-		return report.WriteCSV(os.Stdout, headers, rows)
+		return report.WriteCSV(out, headers, rows)
 	}
 	for _, part := range []struct {
 		title string
@@ -100,15 +102,15 @@ func renderFigure2(csvOut bool) error {
 		for _, id := range baseline.FFTDevices {
 			c.Series = append(c.Series, report.Series{Name: string(id), Values: part.data[id]})
 		}
-		if err := c.Render(os.Stdout); err != nil {
+		if err := c.Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	return nil
 }
 
-func renderFigure3(csvOut bool) error {
+func renderFigure3(out io.Writer, csvOut bool) error {
 	s, err := sim.New()
 	if err != nil {
 		return err
@@ -128,7 +130,7 @@ func renderFigure3(csvOut bool) error {
 					st.UncoreStatic, st.UncoreDynamic, st.Unknown, st.Total()))
 			}
 		}
-		return report.WriteCSV(os.Stdout, headers, rows)
+		return report.WriteCSV(out, headers, rows)
 	}
 	// Stacked bars at the FFT-1024 operating point (the paper's x-axis
 	// has all sizes; the bar shape is per device).
@@ -152,10 +154,10 @@ func renderFigure3(csvOut bool) error {
 				st.UncoreStatic, st.UncoreDynamic, st.Unknown},
 		})
 	}
-	if err := bars.Render(os.Stdout); err != nil {
+	if err := bars.Render(out); err != nil {
 		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	t := report.NewTable("Breakdown across sizes (watts)",
 		"Device", "log2N", "Core dyn", "Core leak", "Uncore static", "Uncore dyn", "Unknown", "Total")
 	for _, id := range baseline.FFTDevices {
@@ -168,10 +170,10 @@ func renderFigure3(csvOut bool) error {
 				st.UncoreStatic, st.UncoreDynamic, st.Unknown, st.Total())
 		}
 	}
-	return t.Render(os.Stdout)
+	return t.Render(out)
 }
 
-func renderFigure4(csvOut bool) error {
+func renderFigure4(out io.Writer, csvOut bool) error {
 	s, err := sim.New()
 	if err != nil {
 		return err
@@ -193,7 +195,7 @@ func renderFigure4(csvOut bool) error {
 			report.FloatRow("GTX285 compulsory GB/s", fig.CompulsoryGTX285...),
 			report.FloatRow("GTX285 measured GB/s", fig.MeasuredGTX285...),
 			report.FloatRow("GTX480 compulsory GB/s", fig.CompulsoryGTX480...))
-		return report.WriteCSV(os.Stdout, headers, rows)
+		return report.WriteCSV(out, headers, rows)
 	}
 	eff := report.Chart{
 		Title: "Figure 4 (top): FFT energy efficiency (40nm)", YLabel: "pseudo-GFLOPs per J",
@@ -202,10 +204,10 @@ func renderFigure4(csvOut bool) error {
 	for _, id := range baseline.FFTDevices {
 		eff.Series = append(eff.Series, report.Series{Name: string(id), Values: fig.Efficiency[id]})
 	}
-	if err := eff.Render(os.Stdout); err != nil {
+	if err := eff.Render(out); err != nil {
 		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	bw := report.Chart{
 		Title: "Figure 4 (bottom): FFT bandwidth (GTX285 knee at 2^12)", YLabel: "GB/s",
 		XLabels: fftXLabels(fig.Log2N), Height: 14,
@@ -215,10 +217,10 @@ func renderFigure4(csvOut bool) error {
 			{Name: "GTX480 compulsory", Values: fig.CompulsoryGTX480},
 		},
 	}
-	return bw.Render(os.Stdout)
+	return bw.Render(out)
 }
 
-func renderFigure5(csvOut bool) error {
+func renderFigure5(out io.Writer, csvOut bool) error {
 	nodes := itrs.ITRS2009().Nodes()
 	labels := make([]string, len(nodes))
 	pins := make([]float64, len(nodes))
@@ -233,7 +235,7 @@ func renderFigure5(csvOut bool) error {
 		combined[i] = n.RelPowerPerXtor
 	}
 	if csvOut {
-		return report.WriteCSV(os.Stdout,
+		return report.WriteCSV(out,
 			[]string{"series", labels[0], labels[1], labels[2], labels[3], labels[4]},
 			[][]string{
 				report.FloatRow("package pins", pins...),
@@ -252,17 +254,19 @@ func renderFigure5(csvOut bool) error {
 			{Name: "combined power reduction", Values: combined},
 		},
 	}
-	return c.Render(os.Stdout)
+	return c.Render(out)
 }
 
 // renderProjectionFigure draws one chart per f value, with limit
-// annotations per the paper's dashed/solid convention.
-func renderProjectionFigure(w paper.WorkloadID, fractions []float64, title string, scen scenario.ID, csvOut bool) error {
+// annotations per the paper's dashed/solid convention. The design x node
+// projection grid is evaluated across workers goroutines.
+func renderProjectionFigure(out io.Writer, w paper.WorkloadID, fractions []float64, title string, scen scenario.ID, csvOut bool, workers int) error {
 	s, err := scenario.Get(scen)
 	if err != nil {
 		return err
 	}
 	cfg := s.Apply(project.DefaultConfig(w))
+	cfg.Workers = workers
 	nodes := cfg.Roadmap.Nodes()
 	labels := make([]string, len(nodes))
 	for i, n := range nodes {
@@ -293,7 +297,7 @@ func renderProjectionFigure(w paper.WorkloadID, fractions []float64, title strin
 				row = append(row, lims)
 				rows = append(rows, row)
 			}
-			if err := report.WriteCSV(os.Stdout, headers, rows); err != nil {
+			if err := report.WriteCSV(out, headers, rows); err != nil {
 				return err
 			}
 			continue
@@ -314,7 +318,7 @@ func renderProjectionFigure(w paper.WorkloadID, fractions []float64, title strin
 			}
 			c.Series = append(c.Series, report.Series{Name: tr.Design.Label, Values: vals})
 		}
-		if err := c.Render(os.Stdout); err != nil {
+		if err := c.Render(out); err != nil {
 			return err
 		}
 		// Limit annotation table (dashed = power, solid = bandwidth).
@@ -331,16 +335,17 @@ func renderProjectionFigure(w paper.WorkloadID, fractions []float64, title strin
 			}
 			t.AddRow(row...)
 		}
-		if err := t.Render(os.Stdout); err != nil {
+		if err := t.Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	return nil
 }
 
-func renderFigure10(csvOut bool) error {
+func renderFigure10(out io.Writer, csvOut bool, workers int) error {
 	cfg := project.DefaultConfig(paper.MMM)
+	cfg.Workers = workers
 	nodes := cfg.Roadmap.Nodes()
 	labels := make([]string, len(nodes))
 	for i, n := range nodes {
@@ -364,7 +369,7 @@ func renderFigure10(csvOut bool) error {
 				}
 				rows = append(rows, report.FloatRow(fmt.Sprintf("%s f=%.3f", tr.Design.Label, f), vals...))
 			}
-			if err := report.WriteCSV(os.Stdout, append([]string{"design"}, labels...), rows); err != nil {
+			if err := report.WriteCSV(out, append([]string{"design"}, labels...), rows); err != nil {
 				return err
 			}
 			continue
@@ -385,10 +390,10 @@ func renderFigure10(csvOut bool) error {
 			}
 			c.Series = append(c.Series, report.Series{Name: tr.Design.Label, Values: vals})
 		}
-		if err := c.Render(os.Stdout); err != nil {
+		if err := c.Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	return nil
 }

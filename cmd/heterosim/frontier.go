@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/project"
 	"github.com/calcm/heterosim/internal/report"
 	"github.com/calcm/heterosim/internal/sweep"
@@ -13,7 +15,9 @@ import (
 
 // cmdFrontier sweeps the (mu, phi) U-core design space on a grid and
 // reports the speedup surface plus the best point — the tool behind the
-// designspace example, generalized.
+// designspace example, generalized. Every grid cell is an independent
+// optimization, so both the surface and the argmax fan out across the
+// worker pool; outputs are identical at any worker count.
 func cmdFrontier(args []string) error {
 	fs := newFlagSet("frontier")
 	wname := fs.String("workload", "FFT-1024", "workload (sets the bandwidth scale)")
@@ -24,6 +28,7 @@ func cmdFrontier(args []string) error {
 	phiLo := fs.Float64("phi-lo", 0.125, "phi grid lower bound")
 	phiHi := fs.Float64("phi-hi", 4, "phi grid upper bound")
 	steps := fs.Int("steps", 8, "grid points per axis")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +74,25 @@ func cmdFrontier(args []string) error {
 		return pt.Speedup, nil
 	}
 
+	// Evaluate every cell across the worker pool. The grid axes are
+	// (phi, mu) with mu fastest, which is exactly the surface table's
+	// row-major order; infeasible cells render as "-", not errors.
+	cells, err := par.Map(context.Background(), grid.Size(), *workers,
+		func(_ context.Context, i int) (string, error) {
+			p, err := grid.PointAt(i)
+			if err != nil {
+				return "", err
+			}
+			v, err := objective(p)
+			if err != nil {
+				return "-", nil
+			}
+			return report.FormatFloat(v), nil
+		})
+	if err != nil {
+		return err
+	}
+
 	// Surface table: one row per phi, one column per mu.
 	headers := []string{"phi\\mu"}
 	for _, mu := range mus {
@@ -78,23 +102,16 @@ func cmdFrontier(args []string) error {
 		fmt.Sprintf("U-core (mu, phi) speedup surface: %s, f=%.3f, %s (A=%.0f P=%.1f B=%.1f BCE)",
 			w, *f, nodes[*node].Name, budgets.Area, budgets.Power, budgets.Bandwidth),
 		headers...)
-	for _, phi := range phis {
+	for pi, phi := range phis {
 		row := []string{report.FormatFloat(phi)}
-		for _, mu := range mus {
-			v, err := objective(sweep.Point{"mu": mu, "phi": phi})
-			if err != nil {
-				row = append(row, "-")
-				continue
-			}
-			row = append(row, report.FormatFloat(v))
-		}
+		row = append(row, cells[pi*len(mus):(pi+1)*len(mus)]...)
 		t.AddRow(row...)
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		return err
 	}
 
-	best, err := grid.ArgMax(objective)
+	best, err := grid.ArgMaxParallel(*workers, objective)
 	if err != nil {
 		return err
 	}

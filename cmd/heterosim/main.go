@@ -85,6 +85,9 @@ Subcommands:
   frontier       sweep the (mu, phi) design space on a grid
   devices        list the simulated device catalog and operating points
   all            regenerate every table and figure
+
+Model-evaluating subcommands accept -workers N to size the worker pool
+(<= 0 means GOMAXPROCS); outputs are identical at every worker count.
 `)
 }
 
@@ -92,4 +95,11 @@ func newFlagSet(name string) *flag.FlagSet {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	return fs
+}
+
+// workersFlag registers the shared -workers flag. Every subcommand that
+// evaluates the model fans out across this many goroutines; outputs are
+// deterministic at any worker count, so the flag only changes speed.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker goroutines for parallel evaluation (<= 0 means GOMAXPROCS)")
 }

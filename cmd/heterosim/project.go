@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -9,6 +12,7 @@ import (
 	"github.com/calcm/heterosim/internal/baseline"
 	"github.com/calcm/heterosim/internal/measure"
 	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/project"
 	"github.com/calcm/heterosim/internal/report"
 	"github.com/calcm/heterosim/internal/scenario"
@@ -86,6 +90,7 @@ func cmdProject(args []string) error {
 	bw := fs.Float64("bandwidth", 0, "override starting bandwidth in GB/s (0 = scenario default)")
 	area := fs.Float64("areascale", 0, "override area scale factor (0 = scenario default)")
 	csvOut := fs.Bool("csv", false, "emit CSV")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +103,7 @@ func cmdProject(args []string) error {
 		return err
 	}
 	cfg := s.Apply(project.DefaultConfig(w))
+	cfg.Workers = *workers
 	if *power > 0 {
 		cfg.PowerBudgetW = *power
 	}
@@ -111,10 +117,10 @@ func cmdProject(args []string) error {
 	if err != nil {
 		return err
 	}
-	return renderTrajectories(ts, cfg, *f, *csvOut)
+	return renderTrajectories(os.Stdout, ts, cfg, *f, *csvOut)
 }
 
-func renderTrajectories(ts []project.Trajectory, cfg project.Config, f float64, csvOut bool) error {
+func renderTrajectories(out io.Writer, ts []project.Trajectory, cfg project.Config, f float64, csvOut bool) error {
 	nodes := cfg.Roadmap.Nodes()
 	labels := make([]string, len(nodes))
 	for i, n := range nodes {
@@ -133,7 +139,7 @@ func renderTrajectories(ts []project.Trajectory, cfg project.Config, f float64, 
 			}
 			rows = append(rows, report.FloatRow(tr.Design.Label, vals...))
 		}
-		return report.WriteCSV(os.Stdout, append([]string{"design"}, labels...), rows)
+		return report.WriteCSV(out, append([]string{"design"}, labels...), rows)
 	}
 	t := report.NewTable(
 		fmt.Sprintf("Projection: %s, f=%.3f (speedup vs 1 BCE; a/p/b = limiting factor)", cfg.Workload, f),
@@ -150,7 +156,7 @@ func renderTrajectories(ts []project.Trajectory, cfg project.Config, f float64, 
 		}
 		t.AddRow(row...)
 	}
-	return t.Render(os.Stdout)
+	return t.Render(out)
 }
 
 func cmdScenario(args []string) error {
@@ -164,6 +170,7 @@ func cmdScenario(args []string) error {
 	fs := newFlagSet("scenario")
 	wname := fs.String("workload", "FFT-1024", "workload")
 	f := fs.Float64("f", 0.9, "parallel fraction")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -177,24 +184,25 @@ func cmdScenario(args []string) error {
 	}
 	fmt.Printf("Scenario %d: %s\n  Rationale: %s\n  Paper's finding: %s\n\n",
 		n, s.Name, s.Rationale, s.Expectation)
-	base, alt, err := scenario.Compare(s, w, *f)
+	base, alt, err := scenario.CompareWorkers(s, w, *f, *workers)
 	if err != nil {
 		return err
 	}
 	cfg := project.DefaultConfig(w)
 	fmt.Println("Baseline:")
-	if err := renderTrajectories(base, cfg, *f, false); err != nil {
+	if err := renderTrajectories(os.Stdout, base, cfg, *f, false); err != nil {
 		return err
 	}
 	fmt.Println()
 	fmt.Printf("Under %s:\n", s.Name)
-	return renderTrajectories(alt, s.Apply(cfg), *f, false)
+	return renderTrajectories(os.Stdout, alt, s.Apply(cfg), *f, false)
 }
 
 func cmdEnergy(args []string) error {
 	fs := newFlagSet("energy")
 	wname := fs.String("workload", "MMM", "workload")
 	f := fs.Float64("f", 0.9, "parallel fraction")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -203,6 +211,7 @@ func cmdEnergy(args []string) error {
 		return err
 	}
 	cfg := project.DefaultConfig(w)
+	cfg.Workers = *workers
 	ts, err := project.ProjectEnergy(cfg, *f)
 	if err != nil {
 		return err
@@ -231,12 +240,14 @@ func cmdEnergy(args []string) error {
 
 func cmdAll(args []string) error {
 	fs := newFlagSet("all")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	wk := *workers
 	steps := []struct {
 		name string
-		fn   func() error
+		fn   func(io.Writer) error
 	}{
 		{"Table 1", renderTable1},
 		{"Table 2", renderTable2},
@@ -244,32 +255,46 @@ func cmdAll(args []string) error {
 		{"Table 4", renderTable4},
 		{"Table 5", renderTable5},
 		{"Table 6", renderTable6},
-		{"Figure 2", func() error { return renderFigure2(false) }},
-		{"Figure 3", func() error { return renderFigure3(false) }},
-		{"Figure 4", func() error { return renderFigure4(false) }},
-		{"Figure 5", func() error { return renderFigure5(false) }},
-		{"Figure 6", func() error {
-			return renderProjectionFigure(paper.FFT1024, paper.ProjectionFractions,
-				"Figure 6: FFT-1024 projection", scenario.Baseline, false)
+		{"Figure 2", func(out io.Writer) error { return renderFigure2(out, false) }},
+		{"Figure 3", func(out io.Writer) error { return renderFigure3(out, false) }},
+		{"Figure 4", func(out io.Writer) error { return renderFigure4(out, false) }},
+		{"Figure 5", func(out io.Writer) error { return renderFigure5(out, false) }},
+		{"Figure 6", func(out io.Writer) error {
+			return renderProjectionFigure(out, paper.FFT1024, paper.ProjectionFractions,
+				"Figure 6: FFT-1024 projection", scenario.Baseline, false, wk)
 		}},
-		{"Figure 7", func() error {
-			return renderProjectionFigure(paper.MMM, paper.ProjectionFractions,
-				"Figure 7: MMM projection", scenario.Baseline, false)
+		{"Figure 7", func(out io.Writer) error {
+			return renderProjectionFigure(out, paper.MMM, paper.ProjectionFractions,
+				"Figure 7: MMM projection", scenario.Baseline, false, wk)
 		}},
-		{"Figure 8", func() error {
-			return renderProjectionFigure(paper.BS, paper.BSProjectionFractions,
-				"Figure 8: Black-Scholes projection", scenario.Baseline, false)
+		{"Figure 8", func(out io.Writer) error {
+			return renderProjectionFigure(out, paper.BS, paper.BSProjectionFractions,
+				"Figure 8: Black-Scholes projection", scenario.Baseline, false, wk)
 		}},
-		{"Figure 9", func() error {
-			return renderProjectionFigure(paper.FFT1024, paper.ProjectionFractions,
-				"Figure 9: FFT-1024 projection at 1 TB/s", scenario.HighBandwidth, false)
+		{"Figure 9", func(out io.Writer) error {
+			return renderProjectionFigure(out, paper.FFT1024, paper.ProjectionFractions,
+				"Figure 9: FFT-1024 projection at 1 TB/s", scenario.HighBandwidth, false, wk)
 		}},
-		{"Figure 10", func() error { return renderFigure10(false) }},
+		{"Figure 10", func(out io.Writer) error { return renderFigure10(out, false, wk) }},
 	}
-	for _, st := range steps {
+	// Render every step into its own buffer across the worker pool, then
+	// emit the buffers in step order: identical bytes to a serial run, at
+	// a fraction of the wall clock.
+	bufs, err := par.Map(context.Background(), len(steps), wk,
+		func(_ context.Context, i int) (*bytes.Buffer, error) {
+			var buf bytes.Buffer
+			if err := steps[i].fn(&buf); err != nil {
+				return nil, fmt.Errorf("%s: %w", steps[i].name, err)
+			}
+			return &buf, nil
+		})
+	if err != nil {
+		return err
+	}
+	for i, st := range steps {
 		fmt.Printf("==== %s ====\n", st.name)
-		if err := st.fn(); err != nil {
-			return fmt.Errorf("%s: %w", st.name, err)
+		if _, err := bufs[i].WriteTo(os.Stdout); err != nil {
+			return err
 		}
 		fmt.Println()
 	}

@@ -19,6 +19,7 @@ func cmdSensitivity(args []string) error {
 	node := fs.Int("node", 0, "roadmap node index (0=40nm .. 4=11nm)")
 	sigma := fs.Float64("sigma", 0.2, "log-normal input uncertainty for Monte Carlo")
 	samples := fs.Int("samples", 1000, "Monte Carlo draws")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +54,7 @@ func cmdSensitivity(args []string) error {
 		return fmt.Sprintf("%.2f", v)
 	}
 	for _, d := range designs {
-		prof, err := sensitivity.Profile(ev, d, *f, budgets, 0.01)
+		prof, err := sensitivity.ProfileWorkers(ev, d, *f, budgets, 0.01, *workers)
 		if err != nil {
 			t.AddRow(d.Label, "infeasible")
 			continue
@@ -73,7 +74,7 @@ func cmdSensitivity(args []string) error {
 		fmt.Sprintf("Monte Carlo speedup intervals (sigma=%.2f, %d draws)", *sigma, *samples),
 		"Design", "nominal", "p05", "median", "p95")
 	for _, d := range designs {
-		iv, err := sensitivity.MonteCarlo(ev, d, *f, budgets, *sigma, *samples, 1)
+		iv, err := sensitivity.MonteCarloWorkers(ev, d, *f, budgets, *sigma, *samples, 1, *workers)
 		if err != nil {
 			mc.AddRow(d.Label, "infeasible")
 			continue

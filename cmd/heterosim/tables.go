@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -23,23 +24,23 @@ func cmdTable(args []string) error {
 	}
 	switch n {
 	case 1:
-		return renderTable1()
+		return renderTable1(os.Stdout)
 	case 2:
-		return renderTable2()
+		return renderTable2(os.Stdout)
 	case 3:
-		return renderTable3()
+		return renderTable3(os.Stdout)
 	case 4:
-		return renderTable4()
+		return renderTable4(os.Stdout)
 	case 5:
-		return renderTable5()
+		return renderTable5(os.Stdout)
 	case 6:
-		return renderTable6()
+		return renderTable6(os.Stdout)
 	default:
 		return fmt.Errorf("table: no table %d in the paper", n)
 	}
 }
 
-func renderTable1() error {
+func renderTable1(out io.Writer) error {
 	t := report.NewTable("Table 1: Bounds on area, power, and bandwidth (alpha = 1.75)",
 		"Bound", "Symmetric", "Asym-offload", "Heterogeneous")
 	t.AddRow("Area", "n <= A", "n <= A", "n <= A")
@@ -47,10 +48,10 @@ func renderTable1() error {
 	t.AddRow("Serial power", "r^(a/2) <= P", "r^(a/2) <= P", "r^(a/2) <= P")
 	t.AddRow("Parallel bandwidth", "n <= B*sqrt(r)", "n <= B + r", "n <= B/mu + r")
 	t.AddRow("Serial bandwidth", "r <= B^2", "r <= B^2", "r <= B^2")
-	return t.Render(os.Stdout)
+	return t.Render(out)
 }
 
-func renderTable2() error {
+func renderTable2(out io.Writer) error {
 	t := report.NewTable("Table 2: Summary of devices",
 		"Device", "Year", "Process", "Die mm2", "Core mm2", "Clock GHz", "Mem GB", "BW GB/s")
 	for _, id := range paper.AllDevices {
@@ -58,10 +59,10 @@ func renderTable2() error {
 		t.AddRowf(string(id), d.Year, d.Process, d.DieAreaMM2, d.CoreAreaMM2,
 			d.ClockGHz, d.MemoryGB, d.MemBWGBs)
 	}
-	return t.Render(os.Stdout)
+	return t.Render(out)
 }
 
-func renderTable3() error {
+func renderTable3(out io.Writer) error {
 	t := report.NewTable("Table 3: Summary of workloads (implementations used per device)",
 		"Workload", "Core i7", "GTX285", "GTX480", "R5870", "LX760/ASIC")
 	rows := []struct {
@@ -83,15 +84,15 @@ func renderTable3() error {
 		t.AddRow(r.name, dash(impls[paper.CoreI7]), dash(impls[paper.GTX285]),
 			dash(impls[paper.GTX480]), dash(impls[paper.R5870]), dash(impls[paper.LX760]))
 	}
-	if err := t.Render(os.Stdout); err != nil {
+	if err := t.Render(out); err != nil {
 		return err
 	}
-	fmt.Println("\n(In this reproduction every implementation is a verified Go kernel")
-	fmt.Println(" mapped through calibrated analytic device models; see DESIGN.md.)")
+	fmt.Fprintln(out, "\n(In this reproduction every implementation is a verified Go kernel")
+	fmt.Fprintln(out, " mapped through calibrated analytic device models; see DESIGN.md.)")
 	return nil
 }
 
-func renderTable4() error {
+func renderTable4(out io.Writer) error {
 	rig, err := measure.IdealRig()
 	if err != nil {
 		return err
@@ -112,15 +113,15 @@ func renderTable4() error {
 			t.AddRowf(string(row.Device), row.Throughput, row.PerMM2, row.PerJoule,
 				pub.Throughput, pub.PerMM2, pub.PerJoule)
 		}
-		if err := t.Render(os.Stdout); err != nil {
+		if err := t.Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	return nil
 }
 
-func renderTable5() error {
+func renderTable5(out io.Writer) error {
 	rig, err := measure.IdealRig()
 	if err != nil {
 		return err
@@ -141,10 +142,10 @@ func renderTable5() error {
 			report.FormatFloat(c.Derived.Phi), report.FormatFloat(c.Derived.Mu),
 			pubPhi, pubMu)
 	}
-	return t.Render(os.Stdout)
+	return t.Render(out)
 }
 
-func renderTable6() error {
+func renderTable6(out io.Writer) error {
 	t := report.NewTable("Table 6: parameters assumed in technology scaling",
 		"Year", "Node", "Core die mm2", "Core power W", "BW GB/s", "Max area (BCE)",
 		"Rel pwr/xtor", "Rel BW")
@@ -153,5 +154,5 @@ func renderTable6() error {
 			n.BandwidthGBs(itrs.BaseBandwidthGBs), n.MaxAreaBCE,
 			n.RelPowerPerXtor, n.RelBandwidth)
 	}
-	return t.Render(os.Stdout)
+	return t.Render(out)
 }

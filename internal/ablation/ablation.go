@@ -8,12 +8,14 @@
 package ablation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"github.com/calcm/heterosim/internal/amdahl"
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/pollack"
 	"github.com/calcm/heterosim/internal/project"
 )
@@ -30,17 +32,20 @@ type Result struct {
 // validation paths that require finite positive values.
 const effectivelyInfinite = 1e12
 
-// run projects baseline and ablated configs and pairs the results at one
-// node index.
-func run(base, ablated project.Config, f float64, nodeIdx int) ([]Result, error) {
-	bs, err := project.Project(base, f)
+// run projects baseline and ablated configs concurrently and pairs the
+// results at one node index. workers bounds each projection's inner pool
+// (<= 0 means GOMAXPROCS); results are identical at every worker count.
+func run(base, ablated project.Config, f float64, nodeIdx, workers int) ([]Result, error) {
+	base.Workers, ablated.Workers = workers, workers
+	configs := []project.Config{base, ablated}
+	ts, err := par.Map(context.Background(), len(configs), workers,
+		func(_ context.Context, i int) ([]project.Trajectory, error) {
+			return project.Project(configs[i], f)
+		})
 	if err != nil {
 		return nil, err
 	}
-	as, err := project.Project(ablated, f)
-	if err != nil {
-		return nil, err
-	}
+	bs, as := ts[0], ts[1]
 	if len(bs) != len(as) {
 		return nil, errors.New("ablation: design lineups diverged")
 	}
@@ -68,32 +73,68 @@ func run(base, ablated project.Config, f float64, nodeIdx int) ([]Result, error)
 }
 
 // BandwidthBound removes the off-chip bandwidth constraint (B -> inf) —
-// isolating the paper's "bandwidth wall" from everything else.
+// isolating the paper's "bandwidth wall" from everything else. Runs on a
+// GOMAXPROCS pool; see BandwidthBoundWorkers.
 func BandwidthBound(w paper.WorkloadID, f float64, nodeIdx int) ([]Result, error) {
+	return BandwidthBoundWorkers(w, f, nodeIdx, 0)
+}
+
+// BandwidthBoundWorkers is BandwidthBound with an explicit worker bound
+// (<= 0 means GOMAXPROCS).
+func BandwidthBoundWorkers(w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
 	base := project.DefaultConfig(w)
 	ablated := base
 	ablated.BaseBandwidthGBs = effectivelyInfinite
-	return run(base, ablated, f, nodeIdx)
+	return run(base, ablated, f, nodeIdx, workers)
 }
 
 // PowerBound removes the power constraint (P -> inf) — reducing the
-// model to area+bandwidth, close to pre-dark-silicon assumptions.
+// model to area+bandwidth, close to pre-dark-silicon assumptions. Runs on
+// a GOMAXPROCS pool; see PowerBoundWorkers.
 func PowerBound(w paper.WorkloadID, f float64, nodeIdx int) ([]Result, error) {
+	return PowerBoundWorkers(w, f, nodeIdx, 0)
+}
+
+// PowerBoundWorkers is PowerBound with an explicit worker bound (<= 0
+// means GOMAXPROCS).
+func PowerBoundWorkers(w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
 	base := project.DefaultConfig(w)
 	ablated := base
 	ablated.PowerBudgetW = effectivelyInfinite
-	return run(base, ablated, f, nodeIdx)
+	return run(base, ablated, f, nodeIdx, workers)
 }
 
 // SequentialSizing pins the sequential core at r = 1 instead of sweeping
 // to 16 — quantifying Hill & Marty's "sequential performance still
 // matters" within this model. Here the *baseline* has the ingredient, so
-// Ratio <= 1 and (1 - Ratio) is the value of core sizing.
+// Ratio <= 1 and (1 - Ratio) is the value of core sizing. Runs on a
+// GOMAXPROCS pool; see SequentialSizingWorkers.
 func SequentialSizing(w paper.WorkloadID, f float64, nodeIdx int) ([]Result, error) {
+	return SequentialSizingWorkers(w, f, nodeIdx, 0)
+}
+
+// SequentialSizingWorkers is SequentialSizing with an explicit worker
+// bound (<= 0 means GOMAXPROCS).
+func SequentialSizingWorkers(w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
 	base := project.DefaultConfig(w)
 	ablated := base
 	ablated.MaxR = 1
-	return run(base, ablated, f, nodeIdx)
+	return run(base, ablated, f, nodeIdx, workers)
+}
+
+// Studies runs the three configuration ablations for a workload
+// concurrently — the CLI `ablate` fan-out — returning them in fixed
+// order: bandwidth bound, power bound, sequential sizing.
+func Studies(w paper.WorkloadID, f float64, nodeIdx, workers int) ([][]Result, error) {
+	studies := []func(paper.WorkloadID, float64, int, int) ([]Result, error){
+		BandwidthBoundWorkers,
+		PowerBoundWorkers,
+		SequentialSizingWorkers,
+	}
+	return par.Map(context.Background(), len(studies), workers,
+		func(_ context.Context, i int) ([]Result, error) {
+			return studies[i](w, f, nodeIdx, workers)
+		})
 }
 
 // OffloadAssumption compares the paper's asymmetric-offload CMP against

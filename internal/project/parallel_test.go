@@ -1,0 +1,84 @@
+package project
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/paper"
+)
+
+// TestProjectParallelStability proves the golden-stability guarantee: the
+// parallel engine's trajectories are identical (reflect.DeepEqual over
+// every float) at workers = 1, 4, and GOMAXPROCS, for both objectives and
+// every workload in the paper's lineup.
+func TestProjectParallelStability(t *testing.T) {
+	workloads := []paper.WorkloadID{paper.FFT1024, paper.MMM, paper.BS}
+	for _, w := range workloads {
+		for _, f := range []float64{0.5, 0.99, 0.999} {
+			base := DefaultConfig(w)
+			base.Workers = 1
+			wantS, err := Project(base, f)
+			if err != nil {
+				t.Fatalf("%s f=%g: %v", w, f, err)
+			}
+			wantE, err := ProjectEnergy(base, f)
+			if err != nil {
+				t.Fatalf("%s f=%g: %v", w, f, err)
+			}
+			for _, workers := range []int{4, runtime.GOMAXPROCS(0), 0} {
+				cfg := DefaultConfig(w)
+				cfg.Workers = workers
+				gotS, err := Project(cfg, f)
+				if err != nil {
+					t.Fatalf("%s f=%g workers=%d: %v", w, f, workers, err)
+				}
+				if !reflect.DeepEqual(gotS, wantS) {
+					t.Errorf("%s f=%g: Project differs at workers=%d", w, f, workers)
+				}
+				gotE, err := ProjectEnergy(cfg, f)
+				if err != nil {
+					t.Fatalf("%s f=%g workers=%d: %v", w, f, workers, err)
+				}
+				if !reflect.DeepEqual(gotE, wantE) {
+					t.Errorf("%s f=%g: ProjectEnergy differs at workers=%d", w, f, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestProjectWorkersValidation: any Workers value is legal (<= 0 resolves
+// to GOMAXPROCS), so Validate must not reject it.
+func TestProjectWorkersValidation(t *testing.T) {
+	cfg := DefaultConfig(paper.FFT1024)
+	cfg.Workers = -5
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("negative Workers must be legal (resolves to GOMAXPROCS): %v", err)
+	}
+	if _, err := Project(cfg, 0.9); err != nil {
+		t.Errorf("Project with Workers=-5: %v", err)
+	}
+}
+
+// benchProject regenerates the Figure 6 panels (four fractions) at a
+// fixed worker count.
+func benchProject(b *testing.B, workers int) {
+	cfg := DefaultConfig(paper.FFT1024)
+	cfg.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range paper.ProjectionFractions {
+			if _, err := Project(cfg, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkProjectSerial is the single-worker baseline.
+func BenchmarkProjectSerial(b *testing.B) { benchProject(b, 1) }
+
+// BenchmarkProjectParallel fans the design x node cells out at GOMAXPROCS.
+func BenchmarkProjectParallel(b *testing.B) { benchProject(b, 0) }

@@ -10,6 +10,7 @@
 package project
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 	"github.com/calcm/heterosim/internal/core"
 	"github.com/calcm/heterosim/internal/itrs"
 	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/pollack"
 	"github.com/calcm/heterosim/internal/ucore"
 	"github.com/calcm/heterosim/internal/workload"
@@ -34,6 +36,10 @@ type Config struct {
 	AreaScale        float64 // multiplies the node area budget (paper: 1)
 	Alpha            float64 // sequential power exponent (paper: 1.75)
 	MaxR             int     // sequential-core sweep bound (paper: 16)
+
+	// Workers bounds the design x node evaluation pool; <= 0 means
+	// GOMAXPROCS. Results are identical at every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's baseline projection setup for a
@@ -184,51 +190,28 @@ func (t Trajectory) MaxSpeedup() float64 {
 }
 
 // Project computes trajectories for every design in the workload's lineup
-// at parallel fraction f.
+// at parallel fraction f. The design x node cells are independent
+// optimizations, so they are evaluated across cfg.Workers goroutines and
+// reassembled in order; output is identical at every worker count.
 func Project(cfg Config, f float64) ([]Trajectory, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if f < 0 || f > 1 || math.IsNaN(f) {
-		return nil, errors.New("project: f must be in [0, 1]")
-	}
-	designs, err := DesignsFor(cfg.Workload)
-	if err != nil {
-		return nil, err
-	}
-	ev, err := cfg.evaluator()
-	if err != nil {
-		return nil, err
-	}
-	nodes := cfg.Roadmap.Nodes()
-	out := make([]Trajectory, 0, len(designs))
-	for _, d := range designs {
-		tr := Trajectory{Design: d, F: f, Points: make([]NodePoint, 0, len(nodes))}
-		for _, node := range nodes {
-			b, err := cfg.BudgetsAt(node)
-			if err != nil {
-				return nil, err
-			}
-			pt, err := ev.Optimize(d, f, b)
-			np := NodePoint{Node: node}
-			if err == nil {
-				np.Valid = true
-				np.Point = pt
-				np.EnergyNode = pt.EnergyNorm * node.RelPowerPerXtor
-			} else if !errors.Is(err, core.ErrInfeasible) {
-				return nil, fmt.Errorf("project: %s at %s: %w", d.Label, node.Name, err)
-			}
-			tr.Points = append(tr.Points, np)
-		}
-		out = append(out, tr)
-	}
-	return out, nil
+	return projectWith(cfg, f, func(ev core.Evaluator, d core.Design, b bounds.Budgets) (core.Point, error) {
+		return ev.Optimize(d, f, b)
+	})
 }
 
 // ProjectEnergy is like Project but optimizes each node for minimum
 // energy instead of maximum speedup (the alternative objective discussed
 // with Figure 10).
 func ProjectEnergy(cfg Config, f float64) ([]Trajectory, error) {
+	return projectWith(cfg, f, func(ev core.Evaluator, d core.Design, b bounds.Budgets) (core.Point, error) {
+		return ev.OptimizeEnergy(d, f, b)
+	})
+}
+
+// projectWith is the shared projection engine: it fans the design x node
+// cells out over the worker pool, optimizes each with opt, and stitches
+// the NodePoints back into per-design trajectories in roadmap order.
+func projectWith(cfg Config, f float64, opt func(core.Evaluator, core.Design, bounds.Budgets) (core.Point, error)) ([]Trajectory, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -244,26 +227,33 @@ func ProjectEnergy(cfg Config, f float64) ([]Trajectory, error) {
 		return nil, err
 	}
 	nodes := cfg.Roadmap.Nodes()
-	out := make([]Trajectory, 0, len(designs))
-	for _, d := range designs {
-		tr := Trajectory{Design: d, F: f, Points: make([]NodePoint, 0, len(nodes))}
-		for _, node := range nodes {
+	// One flat cell per (design, node), row-major with node fastest, so
+	// cell i maps to designs[i/len(nodes)] at nodes[i%len(nodes)].
+	pts, err := par.Map(context.Background(), len(designs)*len(nodes), cfg.Workers,
+		func(_ context.Context, i int) (NodePoint, error) {
+			d, node := designs[i/len(nodes)], nodes[i%len(nodes)]
 			b, err := cfg.BudgetsAt(node)
 			if err != nil {
-				return nil, err
+				return NodePoint{}, err
 			}
-			pt, err := ev.OptimizeEnergy(d, f, b)
+			pt, err := opt(ev, d, b)
 			np := NodePoint{Node: node}
 			if err == nil {
 				np.Valid = true
 				np.Point = pt
 				np.EnergyNode = pt.EnergyNorm * node.RelPowerPerXtor
 			} else if !errors.Is(err, core.ErrInfeasible) {
-				return nil, fmt.Errorf("project: %s at %s: %w", d.Label, node.Name, err)
+				return NodePoint{}, fmt.Errorf("project: %s at %s: %w", d.Label, node.Name, err)
 			}
-			tr.Points = append(tr.Points, np)
-		}
-		out = append(out, tr)
+			return np, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Trajectory, 0, len(designs))
+	for di, d := range designs {
+		out = append(out, Trajectory{Design: d, F: f,
+			Points: pts[di*len(nodes) : (di+1)*len(nodes) : (di+1)*len(nodes)]})
 	}
 	return out, nil
 }

@@ -120,24 +120,38 @@ func Get(id ID) (Scenario, error) {
 	return Scenario{}, fmt.Errorf("scenario: unknown scenario %d", int(id))
 }
 
-// Run projects a workload at parallel fraction f under the scenario.
+// Run projects a workload at parallel fraction f under the scenario
+// with the default (GOMAXPROCS) worker pool.
 func Run(s Scenario, w paper.WorkloadID, f float64) ([]project.Trajectory, error) {
+	return RunWorkers(s, w, f, 0)
+}
+
+// RunWorkers is Run with an explicit worker-pool size for the projection
+// (<= 0 means GOMAXPROCS). Results are identical at every worker count.
+func RunWorkers(s Scenario, w paper.WorkloadID, f float64, workers int) ([]project.Trajectory, error) {
 	cfg := s.Apply(project.DefaultConfig(w))
+	cfg.Workers = workers
 	return project.Project(cfg, f)
 }
 
 // Compare runs baseline and scenario side by side and returns both
 // trajectory sets in that order.
 func Compare(s Scenario, w paper.WorkloadID, f float64) (base, alt []project.Trajectory, err error) {
+	return CompareWorkers(s, w, f, 0)
+}
+
+// CompareWorkers is Compare with an explicit worker-pool size (<= 0
+// means GOMAXPROCS) threaded through both projections.
+func CompareWorkers(s Scenario, w paper.WorkloadID, f float64, workers int) (base, alt []project.Trajectory, err error) {
 	baseScen, err := Get(Baseline)
 	if err != nil {
 		return nil, nil, err
 	}
-	base, err = Run(baseScen, w, f)
+	base, err = RunWorkers(baseScen, w, f, workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	alt, err = Run(s, w, f)
+	alt, err = RunWorkers(s, w, f, workers)
 	if err != nil {
 		return nil, nil, err
 	}

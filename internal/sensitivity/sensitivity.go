@@ -13,6 +13,7 @@
 package sensitivity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,6 +21,7 @@ import (
 
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/stats"
 )
 
@@ -101,18 +103,37 @@ func Elasticity(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, i
 		(math.Log(1+h) - math.Log(1-h)), nil
 }
 
-// Profile computes all applicable elasticities for a design point.
+// Profile computes all applicable elasticities for a design point across
+// a GOMAXPROCS worker pool. See ProfileWorkers.
 func Profile(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, h float64) (map[Input]float64, error) {
-	out := make(map[Input]float64)
+	return ProfileWorkers(ev, d, f, b, h, 0)
+}
+
+// ProfileWorkers fans the applicable inputs out over workers goroutines
+// (<= 0 means GOMAXPROCS). Each elasticity is an independent pair of
+// optimizations, so the result is identical at every worker count.
+func ProfileWorkers(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, h float64, workers int) (map[Input]float64, error) {
+	applicable := make([]Input, 0, len(Inputs))
 	for _, in := range Inputs {
 		if (in == Mu || in == Phi) && d.Kind != core.Het {
 			continue
 		}
-		e, err := Elasticity(ev, d, f, b, in, h)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity: %v: %w", in, err)
-		}
-		out[in] = e
+		applicable = append(applicable, in)
+	}
+	es, err := par.Map(context.Background(), len(applicable), workers,
+		func(_ context.Context, i int) (float64, error) {
+			e, err := Elasticity(ev, d, f, b, applicable[i], h)
+			if err != nil {
+				return 0, fmt.Errorf("sensitivity: %v: %w", applicable[i], err)
+			}
+			return e, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Input]float64, len(applicable))
+	for i, in := range applicable {
+		out[in] = es[i]
 	}
 	return out, nil
 }
@@ -126,11 +147,39 @@ type Interval struct {
 	Samples int
 }
 
-// MonteCarlo evaluates the design under `samples` random perturbations:
-// every input independently scaled by exp(sigma x N(0,1)) (log-normal,
-// so a sigma of 0.2 is roughly +-20%). Infeasible draws are skipped but
-// counted against the sample budget; at least half must succeed.
+// MonteCarlo evaluates the design under `samples` random perturbations
+// across a GOMAXPROCS worker pool. See MonteCarloWorkers.
 func MonteCarlo(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, sigma float64, samples int, seed int64) (Interval, error) {
+	return MonteCarloWorkers(ev, d, f, b, sigma, samples, seed, 0)
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to derive decorrelated
+// per-sample RNG seeds from (seed, sample index). Adjacent raw seeds feed
+// Go's additive-lagged-Fibonacci source nearly identical streams; the
+// finalizer scatters them across the seed space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// sampleRNG returns the deterministic sub-stream for sample i.
+func sampleRNG(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix64(uint64(seed) + uint64(i)))))
+}
+
+// MonteCarloWorkers evaluates the design under `samples` random
+// perturbations: every input independently scaled by exp(sigma x N(0,1))
+// (log-normal, so a sigma of 0.2 is roughly +-20%). Infeasible draws are
+// skipped but counted against the sample budget; at least half must
+// succeed.
+//
+// Samples fan out over workers goroutines (<= 0 means GOMAXPROCS). Each
+// sample draws from its own deterministic RNG sub-stream derived from
+// (seed, sample index), and the surviving speedups are assembled in
+// sample order, so the interval is identical at every worker count.
+func MonteCarloWorkers(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, sigma float64, samples int, seed int64, workers int) (Interval, error) {
 	if sigma <= 0 || samples < 10 {
 		return Interval{}, errors.New("sensitivity: need sigma > 0 and samples >= 10")
 	}
@@ -138,22 +187,35 @@ func MonteCarlo(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, s
 	if err != nil {
 		return Interval{}, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	vals := make([]float64, 0, samples)
-	for i := 0; i < samples; i++ {
-		dd, bb := d, b
-		for _, in := range Inputs {
-			if (in == Mu || in == Phi) && d.Kind != core.Het {
-				continue
+	type draw struct {
+		speedup  float64
+		feasible bool
+	}
+	draws, err := par.Map(context.Background(), samples, workers,
+		func(_ context.Context, i int) (draw, error) {
+			rng := sampleRNG(seed, i)
+			dd, bb := d, b
+			for _, in := range Inputs {
+				if (in == Mu || in == Phi) && d.Kind != core.Het {
+					continue
+				}
+				k := math.Exp(sigma * rng.NormFloat64())
+				dd, bb = perturb(dd, bb, in, k)
 			}
-			k := math.Exp(sigma * rng.NormFloat64())
-			dd, bb = perturb(dd, bb, in, k)
+			p, err := ev.Optimize(dd, f, bb)
+			if err != nil {
+				return draw{}, nil // infeasible draws are skipped, not fatal
+			}
+			return draw{speedup: p.Speedup, feasible: true}, nil
+		})
+	if err != nil {
+		return Interval{}, err
+	}
+	vals := make([]float64, 0, samples)
+	for _, dr := range draws {
+		if dr.feasible {
+			vals = append(vals, dr.speedup)
 		}
-		p, err := ev.Optimize(dd, f, bb)
-		if err != nil {
-			continue
-		}
-		vals = append(vals, p.Speedup)
 	}
 	if len(vals) < samples/2 {
 		return Interval{}, fmt.Errorf("sensitivity: only %d of %d draws feasible", len(vals), samples)

@@ -1,19 +1,20 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"github.com/calcm/heterosim/internal/device"
 	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/par"
 )
 
-// SweepAllFFT runs the FFT sweep for every FFT-capable device
-// concurrently, one goroutine per device. Results are keyed by device and
-// identical to sequential SweepFFT calls; the first error aborts the
-// whole sweep. The concurrency matters for the execute=true path, where
-// every size runs and verifies the real kernel.
+// SweepAllFFT runs the FFT sweep for every FFT-capable device across the
+// shared worker pool (par package, GOMAXPROCS workers). Results are keyed
+// by device and identical to sequential SweepFFT calls; the first error
+// cancels the sweep. The concurrency matters for the execute=true path,
+// where every size runs and verifies the real kernel.
 func (s *Simulator) SweepAllFFT(lo2, hi2 int, execute bool) (map[paper.DeviceID][]Record, error) {
 	var devices []paper.DeviceID
 	for _, d := range device.Catalog() {
@@ -23,30 +24,20 @@ func (s *Simulator) SweepAllFFT(lo2, hi2 int, execute bool) (map[paper.DeviceID]
 	}
 	sort.Slice(devices, func(i, j int) bool { return devices[i] < devices[j] })
 
-	type result struct {
-		id   paper.DeviceID
-		recs []Record
-		err  error
+	sweeps, err := par.Map(context.Background(), len(devices), 0,
+		func(_ context.Context, i int) ([]Record, error) {
+			recs, err := s.SweepFFT(devices[i], lo2, hi2, execute)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s: %w", devices[i], err)
+			}
+			return recs, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	results := make(chan result, len(devices))
-	var wg sync.WaitGroup
-	for _, id := range devices {
-		wg.Add(1)
-		go func(id paper.DeviceID) {
-			defer wg.Done()
-			recs, err := s.SweepFFT(id, lo2, hi2, execute)
-			results <- result{id: id, recs: recs, err: err}
-		}(id)
-	}
-	wg.Wait()
-	close(results)
-
 	out := make(map[paper.DeviceID][]Record, len(devices))
-	for r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("sim: %s: %w", r.id, r.err)
-		}
-		out[r.id] = r.recs
+	for i, id := range devices {
+		out[id] = sweeps[i]
 	}
 	return out, nil
 }

@@ -224,8 +224,9 @@ func executeFFT(n int) error {
 		return err
 	}
 	// Execute through the planned path (the production transform shape)
-	// and cross-check against the recursive reference.
-	plan, err := fft.NewPlan(n)
+	// and cross-check against the recursive reference. The package-level
+	// plan cache makes repeated sweeps at the same sizes setup-free.
+	plan, err := fft.PlanFor(n)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/calcm/heterosim/internal/par"
+)
+
+// EachParallel invokes fn for every grid point across a bounded worker
+// pool (workers <= 0 means GOMAXPROCS). Each invocation decodes its
+// row-major index directly into its own Point — there is no shared
+// multi-index state — so any interleaving visits exactly the same points
+// as Each. The Point is valid only for the duration of the call (use
+// Copy to keep one). The first error cancels the sweep; the
+// lowest-indexed observed error is returned.
+//
+// fn runs concurrently: it must be safe for parallel use.
+func (g *Grid) EachParallel(workers int, fn func(Point) error) error {
+	return par.ForEach(context.Background(), g.Size(), workers, func(_ context.Context, i int) error {
+		p := make(Point, len(g.axes))
+		g.decodeInto(i, p)
+		return fn(p)
+	})
+}
+
+// cell is one evaluated grid point in an ArgMaxParallel sweep.
+type cell struct {
+	value float64
+	err   error
+}
+
+// ArgMaxParallel evaluates objective at every point concurrently and
+// returns the best result. It is bit-identical to ArgMax at every worker
+// count: all points are evaluated (an objective error skips the point, it
+// does not cancel the sweep), and the reduction runs in ascending index
+// order with a strict > comparison, so ties break to the lowest index
+// exactly as the serial scan does. If every point fails, the error of the
+// highest-indexed point is returned — again matching ArgMax, whose
+// "last error" is the last one met in row-major order.
+//
+// objective runs concurrently: it must be safe for parallel use.
+func (g *Grid) ArgMaxParallel(workers int, objective func(Point) (float64, error)) (Result, error) {
+	cells, err := par.Map(context.Background(), g.Size(), workers, func(_ context.Context, i int) (cell, error) {
+		p := make(Point, len(g.axes))
+		g.decodeInto(i, p)
+		v, err := objective(p)
+		return cell{value: v, err: err}, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var (
+		best    Result
+		bestIdx = -1
+		lastErr error
+	)
+	for i, c := range cells {
+		if c.err != nil {
+			lastErr = c.err
+			continue
+		}
+		if bestIdx < 0 || c.value > best.Value {
+			best = Result{Value: c.value}
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return Result{}, fmt.Errorf("sweep: no feasible point: %w", lastErr)
+	}
+	p, err := g.PointAt(bestIdx)
+	if err != nil {
+		return Result{}, err
+	}
+	best.Point = p
+	return best, nil
+}

@@ -53,31 +53,49 @@ func (g *Grid) Size() int {
 // Point is one grid sample, keyed by axis name.
 type Point map[string]float64
 
+// Copy returns an independent copy of the point.
+func (p Point) Copy() Point {
+	cp := make(Point, len(p))
+	for k, v := range p {
+		cp[k] = v
+	}
+	return cp
+}
+
+// decodeInto writes grid point i (row-major, last axis fastest) into p,
+// overwriting the axis keys. The caller guarantees 0 <= i < Size().
+func (g *Grid) decodeInto(i int, p Point) {
+	for ax := len(g.axes) - 1; ax >= 0; ax-- {
+		vals := g.axes[ax].Values
+		p[g.axes[ax].Name] = vals[i%len(vals)]
+		i /= len(vals)
+	}
+}
+
+// PointAt returns grid point i in row-major order (last axis fastest),
+// decoding the flat index directly with no multi-index state.
+func (g *Grid) PointAt(i int) (Point, error) {
+	if i < 0 || i >= g.Size() {
+		return nil, fmt.Errorf("sweep: point index %d out of range [0, %d)", i, g.Size())
+	}
+	p := make(Point, len(g.axes))
+	g.decodeInto(i, p)
+	return p, nil
+}
+
 // Each invokes fn for every point in row-major order (last axis fastest).
-// The first error aborts the sweep.
+// The first error aborts the sweep. The Point passed to fn is reused
+// between iterations: fn must not retain it (use Copy to keep one).
 func (g *Grid) Each(fn func(Point) error) error {
-	idx := make([]int, len(g.axes))
-	for {
-		p := make(Point, len(g.axes))
-		for i, a := range g.axes {
-			p[a.Name] = a.Values[idx[i]]
-		}
+	n := g.Size()
+	p := make(Point, len(g.axes))
+	for i := 0; i < n; i++ {
+		g.decodeInto(i, p)
 		if err := fn(p); err != nil {
 			return err
 		}
-		// Increment the multi-index.
-		i := len(idx) - 1
-		for ; i >= 0; i-- {
-			idx[i]++
-			if idx[i] < len(g.axes[i].Values) {
-				break
-			}
-			idx[i] = 0
-		}
-		if i < 0 {
-			return nil
-		}
 	}
+	return nil
 }
 
 // Result couples a grid point with its objective value.
@@ -102,11 +120,7 @@ func (g *Grid) ArgMax(objective func(Point) (float64, error)) (Result, error) {
 			return nil
 		}
 		if !found || v > best.Value {
-			cp := make(Point, len(p))
-			for k, x := range p {
-				cp[k] = x
-			}
-			best = Result{Point: cp, Value: v}
+			best = Result{Point: p.Copy(), Value: v}
 			found = true
 		}
 		return nil

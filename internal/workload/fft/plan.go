@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // Plan precomputes everything a fixed-size transform needs — twiddle
@@ -46,6 +47,28 @@ func NewPlan(n int) (*Plan, error) {
 		p.rev[i] = r
 	}
 	return p, nil
+}
+
+// planCache memoizes one Plan per transform length. Plans are immutable
+// after NewPlan and safe for concurrent use, so sharing one per size is
+// sound; repeated measure/sim sweeps at the same sizes reuse the twiddle
+// and bit-reversal tables instead of re-deriving them on every run.
+var planCache sync.Map // int -> *Plan
+
+// PlanFor returns the shared cached plan for length n (a power of two
+// >= 2), building and memoizing it on first use. Callers that need a
+// private plan (there is no semantic reason to — plans are stateless
+// between Execute calls) can still use NewPlan.
+func PlanFor(n int) (*Plan, error) {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan), nil
+	}
+	p, err := NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*Plan), nil
 }
 
 // N returns the transform length.

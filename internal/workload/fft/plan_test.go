@@ -191,3 +191,110 @@ func BenchmarkPlanVsPlanless(b *testing.B) {
 		}
 	})
 }
+
+func TestPlanForCachesPerSize(t *testing.T) {
+	a, err := PlanFor(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanFor(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("PlanFor(2048) built two plans for one size")
+	}
+	c, err := PlanFor(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different sizes must get different plans")
+	}
+	if _, err := PlanFor(12); err != ErrNotPow2 {
+		t.Errorf("PlanFor(12): %v, want ErrNotPow2", err)
+	}
+	// The cached plan transforms correctly.
+	x := make([]complex128, 2048)
+	for i := range x {
+		x[i] = complex(float64(i%13), float64(i%7))
+	}
+	want, err := ForwardCopy(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Execute(x); err != nil {
+		t.Fatal(err)
+	}
+	diff, err := MaxAbsDiff(x, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 1e-8*2048 {
+		t.Errorf("cached plan diverged: %g", diff)
+	}
+}
+
+func TestPlanForConcurrentFirstUse(t *testing.T) {
+	// Many goroutines race the first build of one size; all must end up
+	// with the same plan and correct transforms.
+	const n = 8192
+	var wg sync.WaitGroup
+	plans := make([]*Plan, 16)
+	for g := range plans {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p, err := PlanFor(n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[g] = p
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(plans); g++ {
+		if plans[g] != plans[0] {
+			t.Fatalf("goroutine %d got a different plan", g)
+		}
+	}
+}
+
+// BenchmarkPlanForVsNewPlan quantifies what the package-level cache buys
+// the measure/sim sweep path, which plans the same sizes over and over.
+func BenchmarkPlanForVsNewPlan(b *testing.B) {
+	sizes := []int{64, 1024, 16384}
+	x := make([]complex128, 16384)
+	for i := range x {
+		x[i] = complex(float64(i%11), float64(i%3))
+	}
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, n := range sizes {
+				p, err := PlanFor(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Execute(x[:n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, n := range sizes {
+				p, err := NewPlan(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Execute(x[:n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -197,10 +197,3 @@ func Identity(n int) (*Matrix, error) {
 	}
 	return m, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
