@@ -17,6 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+
+	"github.com/calcm/heterosim/internal/par"
+	"github.com/calcm/heterosim/internal/version"
 )
 
 func main() {
@@ -59,6 +63,10 @@ func run(args []string) error {
 		return cmdDevices(rest)
 	case "all":
 		return cmdAll(rest)
+	case "version":
+		info := version.Get()
+		fmt.Printf("%s %s (%s, %s/%s)\n", info.Module, info.Version, info.GoVersion, info.OS, info.Arch)
+		return nil
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -85,6 +93,7 @@ Subcommands:
   frontier       sweep the (mu, phi) design space on a grid
   devices        list the simulated device catalog and operating points
   all            regenerate every table and figure
+  version        print the build identity (module, version, Go runtime)
 
 Model-evaluating subcommands accept -workers N to size the worker pool
 (<= 0 means GOMAXPROCS); outputs are identical at every worker count.
@@ -97,9 +106,31 @@ func newFlagSet(name string) *flag.FlagSet {
 	return fs
 }
 
+// workersValue parses -workers through par.Normalize, the shared
+// worker-count sanitizer: every "auto" spelling (zero or negative)
+// canonicalizes to 0 at parse time, so no subcommand — and nothing
+// downstream — ever sees a raw negative count. The server's Workers
+// config normalizes through the same helper.
+type workersValue int
+
+// String renders the current value (flag.Value).
+func (w *workersValue) String() string { return strconv.Itoa(int(*w)) }
+
+// Set parses and normalizes one -workers argument (flag.Value).
+func (w *workersValue) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("invalid worker count %q", s)
+	}
+	*w = workersValue(par.Normalize(n))
+	return nil
+}
+
 // workersFlag registers the shared -workers flag. Every subcommand that
 // evaluates the model fans out across this many goroutines; outputs are
 // deterministic at any worker count, so the flag only changes speed.
 func workersFlag(fs *flag.FlagSet) *int {
-	return fs.Int("workers", 0, "worker goroutines for parallel evaluation (<= 0 means GOMAXPROCS)")
+	w := new(workersValue)
+	fs.Var(w, "workers", "worker goroutines for parallel evaluation (<= 0 means GOMAXPROCS)")
+	return (*int)(w)
 }

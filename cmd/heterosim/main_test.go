@@ -305,3 +305,44 @@ func TestParseWorkload(t *testing.T) {
 		t.Error("unknown workload must fail")
 	}
 }
+
+func TestWorkersFlagNormalizes(t *testing.T) {
+	cases := []struct {
+		arg  string
+		want int
+	}{
+		{"4", 4},
+		{"1", 1},
+		{"0", 0},
+		{"-3", 0}, // any "auto" spelling canonicalizes to 0 at parse time
+	}
+	for _, c := range cases {
+		fs := newFlagSet("test")
+		fs.SetOutput(io.Discard)
+		workers := workersFlag(fs)
+		if err := fs.Parse([]string{"-workers", c.arg}); err != nil {
+			t.Errorf("-workers %s: %v", c.arg, err)
+			continue
+		}
+		if *workers != c.want {
+			t.Errorf("-workers %s = %d, want %d", c.arg, *workers, c.want)
+		}
+	}
+
+	fs := newFlagSet("test")
+	fs.SetOutput(io.Discard)
+	workersFlag(fs)
+	if err := fs.Parse([]string{"-workers", "many"}); err == nil {
+		t.Error("non-integer -workers must fail to parse")
+	}
+}
+
+func TestVersionSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"version"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "github.com/calcm/heterosim") {
+		t.Errorf("version output missing module path: %q", out)
+	}
+}

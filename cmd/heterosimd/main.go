@@ -1,0 +1,150 @@
+// Command heterosimd is the long-running model-evaluation service: the
+// Chung et al. (MICRO 2010) analytical engine behind JSON-over-HTTP
+// endpoints, with a sharded result cache, request coalescing, and
+// admission control so overload degrades to 429/503 instead of
+// collapsing.
+//
+// Usage:
+//
+//	heterosimd serve [-addr :8080] [-workers N] [-cache-entries N]
+//	                 [-max-inflight N] [-max-queue N] [-queue-timeout D]
+//	heterosimd version
+//
+// serve runs until SIGINT/SIGTERM, then drains in-flight requests.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/calcm/heterosim/internal/par"
+	"github.com/calcm/heterosim/internal/server"
+	"github.com/calcm/heterosim/internal/version"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "heterosimd:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches subcommands. ready, if non-nil, receives the bound
+// listen address (tests and scripts use it with -addr :0).
+func run(args []string, ready chan<- net.Addr) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("a subcommand is required")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "serve":
+		return cmdServe(rest, ready)
+	case "version":
+		return cmdVersion(rest)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `heterosimd — HTTP model-evaluation service for the MICRO 2010 reproduction
+
+Subcommands:
+  serve     run the service until SIGINT/SIGTERM
+  version   print the build identity (module, version, Go runtime)
+
+serve flags:
+  -addr          listen address (default :8080; use :0 for an ephemeral port)
+  -workers       evaluation worker pool, <= 0 means GOMAXPROCS (default 0)
+  -cache-entries result cache budget; 0 keeps coalescing but disables storage (default 4096)
+  -max-inflight  concurrent evaluations admitted (default 2 x GOMAXPROCS)
+  -max-queue     requests queued beyond that before 429 (default = max-inflight)
+  -queue-timeout queued-request wait bound before 503 (default 2s)
+`)
+}
+
+func cmdVersion(args []string) error {
+	fs := flag.NewFlagSet("version", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	info := version.Get()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		return enc.Encode(info)
+	}
+	fmt.Printf("%s %s (%s, %s/%s)\n", info.Module, info.Version, info.GoVersion, info.OS, info.Arch)
+	return nil
+}
+
+func cmdServe(args []string, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "evaluation worker pool (<= 0 means GOMAXPROCS)")
+	cacheEntries := fs.Int("cache-entries", 4096, "result cache budget (0 disables storage, keeps coalescing)")
+	maxInflight := fs.Int("max-inflight", 0, "concurrent evaluations admitted (0 = 2 x GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "queued requests before 429 (0 = max-inflight)")
+	queueTimeout := fs.Duration("queue-timeout", 2*time.Second, "queued-request wait before 503")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	entries := *cacheEntries
+	if entries <= 0 {
+		entries = -1 // flag spelling: 0 disables storage, keeps coalescing
+	}
+	cfg := server.Config{
+		Addr:         *addr,
+		Workers:      par.Normalize(*workers),
+		CacheEntries: entries,
+		MaxInflight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		QueueTimeout: *queueTimeout,
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	bound := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe(ctx, bound) }()
+
+	logger := log.New(os.Stderr, "heterosimd: ", log.LstdFlags)
+	select {
+	case a := <-bound:
+		logger.Printf("%s listening on %s", version.Get().Version, a)
+		for _, e := range server.Endpoints() {
+			logger.Printf("  %s", e)
+		}
+		if ready != nil {
+			ready <- a
+		}
+	case err := <-errc:
+		return err // listen failed before binding
+	}
+	err = <-errc
+	if err != nil {
+		return err
+	}
+	logger.Printf("shut down cleanly")
+	return nil
+}

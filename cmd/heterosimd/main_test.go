@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestRunDispatch(t *testing.T) {
+	if err := run(nil, nil); err == nil {
+		t.Error("no args must fail")
+	}
+	if err := run([]string{"frobnicate"}, nil); err == nil {
+		t.Error("unknown subcommand must fail")
+	}
+	if err := run([]string{"help"}, nil); err != nil {
+		t.Errorf("help should succeed: %v", err)
+	}
+}
+
+func TestVersionSubcommand(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"version", "-json"}, nil)
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var info struct {
+		Module  string `json:"module"`
+		Version string `json:"version"`
+	}
+	if err := json.Unmarshal(out, &info); err != nil {
+		t.Fatalf("version -json output %q: %v", out, err)
+	}
+	if info.Module != "github.com/calcm/heterosim" || info.Version == "" {
+		t.Errorf("unexpected version info: %+v", info)
+	}
+}
+
+// TestServeEndToEnd boots the daemon on an ephemeral port, exercises the
+// live HTTP surface (healthz, version, optimize against the smoke
+// golden that CI curls), and shuts it down with SIGINT — the exact
+// lifecycle a deployment sees.
+func TestServeEndToEnd(t *testing.T) {
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", "127.0.0.1:0", "-workers", "2", "-cache-entries", "64"}, ready)
+	}()
+	var base string
+	select {
+	case a := <-ready:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not bind within 5s")
+	}
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || strings.TrimSpace(string(body)) != `{"status":"ok"}` {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	if code, body := get("/v1/version"); code != http.StatusOK || !bytes.Contains(body, []byte("goVersion")) {
+		t.Fatalf("version: %d %s", code, body)
+	}
+
+	// The same request/response pair CI replays with curl.
+	reqBody, err := os.ReadFile(filepath.Join("testdata", "optimize_smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/optimize", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: %d %s", resp.StatusCode, got)
+	}
+	goldenPath := filepath.Join("testdata", "optimize_smoke.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./cmd/heterosimd -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("optimize smoke response drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Graceful shutdown on SIGINT.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve did not shut down cleanly: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit after SIGINT")
+	}
+}

@@ -26,6 +26,9 @@
 package heterosim
 
 import (
+	"context"
+	"net"
+
 	"github.com/calcm/heterosim/internal/ablation"
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
@@ -39,9 +42,11 @@ import (
 	"github.com/calcm/heterosim/internal/project"
 	"github.com/calcm/heterosim/internal/roofline"
 	"github.com/calcm/heterosim/internal/scenario"
+	"github.com/calcm/heterosim/internal/server"
 	"github.com/calcm/heterosim/internal/trace"
 	"github.com/calcm/heterosim/internal/ucore"
 	"github.com/calcm/heterosim/internal/validate"
+	"github.com/calcm/heterosim/internal/version"
 )
 
 // Model primitives re-exported from the internal engine.
@@ -284,3 +289,35 @@ func AblateBandwidthBound(w WorkloadID, f float64, nodeIdx int) ([]AblationResul
 func AblatePowerBound(w WorkloadID, f float64, nodeIdx int) ([]AblationResult, error) {
 	return ablation.PowerBound(w, f, nodeIdx)
 }
+
+// Serving layer (the heterosimd daemon's engine), re-exported so library
+// consumers can embed the model service in their own processes.
+type (
+	// Server is the JSON-over-HTTP serving layer: the four model
+	// endpoints backed by a sharded result cache with request coalescing
+	// and a bounded-concurrency admission gate.
+	Server = server.Server
+	// ServerConfig parameterizes the serving layer; the zero value uses
+	// production defaults.
+	ServerConfig = server.Config
+	// VersionInfo is the build identity served by /v1/version.
+	VersionInfo = version.Info
+)
+
+// NewServer builds the serving layer. Mount NewServer(cfg).Handler() in
+// an existing mux, or use Serve for a managed listener.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Serve runs the model service on cfg.Addr until ctx is cancelled, then
+// drains in-flight requests. ready, if non-nil, receives the bound
+// address once listening (useful with ":0" for tests).
+func Serve(ctx context.Context, cfg ServerConfig, ready chan<- net.Addr) error {
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	return s.ListenAndServe(ctx, ready)
+}
+
+// Version reports the build identity (stamped via -ldflags in releases).
+func Version() VersionInfo { return version.Get() }

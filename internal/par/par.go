@@ -34,6 +34,19 @@ func Workers(n int) int {
 	return n
 }
 
+// Normalize canonicalizes a worker-count request at a configuration
+// boundary (CLI flag, server config, HTTP request body): every "auto"
+// spelling (zero or any negative value) becomes 0, positive counts pass
+// through. It is the single place where -workers and Workers fields are
+// sanitized, so a count that survives Normalize is either 0 (auto) or a
+// positive pool size — downstream code never sees -3.
+func Normalize(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n
+}
+
 // ForEach invokes fn(ctx, i) for every i in [0, n) using at most workers
 // goroutines (workers <= 0 means GOMAXPROCS). Indices are claimed from a
 // shared atomic counter, so load balances dynamically; at workers = 1 the

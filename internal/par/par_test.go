@@ -214,3 +214,21 @@ func TestExternalCancellationMidFlight(t *testing.T) {
 		t.Errorf("cancellation did not stop the sweep (ran %d tasks)", n)
 	}
 }
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-100, 0}, {-1, 0}, {0, 0}, {1, 1}, {4, 4}, {1 << 20, 1 << 20},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// A normalized count resolves identically to its raw spelling: auto
+	// spellings collapse to GOMAXPROCS, positive counts are untouched.
+	for _, n := range []int{-7, 0, 3} {
+		if Workers(Normalize(n)) != Workers(n) {
+			t.Errorf("Workers(Normalize(%d)) != Workers(%d)", n, n)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package servecache is the serving layer's result cache: a sharded LRU
+// keyed by a canonical hash of the request, with singleflight-style
+// coalescing so N concurrent identical requests cost one evaluation.
+//
+// The model layer is pure — a response is a function of the request — so
+// the cache stores final marshaled response bytes and every hit is
+// byte-identical to the evaluation that produced it. Shards keep lock
+// contention off the hot path (the shard index is an FNV-1a hash of the
+// key), and per-shard LRU lists bound memory to a configurable entry
+// budget. Hit/miss/eviction/coalesced/inflight counters feed /metrics.
+package servecache
+
+import (
+	"container/list"
+	"errors"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome classifies how Do satisfied a request.
+type Outcome int
+
+const (
+	// Hit means the response was already cached.
+	Hit Outcome = iota
+	// Miss means this call ran the evaluation and (on success) filled
+	// the cache.
+	Miss
+	// Coalesced means an identical evaluation was already in flight and
+	// this call waited for its result instead of recomputing.
+	Coalesced
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultShards is the shard count used by New. Sixteen keeps lock
+// contention negligible at the worker counts the server admits while
+// costing a few hundred bytes of fixed overhead.
+const DefaultShards = 16
+
+// call is one in-flight evaluation that later arrivals coalesce onto.
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// shard is one lock domain: an LRU over its slice of the key space plus
+// the in-flight table for coalescing.
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[string]*call
+}
+
+// lruEntry is the list payload.
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// Cache is a sharded LRU with request coalescing. The zero value is not
+// usable; construct with New or NewSharded.
+type Cache struct {
+	shards []*shard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+	inflight  atomic.Int64 // current gauge, not cumulative
+}
+
+// New builds a cache holding at most entries responses across
+// DefaultShards shards. entries == 0 disables storage but keeps
+// coalescing: concurrent identical requests still collapse to one
+// evaluation, sequential ones recompute.
+func New(entries int) (*Cache, error) {
+	return NewSharded(entries, DefaultShards)
+}
+
+// NewSharded is New with an explicit shard count. The entry budget is
+// spread evenly; each shard gets at least one slot when entries > 0.
+func NewSharded(entries, shards int) (*Cache, error) {
+	if entries < 0 {
+		return nil, errors.New("servecache: entries must be >= 0")
+	}
+	if shards < 1 {
+		return nil, errors.New("servecache: shards must be >= 1")
+	}
+	perShard := entries / shards
+	if entries > 0 && perShard == 0 {
+		perShard = 1
+	}
+	c := &Cache{shards: make([]*shard, shards)}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			capacity: perShard,
+			entries:  make(map[string]*list.Element),
+			order:    list.New(),
+			inflight: make(map[string]*call),
+		}
+	}
+	return c, nil
+}
+
+// shardFor hashes the key (FNV-1a 64) onto a shard.
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum64()%uint64(len(c.shards))]
+}
+
+// Get returns the cached response for key, if present, promoting it to
+// most-recently-used. The returned bytes are shared: callers must treat
+// them as immutable.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*lruEntry).val, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Do returns the response for key, computing it with fn at most once per
+// cache generation: a cached response is returned immediately (Hit); if
+// an identical evaluation is already in flight the call waits for it and
+// shares its result (Coalesced); otherwise this call runs fn and, on
+// success, fills the cache (Miss). Errors are shared with coalesced
+// waiters but never cached, so a failed evaluation can be retried.
+//
+// The returned bytes are shared across callers: treat them as immutable.
+func (c *Cache) Do(key string, fn func() ([]byte, error)) ([]byte, Outcome, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		val := el.Value.(*lruEntry).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return val, Hit, nil
+	}
+	if cl, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		<-cl.done
+		return cl.val, Coalesced, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	s.inflight[key] = cl
+	s.mu.Unlock()
+	c.misses.Add(1)
+	c.inflight.Add(1)
+
+	cl.val, cl.err = fn()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if cl.err == nil {
+		s.insert(key, cl.val, c)
+	}
+	s.mu.Unlock()
+	c.inflight.Add(-1)
+	close(cl.done)
+	return cl.val, Miss, cl.err
+}
+
+// insert adds (or refreshes) key under the shard lock, evicting the
+// least-recently-used entry when the shard is full.
+func (s *shard) insert(key string, val []byte, c *Cache) {
+	if s.capacity == 0 {
+		return
+	}
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*lruEntry).val = val
+		s.order.MoveToFront(el)
+		return
+	}
+	if s.order.Len() >= s.capacity {
+		oldest := s.order.Back()
+		if oldest != nil {
+			s.order.Remove(oldest)
+			delete(s.entries, oldest.Value.(*lruEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	s.entries[key] = s.order.PushFront(&lruEntry{key: key, val: val})
+}
+
+// Len returns the number of cached responses across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the total entry budget across all shards.
+func (c *Cache) Capacity() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.capacity
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Inflight  int64 `json:"inflight"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Shards    int   `json:"shards"`
+}
+
+// Stats snapshots the counters. Entries walks the shards, so the value
+// is consistent per shard but not across a concurrent fill.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Inflight:  c.inflight.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.Capacity(),
+		Shards:    len(c.shards),
+	}
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/paper"
+	"github.com/calcm/heterosim/internal/project"
+	"github.com/calcm/heterosim/internal/ucore"
+)
+
+// apiError is an error with an HTTP status. Handlers return it from
+// validation and evaluation so the transport layer can map model errors
+// to 4xx instead of a blanket 500.
+type apiError struct {
+	Status  int    `json:"-"`
+	Message string `json:"error"`
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+// badRequest builds a 400 apiError.
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+// unprocessable builds a 422 apiError: the request is well-formed but the
+// model cannot produce a feasible answer for it.
+func unprocessable(format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusUnprocessableEntity, Message: fmt.Sprintf(format, args...)}
+}
+
+// parseWorkload maps the HTTP spelling onto a catalog workload. It
+// accepts the same spellings as the CLI.
+func parseWorkload(s string) (paper.WorkloadID, error) {
+	switch strings.ToLower(s) {
+	case "mmm":
+		return paper.MMM, nil
+	case "bs", "blackscholes":
+		return paper.BS, nil
+	case "fft-64", "fft64":
+		return paper.FFT64, nil
+	case "fft-1024", "fft1024", "fft":
+		return paper.FFT1024, nil
+	case "fft-16384", "fft16384":
+		return paper.FFT16384, nil
+	default:
+		return "", badRequest("unknown workload %q (want MMM, BS, FFT-64, FFT-1024, FFT-16384)", s)
+	}
+}
+
+// parseDevice maps the HTTP spelling onto a catalog device.
+func parseDevice(s string) (paper.DeviceID, error) {
+	switch strings.ToLower(s) {
+	case "corei7", "core i7", "core i7-960", "i7":
+		return paper.CoreI7, nil
+	case "gtx285":
+		return paper.GTX285, nil
+	case "gtx480":
+		return paper.GTX480, nil
+	case "r5870":
+		return paper.R5870, nil
+	case "lx760", "v6-lx760":
+		return paper.LX760, nil
+	case "asic":
+		return paper.ASIC, nil
+	default:
+		return "", badRequest("unknown device %q (want CoreI7, GTX285, GTX480, R5870, LX760, ASIC)", s)
+	}
+}
+
+// DesignSpec selects the chip organization for a request: "sym" and
+// "asym" are the CMP baselines, "het" needs U-core parameters — either a
+// catalog device (published Table 5 values) or explicit (mu, phi).
+type DesignSpec struct {
+	Kind            string  `json:"kind"`
+	Device          string  `json:"device,omitempty"`
+	Mu              float64 `json:"mu,omitempty"`
+	Phi             float64 `json:"phi,omitempty"`
+	ExemptBandwidth bool    `json:"exemptBandwidth,omitempty"`
+}
+
+// resolve turns the spec into an evaluable design for a workload. It
+// also canonicalizes the spec in place (kind lowercased, device in
+// catalog spelling) so spelling variants of the same request share one
+// cache key.
+func (ds *DesignSpec) resolve(w paper.WorkloadID) (core.Design, error) {
+	switch strings.ToLower(ds.Kind) {
+	case "sym", "symcmp":
+		ds.Kind = "sym"
+		return core.Design{Kind: core.SymCMP, Label: "(0) SymCMP"}, nil
+	case "asym", "asymcmp":
+		ds.Kind = "asym"
+		return core.Design{Kind: core.AsymCMP, Label: "(1) AsymCMP"}, nil
+	case "het":
+		ds.Kind = "het"
+	default:
+		return core.Design{}, badRequest("unknown design kind %q (want sym, asym, het)", ds.Kind)
+	}
+	d := core.Design{Kind: core.Het, ExemptBandwidth: ds.ExemptBandwidth}
+	switch {
+	case ds.Device != "":
+		if ds.Mu != 0 || ds.Phi != 0 {
+			return core.Design{}, badRequest("give either device or explicit (mu, phi), not both")
+		}
+		dev, err := parseDevice(ds.Device)
+		if err != nil {
+			return core.Design{}, err
+		}
+		ds.Device = string(dev)
+		p, ok := ucore.PublishedParams(dev, w)
+		if !ok {
+			return core.Design{}, unprocessable("the paper has no published (mu, phi) for %s on %s", dev, w)
+		}
+		d.Label = string(dev)
+		d.UCore = bounds.UCore{Mu: p.Mu, Phi: p.Phi}
+	case ds.Mu > 0 && ds.Phi > 0:
+		d.Label = "custom"
+		d.UCore = bounds.UCore{Mu: ds.Mu, Phi: ds.Phi}
+	default:
+		return core.Design{}, badRequest("het design needs a device or positive (mu, phi)")
+	}
+	if err := d.Validate(); err != nil {
+		return core.Design{}, badRequest("%v", err)
+	}
+	return d, nil
+}
+
+// BudgetsSpec is an explicit BCE-relative budget triple.
+type BudgetsSpec struct {
+	Area      float64 `json:"area"`
+	Power     float64 `json:"power"`
+	Bandwidth float64 `json:"bandwidth"`
+}
+
+// PointJSON is one evaluated design point on the wire.
+type PointJSON struct {
+	Label      string  `json:"label"`
+	Kind       string  `json:"kind"`
+	F          float64 `json:"f"`
+	R          int     `json:"r"`
+	N          float64 `json:"n"`
+	Speedup    float64 `json:"speedup"`
+	Limit      string  `json:"limit"`
+	EnergyNorm float64 `json:"energyNorm"`
+}
+
+func pointJSON(p core.Point) PointJSON {
+	return PointJSON{
+		Label:      p.Design.Label,
+		Kind:       p.Design.Kind.String(),
+		F:          p.F,
+		R:          p.R,
+		N:          p.N,
+		Speedup:    p.Speedup,
+		Limit:      p.Limit.String(),
+		EnergyNorm: p.EnergyNorm,
+	}
+}
+
+// NodePointJSON is one trajectory sample on the wire.
+type NodePointJSON struct {
+	Node       string  `json:"node"`
+	Valid      bool    `json:"valid"`
+	R          int     `json:"r,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+	Limit      string  `json:"limit,omitempty"`
+	EnergyNode float64 `json:"energyNode,omitempty"`
+}
+
+// TrajectoryJSON is one design's roadmap evolution on the wire.
+type TrajectoryJSON struct {
+	Label  string          `json:"label"`
+	Kind   string          `json:"kind"`
+	Mu     float64         `json:"mu,omitempty"`
+	Phi    float64         `json:"phi,omitempty"`
+	F      float64         `json:"f"`
+	Points []NodePointJSON `json:"points"`
+}
+
+func trajectoryJSON(ts []project.Trajectory) []TrajectoryJSON {
+	out := make([]TrajectoryJSON, 0, len(ts))
+	for _, t := range ts {
+		tj := TrajectoryJSON{
+			Label: t.Design.Label,
+			Kind:  t.Design.Kind.String(),
+			Mu:    t.Design.UCore.Mu,
+			Phi:   t.Design.UCore.Phi,
+			F:     t.F,
+		}
+		for _, p := range t.Points {
+			np := NodePointJSON{Node: p.Node.Name, Valid: p.Valid}
+			if p.Valid {
+				np.R = p.Point.R
+				np.Speedup = p.Point.Speedup
+				np.Limit = p.Point.Limit.String()
+				np.EnergyNode = p.EnergyNode
+			}
+			tj.Points = append(tj.Points, np)
+		}
+		out = append(out, tj)
+	}
+	return out
+}
+
+// canonicalKey derives the cache/coalescing key for a decoded,
+// default-applied request. Identical requests — regardless of JSON field
+// order, whitespace, or spelling variants normalized during decoding —
+// hash to the same key. The Workers field must already be cleared by the
+// caller: results are byte-identical at every worker count, so worker
+// counts must not fragment the cache.
+func canonicalKey(endpoint string, req any) (string, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	return endpoint + "\x00" + string(b), nil
+}

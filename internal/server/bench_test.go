@@ -1,0 +1,112 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchPost drives one request through the full handler stack.
+func benchPost(b *testing.B, s *Server, path, body string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s: status %d: %s", path, rec.Code, rec.Body)
+	}
+}
+
+func newBenchServer(b *testing.B, entries int) *Server {
+	b.Helper()
+	s, err := New(Config{CacheEntries: entries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+const (
+	benchOptimizeBody = `{"workload":"FFT-1024","f":0.99,"node":"22nm","design":{"kind":"het","device":"ASIC"}}`
+	benchSweepBody    = `{"workload":"FFT-1024","design":{"kind":"het","device":"GTX480"},
+		"f":{"lo":0.5,"hi":0.999,"steps":16},"bandwidthScale":{"lo":0.25,"hi":4,"steps":16}}`
+	benchProjectBody = `{"workload":"FFT-1024","f":0.999}`
+)
+
+// Cold benchmarks disable cache storage, so every request pays the full
+// evaluation; cached benchmarks hit one warm entry. The ratio is the
+// point of the serving layer.
+
+func BenchmarkOptimizeCold(b *testing.B) {
+	s := newBenchServer(b, -1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/optimize", benchOptimizeBody)
+	}
+}
+
+func BenchmarkOptimizeCached(b *testing.B) {
+	s := newBenchServer(b, 4096)
+	benchPost(b, s, "/v1/optimize", benchOptimizeBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/optimize", benchOptimizeBody)
+	}
+}
+
+func BenchmarkSweepCold(b *testing.B) {
+	s := newBenchServer(b, -1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/sweep", benchSweepBody)
+	}
+}
+
+func BenchmarkSweepCached(b *testing.B) {
+	s := newBenchServer(b, 4096)
+	benchPost(b, s, "/v1/sweep", benchSweepBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/sweep", benchSweepBody)
+	}
+}
+
+func BenchmarkProjectCold(b *testing.B) {
+	s := newBenchServer(b, -1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/project", benchProjectBody)
+	}
+}
+
+func BenchmarkProjectCached(b *testing.B) {
+	s := newBenchServer(b, 4096)
+	benchPost(b, s, "/v1/project", benchProjectBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/project", benchProjectBody)
+	}
+}
+
+// BenchmarkCachedParallel measures the hot path under client
+// concurrency: all goroutines hammer one warm entry.
+func BenchmarkCachedParallel(b *testing.B) {
+	s := newBenchServer(b, 4096)
+	benchPost(b, s, "/v1/optimize", benchOptimizeBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/optimize", strings.NewReader(benchOptimizeBody))
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentIdenticalSweepsCoalesce is the serving layer's core
+// contract (run with -race): N identical in-flight /v1/sweep requests
+// cost exactly one underlying evaluation and every client receives
+// byte-identical bytes — at several worker counts, since the engine is
+// deterministic and worker counts are excluded from the cache key.
+func TestConcurrentIdenticalSweepsCoalesce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		s := newTestServer(t, Config{Workers: workers})
+		var evals atomic.Int64
+		started := make(chan struct{})
+		release := make(chan struct{})
+		s.onEvaluate = func(string) {
+			evals.Add(1)
+			close(started) // second close would panic = second evaluation
+			<-release
+		}
+		body := `{"workload":"FFT-1024","design":{"kind":"het","device":"ASIC"},
+			"f":{"values":[0.5,0.9,0.99,0.999]},"bandwidthScale":{"lo":0.25,"hi":4,"steps":5}}`
+
+		const clients = 16
+		responses := make([][]byte, clients)
+		codes := make([]int, clients)
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				s.Handler().ServeHTTP(rec, req)
+				codes[i] = rec.Code
+				responses[i] = append([]byte(nil), rec.Body.Bytes()...)
+			}(i)
+		}
+		// Wait for the single evaluation to start, give the other clients
+		// a moment to pile onto it, then let it finish.
+		<-started
+		for s.cache.Stats().Coalesced < clients-1 {
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+		wg.Wait()
+
+		if n := evals.Load(); n != 1 {
+			t.Fatalf("workers=%d: %d evaluations, want exactly 1", workers, n)
+		}
+		for i := 0; i < clients; i++ {
+			if codes[i] != http.StatusOK {
+				t.Fatalf("workers=%d: client %d got status %d: %s", workers, i, codes[i], responses[i])
+			}
+			if !bytes.Equal(responses[i], responses[0]) {
+				t.Fatalf("workers=%d: client %d response differs from client 0", workers, i)
+			}
+		}
+		st := s.cache.Stats()
+		if st.Misses != 1 || st.Coalesced != clients-1 {
+			t.Errorf("workers=%d: cache stats %+v, want 1 miss and %d coalesced", workers, st, clients-1)
+		}
+		// Only one admission was consumed: coalesced waiters never queue
+		// for the gate.
+		if a := s.gate.stats(); a.Accepted != 1 {
+			t.Errorf("workers=%d: gate accepted %d, want 1", workers, a.Accepted)
+		}
+	}
+}
+
+// TestAdmissionControlShedsLoad saturates a one-slot server with
+// distinct long-running requests and checks the burst is shed with
+// 429 (queue full) and 503 (queue timeout) instead of piling up.
+func TestAdmissionControlShedsLoad(t *testing.T) {
+	s := newTestServer(t, Config{
+		MaxInflight:  1,
+		MaxQueue:     2,
+		QueueTimeout: 50 * time.Millisecond,
+	})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.onEvaluate = func(string) {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	post := func(i int, rec *httptest.ResponseRecorder) {
+		// Distinct f per request: distinct cache keys, no coalescing.
+		body := `{"workload":"MMM","f":0.` + strings.Repeat("9", i+1) + `,"design":{"kind":"sym"}}`
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize", strings.NewReader(body))
+		s.Handler().ServeHTTP(rec, req)
+	}
+
+	// Occupy the single evaluation slot.
+	var occupier sync.WaitGroup
+	occupier.Add(1)
+	firstRec := httptest.NewRecorder()
+	go func() { defer occupier.Done(); post(0, firstRec) }()
+	<-started
+
+	// Burst: each needs its own evaluation. The queue holds 2; they will
+	// time out with 503. Everything past the queue is an immediate 429.
+	const burst = 6
+	recs := make([]*httptest.ResponseRecorder, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		recs[i] = httptest.NewRecorder()
+		go func(i int) { defer wg.Done(); post(i+1, recs[i]) }(i)
+	}
+	wg.Wait()
+
+	counts := map[int]int{}
+	for _, rec := range recs {
+		counts[rec.Code]++
+	}
+	if counts[http.StatusOK] != 0 {
+		t.Errorf("burst produced %d OKs while the slot was held: %v", counts[http.StatusOK], counts)
+	}
+	if counts[http.StatusServiceUnavailable] == 0 {
+		t.Errorf("no queued request timed out with 503: %v", counts)
+	}
+	if counts[http.StatusTooManyRequests] == 0 {
+		t.Errorf("no overflow request was rejected with 429: %v", counts)
+	}
+	if counts[http.StatusServiceUnavailable]+counts[http.StatusTooManyRequests] != burst {
+		t.Errorf("burst outcomes beyond 429/503: %v", counts)
+	}
+	for _, rec := range recs {
+		if ra := rec.Header().Get("Retry-After"); ra == "" {
+			t.Error("shed responses must carry Retry-After")
+			break
+		}
+	}
+
+	// Release the occupier; the service recovers and serves normally.
+	close(release)
+	occupier.Wait()
+	if firstRec.Code != http.StatusOK {
+		t.Fatalf("occupying request failed: %d %s", firstRec.Code, firstRec.Body)
+	}
+	s.onEvaluate = nil
+	rec := httptest.NewRecorder()
+	post(9, rec)
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-burst request failed: %d %s", rec.Code, rec.Body)
+	}
+	st := s.gate.stats()
+	if st.RejectedFull == 0 || st.RejectedTimeout == 0 {
+		t.Errorf("gate stats did not record the shed load: %+v", st)
+	}
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Errorf("gauges must drain to zero: %+v", st)
+	}
+}
+
+// TestCachedHitsBypassAdmission proves a saturated gate still serves
+// cached responses: overload never takes away answers we already have.
+func TestCachedHitsBypassAdmission(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 1, QueueTimeout: 20 * time.Millisecond})
+	warm := `{"workload":"BS","f":0.9,"design":{"kind":"asym"}}`
+	if rec := do(t, s, http.MethodPost, "/v1/optimize", warm); rec.Code != http.StatusOK {
+		t.Fatalf("warmup failed: %d %s", rec.Code, rec.Body)
+	}
+
+	// Saturate the only slot.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s.onEvaluate = func(string) { close(started); <-release }
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		do(t, s, http.MethodPost, "/v1/optimize", `{"workload":"BS","f":0.5,"design":{"kind":"asym"}}`)
+	}()
+	<-started
+
+	// The cached request sails through while the gate is full.
+	rec := do(t, s, http.MethodPost, "/v1/optimize", warm)
+	if rec.Code != http.StatusOK {
+		t.Errorf("cached request shed under load: %d %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Heterosim-Cache"); got != "hit" {
+		t.Errorf("outcome = %q, want hit", got)
+	}
+	close(release)
+	wg.Wait()
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestProjectGolden pins the /v1/project response for the same study the
+// CLI golden-tests (FFT-1024, f=0.999, baseline) in two ways: against
+// this package's JSON golden, and — reconstructed as CSV — against the
+// CLI's own project_fft_999.golden, so the HTTP path and the CLI path
+// cannot drift apart without one of the tests failing.
+func TestProjectGolden(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := do(t, s, http.MethodPost, "/v1/project", `{"workload":"FFT-1024","f":0.999}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (body %s)", rec.Code, rec.Body)
+	}
+	got := rec.Body.Bytes()
+
+	goldenPath := filepath.Join("testdata", "project_fft_999.json")
+	if *update {
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, got, "", "  "); err != nil {
+			t.Fatal(err)
+		}
+		pretty.WriteByte('\n')
+		if err := os.WriteFile(goldenPath, pretty.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./internal/server -run Golden -update)", err)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, compact.Bytes()) {
+		t.Errorf("/v1/project response drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, got, compact.Bytes())
+	}
+
+	// Cross-check against the CLI golden: rebuild the exact CSV the CLI
+	// renders (same report helpers, same %g formatting) from the HTTP
+	// response and compare bytes with cmd/heterosim's checked-in golden.
+	var resp ProjectResponse
+	if err := json.Unmarshal(got, &resp); err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	var rows [][]string
+	for _, tr := range resp.Trajectories {
+		vals := make([]float64, len(tr.Points))
+		for i, p := range tr.Points {
+			if p.Valid {
+				vals[i] = p.Speedup
+			} else {
+				vals[i] = math.NaN()
+			}
+		}
+		rows = append(rows, report.FloatRow(tr.Label, vals...))
+	}
+	if err := report.WriteCSV(&csv, append([]string{"design"}, resp.Nodes...), rows); err != nil {
+		t.Fatal(err)
+	}
+	cliGolden, err := os.ReadFile(filepath.Join("..", "..", "cmd", "heterosim", "testdata", "project_fft_999.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv.Bytes(), cliGolden) {
+		t.Errorf("HTTP projection diverged from the CLI golden:\n--- http-as-csv ---\n%s\n--- cli golden ---\n%s",
+			csv.Bytes(), cliGolden)
+	}
+}

@@ -1,0 +1,358 @@
+// Package server is the serving layer of the reproduction: JSON-over-HTTP
+// endpoints exposing the Chung et al. model — single design points,
+// (f x budget) sweeps, ITRS trajectory projections, and the Section 6.2
+// scenario studies — backed by a sharded result cache with request
+// coalescing (internal/servecache) and a bounded-concurrency admission
+// gate so overload degrades to 429/503 instead of collapsing.
+//
+// The model is a pure function of the request, which shapes the whole
+// design: responses are cached as final bytes keyed by a canonical
+// encoding of the request, identical concurrent requests coalesce onto
+// one evaluation, and every response is byte-identical at any worker
+// count (the engine's determinism guarantee carries through the wire).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/calcm/heterosim/internal/par"
+	"github.com/calcm/heterosim/internal/servecache"
+	"github.com/calcm/heterosim/internal/version"
+)
+
+// Config parameterizes the serving layer. The zero value is usable:
+// every field has a production default applied by New.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+
+	// Workers sizes the evaluation worker pool used when a request does
+	// not ask for a specific count; <= 0 means GOMAXPROCS. Responses are
+	// byte-identical at every worker count.
+	Workers int
+
+	// CacheEntries bounds the result cache (default 4096 responses).
+	// Any negative value disables storage but keeps request coalescing.
+	CacheEntries int
+
+	// MaxInflight bounds concurrent model evaluations admitted past the
+	// gate (default 2 x GOMAXPROCS). Cache hits bypass the gate.
+	MaxInflight int
+
+	// MaxQueue bounds requests waiting for an evaluation slot; one more
+	// is rejected immediately with 429 (default MaxInflight).
+	MaxQueue int
+
+	// QueueTimeout bounds how long a queued request waits for a slot
+	// before a 503 (default 2s).
+	QueueTimeout time.Duration
+}
+
+// withDefaults normalizes the config: worker counts go through
+// par.Normalize (the same helper the CLI flag uses) and unset fields get
+// production defaults.
+func (c Config) withDefaults() (Config, error) {
+	c.Workers = par.Normalize(c.Workers)
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = -1 // canonical "coalescing only"
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 2 * par.Workers(0)
+	}
+	if c.MaxInflight < 1 {
+		return c, errors.New("server: MaxInflight must be >= 1")
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = c.MaxInflight
+	}
+	if c.MaxQueue < 0 {
+		return c, errors.New("server: MaxQueue must be >= 0")
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.QueueTimeout < 0 {
+		return c, errors.New("server: QueueTimeout must be >= 0")
+	}
+	return c, nil
+}
+
+// Server is the HTTP serving layer. Construct with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg   Config
+	cache *servecache.Cache
+	gate  *gate
+	mux   *http.ServeMux
+	start time.Time
+
+	requests  [endpointCount]atomic.Int64
+	responses struct{ ok, clientErr, serverErr atomic.Int64 }
+
+	// onEvaluate, when set (tests only), observes every actual model
+	// evaluation — after admission, on misses only — keyed by endpoint.
+	onEvaluate func(endpoint string)
+}
+
+// endpoint indexes the per-endpoint request counters.
+type endpoint int
+
+const (
+	epOptimize endpoint = iota
+	epSweep
+	epProject
+	epScenario
+	epHealthz
+	epMetrics
+	epVersion
+	endpointCount
+)
+
+var endpointNames = [endpointCount]string{
+	"optimize", "sweep", "project", "scenario", "healthz", "metrics", "version",
+}
+
+// New builds a Server from the config (zero value = production
+// defaults).
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	entries := cfg.CacheEntries
+	if entries < 0 {
+		entries = 0
+	}
+	cache, err := servecache.New(entries)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		gate:  newGate(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueTimeout),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/version", s.handleVersion)
+	s.mux.HandleFunc("/v1/optimize", s.model(epOptimize, s.evalOptimize))
+	s.mux.HandleFunc("/v1/sweep", s.model(epSweep, s.evalSweep))
+	s.mux.HandleFunc("/v1/project", s.model(epProject, s.evalProject))
+	s.mux.HandleFunc("/v1/scenario", s.model(epScenario, s.evalScenario))
+	return s, nil
+}
+
+// Config returns the server's effective (default-applied) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Handler returns the root handler, for mounting or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until ctx is cancelled, then drains
+// in-flight requests for up to 5 seconds. It returns nil on a clean
+// shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe listens on cfg.Addr and calls Serve. ready, if non-nil,
+// receives the bound address once listening (useful with ":0").
+func (s *Server) ListenAndServe(ctx context.Context, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	return s.Serve(ctx, ln)
+}
+
+// evaluator is one endpoint's model evaluation: it validates and
+// canonicalizes the decoded body (returning the canonical request for
+// keying) and a closure producing the marshaled response.
+type evaluator func(body []byte) (key string, eval func() ([]byte, error), err error)
+
+// model wraps an evaluator with the serving pipeline: method and body
+// checks, canonical cache key, coalescing lookup, admission gate (misses
+// only — cached work is free and must stay admissible under overload),
+// and error-to-status mapping.
+func (s *Server) model(ep endpoint, ev evaluator) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests[ep].Add(1)
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Message: "use POST"})
+			return
+		}
+		body, err := readBody(r)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		key, eval, err := ev(body)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		resp, outcome, err := s.cache.Do(key, func() ([]byte, error) {
+			release, status := s.gate.acquire(r.Context())
+			if status != 0 {
+				return nil, &apiError{Status: status, Message: "server saturated, retry later"}
+			}
+			defer release()
+			if s.onEvaluate != nil {
+				s.onEvaluate(endpointNames[ep])
+			}
+			return eval()
+		})
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Heterosim-Cache", outcome.String())
+		s.responses.ok.Add(1)
+		w.Write(resp)
+	}
+}
+
+// maxBodyBytes bounds request bodies; the largest legitimate request (a
+// dense sweep spec) is well under a kilobyte.
+const maxBodyBytes = 1 << 20
+
+// readBody slurps and bounds the request body.
+func readBody(r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, badRequest("reading body: %v", err)
+	}
+	return body, nil
+}
+
+// decodeStrict unmarshals JSON rejecting unknown fields, so typos in
+// request bodies fail loudly instead of silently using defaults.
+func decodeStrict(body []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("invalid request body: trailing data")
+	}
+	return nil
+}
+
+// writeError maps an error to a JSON error response; apiError carries
+// its own status, anything else is a 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		ae = &apiError{Status: http.StatusInternalServerError, Message: err.Error()}
+	}
+	if ae.Status >= 500 {
+		s.responses.serverErr.Add(1)
+	} else {
+		s.responses.clientErr.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if ae.Status == http.StatusServiceUnavailable || ae.Status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(ae.Status)
+	json.NewEncoder(w).Encode(ae)
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requests[epHealthz].Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleVersion reports the build identity.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	s.requests[epVersion].Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(version.Get())
+}
+
+// Metrics is the /metrics document: expvar-style JSON with no external
+// dependencies.
+type Metrics struct {
+	UptimeSeconds float64          `json:"uptimeSeconds"`
+	Version       version.Info     `json:"version"`
+	Cache         servecache.Stats `json:"cache"`
+	Admission     gateStats        `json:"admission"`
+	Requests      map[string]int64 `json:"requests"`
+	Responses     map[string]int64 `json:"responses"`
+	Workers       int              `json:"workers"`
+}
+
+// Snapshot returns the current metrics document.
+func (s *Server) Snapshot() Metrics {
+	reqs := make(map[string]int64, endpointCount)
+	for i := endpoint(0); i < endpointCount; i++ {
+		reqs[endpointNames[i]] = s.requests[i].Load()
+	}
+	return Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Version:       version.Get(),
+		Cache:         s.cache.Stats(),
+		Admission:     s.gate.stats(),
+		Requests:      reqs,
+		Responses: map[string]int64{
+			"ok":          s.responses.ok.Load(),
+			"clientError": s.responses.clientErr.Load(),
+			"serverError": s.responses.serverErr.Load(),
+		},
+		Workers: s.cfg.Workers,
+	}
+}
+
+// handleMetrics serves the counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests[epMetrics].Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}

@@ -1,0 +1,36 @@
+// Package version carries the build's identity. The variables are plain
+// strings so release builds can stamp them through the linker:
+//
+//	go build -ldflags "-X github.com/calcm/heterosim/internal/version.Version=v1.2.3"
+//
+// Unstamped builds report "dev".
+package version
+
+import "runtime"
+
+// Module is the import path of the repository's root module.
+const Module = "github.com/calcm/heterosim"
+
+// Version is the release identifier, stamped via -ldflags at build time.
+var Version = "dev"
+
+// Info is the machine-readable shape served by `heterosimd version` and
+// GET /v1/version.
+type Info struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// Get returns the build's identity including the Go runtime that built it.
+func Get() Info {
+	return Info{
+		Module:    Module,
+		Version:   Version,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+}

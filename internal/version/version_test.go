@@ -1,0 +1,22 @@
+package version
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	info := Get()
+	if info.Module != Module {
+		t.Errorf("Module = %q, want %q", info.Module, Module)
+	}
+	if info.Version == "" {
+		t.Error("Version must never be empty (unstamped builds report dev)")
+	}
+	if info.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", info.GoVersion, runtime.Version())
+	}
+	if info.OS != runtime.GOOS || info.Arch != runtime.GOARCH {
+		t.Errorf("OS/Arch = %s/%s, want %s/%s", info.OS, info.Arch, runtime.GOOS, runtime.GOARCH)
+	}
+}
