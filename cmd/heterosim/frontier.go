@@ -111,7 +111,7 @@ func cmdFrontier(args []string) error {
 		return err
 	}
 
-	best, err := grid.ArgMaxParallel(*workers, objective)
+	best, err := grid.ArgMaxParallel(context.Background(), *workers, objective)
 	if err != nil {
 		return err
 	}

@@ -8,9 +8,16 @@
 //
 //	heterosimd serve [-addr :8080] [-workers N] [-cache-entries N]
 //	                 [-max-inflight N] [-max-queue N] [-queue-timeout D]
+//	                 [-request-timeout D]
 //	heterosimd version
 //
 // serve runs until SIGINT/SIGTERM, then drains in-flight requests.
+//
+// Setting the HETEROSIMD_FAULTS environment variable (see
+// internal/faultinject.Parse for the spec format) splices the chaos
+// middleware in front of the serving stack — never do this in
+// production; it exists so resilience drills can run against the real
+// binary.
 package main
 
 import (
@@ -25,10 +32,15 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/calcm/heterosim/internal/faultinject"
 	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/server"
 	"github.com/calcm/heterosim/internal/version"
 )
+
+// faultsEnv guards the chaos middleware: the daemon injects faults only
+// when this variable is set, and logs that it is doing so.
+const faultsEnv = "HETEROSIMD_FAULTS"
 
 func main() {
 	if err := run(os.Args[1:], nil); err != nil {
@@ -73,6 +85,9 @@ serve flags:
   -max-inflight  concurrent evaluations admitted (default 2 x GOMAXPROCS)
   -max-queue     requests queued beyond that before 429 (default = max-inflight)
   -queue-timeout queued-request wait bound before 503 (default 2s)
+  -request-timeout
+                 per-request deadline, queue wait plus evaluation, before
+                 504 (default 30s; 0 disables)
 `)
 }
 
@@ -101,6 +116,7 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 	maxInflight := fs.Int("max-inflight", 0, "concurrent evaluations admitted (0 = 2 x GOMAXPROCS)")
 	maxQueue := fs.Int("max-queue", 0, "queued requests before 429 (0 = max-inflight)")
 	queueTimeout := fs.Duration("queue-timeout", 2*time.Second, "queued-request wait before 503")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline before 504 (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,13 +124,32 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 	if entries <= 0 {
 		entries = -1 // flag spelling: 0 disables storage, keeps coalescing
 	}
+	reqTimeout := *requestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = -1 // flag spelling: 0 disables the deadline
+	}
 	cfg := server.Config{
-		Addr:         *addr,
-		Workers:      par.Normalize(*workers),
-		CacheEntries: entries,
-		MaxInflight:  *maxInflight,
-		MaxQueue:     *maxQueue,
-		QueueTimeout: *queueTimeout,
+		Addr:           *addr,
+		Workers:        par.Normalize(*workers),
+		CacheEntries:   entries,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
+		RequestTimeout: reqTimeout,
+	}
+	logger := log.New(os.Stderr, "heterosimd: ", log.LstdFlags)
+	var inj *faultinject.Injector
+	if spec := os.Getenv(faultsEnv); spec != "" {
+		fcfg, err := faultinject.Parse(spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", faultsEnv, err)
+		}
+		inj, err = faultinject.New(fcfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", faultsEnv, err)
+		}
+		cfg.Middleware = inj.Wrap
+		logger.Printf("WARNING: %s is set — serving with injected faults (%s)", faultsEnv, spec)
 	}
 	s, err := server.New(cfg)
 	if err != nil {
@@ -128,7 +163,6 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe(ctx, bound) }()
 
-	logger := log.New(os.Stderr, "heterosimd: ", log.LstdFlags)
 	select {
 	case a := <-bound:
 		logger.Printf("%s listening on %s", version.Get().Version, a)
@@ -144,6 +178,11 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 	err = <-errc
 	if err != nil {
 		return err
+	}
+	if inj != nil {
+		st := inj.Stats()
+		logger.Printf("fault injection summary: %d requests, %d latencies, %d errors, %d resets, %d truncates",
+			st.Requests, st.Latencies, st.Errors, st.Resets, st.Truncates)
 	}
 	logger.Printf("shut down cleanly")
 	return nil

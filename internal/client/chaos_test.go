@@ -1,0 +1,190 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/calcm/heterosim/internal/faultinject"
+	"github.com/calcm/heterosim/internal/server"
+)
+
+// TestChaosLoop drives the full client -> injector -> server loop with a
+// fixed fault seed: injected latency, 5xx, connection resets, and
+// truncated bodies land on real evaluations with real admission control
+// and request deadlines behind them. The contract under test:
+//
+//   - every valid request eventually succeeds or fails with a typed
+//     error (*APIError or *RetryError) — never an untyped one, never a
+//     hang past its deadline;
+//   - invalid requests come back as terminal 4xx *APIError (possibly
+//     after fault-driven retries) and are never silently "fixed";
+//   - when the dust settles no goroutines are leaked.
+//
+// Run under -race this also shakes out data races across the cache,
+// gate, and injector.
+func TestChaosLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos loop takes a few seconds")
+	}
+	before := runtime.NumGoroutine()
+
+	srv, err := server.New(server.Config{
+		Workers:        2,
+		CacheEntries:   8, // small: force evictions so the stale tier sees action
+		MaxInflight:    4,
+		MaxQueue:       8,
+		QueueTimeout:   200 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faultinject.New(faultinject.Config{
+		Seed:      42,
+		LatencyP:  0.10,
+		Latency:   5 * time.Millisecond,
+		ErrorP:    0.10,
+		ResetP:    0.05,
+		TruncateP: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(inj.Wrap(srv.Handler()))
+
+	c, err := New(Config{
+		BaseURL:     ts.URL,
+		MaxAttempts: 8,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		goroutines = 8
+		perWorker  = 12
+	)
+	var (
+		successes atomic.Int64
+		retried   atomic.Int64 // typed give-ups after exhausting attempts
+		wg        sync.WaitGroup
+	)
+	overall, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, cancel := context.WithTimeout(overall, 15*time.Second)
+				switch i % 4 {
+				case 0, 1: // valid optimize; a handful of distinct f values so the cache both hits and evicts
+					req := server.OptimizeRequest{Workload: "MMM", F: 0.90 + 0.001*float64((g+i)%12)}
+					req.Design.Kind = "sym"
+					_, err := c.Optimize(ctx, req)
+					checkValidOutcome(t, fmt.Sprintf("worker %d optimize %d", g, i), err, &successes, &retried)
+				case 2: // valid sweep, small grid
+					req := server.SweepRequest{Workload: "BS"}
+					req.Design.Kind = "het"
+					req.Design.Device = "gtx285"
+					req.F.Lo = 0.9
+					req.F.Hi = 0.99
+					req.F.Steps = 4
+					_, err := c.Sweep(ctx, req)
+					checkValidOutcome(t, fmt.Sprintf("worker %d sweep %d", g, i), err, &successes, &retried)
+				case 3: // invalid on purpose: unknown workload is a terminal 400
+					req := server.OptimizeRequest{Workload: "quantum-abacus", F: 0.5}
+					req.Design.Kind = "sym"
+					_, err := c.Optimize(ctx, req)
+					if err == nil {
+						t.Errorf("worker %d request %d: invalid workload succeeded", g, i)
+						break
+					}
+					var ae *APIError
+					var re *RetryError
+					switch {
+					case errors.As(err, &ae):
+						if ae.Status != 400 {
+							t.Errorf("worker %d request %d: invalid workload got status %d, want 400", g, i, ae.Status)
+						}
+					case errors.As(err, &re):
+						retried.Add(1) // faults ate every attempt before a clean 400 landed
+					default:
+						t.Errorf("worker %d request %d: untyped error %v", g, i, err)
+					}
+				}
+				cancel()
+			}
+		}(g)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-overall.Done():
+		t.Fatal("chaos loop hung past the overall deadline")
+	}
+	ts.Close()
+
+	st := inj.Stats()
+	t.Logf("injector: %+v; client: %d successes, %d typed give-ups", st, successes.Load(), retried.Load())
+	if st.Errors+st.Resets+st.Truncates == 0 {
+		t.Error("the fault mix never fired; the loop proved nothing")
+	}
+	if successes.Load() == 0 {
+		t.Error("no request ever succeeded through the fault mix")
+	}
+
+	// Goroutine-leak check: allow the runtime a moment to reap handler
+	// and transport goroutines, then require we are back near baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// checkValidOutcome asserts the error (if any) for a well-formed request
+// is typed and transient-shaped, never an untyped failure.
+func checkValidOutcome(t *testing.T, label string, err error, successes, retried *atomic.Int64) {
+	t.Helper()
+	if err == nil {
+		successes.Add(1)
+		return
+	}
+	var ae *APIError
+	var re *RetryError
+	switch {
+	case errors.As(err, &re):
+		retried.Add(1)
+	case errors.As(err, &ae):
+		// A valid request can still meet overload statuses terminally
+		// only via RetryError; a direct APIError here must be one the
+		// server really produces for load or deadline pressure.
+		if ae.Status != 429 && ae.Status != 503 && ae.Status != 504 {
+			t.Errorf("%s: unexpected terminal APIError %v", label, ae)
+		}
+	default:
+		t.Errorf("%s: untyped error %v", label, err)
+	}
+}

@@ -1,0 +1,365 @@
+// Package client is the Go client for the heterosimd serving API: typed
+// calls for every /v1/* endpoint with the retry discipline the model
+// layer's purity makes safe.
+//
+// Every model endpoint is a pure function of the request body, so every
+// request is idempotent and a retry can never double-apply work. The
+// client therefore retries transport failures (connection resets,
+// truncated bodies, unexpected EOFs) and overload statuses (429, 5xx)
+// with capped exponential backoff and full jitter, honors Retry-After
+// when the server supplies one, and gives up early when the caller's
+// context deadline would expire before the next attempt could run.
+// Validation failures (other 4xx) are terminal and returned as *APIError
+// on the first attempt.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/calcm/heterosim/internal/server"
+	"github.com/calcm/heterosim/internal/version"
+)
+
+// Config parameterizes a Client. The zero value is not usable — BaseURL
+// is required; every other field has a sensible default applied by New.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+
+	// HTTPClient issues the requests (default http.DefaultClient). Give
+	// it no Timeout; the per-call context bounds each attempt.
+	HTTPClient *http.Client
+
+	// MaxAttempts bounds tries per call, first attempt included
+	// (default 5).
+	MaxAttempts int
+
+	// BaseBackoff seeds the exponential schedule (default 50ms); attempt
+	// n sleeps a full-jittered duration in (0, min(MaxBackoff,
+	// BaseBackoff<<n)].
+	BaseBackoff time.Duration
+
+	// MaxBackoff caps one sleep (default 2s).
+	MaxBackoff time.Duration
+
+	// Seed drives the jitter stream; a fixed seed makes the backoff
+	// schedule reproducible in tests (default 1).
+	Seed int64
+}
+
+// withDefaults normalizes the config.
+func (c Config) withDefaults() (Config, error) {
+	if c.BaseURL == "" {
+		return c, errors.New("client: BaseURL required")
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 5
+	}
+	if c.MaxAttempts < 1 {
+		return c, errors.New("client: MaxAttempts must be >= 1")
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, nil
+}
+
+// Client calls the serving API. Construct with New; safe for concurrent
+// use.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a client from the config.
+func New(cfg Config) (*Client, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// APIError is a server-produced error response. Terminal statuses
+// (validation 4xx) surface immediately; retryable ones (429, 5xx) only
+// after retries are exhausted, wrapped in *RetryError.
+type APIError struct {
+	Status   int
+	Message  string
+	Endpoint string
+
+	// retryAfter is the server's Retry-After hint, when present; the
+	// retry loop uses it as a floor under the jittered backoff.
+	retryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %s: server returned %d: %s", e.Endpoint, e.Status, e.Message)
+}
+
+// Retryable reports whether the status signals a transient condition an
+// idempotent request may retry: overload (429), upstream-style 5xx, and
+// timeouts. Validation failures are permanent — the same body will fail
+// the same way.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// TransportError is a failed attempt that produced no usable response:
+// connection refused/reset, truncated or undecodable body. Always
+// retryable — the request is idempotent, and a response that never
+// arrived committed nothing.
+type TransportError struct {
+	Endpoint string
+	Err      error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("client: %s: %v", e.Endpoint, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// RetryError reports that every allowed attempt failed (or the deadline
+// ran out between attempts). Last is the final attempt's error; Unwrap
+// exposes it so errors.Is/As reach through.
+type RetryError struct {
+	Endpoint string
+	Attempts int
+	Last     error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("client: %s: gave up after %d attempt(s): %v", e.Endpoint, e.Attempts, e.Last)
+}
+
+func (e *RetryError) Unwrap() error { return e.Last }
+
+// retryable classifies one attempt's error.
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Retryable()
+	}
+	var te *TransportError
+	return errors.As(err, &te)
+}
+
+// backoff computes the sleep before attempt n+1 (n counts completed
+// attempts, so the first retry gets n = 1): full jitter over the capped
+// exponential, floored by the server's Retry-After when one was given.
+func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
+	d := c.cfg.BaseBackoff << uint(n-1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	jittered := time.Duration(c.rng.Int63n(int64(d))) + 1
+	c.mu.Unlock()
+	if retryAfter > jittered {
+		return retryAfter
+	}
+	return jittered
+}
+
+// sleep waits d or until ctx expires, whichever is first. It refuses to
+// start a sleep the deadline cannot survive, so a tight deadline fails
+// fast instead of burning its budget waiting for an attempt that could
+// never be made.
+func sleep(ctx context.Context, d time.Duration) error {
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < d {
+		return context.DeadlineExceeded
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// call runs the retry loop for one endpoint: marshal once, attempt up to
+// MaxAttempts times, decode into out on success.
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: %s: encoding request: %w", path, err)
+		}
+	}
+	var last error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			var retryAfter time.Duration
+			var ae *APIError
+			if errors.As(last, &ae) {
+				retryAfter = ae.retryAfter
+			}
+			if err := sleep(ctx, c.backoff(attempt-1, retryAfter)); err != nil {
+				return &RetryError{Endpoint: path, Attempts: attempt - 1, Last: last}
+			}
+		}
+		err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		last = err
+		if ctx.Err() != nil {
+			// The caller's context, not the server, ended this attempt:
+			// no further try can succeed.
+			return &RetryError{Endpoint: path, Attempts: attempt, Last: last}
+		}
+	}
+	return &RetryError{Endpoint: path, Attempts: c.cfg.MaxAttempts, Last: last}
+}
+
+// attempt is one wire exchange.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	res, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return &TransportError{Endpoint: path, Err: err}
+	}
+	defer res.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(res.Body, 64<<20))
+	if err != nil {
+		// Truncated or reset mid-body: idempotent, so retryable.
+		return &TransportError{Endpoint: path, Err: err}
+	}
+	if res.StatusCode != http.StatusOK {
+		ae := &APIError{Status: res.StatusCode, Endpoint: path}
+		var msg struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(payload, &msg) == nil && msg.Error != "" {
+			ae.Message = msg.Error
+		} else {
+			ae.Message = strings.TrimSpace(string(payload))
+		}
+		if ra := res.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				ae.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		// A 200 with an undecodable body is a truncated/corrupted
+		// transfer, not a model error: retry it.
+		return &TransportError{Endpoint: path, Err: fmt.Errorf("decoding response: %w", err)}
+	}
+	return nil
+}
+
+// Optimize evaluates one design point (POST /v1/optimize).
+func (c *Client) Optimize(ctx context.Context, req server.OptimizeRequest) (*server.OptimizeResponse, error) {
+	var resp server.OptimizeResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/optimize", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sweep evaluates an (f x budget-scale) grid (POST /v1/sweep).
+func (c *Client) Sweep(ctx context.Context, req server.SweepRequest) (*server.SweepResponse, error) {
+	var resp server.SweepResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/sweep", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Project computes ITRS trajectory projections (POST /v1/project).
+func (c *Client) Project(ctx context.Context, req server.ProjectRequest) (*server.ProjectResponse, error) {
+	var resp server.ProjectResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/project", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Scenario runs a Section 6.2 study (POST /v1/scenario).
+func (c *Client) Scenario(ctx context.Context, req server.ScenarioRequest) (*server.ScenarioResponse, error) {
+	var resp server.ScenarioResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/scenario", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Version fetches the server build identity (GET /v1/version).
+func (c *Client) Version(ctx context.Context) (*version.Info, error) {
+	var resp version.Info
+	if err := c.call(ctx, http.MethodGet, "/v1/version", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the server counters (GET /metrics).
+func (c *Client) Metrics(ctx context.Context) (*server.Metrics, error) {
+	var resp server.Metrics
+	if err := c.call(ctx, http.MethodGet, "/metrics", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz checks liveness (GET /healthz).
+func (c *Client) Healthz(ctx context.Context) error {
+	var resp struct {
+		Status string `json:"status"`
+	}
+	if err := c.call(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return err
+	}
+	if resp.Status != "ok" {
+		return &APIError{Status: http.StatusOK, Message: "status " + resp.Status, Endpoint: "/healthz"}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/calcm/heterosim/internal/server"
+)
+
+// optimizeBody is a minimal /v1/optimize request.
+func optimizeBody() server.OptimizeRequest {
+	return server.OptimizeRequest{Workload: "generic", F: 0.9}
+}
+
+// okOptimizeJSON is a syntactically valid optimize response payload.
+const okOptimizeJSON = `{"workload":"generic","budgets":{},"point":{}}`
+
+func newTestClient(t *testing.T, url string, mutate func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{
+		BaseURL:     url,
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing BaseURL must fail")
+	}
+	if _, err := New(Config{BaseURL: "http://x", MaxAttempts: -1}); err == nil {
+		t.Error("negative MaxAttempts must fail")
+	}
+}
+
+// TestRetriesTransientThenSucceeds: 503s give way to a 200 within the
+// attempt budget and the caller never sees the failures.
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(okOptimizeJSON))
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	resp, err := c.Optimize(context.Background(), optimizeBody())
+	if err != nil {
+		t.Fatalf("Optimize = %v, want success on third attempt", err)
+	}
+	if resp.Workload != "generic" {
+		t.Errorf("resp.Workload = %q", resp.Workload)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestTerminal400NoRetry: validation failures surface immediately as
+// *APIError with exactly one attempt made.
+func TestTerminal400NoRetry(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"f must be in [0, 1]"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	_, err := c.Optimize(context.Background(), optimizeBody())
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.Status != http.StatusBadRequest || ae.Message != "f must be in [0, 1]" {
+		t.Errorf("APIError = %+v", ae)
+	}
+	if ae.Retryable() {
+		t.Error("a 400 must not be retryable")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want exactly 1", got)
+	}
+}
+
+// TestRetryExhaustionWrapsLastError: persistent 500s exhaust the budget
+// and come back as *RetryError wrapping the final *APIError.
+func TestRetryExhaustionWrapsLastError(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	_, err := c.Optimize(context.Background(), optimizeBody())
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RetryError", err)
+	}
+	if re.Attempts != 4 {
+		t.Errorf("Attempts = %d, want the full budget of 4", re.Attempts)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusInternalServerError {
+		t.Errorf("RetryError must unwrap to the last *APIError, got %v", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("server saw %d calls, want 4", got)
+	}
+}
+
+// TestRetryAfterIsFloor: a Retry-After hint below the deadline is
+// honored — the gap between attempt one and two is at least the hint
+// even though the jittered backoff would be far smaller.
+func TestRetryAfterIsFloor(t *testing.T) {
+	var times []time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		times = append(times, time.Now())
+		if len(times) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"busy"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(okOptimizeJSON))
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, func(cfg *Config) { cfg.MaxAttempts = 2 })
+	if _, err := c.Optimize(context.Background(), optimizeBody()); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("server saw %d calls, want 2", len(times))
+	}
+	if gap := times[1].Sub(times[0]); gap < time.Second {
+		t.Errorf("retry gap %v ignored the 1s Retry-After floor", gap)
+	}
+}
+
+// TestTruncatedBodyRetried: a 200 whose body dies mid-transfer is a
+// TransportError and gets retried to success.
+func TestTruncatedBodyRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Declare more bytes than sent, then abort: unexpected EOF.
+			w.Header().Set("Content-Length", strconv.Itoa(len(okOptimizeJSON)))
+			w.Write([]byte(okOptimizeJSON[:10]))
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		w.Write([]byte(okOptimizeJSON))
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	if _, err := c.Optimize(context.Background(), optimizeBody()); err != nil {
+		t.Fatalf("Optimize = %v, want truncated first attempt retried", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestGarbage200Retried: a 200 with an undecodable body is treated as a
+// corrupted transfer, not a terminal failure.
+func TestGarbage200Retried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Write([]byte(`{"f": 0.9, "winn`)) // valid transfer, broken JSON
+			return
+		}
+		w.Write([]byte(okOptimizeJSON))
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	if _, err := c.Optimize(context.Background(), optimizeBody()); err != nil {
+		t.Fatalf("Optimize = %v, want decode failure retried", err)
+	}
+}
+
+// TestDeadlineStopsRetries: with the server permanently down, a short
+// caller deadline returns a RetryError promptly instead of sleeping
+// through backoffs the deadline cannot survive.
+func TestDeadlineStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.MaxAttempts = 100
+		cfg.BaseBackoff = 50 * time.Millisecond
+		cfg.MaxBackoff = time.Second
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Optimize(ctx, optimizeBody())
+	took := time.Since(start)
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RetryError", err)
+	}
+	if re.Attempts < 1 || re.Attempts >= 100 {
+		t.Errorf("Attempts = %d, want a handful bounded by the deadline", re.Attempts)
+	}
+	if took > time.Second {
+		t.Errorf("gave up after %v, want well under a second", took)
+	}
+}
+
+// TestConnectionRefusedIsTransport: a dead endpoint yields a RetryError
+// unwrapping to *TransportError.
+func TestConnectionRefusedIsTransport(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // nothing listens here any more
+
+	c := newTestClient(t, url, func(cfg *Config) { cfg.MaxAttempts = 2 })
+	_, err := c.Optimize(context.Background(), optimizeBody())
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TransportError inside the RetryError", err)
+	}
+}
+
+// TestGetEndpoints exercises Version, Metrics, and Healthz against a
+// stub server.
+func TestGetEndpoints(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/version", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"module": "m", "version": "v1.2.3"})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"uptimeSeconds": 1}`))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	ctx := context.Background()
+	if v, err := c.Version(ctx); err != nil || v.Version != "v1.2.3" {
+		t.Errorf("Version = (%+v, %v)", v, err)
+	}
+	if _, err := c.Metrics(ctx); err != nil {
+		t.Errorf("Metrics = %v", err)
+	}
+	if err := c.Healthz(ctx); err != nil {
+		t.Errorf("Healthz = %v", err)
+	}
+}

@@ -1,0 +1,90 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/calcm/heterosim/internal/faultinject"
+	"github.com/calcm/heterosim/internal/server"
+)
+
+// TestMeasureFaultLatency is the EXPERIMENTS.md measurement, not a
+// regression test: it drives warm-cache optimize requests through the
+// full client -> (injector) -> server loop and reports p50/p99 request
+// latency as seen by a caller of the retrying client, with and without
+// injected faults. Gated behind HETEROSIM_MEASURE=1 so CI never pays
+// for it; run with
+//
+//	HETEROSIM_MEASURE=1 go test -run MeasureFaultLatency -v ./internal/client/
+func TestMeasureFaultLatency(t *testing.T) {
+	if os.Getenv("HETEROSIM_MEASURE") != "1" {
+		t.Skip("set HETEROSIM_MEASURE=1 to run the latency measurement")
+	}
+	const n = 2000
+	configs := []struct {
+		name string
+		cfg  *faultinject.Config
+	}{
+		{"no faults", nil},
+		{"10% transport faults (5% reset + 5% truncate)",
+			&faultinject.Config{Seed: 3, ResetP: 0.05, TruncateP: 0.05}},
+		{"10% injected 5xx (Retry-After honored on 503)",
+			&faultinject.Config{Seed: 3, ErrorP: 0.10}},
+	}
+	for _, tc := range configs {
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handler := http.Handler(srv.Handler())
+		var inj *faultinject.Injector
+		if tc.cfg != nil {
+			if inj, err = faultinject.New(*tc.cfg); err != nil {
+				t.Fatal(err)
+			}
+			handler = inj.Wrap(handler)
+		}
+		ts := httptest.NewServer(handler)
+		c, err := New(Config{
+			BaseURL:     ts.URL,
+			MaxAttempts: 8,
+			BaseBackoff: 5 * time.Millisecond,
+			MaxBackoff:  100 * time.Millisecond,
+			Seed:        1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := server.OptimizeRequest{Workload: "FFT-1024", F: 0.99}
+		req.Design.Kind = "het"
+		req.Design.Device = "asic"
+		if _, err := c.Optimize(context.Background(), req); err != nil {
+			t.Fatalf("%s: warmup: %v", tc.name, err)
+		}
+		lat := make([]time.Duration, 0, n)
+		fails := 0
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			if _, err := c.Optimize(context.Background(), req); err != nil {
+				fails++
+				continue
+			}
+			lat = append(lat, time.Since(start))
+		}
+		ts.Close()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
+		line := fmt.Sprintf("%-48s n=%d ok=%d failed=%d p50=%v p99=%v",
+			tc.name, n, len(lat), fails, pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+		if inj != nil {
+			line += fmt.Sprintf(" injector=%+v", inj.Stats())
+		}
+		t.Log(line)
+	}
+}

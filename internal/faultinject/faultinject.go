@@ -1,0 +1,290 @@
+// Package faultinject is a deterministic, seed-driven chaos middleware
+// for the serving stack: it wraps an http.Handler and injects the
+// failure modes real traffic meets — added latency, 5xx errors,
+// connection resets, and truncated response bodies — with probabilities
+// drawn from one seeded stream, so a test run with a fixed seed injects
+// a reproducible fault mix.
+//
+// The package is compiled into tests (the chaos suite drives the full
+// client -> server loop through it) and into the daemon only behind an
+// explicit env guard: heterosimd enables it when HETEROSIMD_FAULTS is
+// set, parsed by Parse, and logs loudly that it is serving faults.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes the injector. All probabilities are in [0, 1];
+// ResetP + ErrorP + TruncateP must not exceed 1 (they partition one
+// draw, so at most one terminal fault fires per request). Latency is
+// drawn independently and can precede any outcome, including success.
+type Config struct {
+	// Seed drives the fault stream; the same seed injects the same
+	// fault sequence across runs (up to goroutine interleaving when the
+	// wrapped handler serves concurrent requests).
+	Seed int64
+
+	// LatencyP is the probability of sleeping Latency before serving.
+	LatencyP float64
+	// Latency is the injected delay (default 25ms when LatencyP > 0).
+	Latency time.Duration
+
+	// ErrorP is the probability of answering with an injected 5xx
+	// (alternating 500/503 by a further draw) instead of serving.
+	ErrorP float64
+
+	// ResetP is the probability of aborting the connection with no
+	// response at all — the client sees a reset/EOF.
+	ResetP float64
+
+	// TruncateP is the probability of serving the real response with a
+	// full-length Content-Length but only half the body before aborting,
+	// so the client sees an unexpected EOF mid-read.
+	TruncateP float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"latency", c.LatencyP}, {"error", c.ErrorP},
+		{"reset", c.ResetP}, {"truncate", c.TruncateP},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faultinject: %s probability %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if s := c.ResetP + c.ErrorP + c.TruncateP; s > 1 {
+		return fmt.Errorf("faultinject: reset+error+truncate = %v exceeds 1", s)
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("faultinject: latency must be >= 0")
+	}
+	return nil
+}
+
+// Stats counts what the injector has done, for test assertions and the
+// daemon's shutdown log.
+type Stats struct {
+	Requests  int64 `json:"requests"`
+	Latencies int64 `json:"latencies"`
+	Errors    int64 `json:"errors"`
+	Resets    int64 `json:"resets"`
+	Truncates int64 `json:"truncates"`
+	Clean     int64 `json:"clean"`
+}
+
+// Injector wraps handlers with the configured fault mix. Construct with
+// New; safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	requests  atomic.Int64
+	latencies atomic.Int64
+	errors    atomic.Int64
+	resets    atomic.Int64
+	truncates atomic.Int64
+	clean     atomic.Int64
+}
+
+// New builds an injector from the config.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Latency == 0 && cfg.LatencyP > 0 {
+		cfg.Latency = 25 * time.Millisecond
+	}
+	return &Injector{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Stats snapshots the injection counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Requests:  in.requests.Load(),
+		Latencies: in.latencies.Load(),
+		Errors:    in.errors.Load(),
+		Resets:    in.resets.Load(),
+		Truncates: in.truncates.Load(),
+		Clean:     in.clean.Load(),
+	}
+}
+
+// verdict is one request's drawn fate.
+type verdict int
+
+const (
+	pass verdict = iota
+	injectError
+	injectReset
+	injectTruncate
+)
+
+// draw consumes the seeded stream under the lock: one uniform for the
+// latency coin, one partitioned uniform for the terminal fault, and one
+// for the 500-vs-503 choice (drawn unconditionally to keep the stream
+// length per request fixed, so fault sequences are stable across config
+// tweaks).
+func (in *Injector) draw() (sleep bool, v verdict, code int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	sleep = in.rng.Float64() < in.cfg.LatencyP
+	u := in.rng.Float64()
+	switch {
+	case u < in.cfg.ResetP:
+		v = injectReset
+	case u < in.cfg.ResetP+in.cfg.ErrorP:
+		v = injectError
+	case u < in.cfg.ResetP+in.cfg.ErrorP+in.cfg.TruncateP:
+		v = injectTruncate
+	}
+	code = http.StatusInternalServerError
+	if in.rng.Float64() < 0.5 {
+		code = http.StatusServiceUnavailable
+	}
+	return sleep, v, code
+}
+
+// Wrap returns next with the fault mix spliced in front of it.
+func (in *Injector) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		in.requests.Add(1)
+		sleep, v, code := in.draw()
+		if sleep {
+			in.latencies.Add(1)
+			time.Sleep(in.cfg.Latency)
+		}
+		switch v {
+		case injectReset:
+			in.resets.Add(1)
+			// ErrAbortHandler makes net/http drop the connection without
+			// a response (and without logging a stack trace).
+			panic(http.ErrAbortHandler)
+		case injectError:
+			in.errors.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Fault-Injected", "error")
+			if code == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(code)
+			fmt.Fprintf(w, `{"error":"injected fault (status %d)"}`, code)
+		case injectTruncate:
+			in.truncates.Add(1)
+			rec := newRecorder()
+			next.ServeHTTP(rec, r)
+			h := w.Header()
+			for k, vs := range rec.header {
+				h[k] = vs
+			}
+			h.Set("X-Fault-Injected", "truncate")
+			h.Set("Content-Length", strconv.Itoa(rec.buf.Len()))
+			w.WriteHeader(rec.code)
+			w.Write(rec.buf.Bytes()[:rec.buf.Len()/2])
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			// Abort with the body half-sent: the declared Content-Length
+			// is never satisfied, so the client reads an unexpected EOF.
+			panic(http.ErrAbortHandler)
+		default:
+			in.clean.Add(1)
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// recorder buffers the wrapped handler's response so the truncate fault
+// can declare the full length and send only half.
+type recorder struct {
+	header http.Header
+	code   int
+	buf    bytes.Buffer
+}
+
+func newRecorder() *recorder {
+	return &recorder{header: make(http.Header), code: http.StatusOK}
+}
+
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(code int)        { r.code = code }
+func (r *recorder) Write(p []byte) (int, error) { return r.buf.Write(p) }
+
+// Parse builds a Config from the HETEROSIMD_FAULTS spec format: a
+// comma-separated list of key=value fields, e.g.
+//
+//	seed=42,latency=0.1:50ms,error=0.1,reset=0.05,truncate=0.05
+//
+// latency takes prob or prob:duration; error, reset, and truncate take
+// probabilities; seed an int64.
+func Parse(spec string) (Config, error) {
+	var cfg Config
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faultinject: field %q is not key=value", field)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultinject: seed: %v", err)
+			}
+			cfg.Seed = n
+		case "latency":
+			prob, dur, hasDur := strings.Cut(v, ":")
+			p, err := strconv.ParseFloat(prob, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultinject: latency: %v", err)
+			}
+			cfg.LatencyP = p
+			if hasDur {
+				d, err := time.ParseDuration(dur)
+				if err != nil {
+					return Config{}, fmt.Errorf("faultinject: latency: %v", err)
+				}
+				cfg.Latency = d
+			}
+		case "error", "reset", "truncate":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultinject: %s: %v", k, err)
+			}
+			switch k {
+			case "error":
+				cfg.ErrorP = p
+			case "reset":
+				cfg.ResetP = p
+			case "truncate":
+				cfg.TruncateP = p
+			}
+		default:
+			return Config{}, fmt.Errorf("faultinject: unknown field %q", k)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

@@ -194,7 +194,14 @@ func (t Trajectory) MaxSpeedup() float64 {
 // optimizations, so they are evaluated across cfg.Workers goroutines and
 // reassembled in order; output is identical at every worker count.
 func Project(cfg Config, f float64) ([]Trajectory, error) {
-	return projectWith(cfg, f, func(ev core.Evaluator, d core.Design, b bounds.Budgets) (core.Point, error) {
+	return ProjectCtx(context.Background(), cfg, f)
+}
+
+// ProjectCtx is Project bounded by ctx: cancelling it (e.g. an expired
+// HTTP request deadline) aborts the projection between cells and returns
+// ctx.Err(). nil means Background.
+func ProjectCtx(ctx context.Context, cfg Config, f float64) ([]Trajectory, error) {
+	return projectWith(ctx, cfg, f, func(ev core.Evaluator, d core.Design, b bounds.Budgets) (core.Point, error) {
 		return ev.Optimize(d, f, b)
 	})
 }
@@ -203,7 +210,12 @@ func Project(cfg Config, f float64) ([]Trajectory, error) {
 // energy instead of maximum speedup (the alternative objective discussed
 // with Figure 10).
 func ProjectEnergy(cfg Config, f float64) ([]Trajectory, error) {
-	return projectWith(cfg, f, func(ev core.Evaluator, d core.Design, b bounds.Budgets) (core.Point, error) {
+	return ProjectEnergyCtx(context.Background(), cfg, f)
+}
+
+// ProjectEnergyCtx is ProjectEnergy bounded by ctx (nil = Background).
+func ProjectEnergyCtx(ctx context.Context, cfg Config, f float64) ([]Trajectory, error) {
+	return projectWith(ctx, cfg, f, func(ev core.Evaluator, d core.Design, b bounds.Budgets) (core.Point, error) {
 		return ev.OptimizeEnergy(d, f, b)
 	})
 }
@@ -211,7 +223,7 @@ func ProjectEnergy(cfg Config, f float64) ([]Trajectory, error) {
 // projectWith is the shared projection engine: it fans the design x node
 // cells out over the worker pool, optimizes each with opt, and stitches
 // the NodePoints back into per-design trajectories in roadmap order.
-func projectWith(cfg Config, f float64, opt func(core.Evaluator, core.Design, bounds.Budgets) (core.Point, error)) ([]Trajectory, error) {
+func projectWith(ctx context.Context, cfg Config, f float64, opt func(core.Evaluator, core.Design, bounds.Budgets) (core.Point, error)) ([]Trajectory, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -229,7 +241,7 @@ func projectWith(cfg Config, f float64, opt func(core.Evaluator, core.Design, bo
 	nodes := cfg.Roadmap.Nodes()
 	// One flat cell per (design, node), row-major with node fastest, so
 	// cell i maps to designs[i/len(nodes)] at nodes[i%len(nodes)].
-	pts, err := par.Map(context.Background(), len(designs)*len(nodes), cfg.Workers,
+	pts, err := par.Map(ctx, len(designs)*len(nodes), cfg.Workers,
 		func(_ context.Context, i int) (NodePoint, error) {
 			d, node := designs[i/len(nodes)], nodes[i%len(nodes)]
 			b, err := cfg.BudgetsAt(node)

@@ -1,0 +1,137 @@
+package project
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/paper"
+)
+
+// propertyDesigns is the paper's full design lineup for each workload:
+// symmetric, asymmetric, and the heterogeneous variants with real U-core
+// parameters, so the properties below are checked against every design
+// shape the model can evaluate.
+func propertyDesigns(t *testing.T) []core.Design {
+	t.Helper()
+	var all []core.Design
+	for _, w := range []paper.WorkloadID{paper.MMM, paper.BS, paper.FFT1024} {
+		ds, err := DesignsFor(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, ds...)
+	}
+	return all
+}
+
+// randomBudgets draws a feasible-ish random budget from the stream.
+func randomBudgets(rng *rand.Rand) bounds.Budgets {
+	return bounds.Budgets{
+		Area:      1 + rng.Float64()*512,
+		Power:     1 + rng.Float64()*512,
+		Bandwidth: 0.1 + rng.Float64()*64,
+	}
+}
+
+// TestPropertySpeedupMonotoneInBudgets: growing one budget axis (area or
+// power) while holding the rest fixed can only relax constraints, so the
+// optimized speedup must be non-decreasing along the axis — and a design
+// feasible under a small budget must stay feasible under a larger one.
+// Speedups must also never be negative (a "speedup" below zero would
+// mean the model produced negative work).
+func TestPropertySpeedupMonotoneInBudgets(t *testing.T) {
+	ev := core.NewEvaluator()
+	rng := rand.New(rand.NewSource(1))
+	designs := propertyDesigns(t)
+	axes := []struct {
+		name string
+		set  func(*bounds.Budgets, float64)
+		base func(bounds.Budgets) float64
+	}{
+		{"area", func(b *bounds.Budgets, v float64) { b.Area = v }, func(b bounds.Budgets) float64 { return b.Area }},
+		{"power", func(b *bounds.Budgets, v float64) { b.Power = v }, func(b bounds.Budgets) float64 { return b.Power }},
+	}
+	for trial := 0; trial < 40; trial++ {
+		d := designs[rng.Intn(len(designs))]
+		f := rng.Float64()
+		b := randomBudgets(rng)
+		ax := axes[trial%len(axes)]
+
+		prev := -1.0 // sentinel: no feasible point seen yet
+		for scale := 0.25; scale <= 8; scale *= 2 {
+			bb := b
+			ax.set(&bb, ax.base(b)*scale)
+			p, err := ev.Optimize(d, f, bb)
+			if err != nil {
+				if !errors.Is(err, core.ErrInfeasible) {
+					t.Fatalf("trial %d %s (%s x%g): unexpected error %v", trial, d.Label, ax.name, scale, err)
+				}
+				if prev >= 0 {
+					t.Fatalf("trial %d %s: feasible at smaller %s budget but infeasible at x%g",
+						trial, d.Label, ax.name, scale)
+				}
+				continue
+			}
+			if p.Speedup < 0 {
+				t.Fatalf("trial %d %s: negative speedup %v", trial, d.Label, p.Speedup)
+			}
+			// Tolerate only float noise; a real regression along a
+			// growing budget axis is a model bug.
+			if prev >= 0 && p.Speedup < prev*(1-1e-12) {
+				t.Fatalf("trial %d %s: speedup fell from %v to %v as %s budget grew x%g",
+					trial, d.Label, prev, p.Speedup, ax.name, scale)
+			}
+			prev = p.Speedup
+		}
+	}
+}
+
+// TestPropertyOptimizeDominatesSweep: the optimizer's winner must never
+// be beaten by any point in the r-sweep it claims to have searched, and
+// when it declares infeasibility every r must actually fail.
+func TestPropertyOptimizeDominatesSweep(t *testing.T) {
+	ev := core.NewEvaluator()
+	rng := rand.New(rand.NewSource(2))
+	designs := propertyDesigns(t)
+	for trial := 0; trial < 60; trial++ {
+		d := designs[rng.Intn(len(designs))]
+		f := rng.Float64()
+		b := randomBudgets(rng)
+
+		best, err := ev.Optimize(d, f, b)
+		if err != nil {
+			if !errors.Is(err, core.ErrInfeasible) {
+				t.Fatalf("trial %d %s: unexpected error %v", trial, d.Label, err)
+			}
+			for r := 1; r <= ev.MaxR; r++ {
+				if p, err := ev.Evaluate(d, f, b, r); err == nil {
+					t.Fatalf("trial %d %s: Optimize said infeasible but r=%d evaluates to %v",
+						trial, d.Label, r, p.Speedup)
+				}
+			}
+			continue
+		}
+		for r := 1; r <= ev.MaxR; r++ {
+			p, err := ev.Evaluate(d, f, b, r)
+			if err != nil {
+				continue // infeasible r values are legitimately skipped
+			}
+			if p.Speedup < 0 {
+				t.Fatalf("trial %d %s r=%d: negative speedup %v", trial, d.Label, r, p.Speedup)
+			}
+			if p.Speedup > best.Speedup {
+				t.Fatalf("trial %d %s: r=%d speedup %v beats the optimizer's %v (r=%d)",
+					trial, d.Label, r, p.Speedup, best.Speedup, best.R)
+			}
+		}
+		// The winner itself must re-evaluate to the same point.
+		again, err := ev.Evaluate(d, f, b, best.R)
+		if err != nil || again.Speedup != best.Speedup {
+			t.Fatalf("trial %d %s: winner r=%d does not reproduce: (%v, %v)",
+				trial, d.Label, best.R, again.Speedup, err)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/calcm/heterosim/internal/paper"
@@ -129,9 +130,15 @@ func Run(s Scenario, w paper.WorkloadID, f float64) ([]project.Trajectory, error
 // RunWorkers is Run with an explicit worker-pool size for the projection
 // (<= 0 means GOMAXPROCS). Results are identical at every worker count.
 func RunWorkers(s Scenario, w paper.WorkloadID, f float64, workers int) ([]project.Trajectory, error) {
+	return RunCtx(context.Background(), s, w, f, workers)
+}
+
+// RunCtx is RunWorkers bounded by ctx (nil = Background): cancellation
+// aborts the projection between cells with ctx.Err().
+func RunCtx(ctx context.Context, s Scenario, w paper.WorkloadID, f float64, workers int) ([]project.Trajectory, error) {
 	cfg := s.Apply(project.DefaultConfig(w))
 	cfg.Workers = workers
-	return project.Project(cfg, f)
+	return project.ProjectCtx(ctx, cfg, f)
 }
 
 // Compare runs baseline and scenario side by side and returns both
@@ -143,15 +150,21 @@ func Compare(s Scenario, w paper.WorkloadID, f float64) (base, alt []project.Tra
 // CompareWorkers is Compare with an explicit worker-pool size (<= 0
 // means GOMAXPROCS) threaded through both projections.
 func CompareWorkers(s Scenario, w paper.WorkloadID, f float64, workers int) (base, alt []project.Trajectory, err error) {
+	return CompareCtx(context.Background(), s, w, f, workers)
+}
+
+// CompareCtx is CompareWorkers bounded by ctx (nil = Background), so a
+// request deadline covers both the baseline and alternative projections.
+func CompareCtx(ctx context.Context, s Scenario, w paper.WorkloadID, f float64, workers int) (base, alt []project.Trajectory, err error) {
 	baseScen, err := Get(Baseline)
 	if err != nil {
 		return nil, nil, err
 	}
-	base, err = RunWorkers(baseScen, w, f, workers)
+	base, err = RunCtx(ctx, baseScen, w, f, workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	alt, err = RunWorkers(s, w, f, workers)
+	alt, err = RunCtx(ctx, s, w, f, workers)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -8,10 +8,18 @@
 // contention off the hot path (the shard index is an FNV-1a hash of the
 // key), and per-shard LRU lists bound memory to a configurable entry
 // budget. Hit/miss/eviction/coalesced/inflight counters feed /metrics.
+//
+// Purity also powers the stale-while-revalidate fallback: an entry
+// evicted from the live LRU is retained in an equally bounded stale LRU,
+// and when a fresh evaluation fails transiently (deadline, admission
+// rejection, cancellation) the retained bytes are served instead — they
+// can never be wrong, only previously computed. Callers see the
+// degradation via the Stale outcome.
 package servecache
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"hash/fnv"
 	"sync"
@@ -30,6 +38,10 @@ const (
 	// Coalesced means an identical evaluation was already in flight and
 	// this call waited for its result instead of recomputing.
 	Coalesced
+	// Stale means the fresh evaluation failed (or the caller's deadline
+	// expired waiting for it) and a previously computed response was
+	// served from the stale retention tier instead.
+	Stale
 )
 
 // String names the outcome.
@@ -41,6 +53,8 @@ func (o Outcome) String() string {
 		return "miss"
 	case Coalesced:
 		return "coalesced"
+	case Stale:
+		return "stale"
 	default:
 		return "unknown"
 	}
@@ -58,14 +72,18 @@ type call struct {
 	err  error
 }
 
-// shard is one lock domain: an LRU over its slice of the key space plus
-// the in-flight table for coalescing.
+// shard is one lock domain: an LRU over its slice of the key space, the
+// in-flight table for coalescing, and the stale retention LRU that holds
+// entries evicted from the live tier for fallback serving.
 type shard struct {
 	mu       sync.Mutex
 	capacity int
 	entries  map[string]*list.Element
 	order    *list.List // front = most recently used
 	inflight map[string]*call
+
+	stale      map[string]*list.Element
+	staleOrder *list.List // front = most recently retained
 }
 
 // lruEntry is the list payload.
@@ -79,11 +97,12 @@ type lruEntry struct {
 type Cache struct {
 	shards []*shard
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	evictions atomic.Int64
-	inflight  atomic.Int64 // current gauge, not cumulative
+	hits        atomic.Int64
+	misses      atomic.Int64
+	coalesced   atomic.Int64
+	evictions   atomic.Int64
+	staleServed atomic.Int64
+	inflight    atomic.Int64 // current gauge, not cumulative
 }
 
 // New builds a cache holding at most entries responses across
@@ -110,10 +129,12 @@ func NewSharded(entries, shards int) (*Cache, error) {
 	c := &Cache{shards: make([]*shard, shards)}
 	for i := range c.shards {
 		c.shards[i] = &shard{
-			capacity: perShard,
-			entries:  make(map[string]*list.Element),
-			order:    list.New(),
-			inflight: make(map[string]*call),
+			capacity:   perShard,
+			entries:    make(map[string]*list.Element),
+			order:      list.New(),
+			inflight:   make(map[string]*call),
+			stale:      make(map[string]*list.Element),
+			staleOrder: list.New(),
 		}
 	}
 	return c, nil
@@ -149,8 +170,19 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 // success, fills the cache (Miss). Errors are shared with coalesced
 // waiters but never cached, so a failed evaluation can be retried.
 //
+// ctx bounds this caller's participation: fn receives it (so evaluation
+// work can observe the request deadline), and a coalesced waiter whose
+// ctx expires stops waiting and returns ctx.Err() instead of hanging on
+// someone else's evaluation. When fn fails — or the wait is abandoned —
+// and a previously computed response survives in the stale retention
+// tier, those bytes are served with the Stale outcome and a nil error:
+// the model is pure, so retained bytes are correct, merely not fresh.
+//
 // The returned bytes are shared across callers: treat them as immutable.
-func (c *Cache) Do(key string, fn func() ([]byte, error)) ([]byte, Outcome, error) {
+func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) ([]byte, Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if el, ok := s.entries[key]; ok {
@@ -163,8 +195,22 @@ func (c *Cache) Do(key string, fn func() ([]byte, error)) ([]byte, Outcome, erro
 	if cl, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		c.coalesced.Add(1)
-		<-cl.done
-		return cl.val, Coalesced, cl.err
+		select {
+		case <-cl.done:
+			if cl.err != nil {
+				if val, ok := s.staleGet(key); ok {
+					c.staleServed.Add(1)
+					return val, Stale, nil
+				}
+			}
+			return cl.val, Coalesced, cl.err
+		case <-ctx.Done():
+			if val, ok := s.staleGet(key); ok {
+				c.staleServed.Add(1)
+				return val, Stale, nil
+			}
+			return nil, Coalesced, ctx.Err()
+		}
 	}
 	cl := &call{done: make(chan struct{})}
 	s.inflight[key] = cl
@@ -172,7 +218,7 @@ func (c *Cache) Do(key string, fn func() ([]byte, error)) ([]byte, Outcome, erro
 	c.misses.Add(1)
 	c.inflight.Add(1)
 
-	cl.val, cl.err = fn()
+	cl.val, cl.err = fn(ctx)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -182,11 +228,18 @@ func (c *Cache) Do(key string, fn func() ([]byte, error)) ([]byte, Outcome, erro
 	s.mu.Unlock()
 	c.inflight.Add(-1)
 	close(cl.done)
+	if cl.err != nil {
+		if val, ok := s.staleGet(key); ok {
+			c.staleServed.Add(1)
+			return val, Stale, nil
+		}
+	}
 	return cl.val, Miss, cl.err
 }
 
 // insert adds (or refreshes) key under the shard lock, evicting the
-// least-recently-used entry when the shard is full.
+// least-recently-used entry into the stale retention tier when the shard
+// is full. A key re-entering the live tier leaves no stale shadow.
 func (s *shard) insert(key string, val []byte, c *Cache) {
 	if s.capacity == 0 {
 		return
@@ -200,11 +253,46 @@ func (s *shard) insert(key string, val []byte, c *Cache) {
 		oldest := s.order.Back()
 		if oldest != nil {
 			s.order.Remove(oldest)
-			delete(s.entries, oldest.Value.(*lruEntry).key)
+			old := oldest.Value.(*lruEntry)
+			delete(s.entries, old.key)
+			s.retain(old.key, old.val)
 			c.evictions.Add(1)
 		}
 	}
 	s.entries[key] = s.order.PushFront(&lruEntry{key: key, val: val})
+	if el, ok := s.stale[key]; ok {
+		s.staleOrder.Remove(el)
+		delete(s.stale, key)
+	}
+}
+
+// retain parks an evicted entry in the stale tier, which is bounded by
+// the same per-shard capacity as the live tier. Caller holds s.mu.
+func (s *shard) retain(key string, val []byte) {
+	if el, ok := s.stale[key]; ok {
+		el.Value.(*lruEntry).val = val
+		s.staleOrder.MoveToFront(el)
+		return
+	}
+	if s.staleOrder.Len() >= s.capacity {
+		oldest := s.staleOrder.Back()
+		if oldest != nil {
+			s.staleOrder.Remove(oldest)
+			delete(s.stale, oldest.Value.(*lruEntry).key)
+		}
+	}
+	s.stale[key] = s.staleOrder.PushFront(&lruEntry{key: key, val: val})
+}
+
+// staleGet looks the key up in the stale retention tier.
+func (s *shard) staleGet(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.stale[key]; ok {
+		s.staleOrder.MoveToFront(el)
+		return el.Value.(*lruEntry).val, true
+	}
+	return nil, false
 }
 
 // Len returns the number of cached responses across all shards.
@@ -227,29 +315,45 @@ func (c *Cache) Capacity() int {
 	return n
 }
 
+// StaleLen returns the number of retained (evicted) responses across all
+// shards.
+func (c *Cache) StaleLen() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.staleOrder.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Coalesced int64 `json:"coalesced"`
-	Evictions int64 `json:"evictions"`
-	Inflight  int64 `json:"inflight"`
-	Entries   int   `json:"entries"`
-	Capacity  int   `json:"capacity"`
-	Shards    int   `json:"shards"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Coalesced    int64 `json:"coalesced"`
+	Evictions    int64 `json:"evictions"`
+	StaleServed  int64 `json:"staleServed"`
+	Inflight     int64 `json:"inflight"`
+	Entries      int   `json:"entries"`
+	StaleEntries int   `json:"staleEntries"`
+	Capacity     int   `json:"capacity"`
+	Shards       int   `json:"shards"`
 }
 
 // Stats snapshots the counters. Entries walks the shards, so the value
 // is consistent per shard but not across a concurrent fill.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Evictions: c.evictions.Load(),
-		Inflight:  c.inflight.Load(),
-		Entries:   c.Len(),
-		Capacity:  c.Capacity(),
-		Shards:    len(c.shards),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Coalesced:    c.coalesced.Load(),
+		Evictions:    c.evictions.Load(),
+		StaleServed:  c.staleServed.Load(),
+		Inflight:     c.inflight.Load(),
+		Entries:      c.Len(),
+		StaleEntries: c.StaleLen(),
+		Capacity:     c.Capacity(),
+		Shards:       len(c.shards),
 	}
 }

@@ -2,6 +2,7 @@ package servecache
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,13 +33,13 @@ func TestDoHitMissAndGet(t *testing.T) {
 		t.Fatal(err)
 	}
 	calls := 0
-	fn := func() ([]byte, error) { calls++; return []byte("payload"), nil }
+	fn := func(context.Context) ([]byte, error) { calls++; return []byte("payload"), nil }
 
-	v, out, err := c.Do("k", fn)
+	v, out, err := c.Do(context.Background(), "k", fn)
 	if err != nil || out != Miss || string(v) != "payload" {
 		t.Fatalf("first Do = (%q, %v, %v), want miss", v, out, err)
 	}
-	v, out, err = c.Do("k", fn)
+	v, out, err = c.Do(context.Background(), "k", fn)
 	if err != nil || out != Hit || string(v) != "payload" {
 		t.Fatalf("second Do = (%q, %v, %v), want hit", v, out, err)
 	}
@@ -64,12 +65,12 @@ func TestErrorsAreSharedButNotCached(t *testing.T) {
 	}
 	boom := errors.New("boom")
 	calls := 0
-	_, out, err := c.Do("k", func() ([]byte, error) { calls++; return nil, boom })
+	_, out, err := c.Do(context.Background(), "k", func(context.Context) ([]byte, error) { calls++; return nil, boom })
 	if !errors.Is(err, boom) || out != Miss {
 		t.Fatalf("failed Do = (%v, %v), want miss with boom", out, err)
 	}
 	// The failure was not cached: the next call re-evaluates and can succeed.
-	v, out, err := c.Do("k", func() ([]byte, error) { calls++; return []byte("ok"), nil })
+	v, out, err := c.Do(context.Background(), "k", func(context.Context) ([]byte, error) { calls++; return []byte("ok"), nil })
 	if err != nil || out != Miss || string(v) != "ok" {
 		t.Fatalf("retry Do = (%q, %v, %v), want fresh miss", v, out, err)
 	}
@@ -88,7 +89,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	fill := func(k string) {
-		if _, _, err := c.Do(k, func() ([]byte, error) { return []byte(k), nil }); err != nil {
+		if _, _, err := c.Do(context.Background(), k, func(context.Context) ([]byte, error) { return []byte(k), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -124,7 +125,7 @@ func TestZeroCapacityStillCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, _, err := c.Do("k", func() ([]byte, error) {
+			v, _, err := c.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
 				evals.Add(1)
 				<-gate
 				return []byte("once"), nil
@@ -152,7 +153,7 @@ func TestZeroCapacityStillCoalesces(t *testing.T) {
 		t.Errorf("Len = %d, want 0 (storage disabled)", c.Len())
 	}
 	// Storage is off, so a later identical request recomputes.
-	if _, out, _ := c.Do("k", func() ([]byte, error) { evals.Add(1); return []byte("again"), nil }); out != Miss {
+	if _, out, _ := c.Do(context.Background(), "k", func(context.Context) ([]byte, error) { evals.Add(1); return []byte("again"), nil }); out != Miss {
 		t.Errorf("post-drain Do outcome = %v, want miss", out)
 	}
 }
@@ -175,7 +176,7 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			v, _, err := c.Do("hot", func() ([]byte, error) {
+			v, _, err := c.Do(context.Background(), "hot", func(context.Context) ([]byte, error) {
 				evals.Add(1)
 				return []byte("expensive result"), nil
 			})
@@ -224,7 +225,7 @@ func TestConcurrentMixedKeys(t *testing.T) {
 			for r := 0; r < rounds; r++ {
 				key := fmt.Sprintf("key-%d", (g*7+r)%50)
 				want := []byte("val-" + key)
-				v, _, err := c.Do(key, func() ([]byte, error) { return want, nil })
+				v, _, err := c.Do(context.Background(), key, func(context.Context) ([]byte, error) { return want, nil })
 				if err != nil {
 					t.Error(err)
 					return

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fuzzEndpoint is the shared harness: POST the fuzzed body and hold the
+// handler to the error contract — it must never panic, never answer a
+// malformed or absurd request with a 5xx (bad input is the client's
+// fault: 400 for shape errors, 422 for infeasible-but-well-formed), and
+// must always produce valid JSON.
+func fuzzEndpoint(f *testing.F, path string, seeds []string) {
+	f.Helper()
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	s, err := New(Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity:
+		default:
+			t.Fatalf("%s: body %q got status %d (%s)", path, body, rec.Code, rec.Body.String())
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("%s: body %q got non-JSON response %q", path, body, rec.Body.String())
+		}
+	})
+}
+
+func FuzzOptimize(f *testing.F) {
+	fuzzEndpoint(f, "/v1/optimize", []string{
+		`{"workload":"MMM","f":0.9,"design":{"kind":"sym"}}`,
+		`{"workload":"BS","f":0.99,"design":{"kind":"het","device":"asic"},"objective":"energy"}`,
+		`{"workload":"MMM","f":0.9,"budgets":{"area":-1e308,"power":0,"bandwidth":1e308},"design":{"kind":"het","device":"gtx480"}}`,
+		`{"workload":"MMM","f":NaN,"design":{"kind":"sym"}}`,
+		`{"workload":"MMM","f":1e999,"design":{"kind":"sym"}}`,
+		`{"workload":"MMM","f":0.9,"design":{"kind":"sym"},"typo":1}`,
+		`{bad`,
+		``,
+		`null`,
+		`[1,2,3]`,
+	})
+}
+
+func FuzzSweep(f *testing.F) {
+	fuzzEndpoint(f, "/v1/sweep", []string{
+		`{"workload":"MMM","design":{"kind":"sym"},"f":{"lo":0.5,"hi":0.9,"steps":3}}`,
+		`{"workload":"BS","design":{"kind":"het","device":"gtx285"},"f":{"values":[0.9,0.99]},"areaScale":{"lo":0.5,"hi":2,"steps":4}}`,
+		`{"workload":"MMM","design":{"kind":"sym"},"f":{"lo":0,"hi":1,"steps":2000000}}`,
+		`{"workload":"MMM","design":{"kind":"sym"},"f":{"steps":-5}}`,
+		`{"workload":"MMM","design":{"kind":"sym"},"f":{"lo":0.9,"hi":0.1,"steps":3}}`,
+		`{"f":{}}`,
+		`{bad`,
+		`0`,
+	})
+}
+
+func FuzzProject(f *testing.F) {
+	fuzzEndpoint(f, "/v1/project", []string{
+		`{"workload":"MMM","f":0.9}`,
+		`{"workload":"FFT-1024","f":0.99,"scenario":3,"objective":"energy"}`,
+		`{"workload":"MMM","f":0.9,"power":-1e308,"bandwidth":1e308}`,
+		`{"workload":"MMM","f":2}`,
+		`{"workload":"MMM","f":0.9,"scenario":999}`,
+		`{"workload":"MMM","f":0.9,"workers":-2147483648}`,
+		`{bad`,
+		`"a string"`,
+	})
+}
+
+func FuzzScenario(f *testing.F) {
+	fuzzEndpoint(f, "/v1/scenario", []string{
+		`{"scenario":1,"workload":"MMM","f":0.9}`,
+		`{"scenario":6,"workload":"BS","f":0.999}`,
+		`{"scenario":0,"workload":"MMM","f":0.9}`,
+		`{"scenario":7,"workload":"MMM","f":0.9}`,
+		`{"scenario":1,"workload":"nope","f":0.9}`,
+		`{"scenario":1,"workload":"MMM","f":-0.5}`,
+		`{bad`,
+		`{}`,
+	})
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -20,10 +21,11 @@ type gate struct {
 	maxQueue int64
 	timeout  time.Duration
 
-	queued          atomic.Int64 // current gauge
-	accepted        atomic.Int64
-	rejectedFull    atomic.Int64 // queue overflow -> 429
-	rejectedTimeout atomic.Int64 // queue wait expired -> 503
+	queued           atomic.Int64 // current gauge
+	accepted         atomic.Int64
+	rejectedFull     atomic.Int64 // queue overflow -> 429
+	rejectedTimeout  atomic.Int64 // queue wait expired -> 503
+	rejectedDeadline atomic.Int64 // request deadline expired in queue -> 504
 }
 
 // newGate builds a gate admitting maxInflight concurrent evaluations
@@ -37,9 +39,11 @@ func newGate(maxInflight, maxQueue int, timeout time.Duration) *gate {
 }
 
 // acquire admits the caller or rejects with an HTTP status. On admission
-// it returns a release func and a zero status. ctx cancellation (client
-// disconnect) surfaces as 503 — the distinction is moot because nobody
-// is left to read the response.
+// it returns a release func and a zero status. A request deadline
+// expiring in the queue surfaces as 504 — the caller waited its full
+// budget, the gate never let it run; plain cancellation (client
+// disconnect) surfaces as 503, a moot distinction because nobody is left
+// to read the response.
 func (g *gate) acquire(ctx context.Context) (release func(), status int) {
 	select {
 	case g.sem <- struct{}{}:
@@ -63,6 +67,10 @@ func (g *gate) acquire(ctx context.Context) (release func(), status int) {
 		g.rejectedTimeout.Add(1)
 		return nil, http.StatusServiceUnavailable
 	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			g.rejectedDeadline.Add(1)
+			return nil, http.StatusGatewayTimeout
+		}
 		g.rejectedTimeout.Add(1)
 		return nil, http.StatusServiceUnavailable
 	}
@@ -70,26 +78,28 @@ func (g *gate) acquire(ctx context.Context) (release func(), status int) {
 
 // gateStats is the admission section of /metrics.
 type gateStats struct {
-	MaxInflight     int   `json:"maxInflight"`
-	MaxQueue        int64 `json:"maxQueue"`
-	QueueTimeoutMS  int64 `json:"queueTimeoutMs"`
-	Inflight        int   `json:"inflight"`
-	Queued          int64 `json:"queued"`
-	Accepted        int64 `json:"accepted"`
-	RejectedFull    int64 `json:"rejectedFull"`
-	RejectedTimeout int64 `json:"rejectedTimeout"`
+	MaxInflight      int   `json:"maxInflight"`
+	MaxQueue         int64 `json:"maxQueue"`
+	QueueTimeoutMS   int64 `json:"queueTimeoutMs"`
+	Inflight         int   `json:"inflight"`
+	Queued           int64 `json:"queued"`
+	Accepted         int64 `json:"accepted"`
+	RejectedFull     int64 `json:"rejectedFull"`
+	RejectedTimeout  int64 `json:"rejectedTimeout"`
+	RejectedDeadline int64 `json:"rejectedDeadline"`
 }
 
 // stats snapshots the gate counters.
 func (g *gate) stats() gateStats {
 	return gateStats{
-		MaxInflight:     cap(g.sem),
-		MaxQueue:        g.maxQueue,
-		QueueTimeoutMS:  g.timeout.Milliseconds(),
-		Inflight:        len(g.sem),
-		Queued:          g.queued.Load(),
-		Accepted:        g.accepted.Load(),
-		RejectedFull:    g.rejectedFull.Load(),
-		RejectedTimeout: g.rejectedTimeout.Load(),
+		MaxInflight:      cap(g.sem),
+		MaxQueue:         g.maxQueue,
+		QueueTimeoutMS:   g.timeout.Milliseconds(),
+		Inflight:         len(g.sem),
+		Queued:           g.queued.Load(),
+		Accepted:         g.accepted.Load(),
+		RejectedFull:     g.rejectedFull.Load(),
+		RejectedTimeout:  g.rejectedTimeout.Load(),
+		RejectedDeadline: g.rejectedDeadline.Load(),
 	}
 }

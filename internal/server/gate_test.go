@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// hold fills every inflight slot of g and returns a func releasing them.
+func hold(t *testing.T, g *gate) func() {
+	t.Helper()
+	releases := make([]func(), 0, cap(g.sem))
+	for i := 0; i < cap(g.sem); i++ {
+		release, status := g.acquire(context.Background())
+		if status != 0 {
+			t.Fatalf("filling slot %d: status %d", i, status)
+		}
+		releases = append(releases, release)
+	}
+	return func() {
+		for _, r := range releases {
+			r()
+		}
+	}
+}
+
+func TestGateAdmitsUpToCapacity(t *testing.T) {
+	g := newGate(2, 2, time.Second)
+	release := hold(t, g)
+	st := g.stats()
+	if st.Inflight != 2 || st.Accepted != 2 {
+		t.Errorf("stats after filling = %+v", st)
+	}
+	release()
+	if st := g.stats(); st.Inflight != 0 {
+		t.Errorf("Inflight after release = %d, want 0", st.Inflight)
+	}
+}
+
+// TestGateQueueOverflowIs429: one request past the queue bound is
+// rejected immediately — no waiting, no timer.
+func TestGateQueueOverflowIs429(t *testing.T) {
+	g := newGate(1, 1, 10*time.Second)
+	defer hold(t, g)()
+
+	// Park one waiter to occupy the single queue slot.
+	parked := make(chan int, 1)
+	go func() {
+		_, status := g.acquire(context.Background())
+		parked <- status
+	}()
+	for g.queued.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	release, status := g.acquire(context.Background())
+	if release != nil || status != http.StatusTooManyRequests {
+		t.Fatalf("overflow acquire = (release=%t, %d), want (nil, 429)", release != nil, status)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Errorf("429 took %v, want immediate rejection", took)
+	}
+	if st := g.stats(); st.RejectedFull != 1 {
+		t.Errorf("RejectedFull = %d, want 1", st.RejectedFull)
+	}
+
+	// Unblock the parked waiter by cancelling nothing — it still waits on
+	// the 10s timer, so free a slot for it instead.
+	<-g.sem
+	if status := <-parked; status != 0 {
+		t.Fatalf("parked waiter got status %d, want admission", status)
+	}
+}
+
+// TestGateQueueTimeoutIs503: a queued request that never gets a slot is
+// rejected with 503 once the queue timeout elapses.
+func TestGateQueueTimeoutIs503(t *testing.T) {
+	g := newGate(1, 4, 30*time.Millisecond)
+	defer hold(t, g)()
+
+	start := time.Now()
+	release, status := g.acquire(context.Background())
+	took := time.Since(start)
+	if release != nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("acquire = (release=%t, %d), want (nil, 503)", release != nil, status)
+	}
+	if took < 30*time.Millisecond {
+		t.Errorf("rejected after %v, before the 30ms queue timeout", took)
+	}
+	if st := g.stats(); st.RejectedTimeout != 1 {
+		t.Errorf("RejectedTimeout = %d, want 1", st.RejectedTimeout)
+	}
+	if g.queued.Load() != 0 {
+		t.Errorf("queued gauge = %d after rejection, want 0", g.queued.Load())
+	}
+}
+
+// TestGateDeadlineInQueueIs504: the request's own deadline expiring
+// while queued is distinguished from queue saturation — the caller spent
+// its whole budget waiting, so it gets 504, not 503.
+func TestGateDeadlineInQueueIs504(t *testing.T) {
+	g := newGate(1, 4, 10*time.Second)
+	defer hold(t, g)()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	release, status := g.acquire(ctx)
+	if release != nil || status != http.StatusGatewayTimeout {
+		t.Fatalf("acquire = (release=%t, %d), want (nil, 504)", release != nil, status)
+	}
+	if st := g.stats(); st.RejectedDeadline != 1 {
+		t.Errorf("RejectedDeadline = %d, want 1", st.RejectedDeadline)
+	}
+}
+
+// TestGateCancelInQueueIs503: plain cancellation (client disconnect) in
+// the queue maps to 503, counted as a timeout-class rejection.
+func TestGateCancelInQueueIs503(t *testing.T) {
+	g := newGate(1, 4, 10*time.Second)
+	defer hold(t, g)()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	release, status := g.acquire(ctx)
+	if release != nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("acquire = (release=%t, %d), want (nil, 503)", release != nil, status)
+	}
+	if st := g.stats(); st.RejectedTimeout != 1 {
+		t.Errorf("RejectedTimeout = %d, want 1", st.RejectedTimeout)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"math"
@@ -51,6 +52,17 @@ func checkF(f float64) error {
 	return nil
 }
 
+// evalFailure classifies an evaluation error: context cancellation and
+// deadline errors pass through untouched so the transport can map them
+// to 503/504, anything else is wrapped with mk (badRequest or
+// unprocessable).
+func evalFailure(err error, mk func(string, ...any) *apiError) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return mk("%v", err)
+}
+
 // ---------------------------------------------------------------------
 // POST /v1/optimize — one design point.
 
@@ -76,7 +88,7 @@ type OptimizeResponse struct {
 	Point    PointJSON   `json:"point"`
 }
 
-func (s *Server) evalOptimize(body []byte) (string, func() ([]byte, error), error) {
+func (s *Server) evalOptimize(body []byte) (string, func(context.Context) ([]byte, error), error) {
 	var req OptimizeRequest
 	if err := decodeStrict(body, &req); err != nil {
 		return "", nil, err
@@ -130,7 +142,7 @@ func (s *Server) evalOptimize(body []byte) (string, func() ([]byte, error), erro
 	if err != nil {
 		return "", nil, err
 	}
-	return key, func() ([]byte, error) {
+	return key, func(context.Context) ([]byte, error) {
 		opt := ev.Optimize
 		if req.Objective == "energy" {
 			opt = ev.OptimizeEnergy
@@ -235,7 +247,7 @@ type AxisJSON struct {
 	Values []float64 `json:"values"`
 }
 
-func (s *Server) evalSweep(body []byte) (string, func() ([]byte, error), error) {
+func (s *Server) evalSweep(body []byte) (string, func(context.Context) ([]byte, error), error) {
 	var req SweepRequest
 	if err := decodeStrict(body, &req); err != nil {
 		return "", nil, err
@@ -326,9 +338,9 @@ func (s *Server) evalSweep(body []byte) (string, func() ([]byte, error), error) 
 			index[i][v] = j
 		}
 	}
-	return key, func() ([]byte, error) {
+	return key, func(ctx context.Context) ([]byte, error) {
 		points := make([]SweepPointJSON, grid.Size())
-		err := grid.EachParallel(workers, func(p sweep.Point) error {
+		err := grid.EachParallel(ctx, workers, func(p sweep.Point) error {
 			flat := 0
 			for i, ax := range axes {
 				flat = flat*len(ax.Values) + index[i][p[ax.Name]]
@@ -354,7 +366,7 @@ func (s *Server) evalSweep(body []byte) (string, func() ([]byte, error), error) 
 			return nil
 		})
 		if err != nil {
-			return nil, badRequest("%v", err)
+			return nil, evalFailure(err, badRequest)
 		}
 		resp := SweepResponse{
 			Workload: req.Workload,
@@ -458,7 +470,7 @@ func (s *Server) projectConfig(req *ProjectRequest) (project.Config, scenario.Sc
 	return cfg, sc, nil
 }
 
-func (s *Server) evalProject(body []byte) (string, func() ([]byte, error), error) {
+func (s *Server) evalProject(body []byte) (string, func(context.Context) ([]byte, error), error) {
 	var req ProjectRequest
 	if err := decodeStrict(body, &req); err != nil {
 		return "", nil, err
@@ -471,14 +483,14 @@ func (s *Server) evalProject(body []byte) (string, func() ([]byte, error), error
 	if err != nil {
 		return "", nil, err
 	}
-	return key, func() ([]byte, error) {
-		proj := project.Project
+	return key, func(ctx context.Context) ([]byte, error) {
+		proj := project.ProjectCtx
 		if req.Objective == "energy" {
-			proj = project.ProjectEnergy
+			proj = project.ProjectEnergyCtx
 		}
-		ts, err := proj(cfg, req.F)
+		ts, err := proj(ctx, cfg, req.F)
 		if err != nil {
-			return nil, unprocessable("%v", err)
+			return nil, evalFailure(err, unprocessable)
 		}
 		resp := ProjectResponse{
 			Workload:     req.Workload,
@@ -521,7 +533,7 @@ type ScenarioResponse struct {
 	Alternative []TrajectoryJSON `json:"alternative"`
 }
 
-func (s *Server) evalScenario(body []byte) (string, func() ([]byte, error), error) {
+func (s *Server) evalScenario(body []byte) (string, func(context.Context) ([]byte, error), error) {
 	var req ScenarioRequest
 	if err := decodeStrict(body, &req); err != nil {
 		return "", nil, err
@@ -550,10 +562,10 @@ func (s *Server) evalScenario(body []byte) (string, func() ([]byte, error), erro
 	if err != nil {
 		return "", nil, err
 	}
-	return key, func() ([]byte, error) {
-		base, alt, err := scenario.CompareWorkers(sc, w, req.F, workers)
+	return key, func(ctx context.Context) ([]byte, error) {
+		base, alt, err := scenario.CompareCtx(ctx, sc, w, req.F, workers)
 		if err != nil {
-			return nil, unprocessable("%v", err)
+			return nil, evalFailure(err, unprocessable)
 		}
 		resp := ScenarioResponse{
 			Scenario:    req.Scenario,

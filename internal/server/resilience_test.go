@@ -1,0 +1,119 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRequestDeadlineInQueueIs504 is the end-to-end 504 path: the only
+// evaluation slot is held, so a fresh request queues at the gate until
+// its own RequestTimeout expires — and the response says so with 504,
+// not a generic 503.
+func TestRequestDeadlineInQueueIs504(t *testing.T) {
+	s := newTestServer(t, Config{
+		MaxInflight:    1,
+		MaxQueue:       4,
+		QueueTimeout:   10 * time.Second, // queue patience outlives the request deadline
+		RequestTimeout: 30 * time.Millisecond,
+	})
+	release, status := s.gate.acquire(context.Background())
+	if status != 0 {
+		t.Fatalf("holding the only slot: status %d", status)
+	}
+	defer release()
+
+	rec := do(t, s, http.MethodPost, "/v1/optimize",
+		`{"workload":"MMM","f":0.91,"design":{"kind":"sym"}}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", rec.Code, rec.Body.String())
+	}
+	if st := s.gate.stats(); st.RejectedDeadline != 1 {
+		t.Errorf("RejectedDeadline = %d, want 1", st.RejectedDeadline)
+	}
+}
+
+// TestSaturation503CarriesRetryAfter: with the slot held and a short
+// queue timeout, a fresh request is told to come back later — and the
+// response carries the Retry-After hint the client's backoff floors on.
+func TestSaturation503CarriesRetryAfter(t *testing.T) {
+	s := newTestServer(t, Config{
+		MaxInflight:  1,
+		MaxQueue:     4,
+		QueueTimeout: 5 * time.Millisecond,
+	})
+	release, status := s.gate.acquire(context.Background())
+	if status != 0 {
+		t.Fatalf("holding the only slot: status %d", status)
+	}
+	defer release()
+
+	rec := do(t, s, http.MethodPost, "/v1/optimize",
+		`{"workload":"MMM","f":0.92,"design":{"kind":"sym"}}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want %q", ra, "1")
+	}
+}
+
+// TestStaleServedEndToEnd: an entry evicted from the live cache is
+// served from the stale tier when revalidation cannot run (gate
+// saturated), and the response is labeled X-Heterosim-Cache: stale so
+// clients can tell. This is the stale-while-revalidate contract at the
+// HTTP layer.
+func TestStaleServedEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{
+		CacheEntries: 8, // tiny: a burst of distinct requests evicts earlier ones
+		MaxInflight:  1,
+		MaxQueue:     4,
+		QueueTimeout: 5 * time.Millisecond,
+	})
+	first := `{"workload":"MMM","f":0.9,"design":{"kind":"sym"}}`
+	rec := do(t, s, http.MethodPost, "/v1/optimize", first)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Heterosim-Cache") != "miss" {
+		t.Fatalf("first request = (%d, %q)", rec.Code, rec.Header().Get("X-Heterosim-Cache"))
+	}
+	fresh := rec.Body.String()
+
+	// Flood with distinct requests until the first one's entry has been
+	// evicted into the stale tier: with the gate saturated, replaying it
+	// must serve the retained bytes, labeled stale.
+	for i := 0; ; i++ {
+		if i == 1000 {
+			t.Fatal("first entry never left the live tier after 1000 distinct inserts")
+		}
+		body := fmt.Sprintf(`{"workload":"MMM","f":%g,"design":{"kind":"sym"}}`, 0.0001*float64(i+1))
+		if rec := do(t, s, http.MethodPost, "/v1/optimize", body); rec.Code != http.StatusOK {
+			t.Fatalf("filler %d = %d (%s)", i, rec.Code, rec.Body.String())
+		}
+
+		release, status := s.gate.acquire(context.Background())
+		if status != 0 {
+			t.Fatalf("holding the only slot: status %d", status)
+		}
+		rec := do(t, s, http.MethodPost, "/v1/optimize", first)
+		release()
+		switch rec.Header().Get("X-Heterosim-Cache") {
+		case "hit":
+			continue // still live; keep evicting
+		case "stale":
+			if rec.Code != http.StatusOK {
+				t.Fatalf("stale serve status = %d", rec.Code)
+			}
+			if rec.Body.String() != fresh {
+				t.Error("stale bytes differ from the original response")
+			}
+			if st := s.cache.Stats(); st.StaleServed == 0 {
+				t.Error("StaleServed counter never moved")
+			}
+			return
+		default:
+			t.Fatalf("replay = (%d, %q, %s), want hit or stale",
+				rec.Code, rec.Header().Get("X-Heterosim-Cache"), rec.Body.String())
+		}
+	}
+}

@@ -55,6 +55,18 @@ type Config struct {
 	// QueueTimeout bounds how long a queued request waits for a slot
 	// before a 503 (default 2s).
 	QueueTimeout time.Duration
+
+	// RequestTimeout bounds one model request end to end: queue wait plus
+	// evaluation. Work still running at the deadline is cancelled through
+	// the engine's context and the request gets 504 (or a stale cached
+	// response, when one is retained). 0 means the default 30s; any
+	// negative value disables per-request deadlines.
+	RequestTimeout time.Duration
+
+	// Middleware, when non-nil, wraps the root handler — the daemon uses
+	// it to splice in fault injection behind its env guard. It must not
+	// be changed after New.
+	Middleware func(http.Handler) http.Handler
 }
 
 // withDefaults normalizes the config: worker counts go through
@@ -89,17 +101,24 @@ func (c Config) withDefaults() (Config, error) {
 	if c.QueueTimeout < 0 {
 		return c, errors.New("server: QueueTimeout must be >= 0")
 	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RequestTimeout < 0 {
+		c.RequestTimeout = -1 // canonical "no per-request deadline"
+	}
 	return c, nil
 }
 
 // Server is the HTTP serving layer. Construct with New; it is safe for
 // concurrent use.
 type Server struct {
-	cfg   Config
-	cache *servecache.Cache
-	gate  *gate
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	cache   *servecache.Cache
+	gate    *gate
+	mux     *http.ServeMux
+	handler http.Handler // mux, possibly wrapped by cfg.Middleware
+	start   time.Time
 
 	requests  [endpointCount]atomic.Int64
 	responses struct{ ok, clientErr, serverErr atomic.Int64 }
@@ -156,21 +175,26 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/sweep", s.model(epSweep, s.evalSweep))
 	s.mux.HandleFunc("/v1/project", s.model(epProject, s.evalProject))
 	s.mux.HandleFunc("/v1/scenario", s.model(epScenario, s.evalScenario))
+	s.handler = http.Handler(s.mux)
+	if cfg.Middleware != nil {
+		s.handler = cfg.Middleware(s.handler)
+	}
 	return s, nil
 }
 
 // Config returns the server's effective (default-applied) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// Handler returns the root handler, for mounting or httptest.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler (middleware included), for mounting
+// or httptest.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Serve accepts connections on ln until ctx is cancelled, then drains
 // in-flight requests for up to 5 seconds. It returns nil on a clean
 // shutdown.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{
-		Handler:           s.mux,
+		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -206,13 +230,16 @@ func (s *Server) ListenAndServe(ctx context.Context, ready chan<- net.Addr) erro
 
 // evaluator is one endpoint's model evaluation: it validates and
 // canonicalizes the decoded body (returning the canonical request for
-// keying) and a closure producing the marshaled response.
-type evaluator func(body []byte) (key string, eval func() ([]byte, error), err error)
+// keying) and a closure producing the marshaled response. The closure
+// receives the request's deadline-bounded context and must stop early
+// (returning the context error) when it expires.
+type evaluator func(body []byte) (key string, eval func(ctx context.Context) ([]byte, error), err error)
 
 // model wraps an evaluator with the serving pipeline: method and body
 // checks, canonical cache key, coalescing lookup, admission gate (misses
 // only — cached work is free and must stay admissible under overload),
-// and error-to-status mapping.
+// per-request deadline enforcement, stale fallback, and error-to-status
+// mapping.
 func (s *Server) model(ep endpoint, ev evaluator) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests[ep].Add(1)
@@ -231,8 +258,14 @@ func (s *Server) model(ep endpoint, ev evaluator) http.HandlerFunc {
 			s.writeError(w, err)
 			return
 		}
-		resp, outcome, err := s.cache.Do(key, func() ([]byte, error) {
-			release, status := s.gate.acquire(r.Context())
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		resp, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) ([]byte, error) {
+			release, status := s.gate.acquire(ctx)
 			if status != 0 {
 				return nil, &apiError{Status: status, Message: "server saturated, retry later"}
 			}
@@ -240,7 +273,7 @@ func (s *Server) model(ep endpoint, ev evaluator) http.HandlerFunc {
 			if s.onEvaluate != nil {
 				s.onEvaluate(endpointNames[ep])
 			}
-			return eval()
+			return eval(ctx)
 		})
 		if err != nil {
 			s.writeError(w, err)
@@ -282,11 +315,19 @@ func decodeStrict(body []byte, dst any) error {
 }
 
 // writeError maps an error to a JSON error response; apiError carries
-// its own status, anything else is a 500.
+// its own status, an expired request deadline is 504, a disconnected
+// client 503 (moot — nobody reads it), anything else a 500.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var ae *apiError
 	if !errors.As(err, &ae) {
-		ae = &apiError{Status: http.StatusInternalServerError, Message: err.Error()}
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			ae = &apiError{Status: http.StatusGatewayTimeout, Message: "request deadline exceeded"}
+		case errors.Is(err, context.Canceled):
+			ae = &apiError{Status: http.StatusServiceUnavailable, Message: "request cancelled"}
+		default:
+			ae = &apiError{Status: http.StatusInternalServerError, Message: err.Error()}
+		}
 	}
 	if ae.Status >= 500 {
 		s.responses.serverErr.Add(1)

@@ -13,11 +13,13 @@ import (
 // multi-index state — so any interleaving visits exactly the same points
 // as Each. The Point is valid only for the duration of the call (use
 // Copy to keep one). The first error cancels the sweep; the
-// lowest-indexed observed error is returned.
+// lowest-indexed observed error is returned. Cancelling ctx (nil means
+// Background) stops the sweep between points and returns ctx.Err(), so
+// request deadlines propagate into long grids.
 //
 // fn runs concurrently: it must be safe for parallel use.
-func (g *Grid) EachParallel(workers int, fn func(Point) error) error {
-	return par.ForEach(context.Background(), g.Size(), workers, func(_ context.Context, i int) error {
+func (g *Grid) EachParallel(ctx context.Context, workers int, fn func(Point) error) error {
+	return par.ForEach(ctx, g.Size(), workers, func(_ context.Context, i int) error {
 		p := make(Point, len(g.axes))
 		g.decodeInto(i, p)
 		return fn(p)
@@ -37,11 +39,12 @@ type cell struct {
 // order with a strict > comparison, so ties break to the lowest index
 // exactly as the serial scan does. If every point fails, the error of the
 // highest-indexed point is returned — again matching ArgMax, whose
-// "last error" is the last one met in row-major order.
+// "last error" is the last one met in row-major order. Cancelling ctx
+// (nil means Background) aborts the sweep with ctx.Err().
 //
 // objective runs concurrently: it must be safe for parallel use.
-func (g *Grid) ArgMaxParallel(workers int, objective func(Point) (float64, error)) (Result, error) {
-	cells, err := par.Map(context.Background(), g.Size(), workers, func(_ context.Context, i int) (cell, error) {
+func (g *Grid) ArgMaxParallel(ctx context.Context, workers int, objective func(Point) (float64, error)) (Result, error) {
+	cells, err := par.Map(ctx, g.Size(), workers, func(_ context.Context, i int) (cell, error) {
 		p := make(Point, len(g.axes))
 		g.decodeInto(i, p)
 		v, err := objective(p)

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -90,7 +91,7 @@ func TestEachParallelVisitsSamePoints(t *testing.T) {
 			mu  sync.Mutex
 			got []string
 		)
-		if err := g.EachParallel(w, func(p Point) error {
+		if err := g.EachParallel(context.Background(), w, func(p Point) error {
 			mu.Lock()
 			got = append(got, key(p))
 			mu.Unlock()
@@ -109,7 +110,7 @@ func TestEachParallelPropagatesError(t *testing.T) {
 	g := testGrid(t)
 	boom := errors.New("boom")
 	for _, w := range determinismWorkerCounts() {
-		err := g.EachParallel(w, func(p Point) error {
+		err := g.EachParallel(context.Background(), w, func(p Point) error {
 			if p["x"] == -2 && p["y"] == 0 && p["z"] == 1 { // index 0
 				return boom
 			}
@@ -165,7 +166,7 @@ func TestArgMaxParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, w := range determinismWorkerCounts() {
-		got, err := g.ArgMaxParallel(w, objective)
+		got, err := g.ArgMaxParallel(context.Background(), w, objective)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
@@ -193,7 +194,7 @@ func TestArgMaxParallelTieBreaksOnLowestIndex(t *testing.T) {
 		t.Fatalf("serial ArgMax tie-break drifted: %v", want.Point)
 	}
 	for _, w := range determinismWorkerCounts() {
-		got, err := g.ArgMaxParallel(w, flat)
+		got, err := g.ArgMaxParallel(context.Background(), w, flat)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
@@ -206,7 +207,7 @@ func TestArgMaxParallelTieBreaksOnLowestIndex(t *testing.T) {
 func TestArgMaxParallelAllInfeasible(t *testing.T) {
 	g := testGrid(t)
 	for _, w := range determinismWorkerCounts() {
-		_, err := g.ArgMaxParallel(w, func(Point) (float64, error) {
+		_, err := g.ArgMaxParallel(context.Background(), w, func(Point) (float64, error) {
 			return 0, errors.New("infeasible")
 		})
 		if err == nil {
@@ -236,7 +237,7 @@ func BenchmarkSweepGridParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := g.ArgMaxParallel(0, objective); err != nil {
+		if _, err := g.ArgMaxParallel(context.Background(), 0, objective); err != nil {
 			b.Fatal(err)
 		}
 	}
