@@ -8,10 +8,18 @@
 //
 //	heterosimd serve [-addr :8080] [-workers N] [-cache-entries N]
 //	                 [-max-inflight N] [-max-queue N] [-queue-timeout D]
-//	                 [-request-timeout D]
+//	                 [-request-timeout D] [-pprof-addr ADDR]
+//	                 [-log-format text|json]
+//
 //	heterosimd version
 //
-// serve runs until SIGINT/SIGTERM, then drains in-flight requests.
+// serve runs until SIGINT/SIGTERM, then drains in-flight requests. It
+// logs one structured line (log/slog; text or JSON) per request with a
+// request ID taken from X-Request-ID or minted, serves /metrics as both
+// the JSON counter document (default) and Prometheus text exposition
+// (?format=prometheus or Accept: text/plain), and — opt-in via
+// -pprof-addr — exposes net/http/pprof on a separate listener that is
+// never reachable through the serving address.
 //
 // Setting the HETEROSIMD_FAULTS environment variable (see
 // internal/faultinject.Parse for the spec format) splices the chaos
@@ -25,8 +33,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -88,6 +98,9 @@ serve flags:
   -request-timeout
                  per-request deadline, queue wait plus evaluation, before
                  504 (default 30s; 0 disables)
+  -pprof-addr    serve net/http/pprof on this separate listener
+                 (default empty = disabled; never exposed on -addr)
+  -log-format    structured log format: text or json (default text)
 `)
 }
 
@@ -117,7 +130,13 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 	maxQueue := fs.Int("max-queue", 0, "queued requests before 429 (0 = max-inflight)")
 	queueTimeout := fs.Duration("queue-timeout", 2*time.Second, "queued-request wait before 503")
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline before 504 (0 disables)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty disables)")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := newLogger(*logFormat)
+	if err != nil {
 		return err
 	}
 	entries := *cacheEntries
@@ -136,8 +155,8 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 		MaxQueue:       *maxQueue,
 		QueueTimeout:   *queueTimeout,
 		RequestTimeout: reqTimeout,
+		Logger:         logger,
 	}
-	logger := log.New(os.Stderr, "heterosimd: ", log.LstdFlags)
 	var inj *faultinject.Injector
 	if spec := os.Getenv(faultsEnv); spec != "" {
 		fcfg, err := faultinject.Parse(spec)
@@ -148,8 +167,9 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", faultsEnv, err)
 		}
+		inj.SetLogger(logger)
 		cfg.Middleware = inj.Wrap
-		logger.Printf("WARNING: %s is set — serving with injected faults (%s)", faultsEnv, spec)
+		logger.Warn("serving with injected faults", "env", faultsEnv, "spec", spec)
 	}
 	s, err := server.New(cfg)
 	if err != nil {
@@ -159,15 +179,28 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		pa, perrc, err := startPprof(ctx, *pprofAddr, logger)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		logger.Info("pprof listening", "addr", pa.String())
+		go func() {
+			if err := <-perrc; err != nil {
+				logger.Error("pprof server failed", "error", err)
+			}
+		}()
+	}
+
 	bound := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe(ctx, bound) }()
 
 	select {
 	case a := <-bound:
-		logger.Printf("%s listening on %s", version.Get().Version, a)
+		logger.Info("listening", "version", version.Get().Version, "addr", a.String())
 		for _, e := range server.Endpoints() {
-			logger.Printf("  %s", e)
+			logger.Info("endpoint", "route", e)
 		}
 		if ready != nil {
 			ready <- a
@@ -181,9 +214,56 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 	}
 	if inj != nil {
 		st := inj.Stats()
-		logger.Printf("fault injection summary: %d requests, %d latencies, %d errors, %d resets, %d truncates",
-			st.Requests, st.Latencies, st.Errors, st.Resets, st.Truncates)
+		logger.Info("fault injection summary",
+			"requests", st.Requests, "latencies", st.Latencies,
+			"errors", st.Errors, "resets", st.Resets, "truncates", st.Truncates)
 	}
-	logger.Printf("shut down cleanly")
+	logger.Info("shut down cleanly")
 	return nil
+}
+
+// newLogger builds the daemon's structured logger on stderr.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// startPprof serves net/http/pprof on its own listener so profiling is
+// never reachable through the public serving address. The server shuts
+// down when ctx is cancelled; the returned channel reports its exit.
+func startPprof(ctx context.Context, addr string, logger *slog.Logger) (net.Addr, <-chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() {
+		err := srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		errc <- err
+	}()
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			logger.Warn("pprof shutdown", "error", err)
+		}
+	}()
+	return ln.Addr(), errc, nil
 }

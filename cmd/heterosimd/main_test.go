@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -91,6 +93,31 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("version: %d %s", code, body)
 	}
 
+	// Observability surface: every response carries a request ID (echoed
+	// when the caller supplies one), and /metrics speaks Prometheus text
+	// exposition on request while defaulting to the JSON document.
+	req, err := http.NewRequest(http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "e2e-test-1")
+	idResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idResp.Body.Close()
+	if got := idResp.Header.Get("X-Request-ID"); got != "e2e-test-1" {
+		t.Errorf("X-Request-ID = %q, want echo of e2e-test-1", got)
+	}
+	if code, body := get("/metrics?format=prometheus"); code != http.StatusOK ||
+		!bytes.Contains(body, []byte(`heterosimd_requests_total{endpoint="optimize"}`)) ||
+		!bytes.Contains(body, []byte("heterosimd_request_duration_seconds_bucket")) {
+		t.Errorf("prometheus exposition missing expected series: %d\n%s", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !bytes.Contains(body, []byte(`"uptimeSeconds"`)) {
+		t.Errorf("JSON metrics document broken: %d %s", code, body)
+	}
+
 	// The same request/response pair CI replays with curl.
 	reqBody, err := os.ReadFile(filepath.Join("testdata", "optimize_smoke.json"))
 	if err != nil {
@@ -130,5 +157,45 @@ func TestServeEndToEnd(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("serve did not exit after SIGINT")
+	}
+}
+
+// TestStartPprof drives the profiling listener directly: it binds its
+// own port, serves the pprof index, and shuts down with the context.
+func TestStartPprof(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	addr, errc, err := startPprof(ctx, "127.0.0.1:0", logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof index: %d %s", resp.StatusCode, body)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("pprof server exited with %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pprof server did not shut down on context cancel")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	for _, ok := range []string{"text", "json", ""} {
+		if _, err := newLogger(ok); err != nil {
+			t.Errorf("newLogger(%q) = %v", ok, err)
+		}
+	}
+	if _, err := newLogger("xml"); err == nil {
+		t.Error("unknown log format must fail")
 	}
 }

@@ -1,11 +1,15 @@
 package client
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,7 +17,31 @@ import (
 
 	"github.com/calcm/heterosim/internal/faultinject"
 	"github.com/calcm/heterosim/internal/server"
+	"github.com/calcm/heterosim/internal/telemetry"
 )
+
+// chaosLog is a mutex-guarded sink the injector's slog handler writes
+// to while worker goroutines hammer the loop.
+type chaosLog struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (l *chaosLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.Write(p)
+}
+
+func (l *chaosLog) Lines() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := strings.TrimSpace(l.buf.String())
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
 
 // TestChaosLoop drives the full client -> injector -> server loop with a
 // fixed fault seed: injected latency, 5xx, connection resets, and
@@ -25,6 +53,9 @@ import (
 //     hang past its deadline;
 //   - invalid requests come back as terminal 4xx *APIError (possibly
 //     after fault-driven retries) and are never silently "fixed";
+//   - every injected fault emits exactly one structured log line, and
+//     each line carries the originating request ID — so any failure in
+//     the mix is traceable from the client call that hit it;
 //   - when the dust settles no goroutines are leaked.
 //
 // Run under -race this also shakes out data races across the cache,
@@ -57,6 +88,8 @@ func TestChaosLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var faultLog chaosLog
+	inj.SetLogger(slog.New(slog.NewJSONHandler(&faultLog, nil)))
 	ts := httptest.NewServer(inj.Wrap(srv.Handler()))
 
 	c, err := New(Config{
@@ -88,6 +121,10 @@ func TestChaosLoop(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				ctx, cancel := context.WithTimeout(overall, 15*time.Second)
+				// Each logical call carries a known request ID; the client
+				// forwards it on every retry attempt, so any fault this
+				// call meets must be logged under this exact ID.
+				ctx = telemetry.WithRequestID(ctx, fmt.Sprintf("chaos-g%d-i%d", g, i))
 				switch i % 4 {
 				case 0, 1: // valid optimize; a handful of distinct f values so the cache both hits and evicts
 					req := server.OptimizeRequest{Workload: "MMM", F: 0.90 + 0.001*float64((g+i)%12)}
@@ -145,6 +182,43 @@ func TestChaosLoop(t *testing.T) {
 	}
 	if successes.Load() == 0 {
 		t.Error("no request ever succeeded through the fault mix")
+	}
+
+	// Audit the structured fault ledger: one line per injected fault,
+	// kind counts matching the injector's own counters, and every line
+	// attributed to a request ID this test issued.
+	issued := make(map[string]bool)
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perWorker; i++ {
+			issued[fmt.Sprintf("chaos-g%d-i%d", g, i)] = true
+		}
+	}
+	kindCounts := make(map[string]int64)
+	for _, line := range faultLog.Lines() {
+		var entry struct {
+			Msg  string `json:"msg"`
+			Kind string `json:"kind"`
+			ID   string `json:"id"`
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("unparseable fault log line %q: %v", line, err)
+		}
+		if entry.Msg != "fault injected" {
+			t.Errorf("unexpected log line from injector: %q", line)
+			continue
+		}
+		kindCounts[entry.Kind]++
+		if !issued[entry.ID] {
+			t.Errorf("fault line carries unknown request ID %q (kind %s)", entry.ID, entry.Kind)
+		}
+	}
+	for kind, want := range map[string]int64{
+		"latency": st.Latencies, "error": st.Errors,
+		"reset": st.Resets, "truncate": st.Truncates,
+	} {
+		if got := kindCounts[kind]; got != want {
+			t.Errorf("fault log has %d %q lines, injector counted %d", got, kind, want)
+		}
 	}
 
 	// Goroutine-leak check: allow the runtime a moment to reap handler

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"github.com/calcm/heterosim/internal/server"
+	"github.com/calcm/heterosim/internal/telemetry"
 	"github.com/calcm/heterosim/internal/version"
 )
 
@@ -56,6 +58,11 @@ type Config struct {
 	// Seed drives the jitter stream; a fixed seed makes the backoff
 	// schedule reproducible in tests (default 1).
 	Seed int64
+
+	// Logger, when non-nil, receives one structured line per retried
+	// attempt and per give-up, each carrying the call's request ID — the
+	// client half of the end-to-end tracing loop.
+	Logger *slog.Logger
 }
 
 // withDefaults normalizes the config.
@@ -204,10 +211,17 @@ func sleep(ctx context.Context, d time.Duration) error {
 }
 
 // call runs the retry loop for one endpoint: marshal once, attempt up to
-// MaxAttempts times, decode into out on success.
+// MaxAttempts times, decode into out on success. Every attempt of one
+// call carries the same X-Request-ID — taken from the caller's context
+// when present (telemetry.WithRequestID), minted otherwise — so server
+// access logs and injected-fault lines can be joined back to this call.
 func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	id := telemetry.SanitizeRequestID(telemetry.RequestID(ctx))
+	if id == "" {
+		id = telemetry.NewRequestID()
 	}
 	var body []byte
 	if in != nil {
@@ -225,10 +239,10 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 				retryAfter = ae.retryAfter
 			}
 			if err := sleep(ctx, c.backoff(attempt-1, retryAfter)); err != nil {
-				return &RetryError{Endpoint: path, Attempts: attempt - 1, Last: last}
+				return c.giveUp(ctx, &RetryError{Endpoint: path, Attempts: attempt - 1, Last: last}, id)
 			}
 		}
-		err := c.attempt(ctx, method, path, body, out)
+		err := c.attempt(ctx, method, path, body, out, id)
 		if err == nil {
 			return nil
 		}
@@ -236,17 +250,32 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 			return err
 		}
 		last = err
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "attempt failed",
+				slog.String("id", id), slog.String("endpoint", path),
+				slog.Int("attempt", attempt), slog.String("error", err.Error()))
+		}
 		if ctx.Err() != nil {
 			// The caller's context, not the server, ended this attempt:
 			// no further try can succeed.
-			return &RetryError{Endpoint: path, Attempts: attempt, Last: last}
+			return c.giveUp(ctx, &RetryError{Endpoint: path, Attempts: attempt, Last: last}, id)
 		}
 	}
-	return &RetryError{Endpoint: path, Attempts: c.cfg.MaxAttempts, Last: last}
+	return c.giveUp(ctx, &RetryError{Endpoint: path, Attempts: c.cfg.MaxAttempts, Last: last}, id)
+}
+
+// giveUp logs a terminal retry failure and returns it.
+func (c *Client) giveUp(ctx context.Context, re *RetryError, id string) error {
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.LogAttrs(ctx, slog.LevelError, "gave up",
+			slog.String("id", id), slog.String("endpoint", re.Endpoint),
+			slog.Int("attempts", re.Attempts), slog.String("error", re.Error()))
+	}
+	return re
 }
 
 // attempt is one wire exchange.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, id string) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -255,6 +284,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", path, err)
 	}
+	req.Header.Set(telemetry.HeaderRequestID, id)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}

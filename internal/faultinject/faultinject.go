@@ -14,6 +14,7 @@ package faultinject
 import (
 	"bytes"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -21,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/calcm/heterosim/internal/telemetry"
 )
 
 // Config parameterizes the injector. All probabilities are in [0, 1];
@@ -88,7 +91,8 @@ type Stats struct {
 // Injector wraps handlers with the configured fault mix. Construct with
 // New; safe for concurrent use.
 type Injector struct {
-	cfg Config
+	cfg    Config
+	logger *slog.Logger
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -113,6 +117,32 @@ func New(cfg Config) (*Injector, error) {
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}, nil
+}
+
+// SetLogger attaches a structured logger: every injected fault then
+// emits exactly one log line carrying the originating request ID (from
+// the X-Request-ID header, or the request context when a middleware
+// above already resolved it), so a chaos-test failure is traceable from
+// the client through the injector. Call before the injector serves
+// traffic.
+func (in *Injector) SetLogger(l *slog.Logger) { in.logger = l }
+
+// logFault emits the one structured line an injected fault owes its
+// request.
+func (in *Injector) logFault(r *http.Request, kind string) {
+	if in.logger == nil {
+		return
+	}
+	id := telemetry.SanitizeRequestID(r.Header.Get(telemetry.HeaderRequestID))
+	if id == "" {
+		id = telemetry.RequestID(r.Context())
+	}
+	in.logger.LogAttrs(r.Context(), slog.LevelWarn, "fault injected",
+		slog.String("kind", kind),
+		slog.String("id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+	)
 }
 
 // Stats snapshots the injection counters.
@@ -169,16 +199,19 @@ func (in *Injector) Wrap(next http.Handler) http.Handler {
 		sleep, v, code := in.draw()
 		if sleep {
 			in.latencies.Add(1)
+			in.logFault(r, "latency")
 			time.Sleep(in.cfg.Latency)
 		}
 		switch v {
 		case injectReset:
 			in.resets.Add(1)
+			in.logFault(r, "reset")
 			// ErrAbortHandler makes net/http drop the connection without
 			// a response (and without logging a stack trace).
 			panic(http.ErrAbortHandler)
 		case injectError:
 			in.errors.Add(1)
+			in.logFault(r, "error")
 			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("X-Fault-Injected", "error")
 			if code == http.StatusServiceUnavailable {
@@ -188,6 +221,7 @@ func (in *Injector) Wrap(next http.Handler) http.Handler {
 			fmt.Fprintf(w, `{"error":"injected fault (status %d)"}`, code)
 		case injectTruncate:
 			in.truncates.Add(1)
+			in.logFault(r, "truncate")
 			rec := newRecorder()
 			next.ServeHTTP(rec, r)
 			h := w.Header()

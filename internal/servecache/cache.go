@@ -24,6 +24,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+
+	"github.com/calcm/heterosim/internal/telemetry"
 )
 
 // Outcome classifies how Do satisfied a request.
@@ -183,6 +185,11 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The "cache" stage records time spent inside the cache machinery:
+	// the lookup on every path, plus the coalesced wait for another
+	// caller's evaluation. A miss's own evaluation is excluded — fn's
+	// cost belongs to the gate/evaluate stages the caller records.
+	span := telemetry.StartSpan(ctx, "cache")
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if el, ok := s.entries[key]; ok {
@@ -190,11 +197,13 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 		val := el.Value.(*lruEntry).val
 		s.mu.Unlock()
 		c.hits.Add(1)
+		span.End()
 		return val, Hit, nil
 	}
 	if cl, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		c.coalesced.Add(1)
+		defer span.End()
 		select {
 		case <-cl.done:
 			if cl.err != nil {
@@ -217,6 +226,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 	s.mu.Unlock()
 	c.misses.Add(1)
 	c.inflight.Add(1)
+	span.End()
 
 	cl.val, cl.err = fn(ctx)
 

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"github.com/calcm/heterosim/internal/telemetry"
 )
 
 // gate is the admission controller: a semaphore bounding concurrent
@@ -45,6 +47,11 @@ func newGate(maxInflight, maxQueue int, timeout time.Duration) *gate {
 // disconnect) surfaces as 503, a moot distinction because nobody is left
 // to read the response.
 func (g *gate) acquire(ctx context.Context) (release func(), status int) {
+	// The "gate" stage records admission wait — near zero on the fast
+	// path, the full queue delay under load, and the whole timeout on a
+	// rejection — so a saturated gate is visible in the p99 before it
+	// shows up as 429s.
+	defer telemetry.StartSpan(ctx, "gate").End()
 	select {
 	case g.sem <- struct{}{}:
 		g.accepted.Add(1)

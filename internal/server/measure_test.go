@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestMeasureStageBreakdown produces the per-stage latency table in
+// EXPERIMENTS.md: it drives /v1/sweep cold (every request a distinct
+// grid, so each one evaluates) and cached (one grid repeated, so each
+// one hits) on separate servers, then reports the p50/p99 of every
+// pipeline stage from the telemetry histograms. Gated behind
+// HETEROSIM_MEASURE=1 because it is a measurement, not a regression
+// check — there are no assertions on absolute latency.
+//
+//	HETEROSIM_MEASURE=1 go test -run MeasureStageBreakdown -v ./internal/server/
+func TestMeasureStageBreakdown(t *testing.T) {
+	if os.Getenv("HETEROSIM_MEASURE") == "" {
+		t.Skip("set HETEROSIM_MEASURE=1 to run the stage-latency measurement")
+	}
+	const n = 400
+	sweepBody := func(i int) string {
+		// Distinct lo per request keeps every grid a cache miss.
+		return fmt.Sprintf(`{"workload":"FFT-1024","design":{"kind":"het","device":"ASIC"},"f":{"lo":%g,"hi":0.999,"steps":64}}`,
+			0.10+0.001*float64(i%500))
+	}
+
+	report := func(label string, s *Server) {
+		for _, fam := range s.Telemetry().Snapshot() {
+			if fam.Name != famStageDuration {
+				continue
+			}
+			for _, series := range fam.Series {
+				h := series.Hist
+				t.Logf("%s stage=%-8s n=%5d p50=%9v p99=%9v",
+					label, series.Label, h.Count,
+					h.Quantile(0.5).Round(time.Microsecond),
+					h.Quantile(0.99).Round(time.Microsecond))
+			}
+		}
+	}
+
+	cold := newTestServer(t, Config{})
+	for i := 0; i < n; i++ {
+		if rec := do(t, cold, http.MethodPost, "/v1/sweep", sweepBody(i)); rec.Code != http.StatusOK {
+			t.Fatalf("cold sweep %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	report("cold  ", cold)
+
+	cached := newTestServer(t, Config{})
+	do(t, cached, http.MethodPost, "/v1/sweep", sweepBody(0)) // fill
+	for i := 0; i < n; i++ {
+		rec := do(t, cached, http.MethodPost, "/v1/sweep", sweepBody(0))
+		if rec.Code != http.StatusOK || rec.Header().Get("X-Heterosim-Cache") != "hit" {
+			t.Fatalf("cached sweep %d: %d cache=%s", i, rec.Code, rec.Header().Get("X-Heterosim-Cache"))
+		}
+	}
+	report("cached", cached)
+
+	for _, s := range []*Server{cold, cached} {
+		for _, fam := range s.Telemetry().Snapshot() {
+			if fam.Name == famRequestDuration {
+				for _, series := range fam.Series {
+					if series.Label != endpointNames[epSweep] {
+						continue
+					}
+					h := series.Hist
+					t.Logf("request endpoint=sweep n=%5d p50=%9v p99=%9v",
+						h.Count, h.Quantile(0.5).Round(time.Microsecond),
+						h.Quantile(0.99).Round(time.Microsecond))
+				}
+			}
+		}
+	}
+}

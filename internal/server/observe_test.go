@@ -1,0 +1,345 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/telemetry"
+)
+
+// newRequest builds a request the caller can decorate with headers
+// before handing it to serve.
+func newRequest(t *testing.T, method, path, body string) *http.Request {
+	t.Helper()
+	if body == "" {
+		return httptest.NewRequest(method, path, nil)
+	}
+	return httptest.NewRequest(method, path, strings.NewReader(body))
+}
+
+// serve runs one decorated request through the full handler stack.
+func serve(s *Server, req *http.Request) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// warmObservability drives a representative request mix so every metric
+// family has series: a cold optimize (miss), the same optimize again
+// (hit), a small sweep (exercises the sweep stage), healthz, version,
+// and one client error.
+func warmObservability(t *testing.T, s *Server) {
+	t.Helper()
+	opt := `{"workload":"MMM","f":0.9,"design":{"kind":"sym"}}`
+	for _, req := range []struct{ method, path, body string }{
+		{http.MethodPost, "/v1/optimize", opt},
+		{http.MethodPost, "/v1/optimize", opt},
+		{http.MethodPost, "/v1/sweep", `{"workload":"MMM","design":{"kind":"sym"},"f":{"lo":0.1,"hi":0.9,"steps":3}}`},
+		{http.MethodGet, "/healthz", ""},
+		{http.MethodGet, "/v1/version", ""},
+		{http.MethodPost, "/v1/optimize", `{not json`},
+	} {
+		do(t, s, req.method, req.path, req.body)
+	}
+}
+
+// promSeries parses Prometheus text exposition into sample-name ->
+// value, keyed by the full "name{labels}" series identity.
+func promSeries(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// seriesShape reduces a series identity to its stable shape: the metric
+// name plus sorted label KEYS (values like le bounds and request counts
+// vary run to run, names and label keys must not).
+func seriesShape(series string) string {
+	name, rest, ok := strings.Cut(series, "{")
+	if !ok {
+		return series
+	}
+	rest = strings.TrimSuffix(rest, "}")
+	keys := make([]string, 0, 2)
+	for _, kv := range strings.Split(rest, ",") {
+		k, _, _ := strings.Cut(kv, "=")
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return name + "{" + strings.Join(keys, ",") + "}"
+}
+
+func checkGolden(t *testing.T, name string, got []string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	body := strings.Join(got, "\n") + "\n"
+	if *update {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./internal/server -run %s -update)", err, t.Name())
+	}
+	if body != string(want) {
+		t.Errorf("%s drifted from golden.\ngot:\n%s\nwant:\n%s", name, body, want)
+	}
+}
+
+// TestMetricsPrometheusGolden pins the exposition's metric names and
+// label keys: dashboards and scrape configs depend on them, so any
+// rename must show up as a golden diff.
+func TestMetricsPrometheusGolden(t *testing.T) {
+	s := newTestServer(t, Config{})
+	warmObservability(t, s)
+	rec := do(t, s, http.MethodGet, "/metrics?format=prometheus", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	shapes := make(map[string]bool)
+	for series := range promSeries(t, rec.Body.String()) {
+		shapes[seriesShape(series)] = true
+	}
+	got := make([]string, 0, len(shapes))
+	for sh := range shapes {
+		got = append(got, sh)
+	}
+	sort.Strings(got)
+	checkGolden(t, "metrics_prometheus_shape.golden", got)
+}
+
+// keyTree flattens a decoded JSON document into sorted dotted key
+// paths. Map values under volatile keys (per-endpoint counts keep their
+// keys; everything else keeps structure) are walked recursively.
+func keyTree(prefix string, v any, out *[]string) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		*out = append(*out, prefix)
+		return
+	}
+	for k, child := range m {
+		p := k
+		if prefix != "" {
+			p = prefix + "." + k
+		}
+		keyTree(p, child, out)
+	}
+}
+
+// TestMetricsJSONShapeGolden locks the JSON /metrics document to the
+// key tree it has had since the cache/admission PRs: the observability
+// layer must not add, rename, or remove fields there (new telemetry is
+// Prometheus-only).
+func TestMetricsJSONShapeGolden(t *testing.T) {
+	s := newTestServer(t, Config{})
+	warmObservability(t, s)
+	rec := do(t, s, http.MethodGet, "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	keyTree("", doc, &paths)
+	sort.Strings(paths)
+	checkGolden(t, "metrics_json_shape.golden", paths)
+}
+
+// TestPrometheusSumsMatchJSON is the acceptance criterion: per-endpoint
+// histogram counts in the exposition equal the JSON request counters,
+// and requests_total agrees between the two renderings. Both snapshots
+// are taken with no traffic in flight, so they must agree exactly.
+func TestPrometheusSumsMatchJSON(t *testing.T) {
+	s := newTestServer(t, Config{})
+	warmObservability(t, s)
+
+	prom := promSeries(t, do(t, s, http.MethodGet, "/metrics?format=prometheus", "").Body.String())
+	var doc struct {
+		Requests map[string]int64 `json:"requests"`
+	}
+	if err := json.Unmarshal(do(t, s, http.MethodGet, "/metrics", "").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	for ep, jsonCount := range doc.Requests {
+		series := fmt.Sprintf(`heterosimd_requests_total{endpoint="%s"}`, ep)
+		got, ok := prom[series]
+		if !ok {
+			t.Errorf("exposition missing %s", series)
+			continue
+		}
+		// The prometheus fetch itself bumped the metrics counter once
+		// between the two snapshots; the JSON fetch bumped it once more
+		// before its own snapshot, so at JSON-snapshot time the counter
+		// is one ahead of what the exposition saw.
+		want := float64(jsonCount)
+		if ep == "metrics" {
+			want--
+		}
+		if got != want {
+			t.Errorf("%s = %v, JSON counter = %v", series, got, want)
+		}
+		// Histogram count for the endpoint must match its request
+		// counter — recorded at the same place in the handler.
+		hist := fmt.Sprintf(`heterosimd_request_duration_seconds_count{endpoint="%s"}`, ep)
+		if hc, ok := prom[hist]; ok && hc != want {
+			t.Errorf("%s = %v, want %v (must equal requests_total)", hist, hc, want)
+		}
+	}
+
+	// Every stage the request mix exercises must have recorded spans.
+	for _, stage := range []string{"decode", "cache", "gate", "evaluate", "encode", "sweep"} {
+		series := fmt.Sprintf(`heterosimd_stage_duration_seconds_count{stage="%s"}`, stage)
+		if prom[series] <= 0 {
+			t.Errorf("stage %q recorded no spans (%s = %v)", stage, series, prom[series])
+		}
+	}
+}
+
+// TestPrometheusNegotiation covers the three selection paths: explicit
+// query (wins over Accept), Accept sniffing, and the JSON default.
+func TestPrometheusNegotiation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		query, accept string
+		wantProm      bool
+	}{
+		{"", "", false},
+		{"format=prometheus", "", true},
+		{"format=json", "text/plain", false},
+		{"", "text/plain", true},
+		{"", "application/openmetrics-text; version=1.0.0", true},
+		{"", "application/json", false},
+	}
+	for _, c := range cases {
+		path := "/metrics"
+		if c.query != "" {
+			path += "?" + c.query
+		}
+		req := newRequest(t, http.MethodGet, path, "")
+		if c.accept != "" {
+			req.Header.Set("Accept", c.accept)
+		}
+		rec := serve(s, req)
+		isProm := strings.HasPrefix(rec.Header().Get("Content-Type"), "text/plain")
+		if isProm != c.wantProm {
+			t.Errorf("query=%q accept=%q: prometheus=%v, want %v", c.query, c.accept, isProm, c.wantProm)
+		}
+	}
+}
+
+// TestRequestIDEcho checks the header contract: a well-formed caller ID
+// is kept and echoed; a malformed one is replaced by a minted ID; no
+// header gets a minted ID.
+func TestRequestIDEcho(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	req := newRequest(t, http.MethodGet, "/healthz", "")
+	req.Header.Set(telemetry.HeaderRequestID, "caller-supplied-42")
+	if got := serve(s, req).Header().Get(telemetry.HeaderRequestID); got != "caller-supplied-42" {
+		t.Errorf("valid ID not echoed: got %q", got)
+	}
+
+	req = newRequest(t, http.MethodGet, "/healthz", "")
+	req.Header.Set(telemetry.HeaderRequestID, "has space\x7f")
+	got := serve(s, req).Header().Get(telemetry.HeaderRequestID)
+	if got == "" || got == "has space\x7f" {
+		t.Errorf("malformed ID must be replaced with a minted one, got %q", got)
+	}
+
+	if got := serve(s, newRequest(t, http.MethodGet, "/healthz", "")).Header().Get(telemetry.HeaderRequestID); got == "" {
+		t.Error("missing ID must be minted")
+	}
+}
+
+// TestAccessLog asserts exactly one structured line per request, with
+// the request ID, status, and cache outcome the response carried.
+func TestAccessLog(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	s := newTestServer(t, Config{Logger: logger})
+
+	req := newRequest(t, http.MethodPost, "/v1/optimize", `{"workload":"MMM","f":0.5,"design":{"kind":"sym"}}`)
+	req.Header.Set(telemetry.HeaderRequestID, "log-test-1")
+	serve(s, req)
+
+	lines := buf.Lines()
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1: %q", len(lines), lines)
+	}
+	var entry struct {
+		Msg    string  `json:"msg"`
+		ID     string  `json:"id"`
+		Status int     `json:"status"`
+		Cache  string  `json:"cache"`
+		DurMs  float64 `json:"durMs"`
+		Path   string  `json:"path"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Msg != "request" || entry.ID != "log-test-1" || entry.Status != 200 ||
+		entry.Cache != "miss" || entry.Path != "/v1/optimize" || entry.DurMs < 0 {
+		t.Errorf("unexpected access-log entry: %+v", entry)
+	}
+}
+
+// syncBuffer is a mutex-guarded buffer slog handlers can share with the
+// test goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := strings.TrimSpace(b.buf.String())
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync/atomic"
@@ -26,6 +27,7 @@ import (
 
 	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/servecache"
+	"github.com/calcm/heterosim/internal/telemetry"
 	"github.com/calcm/heterosim/internal/version"
 )
 
@@ -65,8 +67,14 @@ type Config struct {
 
 	// Middleware, when non-nil, wraps the root handler — the daemon uses
 	// it to splice in fault injection behind its env guard. It must not
-	// be changed after New.
+	// be changed after New. The observability middleware (request IDs,
+	// access logging) wraps outside it, so injected faults are logged
+	// like any other response.
 	Middleware func(http.Handler) http.Handler
+
+	// Logger receives one structured line per request plus lifecycle
+	// events. nil means discard (tests stay quiet by default).
+	Logger *slog.Logger
 }
 
 // withDefaults normalizes the config: worker counts go through
@@ -117,8 +125,15 @@ type Server struct {
 	cache   *servecache.Cache
 	gate    *gate
 	mux     *http.ServeMux
-	handler http.Handler // mux, possibly wrapped by cfg.Middleware
+	handler http.Handler // mux, possibly wrapped by cfg.Middleware, inside observe
 	start   time.Time
+	logger  *slog.Logger
+
+	// tel holds the latency histograms: reqHist per endpoint, stageHist
+	// per pipeline stage (decode/cache/gate/evaluate/encode/sweep).
+	tel       *telemetry.Registry
+	reqHist   *telemetry.Family
+	stageHist *telemetry.Family
 
 	requests  [endpointCount]atomic.Int64
 	responses struct{ ok, clientErr, serverErr atomic.Int64 }
@@ -162,12 +177,19 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: cache,
-		gate:  newGate(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueTimeout),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:    cfg,
+		cache:  cache,
+		gate:   newGate(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueTimeout),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		logger: cfg.Logger,
+		tel:    telemetry.NewRegistry(),
 	}
+	if s.logger == nil {
+		s.logger = noopLogger
+	}
+	s.reqHist = s.tel.Family(famRequestDuration, "endpoint")
+	s.stageHist = s.tel.Family(famStageDuration, "stage")
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/version", s.handleVersion)
@@ -179,6 +201,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Middleware != nil {
 		s.handler = cfg.Middleware(s.handler)
 	}
+	s.handler = s.observe(s.handler)
 	return s, nil
 }
 
@@ -243,17 +266,21 @@ type evaluator func(body []byte) (key string, eval func(ctx context.Context) ([]
 func (s *Server) model(ep endpoint, ev evaluator) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests[ep].Add(1)
+		defer s.timeEndpoint(ep)()
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Message: "use POST"})
 			return
 		}
+		decode := telemetry.StartSpan(r.Context(), stageDecode)
 		body, err := readBody(r)
 		if err != nil {
+			decode.End()
 			s.writeError(w, err)
 			return
 		}
 		key, eval, err := ev(body)
+		decode.End()
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -273,16 +300,19 @@ func (s *Server) model(ep endpoint, ev evaluator) http.HandlerFunc {
 			if s.onEvaluate != nil {
 				s.onEvaluate(endpointNames[ep])
 			}
+			defer telemetry.StartSpan(ctx, stageEvaluate).End()
 			return eval(ctx)
 		})
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
+		encode := telemetry.StartSpan(ctx, stageEncode)
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Heterosim-Cache", outcome.String())
 		s.responses.ok.Add(1)
 		w.Write(resp)
+		encode.End()
 	}
 }
 
@@ -345,6 +375,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 // handleHealthz reports liveness.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.requests[epHealthz].Add(1)
+	defer s.timeEndpoint(epHealthz)()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
@@ -352,6 +383,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleVersion reports the build identity.
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	s.requests[epVersion].Add(1)
+	defer s.timeEndpoint(epVersion)()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(version.Get())
 }
@@ -389,9 +421,21 @@ func (s *Server) Snapshot() Metrics {
 	}
 }
 
-// handleMetrics serves the counters.
+// handleMetrics serves the counters: the PR 2/3 JSON document by
+// default (byte-compatible — existing scrapers and goldens see no
+// change), Prometheus text exposition when the client asks via
+// ?format=prometheus or an Accept header (see wantsPrometheus).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.requests[epMetrics].Add(1)
+	defer s.timeEndpoint(epMetrics)()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.writePrometheus(w); err != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelWarn, "metrics write failed",
+				slog.String("error", err.Error()))
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/calcm/heterosim/internal/par"
+	"github.com/calcm/heterosim/internal/telemetry"
 )
 
 // EachParallel invokes fn for every grid point across a bounded worker
@@ -19,6 +20,10 @@ import (
 //
 // fn runs concurrently: it must be safe for parallel use.
 func (g *Grid) EachParallel(ctx context.Context, workers int, fn func(Point) error) error {
+	// When the context carries a telemetry stage family (the serving
+	// layer threads one through), the whole parallel grid is recorded as
+	// the "sweep" stage — the engine-side share of an evaluation.
+	defer telemetry.StartSpan(ctx, "sweep").End()
 	return par.ForEach(ctx, g.Size(), workers, func(_ context.Context, i int) error {
 		p := make(Point, len(g.axes))
 		g.decodeInto(i, p)

@@ -1,0 +1,170 @@
+// Package telemetry is the serving stack's observability kit: fixed-
+// bucket latency histograms (lock-striped, safe under -race), a registry
+// of labelled histogram families, a Span-style API for per-stage timing
+// threaded through context, request-ID propagation, and a Prometheus
+// text-exposition writer. It depends only on the standard library.
+//
+// The design follows the same discipline as the rest of the serving
+// layer: no external dependencies, deterministic snapshot ordering (so
+// goldens can pin metric names and labels), and cheap enough on the hot
+// path — one atomic add per observation — that instrumentation is
+// always on.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite histogram buckets. Boundaries
+// double from 1µs, so the last finite bucket ends at 2^27 µs ≈ 134 s —
+// wider than any request the server would let live. One overflow bucket
+// follows.
+const NumBuckets = 28
+
+// numStripes spreads observations across independent cache lines so
+// concurrent recorders do not serialize on one counter word. Must be a
+// power of two.
+const numStripes = 8
+
+// bucketNanos[i] is the inclusive upper bound of bucket i.
+var bucketNanos = func() [NumBuckets]int64 {
+	var b [NumBuckets]int64
+	for i := range b {
+		b[i] = 1000 << uint(i)
+	}
+	return b
+}()
+
+// BucketBounds returns the finite bucket upper bounds (ascending). The
+// slice is a copy; callers may keep it.
+func BucketBounds() []time.Duration {
+	out := make([]time.Duration, NumBuckets)
+	for i, n := range bucketNanos {
+		out[i] = time.Duration(n)
+	}
+	return out
+}
+
+// bucketFor maps a duration to its bucket index (NumBuckets = overflow).
+func bucketFor(d time.Duration) int {
+	n := int64(d)
+	if n < 0 {
+		n = 0
+	}
+	for i, bound := range bucketNanos {
+		if n <= bound {
+			return i
+		}
+	}
+	return NumBuckets
+}
+
+// stripe is one lock domain of a histogram: its own bucket counters and
+// running sum, padded onto separate cache lines from its neighbours.
+type stripe struct {
+	counts   [NumBuckets + 1]atomic.Int64
+	sumNanos atomic.Int64
+	_        [64]byte // keep neighbouring stripes off this cache line
+}
+
+// Histogram is a fixed-bucket latency histogram. The zero value is
+// ready to use; it is safe for concurrent Observe and Snapshot.
+type Histogram struct {
+	stripes [numStripes]stripe
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration. Negative durations clamp to zero. The
+// stripe is picked by mixing the duration's own low bits (nanosecond
+// timings are effectively random there), so concurrent recorders spread
+// across stripes without any shared state.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := &h.stripes[(uint64(d)*0x9E3779B97F4A7C15)>>61&(numStripes-1)]
+	s.counts[bucketFor(d)].Add(1)
+	s.sumNanos.Add(int64(d))
+}
+
+// Snapshot sums the stripes into a point-in-time view. Concurrent
+// observations may land in either side of the cut; each observation is
+// counted exactly once.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var snap HistogramSnapshot
+	snap.Counts = make([]int64, NumBuckets+1)
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		for b := range s.counts {
+			snap.Counts[b] += s.counts[b].Load()
+		}
+		snap.Sum += time.Duration(s.sumNanos.Load())
+	}
+	for _, c := range snap.Counts {
+		snap.Count += c
+	}
+	return snap
+}
+
+// HistogramSnapshot is an immutable view of a histogram: per-bucket
+// counts (the last entry is the overflow bucket), total count, and the
+// sum of all observed durations.
+type HistogramSnapshot struct {
+	Counts []int64
+	Count  int64
+	Sum    time.Duration
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket the rank falls in. With no observations it returns
+// 0 — never NaN. The estimate always lies inside the bucket containing
+// the true quantile, so it brackets the truth to one bucket's width.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketNanos[i-1]
+			}
+			if i >= NumBuckets {
+				// Overflow: no finite upper bound to interpolate toward;
+				// report the last finite boundary (a lower bound on truth).
+				return time.Duration(bucketNanos[NumBuckets-1])
+			}
+			hi := bucketNanos[i]
+			frac := float64(rank-cum) / float64(c)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return time.Duration(bucketNanos[NumBuckets-1])
+}
+
+// Mean returns the average observed duration, 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundsDoubleFromOneMicrosecond(t *testing.T) {
+	bounds := BucketBounds()
+	if len(bounds) != NumBuckets {
+		t.Fatalf("got %d bounds, want %d", len(bounds), NumBuckets)
+	}
+	if bounds[0] != time.Microsecond {
+		t.Errorf("first bound = %v, want 1µs", bounds[0])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != 2*bounds[i-1] {
+			t.Errorf("bound %d = %v, want double of %v", i, bounds[i], bounds[i-1])
+		}
+	}
+	if last := bounds[len(bounds)-1]; last < 2*time.Minute {
+		t.Errorf("last bound %v should exceed any plausible request", last)
+	}
+}
+
+func TestBucketForEdges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0}, // clamps
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{time.Duration(bucketNanos[NumBuckets-1]), NumBuckets - 1},
+		{time.Duration(bucketNanos[NumBuckets-1]) + 1, NumBuckets}, // overflow
+		{24 * time.Hour, NumBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestZeroObservations: the empty histogram must answer every quantile
+// with 0 — no NaN, no panic, no division by zero.
+func TestZeroObservations(t *testing.T) {
+	snap := NewHistogram().Snapshot()
+	if snap.Count != 0 || snap.Sum != 0 {
+		t.Fatalf("empty snapshot: %+v", snap)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1, -1, 2, math.NaN()} {
+		got := snap.Quantile(q)
+		if got != 0 {
+			t.Errorf("Quantile(%v) on empty = %v, want 0", q, got)
+		}
+	}
+	if snap.Mean() != 0 {
+		t.Errorf("Mean on empty = %v, want 0", snap.Mean())
+	}
+	// A zero-value HistogramSnapshot (nil Counts) must be equally safe.
+	var zero HistogramSnapshot
+	if zero.Quantile(0.99) != 0 {
+		t.Error("zero-value snapshot Quantile must be 0")
+	}
+}
+
+// trueQuantileBucket locates the bucket holding the empirical
+// q-quantile of samples (rank = ceil(q*n), 1-based), returning that
+// bucket's bounds.
+func trueQuantileBucket(samples []time.Duration, q float64) (lo, hi time.Duration) {
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	truth := sorted[rank-1]
+	b := bucketFor(truth)
+	if b > 0 {
+		lo = time.Duration(bucketNanos[b-1])
+	}
+	if b < NumBuckets {
+		hi = time.Duration(bucketNanos[b])
+	} else {
+		hi = 1<<63 - 1
+	}
+	return lo, hi
+}
+
+// TestQuantileBracketsTruth is the histogram's correctness property:
+// for samples from several known distributions, every estimated
+// quantile must land inside the bucket that contains the true empirical
+// quantile — the estimate brackets the truth to one bucket's width.
+func TestQuantileBracketsTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string]func() time.Duration{
+		"uniform-1ms": func() time.Duration {
+			return time.Duration(rng.Int63n(int64(time.Millisecond))) + 1
+		},
+		"exponential-100us": func() time.Duration {
+			return time.Duration(rng.ExpFloat64() * float64(100*time.Microsecond))
+		},
+		"bimodal": func() time.Duration {
+			if rng.Float64() < 0.8 {
+				return time.Duration(rng.Int63n(int64(50 * time.Microsecond)))
+			}
+			return time.Duration(rng.Int63n(int64(time.Second)))
+		},
+		"constant": func() time.Duration { return 123 * time.Microsecond },
+	}
+	for name, draw := range distributions {
+		t.Run(name, func(t *testing.T) {
+			h := NewHistogram()
+			samples := make([]time.Duration, 5000)
+			for i := range samples {
+				samples[i] = draw()
+				h.Observe(samples[i])
+			}
+			snap := h.Snapshot()
+			if snap.Count != int64(len(samples)) {
+				t.Fatalf("count = %d, want %d", snap.Count, len(samples))
+			}
+			var wantSum time.Duration
+			for _, s := range samples {
+				wantSum += s
+			}
+			if snap.Sum != wantSum {
+				t.Errorf("sum = %v, want %v", snap.Sum, wantSum)
+			}
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				est := snap.Quantile(q)
+				lo, hi := trueQuantileBucket(samples, q)
+				if est < lo || est > hi {
+					t.Errorf("q=%v: estimate %v outside true bucket [%v, %v]", q, est, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentRecording hammers one histogram from many goroutines
+// while snapshots run concurrently; under -race this proves the striped
+// counters are safe, and the final snapshot must account for every
+// observation exactly once.
+func TestConcurrentRecording(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 2000
+	)
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // concurrent reader
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot().Quantile(0.99)
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snap := h.Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d (lost or double-counted observations)", snap.Count, goroutines*perG)
+	}
+	var sum int64
+	for _, c := range snap.Counts {
+		sum += c
+	}
+	if sum != snap.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, snap.Count)
+	}
+}
+
+func TestMeanAndOverflow(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	snap := h.Snapshot()
+	if snap.Mean() != 3*time.Millisecond {
+		t.Errorf("mean = %v, want 3ms", snap.Mean())
+	}
+	// Overflow observations keep quantiles finite.
+	h2 := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h2.Observe(24 * time.Hour)
+	}
+	q := h2.Snapshot().Quantile(0.99)
+	if q != time.Duration(bucketNanos[NumBuckets-1]) {
+		t.Errorf("overflow quantile = %v, want last finite bound %v", q, time.Duration(bucketNanos[NumBuckets-1]))
+	}
+}

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders histogram family snapshots in Prometheus text
+// exposition format (cumulative buckets, _sum and _count, seconds).
+// Metric names become namespace_name; series appear in snapshot order,
+// which Registry.Snapshot makes deterministic — goldens can pin the
+// exact name/label lines.
+func WritePrometheus(w io.Writer, namespace string, snaps []FamilySnapshot) error {
+	for _, fam := range snaps {
+		name := fam.Name
+		if namespace != "" {
+			name = namespace + "_" + fam.Name
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for _, s := range fam.Series {
+			var cum int64
+			for i, bound := range bucketNanos {
+				var c int64
+				if i < len(s.Hist.Counts) {
+					c = s.Hist.Counts[i]
+				}
+				cum += c
+				if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
+					name, fam.LabelKey, s.Label, formatSeconds(float64(bound)/1e9), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n",
+				name, fam.LabelKey, s.Label, s.Hist.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{%s=%q} %s\n",
+				name, fam.LabelKey, s.Label, formatSeconds(s.Hist.Sum.Seconds())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count{%s=%q} %d\n",
+				name, fam.LabelKey, s.Label, s.Hist.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatSeconds renders a float the way Prometheus clients conventionally
+// do: shortest representation that round-trips.
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCounter renders one counter/gauge sample line, with an optional
+// single label.
+func WriteCounter(w io.Writer, name, labelKey, labelValue string, value int64) error {
+	if labelKey == "" {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, value)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", name, labelKey, labelValue, value)
+	return err
+}
+
+// WriteGaugeFloat renders one float-valued sample line.
+func WriteGaugeFloat(w io.Writer, name string, value float64) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", name, formatSeconds(value))
+	return err
+}
+
+// WriteType renders a # TYPE line.
+func WriteType(w io.Writer, name, kind string) error {
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	return err
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	stages := r.Family("stage_duration_seconds", "stage")
+	stages.Observe("decode", 3*time.Microsecond) // bucket le=4e-06
+	stages.Observe("decode", 500*time.Microsecond)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, "heterosimd", r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE heterosimd_stage_duration_seconds histogram\n",
+		`heterosimd_stage_duration_seconds_bucket{stage="decode",le="1e-06"} 0` + "\n",
+		`heterosimd_stage_duration_seconds_bucket{stage="decode",le="4e-06"} 1` + "\n",
+		`heterosimd_stage_duration_seconds_bucket{stage="decode",le="+Inf"} 2` + "\n",
+		`heterosimd_stage_duration_seconds_count{stage="decode"} 2` + "\n",
+		`heterosimd_stage_duration_seconds_sum{stage="decode"} 0.000503` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative: every le line's value is monotonically
+	// non-decreasing down the series.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "_bucket{") {
+			continue
+		}
+		var v int64
+		if _, err := fmtSscan(line, &v); err != nil {
+			t.Fatalf("unparsable bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = v
+	}
+}
+
+// fmtSscan pulls the trailing integer off a sample line.
+func fmtSscan(line string, v *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	n, err := parseInt(line[i+1:])
+	*v = n
+	return 1, err
+}
+
+func parseInt(s string) (int64, error) {
+	var n int64
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, &parseError{s}
+		}
+		n = n*10 + int64(s[i]-'0')
+	}
+	return n, nil
+}
+
+type parseError struct{ s string }
+
+func (e *parseError) Error() string { return "not an integer: " + e.s }
+
+func TestWriteCounterAndGauge(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteType(&sb, "x_total", "counter"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCounter(&sb, "x_total", "endpoint", "optimize", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCounter(&sb, "y_total", "", "", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGaugeFloat(&sb, "z_seconds", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE x_total counter\n" +
+		`x_total{endpoint="optimize"} 7` + "\n" +
+		"y_total 3\nz_seconds 1.5\n"
+	if sb.String() != want {
+		t.Errorf("got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}

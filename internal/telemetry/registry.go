@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Family is one named histogram metric with a single label dimension
+// (e.g. request duration by endpoint, stage duration by stage). Safe
+// for concurrent use.
+type Family struct {
+	name     string
+	labelKey string
+
+	mu     sync.RWMutex
+	series map[string]*Histogram
+}
+
+// Name returns the metric name.
+func (f *Family) Name() string { return f.name }
+
+// LabelKey returns the label dimension's key.
+func (f *Family) LabelKey() string { return f.labelKey }
+
+// Histogram returns the histogram for one label value, creating it on
+// first use.
+func (f *Family) Histogram(label string) *Histogram {
+	f.mu.RLock()
+	h, ok := f.series[label]
+	f.mu.RUnlock()
+	if ok {
+		return h
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok = f.series[label]; ok {
+		return h
+	}
+	h = NewHistogram()
+	f.series[label] = h
+	return h
+}
+
+// Observe records one duration under the label.
+func (f *Family) Observe(label string, d time.Duration) {
+	f.Histogram(label).Observe(d)
+}
+
+// Snapshot captures every series, sorted by label for deterministic
+// rendering.
+func (f *Family) Snapshot() FamilySnapshot {
+	f.mu.RLock()
+	labels := make([]string, 0, len(f.series))
+	for l := range f.series {
+		labels = append(labels, l)
+	}
+	hists := make([]*Histogram, 0, len(labels))
+	sort.Strings(labels)
+	for _, l := range labels {
+		hists = append(hists, f.series[l])
+	}
+	f.mu.RUnlock()
+	snap := FamilySnapshot{Name: f.name, LabelKey: f.labelKey}
+	for i, l := range labels {
+		snap.Series = append(snap.Series, SeriesSnapshot{Label: l, Hist: hists[i].Snapshot()})
+	}
+	return snap
+}
+
+// FamilySnapshot is a point-in-time view of one family.
+type FamilySnapshot struct {
+	Name     string
+	LabelKey string
+	Series   []SeriesSnapshot
+}
+
+// SeriesSnapshot is one labelled histogram's snapshot.
+type SeriesSnapshot struct {
+	Label string
+	Hist  HistogramSnapshot
+}
+
+// Registry holds histogram families. Safe for concurrent use; families
+// are created on first reference and snapshot in creation order.
+type Registry struct {
+	mu       sync.Mutex
+	families []*Family
+	byName   map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Family)}
+}
+
+// Family returns the named family, creating it with the label key on
+// first use. A later call with a different label key returns the
+// original family unchanged — the first registration wins.
+func (r *Registry) Family(name, labelKey string) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		return f
+	}
+	f := &Family{name: name, labelKey: labelKey, series: make(map[string]*Histogram)}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Snapshot captures every family in creation order.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	fams := make([]*Family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.Snapshot())
+	}
+	return out
+}

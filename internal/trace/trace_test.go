@@ -201,6 +201,136 @@ func TestReplayMatchesFluidMixModel(t *testing.T) {
 	}
 }
 
+// TestReplayHandComputedStreams checks the full Result surface —
+// seconds, energy, per-fabric busy time, utilization, average power —
+// against streams small enough to work out by hand on a two-fabric
+// chip: R=4 (seq perf sqrt(4)=2, seq power 4^0.875), fabric A with
+// mu=2 phi=0.5 over 10 BCE (throughput 20, active power 5), fabric B
+// with mu=4 phi=1 over 5 BCE (throughput 20, active power 5).
+func TestReplayHandComputedStreams(t *testing.T) {
+	seqPower := math.Pow(4, 0.875)
+	newChip := func(idle float64) Chip {
+		return Chip{
+			Law:          pollack.Default(),
+			R:            4,
+			IdleFraction: idle,
+			Fabrics: map[string]Fabric{
+				"A": {UCore: bounds.UCore{Mu: 2, Phi: 0.5}, AreaBCE: 10},
+				"B": {UCore: bounds.UCore{Mu: 4, Phi: 1}, AreaBCE: 5},
+			},
+		}
+	}
+	cases := []struct {
+		name       string
+		idle       float64
+		jobs       []Job
+		seconds    float64
+		energy     float64
+		serialBusy float64
+		busyA      float64
+		busyB      float64
+		jobsRun    int
+	}{
+		{
+			// job1 serial: 2 BCE-s at perf 2 -> 1 s, both fabrics leak
+			// 0.2*(5+5)=2 alongside the core. job1 parallel: 40 BCE-s on
+			// A's throughput 20 -> 2 s at power 5 + 0.2*5 (B leaks) = 6.
+			// job2: 12 BCE-s on B -> 0.6 s at 5 + 0.2*5 (A leaks) = 6.
+			name: "two fabrics, leaky idle",
+			idle: 0.2,
+			jobs: []Job{
+				{Kernel: "A", Serial: 2, Work: 40},
+				{Kernel: "B", Work: 12},
+			},
+			seconds:    3.6,
+			energy:     1*(seqPower+2) + 2*6 + 0.6*6,
+			serialBusy: 1,
+			busyA:      2,
+			busyB:      0.6,
+			jobsRun:    2,
+		},
+		{
+			// Perfect gating (the paper's assumption): same timing, idle
+			// terms vanish from every phase.
+			name: "two fabrics, perfect gating",
+			idle: 0,
+			jobs: []Job{
+				{Kernel: "A", Serial: 2, Work: 40},
+				{Kernel: "B", Work: 12},
+			},
+			seconds:    3.6,
+			energy:     1*seqPower + 2*5 + 0.6*5,
+			serialBusy: 1,
+			busyA:      2,
+			busyB:      0.6,
+			jobsRun:    2,
+		},
+		{
+			// Serial-only stream: fabrics never fire but still leak a
+			// quarter of their combined 10 BCE active power for the whole
+			// (3+1)/2 = 2 s run.
+			name: "serial-only stream, leaky idle",
+			idle: 0.25,
+			jobs: []Job{
+				{Kernel: "A", Serial: 3},
+				{Kernel: "B", Serial: 1},
+			},
+			seconds:    2,
+			energy:     2 * (seqPower + 2.5),
+			serialBusy: 2,
+			jobsRun:    2,
+		},
+		{
+			// Empty jobs are skipped entirely: no time, no energy, not
+			// counted in Jobs.
+			name: "empty job skipped",
+			idle: 0.2,
+			jobs: []Job{
+				{Kernel: "A", Work: 20},
+				{Kernel: "B"},
+			},
+			seconds:    1,
+			energy:     1 * 6,
+			serialBusy: 0,
+			busyA:      1,
+			jobsRun:    1,
+		},
+	}
+	const tol = 1e-12
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Replay(c.jobs, newChip(c.idle))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Seconds-c.seconds) > tol {
+				t.Errorf("Seconds = %g, want %g", res.Seconds, c.seconds)
+			}
+			if math.Abs(res.EnergyBCEs-c.energy) > 1e-9 {
+				t.Errorf("EnergyBCEs = %g, want %g", res.EnergyBCEs, c.energy)
+			}
+			if math.Abs(res.SerialBusy-c.serialBusy) > tol {
+				t.Errorf("SerialBusy = %g, want %g", res.SerialBusy, c.serialBusy)
+			}
+			if math.Abs(res.FabricBusy["A"]-c.busyA) > tol ||
+				math.Abs(res.FabricBusy["B"]-c.busyB) > tol {
+				t.Errorf("FabricBusy = %v, want A=%g B=%g", res.FabricBusy, c.busyA, c.busyB)
+			}
+			if math.Abs(res.Utilization["A"]-c.busyA/c.seconds) > tol ||
+				math.Abs(res.Utilization["B"]-c.busyB/c.seconds) > tol {
+				t.Errorf("Utilization = %v, want A=%g B=%g",
+					res.Utilization, c.busyA/c.seconds, c.busyB/c.seconds)
+			}
+			if want := c.energy / c.seconds; math.Abs(res.AvgPowerBCE-want) > 1e-9 {
+				t.Errorf("AvgPowerBCE = %g, want %g", res.AvgPowerBCE, want)
+			}
+			if res.Jobs != c.jobsRun {
+				t.Errorf("Jobs = %d, want %d", res.Jobs, c.jobsRun)
+			}
+		})
+	}
+}
+
 // Dark-silicon bookkeeping: average power stays far below the sum of all
 // fabrics' peak power because only one is on at a time.
 func TestAveragePowerReflectsGating(t *testing.T) {
