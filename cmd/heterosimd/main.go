@@ -13,6 +13,11 @@
 //
 //	heterosimd version
 //
+// Every POST /v1 endpoint — optimize, sweep, project, scenario,
+// sensitivity, ablation — is one entry in internal/server's operation
+// registry and shares a single serving pipeline: strict decode,
+// canonical cache key, coalescing, admission, deadlines, telemetry.
+//
 // serve runs until SIGINT/SIGTERM, then drains in-flight requests. It
 // logs one structured line (log/slog; text or JSON) per request with a
 // request ID taken from X-Request-ID or minted, serves /metrics as both

@@ -118,32 +118,34 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Errorf("JSON metrics document broken: %d %s", code, body)
 	}
 
-	// The same request/response pair CI replays with curl.
-	reqBody, err := os.ReadFile(filepath.Join("testdata", "optimize_smoke.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(base+"/v1/optimize", "application/json", bytes.NewReader(reqBody))
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("optimize: %d %s", resp.StatusCode, got)
-	}
-	goldenPath := filepath.Join("testdata", "optimize_smoke.golden")
-	if *update {
-		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+	// The same request/response pairs CI replays with curl.
+	for _, ep := range []string{"optimize", "sensitivity", "ablation"} {
+		reqBody, err := os.ReadFile(filepath.Join("testdata", ep+"_smoke.json"))
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	want, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("%v (regenerate with go test ./cmd/heterosimd -update)", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Errorf("optimize smoke response drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		resp, err := http.Post(base+"/v1/"+ep, "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d %s", ep, resp.StatusCode, got)
+		}
+		goldenPath := filepath.Join("testdata", ep+"_smoke.golden")
+		if *update {
+			if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("%v (regenerate with go test ./cmd/heterosimd -update)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s smoke response drifted:\n--- got ---\n%s\n--- want ---\n%s", ep, got, want)
+		}
 	}
 
 	// Graceful shutdown on SIGINT.

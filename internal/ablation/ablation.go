@@ -35,12 +35,14 @@ const effectivelyInfinite = 1e12
 // run projects baseline and ablated configs concurrently and pairs the
 // results at one node index. workers bounds each projection's inner pool
 // (<= 0 means GOMAXPROCS); results are identical at every worker count.
-func run(base, ablated project.Config, f float64, nodeIdx, workers int) ([]Result, error) {
+// Cancellation or an expired deadline on ctx stops both projections
+// early and surfaces ctx.Err().
+func run(ctx context.Context, base, ablated project.Config, f float64, nodeIdx, workers int) ([]Result, error) {
 	base.Workers, ablated.Workers = workers, workers
 	configs := []project.Config{base, ablated}
-	ts, err := par.Map(context.Background(), len(configs), workers,
-		func(_ context.Context, i int) ([]project.Trajectory, error) {
-			return project.Project(configs[i], f)
+	ts, err := par.Map(ctx, len(configs), workers,
+		func(ctx context.Context, i int) ([]project.Trajectory, error) {
+			return project.ProjectCtx(ctx, configs[i], f)
 		})
 	if err != nil {
 		return nil, err
@@ -82,10 +84,14 @@ func BandwidthBound(w paper.WorkloadID, f float64, nodeIdx int) ([]Result, error
 // BandwidthBoundWorkers is BandwidthBound with an explicit worker bound
 // (<= 0 means GOMAXPROCS).
 func BandwidthBoundWorkers(w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
+	return bandwidthBoundCtx(context.Background(), w, f, nodeIdx, workers)
+}
+
+func bandwidthBoundCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
 	base := project.DefaultConfig(w)
 	ablated := base
 	ablated.BaseBandwidthGBs = effectivelyInfinite
-	return run(base, ablated, f, nodeIdx, workers)
+	return run(ctx, base, ablated, f, nodeIdx, workers)
 }
 
 // PowerBound removes the power constraint (P -> inf) — reducing the
@@ -98,10 +104,14 @@ func PowerBound(w paper.WorkloadID, f float64, nodeIdx int) ([]Result, error) {
 // PowerBoundWorkers is PowerBound with an explicit worker bound (<= 0
 // means GOMAXPROCS).
 func PowerBoundWorkers(w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
+	return powerBoundCtx(context.Background(), w, f, nodeIdx, workers)
+}
+
+func powerBoundCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
 	base := project.DefaultConfig(w)
 	ablated := base
 	ablated.PowerBudgetW = effectivelyInfinite
-	return run(base, ablated, f, nodeIdx, workers)
+	return run(ctx, base, ablated, f, nodeIdx, workers)
 }
 
 // SequentialSizing pins the sequential core at r = 1 instead of sweeping
@@ -116,24 +126,35 @@ func SequentialSizing(w paper.WorkloadID, f float64, nodeIdx int) ([]Result, err
 // SequentialSizingWorkers is SequentialSizing with an explicit worker
 // bound (<= 0 means GOMAXPROCS).
 func SequentialSizingWorkers(w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
+	return sequentialSizingCtx(context.Background(), w, f, nodeIdx, workers)
+}
+
+func sequentialSizingCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
 	base := project.DefaultConfig(w)
 	ablated := base
 	ablated.MaxR = 1
-	return run(base, ablated, f, nodeIdx, workers)
+	return run(ctx, base, ablated, f, nodeIdx, workers)
 }
 
 // Studies runs the three configuration ablations for a workload
 // concurrently — the CLI `ablate` fan-out — returning them in fixed
 // order: bandwidth bound, power bound, sequential sizing.
 func Studies(w paper.WorkloadID, f float64, nodeIdx, workers int) ([][]Result, error) {
-	studies := []func(paper.WorkloadID, float64, int, int) ([]Result, error){
-		BandwidthBoundWorkers,
-		PowerBoundWorkers,
-		SequentialSizingWorkers,
+	return StudiesCtx(context.Background(), w, f, nodeIdx, workers)
+}
+
+// StudiesCtx is Studies bounded by a context: cancellation or an
+// expired deadline stops every projection early and surfaces ctx.Err(),
+// which is how the serving layer turns a request deadline into a 504.
+func StudiesCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int) ([][]Result, error) {
+	studies := []func(context.Context, paper.WorkloadID, float64, int, int) ([]Result, error){
+		bandwidthBoundCtx,
+		powerBoundCtx,
+		sequentialSizingCtx,
 	}
-	return par.Map(context.Background(), len(studies), workers,
-		func(_ context.Context, i int) ([]Result, error) {
-			return studies[i](w, f, nodeIdx, workers)
+	return par.Map(ctx, len(studies), workers,
+		func(ctx context.Context, i int) ([]Result, error) {
+			return studies[i](ctx, w, f, nodeIdx, workers)
 		})
 }
 

@@ -1,6 +1,8 @@
 // Package client is the Go client for the heterosimd serving API: typed
 // calls for every /v1/* endpoint with the retry discipline the model
-// layer's purity makes safe.
+// layer's purity makes safe. Each endpoint method is a thin typed
+// wrapper over one generic call path (post/get), mirroring the server's
+// single generic pipeline over the operation registry.
 //
 // Every model endpoint is a pure function of the request body, so every
 // request is idempotent and a retry can never double-apply work. The
@@ -326,58 +328,67 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	return nil
 }
 
-// Optimize evaluates one design point (POST /v1/optimize).
-func (c *Client) Optimize(ctx context.Context, req server.OptimizeRequest) (*server.OptimizeResponse, error) {
-	var resp server.OptimizeResponse
-	if err := c.call(ctx, http.MethodPost, "/v1/optimize", req, &resp); err != nil {
+// post runs one typed POST call through the shared retry path: every
+// endpoint method below is this one generic call instantiated at its
+// request/response pair, so retry, backoff, and error classification
+// can never drift between endpoints.
+func post[Req, Resp any](ctx context.Context, c *Client, path string, req Req) (*Resp, error) {
+	var resp Resp
+	if err := c.call(ctx, http.MethodPost, path, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// get is post's body-less GET counterpart.
+func get[Resp any](ctx context.Context, c *Client, path string) (*Resp, error) {
+	var resp Resp
+	if err := c.call(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Optimize evaluates one design point (POST /v1/optimize).
+func (c *Client) Optimize(ctx context.Context, req server.OptimizeRequest) (*server.OptimizeResponse, error) {
+	return post[server.OptimizeRequest, server.OptimizeResponse](ctx, c, "/v1/optimize", req)
 }
 
 // Sweep evaluates an (f x budget-scale) grid (POST /v1/sweep).
 func (c *Client) Sweep(ctx context.Context, req server.SweepRequest) (*server.SweepResponse, error) {
-	var resp server.SweepResponse
-	if err := c.call(ctx, http.MethodPost, "/v1/sweep", req, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+	return post[server.SweepRequest, server.SweepResponse](ctx, c, "/v1/sweep", req)
 }
 
 // Project computes ITRS trajectory projections (POST /v1/project).
 func (c *Client) Project(ctx context.Context, req server.ProjectRequest) (*server.ProjectResponse, error) {
-	var resp server.ProjectResponse
-	if err := c.call(ctx, http.MethodPost, "/v1/project", req, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+	return post[server.ProjectRequest, server.ProjectResponse](ctx, c, "/v1/project", req)
 }
 
 // Scenario runs a Section 6.2 study (POST /v1/scenario).
 func (c *Client) Scenario(ctx context.Context, req server.ScenarioRequest) (*server.ScenarioResponse, error) {
-	var resp server.ScenarioResponse
-	if err := c.call(ctx, http.MethodPost, "/v1/scenario", req, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+	return post[server.ScenarioRequest, server.ScenarioResponse](ctx, c, "/v1/scenario", req)
+}
+
+// Sensitivity profiles elasticities and a Monte Carlo speedup interval
+// for one design point (POST /v1/sensitivity).
+func (c *Client) Sensitivity(ctx context.Context, req server.SensitivityRequest) (*server.SensitivityResponse, error) {
+	return post[server.SensitivityRequest, server.SensitivityResponse](ctx, c, "/v1/sensitivity", req)
+}
+
+// Ablation runs the three configuration ablations at one node
+// (POST /v1/ablation).
+func (c *Client) Ablation(ctx context.Context, req server.AblationRequest) (*server.AblationResponse, error) {
+	return post[server.AblationRequest, server.AblationResponse](ctx, c, "/v1/ablation", req)
 }
 
 // Version fetches the server build identity (GET /v1/version).
 func (c *Client) Version(ctx context.Context) (*version.Info, error) {
-	var resp version.Info
-	if err := c.call(ctx, http.MethodGet, "/v1/version", nil, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+	return get[version.Info](ctx, c, "/v1/version")
 }
 
 // Metrics fetches the server counters (GET /metrics).
 func (c *Client) Metrics(ctx context.Context) (*server.Metrics, error) {
-	var resp server.Metrics
-	if err := c.call(ctx, http.MethodGet, "/metrics", nil, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+	return get[server.Metrics](ctx, c, "/metrics")
 }
 
 // Healthz checks liveness (GET /healthz).

@@ -113,6 +113,13 @@ func Profile(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, h fl
 // (<= 0 means GOMAXPROCS). Each elasticity is an independent pair of
 // optimizations, so the result is identical at every worker count.
 func ProfileWorkers(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, h float64, workers int) (map[Input]float64, error) {
+	return ProfileCtx(context.Background(), ev, d, f, b, h, workers)
+}
+
+// ProfileCtx is ProfileWorkers bounded by a context: cancellation or an
+// expired deadline stops the fan-out early and surfaces ctx.Err(), which
+// is how the serving layer turns a request deadline into a 504.
+func ProfileCtx(ctx context.Context, ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, h float64, workers int) (map[Input]float64, error) {
 	applicable := make([]Input, 0, len(Inputs))
 	for _, in := range Inputs {
 		if (in == Mu || in == Phi) && d.Kind != core.Het {
@@ -120,7 +127,7 @@ func ProfileWorkers(ev core.Evaluator, d core.Design, f float64, b bounds.Budget
 		}
 		applicable = append(applicable, in)
 	}
-	es, err := par.Map(context.Background(), len(applicable), workers,
+	es, err := par.Map(ctx, len(applicable), workers,
 		func(_ context.Context, i int) (float64, error) {
 			e, err := Elasticity(ev, d, f, b, applicable[i], h)
 			if err != nil {
@@ -180,6 +187,14 @@ func sampleRNG(seed int64, i int) *rand.Rand {
 // (seed, sample index), and the surviving speedups are assembled in
 // sample order, so the interval is identical at every worker count.
 func MonteCarloWorkers(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, sigma float64, samples int, seed int64, workers int) (Interval, error) {
+	return MonteCarloCtx(context.Background(), ev, d, f, b, sigma, samples, seed, workers)
+}
+
+// MonteCarloCtx is MonteCarloWorkers bounded by a context: cancellation
+// or an expired deadline stops the sample fan-out early and surfaces
+// ctx.Err() so callers (the serving layer) can distinguish a timeout
+// from an infeasible study.
+func MonteCarloCtx(ctx context.Context, ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, sigma float64, samples int, seed int64, workers int) (Interval, error) {
 	if sigma <= 0 || samples < 10 {
 		return Interval{}, errors.New("sensitivity: need sigma > 0 and samples >= 10")
 	}
@@ -191,7 +206,7 @@ func MonteCarloWorkers(ev core.Evaluator, d core.Design, f float64, b bounds.Bud
 		speedup  float64
 		feasible bool
 	}
-	draws, err := par.Map(context.Background(), samples, workers,
+	draws, err := par.Map(ctx, samples, workers,
 		func(_ context.Context, i int) (draw, error) {
 			rng := sampleRNG(seed, i)
 			dd, bb := d, b

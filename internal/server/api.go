@@ -1,38 +1,28 @@
 package server
 
 import (
-	"encoding/json"
-	"fmt"
-	"net/http"
 	"strings"
 
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/engine"
 	"github.com/calcm/heterosim/internal/paper"
 	"github.com/calcm/heterosim/internal/project"
 	"github.com/calcm/heterosim/internal/ucore"
 )
 
-// apiError is an error with an HTTP status. Handlers return it from
-// validation and evaluation so the transport layer can map model errors
-// to 4xx instead of a blanket 500.
-type apiError struct {
-	Status  int    `json:"-"`
-	Message string `json:"error"`
-}
+// apiError is the engine's status-carrying error; handlers return it
+// from validation and evaluation so the transport layer can map model
+// errors to 4xx instead of a blanket 500.
+type apiError = engine.Error
 
-func (e *apiError) Error() string { return e.Message }
-
-// badRequest builds a 400 apiError.
-func badRequest(format string, args ...any) *apiError {
-	return &apiError{Status: http.StatusBadRequest, Message: fmt.Sprintf(format, args...)}
-}
-
-// unprocessable builds a 422 apiError: the request is well-formed but the
-// model cannot produce a feasible answer for it.
-func unprocessable(format string, args ...any) *apiError {
-	return &apiError{Status: http.StatusUnprocessableEntity, Message: fmt.Sprintf(format, args...)}
-}
+// badRequest and unprocessable are the engine's 400/422 constructors,
+// aliased for the op definitions in this package.
+var (
+	badRequest    = engine.BadRequest
+	unprocessable = engine.Unprocessable
+	evalFailure   = engine.EvalFailure
+)
 
 // parseWorkload maps the HTTP spelling onto a catalog workload. It
 // accepts the same spellings as the CLI.
@@ -207,16 +197,3 @@ func trajectoryJSON(ts []project.Trajectory) []TrajectoryJSON {
 	return out
 }
 
-// canonicalKey derives the cache/coalescing key for a decoded,
-// default-applied request. Identical requests — regardless of JSON field
-// order, whitespace, or spelling variants normalized during decoding —
-// hash to the same key. The Workers field must already be cleared by the
-// caller: results are byte-identical at every worker count, so worker
-// counts must not fragment the cache.
-func canonicalKey(endpoint string, req any) (string, error) {
-	b, err := json.Marshal(req)
-	if err != nil {
-		return "", err
-	}
-	return endpoint + "\x00" + string(b), nil
-}

@@ -31,7 +31,9 @@ const (
 	benchOptimizeBody = `{"workload":"FFT-1024","f":0.99,"node":"22nm","design":{"kind":"het","device":"ASIC"}}`
 	benchSweepBody    = `{"workload":"FFT-1024","design":{"kind":"het","device":"GTX480"},
 		"f":{"lo":0.5,"hi":0.999,"steps":16},"bandwidthScale":{"lo":0.25,"hi":4,"steps":16}}`
-	benchProjectBody = `{"workload":"FFT-1024","f":0.999}`
+	benchProjectBody     = `{"workload":"FFT-1024","f":0.999}`
+	benchSensitivityBody = `{"workload":"FFT-1024","f":0.99,"node":"22nm","design":{"kind":"het","device":"ASIC"}}`
+	benchAblationBody    = `{"workload":"FFT-1024","f":0.999,"node":"11nm"}`
 )
 
 // Cold benchmarks disable cache storage, so every request pays the full
@@ -89,6 +91,42 @@ func BenchmarkProjectCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchPost(b, s, "/v1/project", benchProjectBody)
+	}
+}
+
+func BenchmarkSensitivityCold(b *testing.B) {
+	s := newBenchServer(b, -1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/sensitivity", benchSensitivityBody)
+	}
+}
+
+func BenchmarkSensitivityCached(b *testing.B) {
+	s := newBenchServer(b, 4096)
+	benchPost(b, s, "/v1/sensitivity", benchSensitivityBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/sensitivity", benchSensitivityBody)
+	}
+}
+
+func BenchmarkAblationCold(b *testing.B) {
+	s := newBenchServer(b, -1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/ablation", benchAblationBody)
+	}
+}
+
+func BenchmarkAblationCached(b *testing.B) {
+	s := newBenchServer(b, 4096)
+	benchPost(b, s, "/v1/ablation", benchAblationBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/ablation", benchAblationBody)
 	}
 }
 

@@ -79,6 +79,33 @@ func FuzzProject(f *testing.F) {
 	})
 }
 
+func FuzzSensitivity(f *testing.F) {
+	fuzzEndpoint(f, "/v1/sensitivity", []string{
+		`{"workload":"MMM","f":0.9,"design":{"kind":"sym"},"samples":50}`,
+		`{"workload":"FFT-1024","f":0.99,"node":"22nm","design":{"kind":"het","device":"ASIC"},"samples":20,"seed":-9223372036854775808}`,
+		`{"workload":"MMM","f":0.9,"design":{"kind":"sym"},"step":0.49999999,"sigma":2,"samples":10}`,
+		`{"workload":"MMM","f":0.9,"design":{"kind":"sym"},"step":-1}`,
+		`{"workload":"MMM","f":0.9,"design":{"kind":"sym"},"sigma":1e308}`,
+		`{"workload":"MMM","f":0.9,"design":{"kind":"sym"},"samples":100001}`,
+		`{"workload":"MMM","f":0.9,"design":{"kind":"het","mu":1e-308,"phi":1e308},"samples":10}`,
+		`{bad`,
+		`{}`,
+	})
+}
+
+func FuzzAblation(f *testing.F) {
+	fuzzEndpoint(f, "/v1/ablation", []string{
+		`{"workload":"MMM","f":0.9,"node":"40nm"}`,
+		`{"workload":"FFT-1024","f":0.999}`,
+		`{"workload":"BS","f":0.9,"node":"11nm","workers":-1}`,
+		`{"workload":"MMM","f":0.9,"node":"1nm"}`,
+		`{"workload":"MMM","f":1e-300}`,
+		`{"workload":"MMM","f":0.9,"node":""}`,
+		`{bad`,
+		`[]`,
+	})
+}
+
 func FuzzScenario(f *testing.F) {
 	fuzzEndpoint(f, "/v1/scenario", []string{
 		`{"scenario":1,"workload":"MMM","f":0.9}`,

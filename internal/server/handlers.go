@@ -1,35 +1,37 @@
 package server
 
 import (
-	"context"
-	"encoding/json"
-	"errors"
-	"math"
-
-	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/engine"
 	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/pollack"
-	"github.com/calcm/heterosim/internal/project"
-	"github.com/calcm/heterosim/internal/scenario"
-	"github.com/calcm/heterosim/internal/sweep"
 )
 
-// maxSweepCells bounds one sweep request: a 100k-cell grid evaluates in
-// well under a second, anything larger should be split by the client.
-const maxSweepCells = 100_000
+// registry is the model-serving surface: every POST /v1 endpoint is one
+// engine.Op built from a request type, a validation/canonicalization
+// step, and a ctx-aware evaluation closure (see the op_*.go files). The
+// serving pipeline — strict decode, canonical cache key, coalescing,
+// admission, deadlines, telemetry, error mapping — is written once in
+// model(); adding an endpoint is one entry here plus its op file.
+var registry = engine.NewRegistry(
+	opOptimize,
+	opSweep,
+	opProject,
+	opScenario,
+	opSensitivity,
+	opAblation,
+)
 
-// objective selects what Optimize maximizes (or minimizes, for energy).
-func parseObjective(s string) (string, error) {
-	switch s {
-	case "", "speedup":
-		return "speedup", nil
-	case "energy":
-		return "energy", nil
-	default:
-		return "", badRequest("unknown objective %q (want speedup or energy)", s)
-	}
-}
+// getEndpoints are the hand-rolled GET routes counted beside the
+// registry ops in /metrics, in their fixed counter order.
+var getEndpoints = [...]string{"healthz", "metrics", "version"}
+
+// Counter indices of the GET endpoints: they follow the registry ops.
+var (
+	idxHealthz = len(registry.Names())
+	idxMetrics = idxHealthz + 1
+	idxVersion = idxHealthz + 2
+)
 
 // evaluatorFor builds the core evaluator, honoring an alpha override
 // (0 means the paper default of 1.75).
@@ -44,556 +46,26 @@ func evaluatorFor(alpha float64) (core.Evaluator, error) {
 	return core.Evaluator{Law: law, MaxR: core.NewEvaluator().MaxR}, nil
 }
 
-// checkF validates a parallel fraction.
-func checkF(f float64) error {
-	if f < 0 || f > 1 || math.IsNaN(f) {
-		return badRequest("f must be in [0, 1], got %v", f)
+// workersOr resolves a request's worker count: normalized like the CLI
+// flag, falling back to the serving default, and cleared in place so a
+// worker count never fragments the cache (responses are byte-identical
+// at every worker count).
+func workersOr(reqWorkers *int, env engine.Env) int {
+	w := par.Normalize(*reqWorkers)
+	if w == 0 {
+		w = env.Workers
 	}
-	return nil
+	*reqWorkers = 0
+	return w
 }
 
-// evalFailure classifies an evaluation error: context cancellation and
-// deadline errors pass through untouched so the transport can map them
-// to 503/504, anything else is wrapped with mk (badRequest or
-// unprocessable).
-func evalFailure(err error, mk func(string, ...any) *apiError) error {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return err
-	}
-	return mk("%v", err)
-}
-
-// ---------------------------------------------------------------------
-// POST /v1/optimize — one design point.
-
-// OptimizeRequest asks for the optimal sequential-core size of one
-// design under one budget triple. Budgets come either from a roadmap
-// node name (converted for the workload, as the projections do) or as an
-// explicit BCE-relative triple.
-type OptimizeRequest struct {
-	Workload  string       `json:"workload"`
-	F         float64      `json:"f"`
-	Node      string       `json:"node,omitempty"`
-	Budgets   *BudgetsSpec `json:"budgets,omitempty"`
-	Alpha     float64      `json:"alpha,omitempty"`
-	Objective string       `json:"objective,omitempty"`
-	Design    DesignSpec   `json:"design"`
-}
-
-// OptimizeResponse is the evaluated point plus the budgets it ran under.
-type OptimizeResponse struct {
-	Workload string      `json:"workload"`
-	Node     string      `json:"node,omitempty"`
-	Budgets  BudgetsSpec `json:"budgets"`
-	Point    PointJSON   `json:"point"`
-}
-
-func (s *Server) evalOptimize(body []byte) (string, func(context.Context) ([]byte, error), error) {
-	var req OptimizeRequest
-	if err := decodeStrict(body, &req); err != nil {
-		return "", nil, err
-	}
-	w, err := parseWorkload(req.Workload)
-	if err != nil {
-		return "", nil, err
-	}
-	req.Workload = string(w) // canonical spelling for the cache key
-	if err := checkF(req.F); err != nil {
-		return "", nil, err
-	}
-	obj, err := parseObjective(req.Objective)
-	if err != nil {
-		return "", nil, err
-	}
-	req.Objective = obj
-	d, err := req.Design.resolve(w)
-	if err != nil {
-		return "", nil, err
-	}
-	ev, err := evaluatorFor(req.Alpha)
-	if err != nil {
-		return "", nil, err
-	}
-	var b bounds.Budgets
-	switch {
-	case req.Budgets != nil:
-		if req.Node != "" {
-			return "", nil, badRequest("give either node or budgets, not both")
-		}
-		if req.Budgets.Area <= 0 || req.Budgets.Power <= 0 || req.Budgets.Bandwidth <= 0 {
-			return "", nil, badRequest("budgets must be positive")
-		}
-		b = bounds.Budgets{Area: req.Budgets.Area, Power: req.Budgets.Power, Bandwidth: req.Budgets.Bandwidth}
-	default:
-		if req.Node == "" {
-			req.Node = "40nm"
-		}
-		cfg := project.DefaultConfig(w)
-		node, err := cfg.Roadmap.ByName(req.Node)
-		if err != nil {
-			return "", nil, badRequest("%v", err)
-		}
-		b, err = cfg.BudgetsAt(node)
-		if err != nil {
-			return "", nil, badRequest("%v", err)
-		}
-	}
-	key, err := canonicalKey("/v1/optimize", req)
-	if err != nil {
-		return "", nil, err
-	}
-	return key, func(context.Context) ([]byte, error) {
-		opt := ev.Optimize
-		if req.Objective == "energy" {
-			opt = ev.OptimizeEnergy
-		}
-		pt, err := opt(d, req.F, b)
-		if err != nil {
-			if errors.Is(err, core.ErrInfeasible) {
-				return nil, unprocessable("%v", err)
-			}
-			return nil, badRequest("%v", err)
-		}
-		return json.Marshal(OptimizeResponse{
-			Workload: req.Workload,
-			Node:     req.Node,
-			Budgets:  BudgetsSpec{Area: b.Area, Power: b.Power, Bandwidth: b.Bandwidth},
-			Point:    pointJSON(pt),
-		})
-	}, nil
-}
-
-// ---------------------------------------------------------------------
-// POST /v1/sweep — an (f x budget-scale) grid of design points.
-
-// AxisSpec is one sweep dimension: either explicit values or an
-// inclusive [lo, hi] range sampled at steps points.
-type AxisSpec struct {
-	Lo     float64   `json:"lo,omitempty"`
-	Hi     float64   `json:"hi,omitempty"`
-	Steps  int       `json:"steps,omitempty"`
-	Values []float64 `json:"values,omitempty"`
-}
-
-// values materializes the axis.
-func (a AxisSpec) values(name string) ([]float64, error) {
-	if len(a.Values) > 0 {
-		if a.Lo != 0 || a.Hi != 0 || a.Steps != 0 {
-			return nil, badRequest("axis %s: give either values or lo/hi/steps, not both", name)
-		}
-		return a.Values, nil
-	}
-	vals, err := sweep.Range(a.Lo, a.Hi, a.Steps)
-	if err != nil {
-		return nil, badRequest("axis %s: %v", name, err)
-	}
-	return vals, nil
-}
-
-// unitAxis is the default for omitted budget-scale axes.
-func unitAxis(a *AxisSpec) AxisSpec {
-	if a == nil {
-		return AxisSpec{Values: []float64{1}}
-	}
-	return *a
-}
-
-// SweepRequest evaluates one design across an f x budget-scale grid at a
-// roadmap node. Scale axes multiply the node's converted budgets, so
-// {f: {values: [0.9, 0.99]}, bandwidthScale: {lo: 0.5, hi: 2, steps: 4}}
-// explores the bandwidth wall interactively.
-type SweepRequest struct {
-	Workload       string     `json:"workload"`
-	Node           string     `json:"node,omitempty"`
-	Design         DesignSpec `json:"design"`
-	Alpha          float64    `json:"alpha,omitempty"`
-	Objective      string     `json:"objective,omitempty"`
-	F              AxisSpec   `json:"f"`
-	AreaScale      *AxisSpec  `json:"areaScale,omitempty"`
-	PowerScale     *AxisSpec  `json:"powerScale,omitempty"`
-	BandwidthScale *AxisSpec  `json:"bandwidthScale,omitempty"`
-	Workers        int        `json:"workers,omitempty"`
-}
-
-// SweepPointJSON is one evaluated grid cell. Infeasible cells are
-// reported with Valid=false rather than failing the sweep.
-type SweepPointJSON struct {
-	F              float64 `json:"f"`
-	AreaScale      float64 `json:"areaScale"`
-	PowerScale     float64 `json:"powerScale"`
-	BandwidthScale float64 `json:"bandwidthScale"`
-	Valid          bool    `json:"valid"`
-	R              int     `json:"r,omitempty"`
-	Speedup        float64 `json:"speedup,omitempty"`
-	Limit          string  `json:"limit,omitempty"`
-	EnergyNorm     float64 `json:"energyNorm,omitempty"`
-}
-
-// SweepResponse carries the full surface in row-major order (axes in
-// the listed order, last axis fastest) plus the best feasible cell.
-type SweepResponse struct {
-	Workload string           `json:"workload"`
-	Node     string           `json:"node"`
-	Design   string           `json:"design"`
-	Axes     []AxisJSON       `json:"axes"`
-	Points   []SweepPointJSON `json:"points"`
-	Feasible int              `json:"feasible"`
-	Best     *SweepPointJSON  `json:"best,omitempty"`
-}
-
-// AxisJSON names one grid dimension and its values.
-type AxisJSON struct {
-	Name   string    `json:"name"`
-	Values []float64 `json:"values"`
-}
-
-func (s *Server) evalSweep(body []byte) (string, func(context.Context) ([]byte, error), error) {
-	var req SweepRequest
-	if err := decodeStrict(body, &req); err != nil {
-		return "", nil, err
-	}
-	w, err := parseWorkload(req.Workload)
-	if err != nil {
-		return "", nil, err
-	}
-	req.Workload = string(w)
-	if req.Node == "" {
-		req.Node = "40nm"
-	}
-	obj, err := parseObjective(req.Objective)
-	if err != nil {
-		return "", nil, err
-	}
-	req.Objective = obj
-	d, err := req.Design.resolve(w)
-	if err != nil {
-		return "", nil, err
-	}
-	ev, err := evaluatorFor(req.Alpha)
-	if err != nil {
-		return "", nil, err
-	}
-	cfg := project.DefaultConfig(w)
-	node, err := cfg.Roadmap.ByName(req.Node)
-	if err != nil {
-		return "", nil, badRequest("%v", err)
-	}
-	base, err := cfg.BudgetsAt(node)
-	if err != nil {
-		return "", nil, badRequest("%v", err)
-	}
-	fVals, err := req.F.values("f")
-	if err != nil {
-		return "", nil, err
-	}
-	for _, f := range fVals {
-		if err := checkF(f); err != nil {
-			return "", nil, err
-		}
-	}
-	axes := []sweep.Axis{{Name: "f", Values: fVals}}
-	for _, sc := range []struct {
-		name string
-		spec AxisSpec
-	}{
-		{"area", unitAxis(req.AreaScale)},
-		{"power", unitAxis(req.PowerScale)},
-		{"bandwidth", unitAxis(req.BandwidthScale)},
-	} {
-		vals, err := sc.spec.values(sc.name + "Scale")
-		if err != nil {
-			return "", nil, err
-		}
-		for _, v := range vals {
-			if v <= 0 || math.IsNaN(v) {
-				return "", nil, badRequest("axis %sScale: scales must be positive", sc.name)
-			}
-		}
-		axes = append(axes, sweep.Axis{Name: sc.name, Values: vals})
-	}
-	grid, err := sweep.NewGrid(axes...)
-	if err != nil {
-		return "", nil, badRequest("%v", err)
-	}
-	if grid.Size() > maxSweepCells {
-		return "", nil, badRequest("sweep has %d cells, limit %d: split the request", grid.Size(), maxSweepCells)
-	}
-	workers := par.Normalize(req.Workers)
-	if workers == 0 {
-		workers = s.cfg.Workers
-	}
-	req.Workers = 0 // responses are identical at every worker count
-	key, err := canonicalKey("/v1/sweep", req)
-	if err != nil {
-		return "", nil, err
-	}
-
-	// Per-axis value -> index tables recover each cell's flat row-major
-	// index from the Point EachParallel hands us (the values are exact
-	// copies of the axis slices, so float equality is reliable).
-	index := make([]map[float64]int, len(axes))
-	for i, ax := range axes {
-		index[i] = make(map[float64]int, len(ax.Values))
-		for j, v := range ax.Values {
-			index[i][v] = j
-		}
-	}
-	return key, func(ctx context.Context) ([]byte, error) {
-		points := make([]SweepPointJSON, grid.Size())
-		err := grid.EachParallel(ctx, workers, func(p sweep.Point) error {
-			flat := 0
-			for i, ax := range axes {
-				flat = flat*len(ax.Values) + index[i][p[ax.Name]]
-			}
-			f, as, ps, bs := p["f"], p["area"], p["power"], p["bandwidth"]
-			cell := SweepPointJSON{F: f, AreaScale: as, PowerScale: ps, BandwidthScale: bs}
-			b := bounds.Budgets{Area: base.Area * as, Power: base.Power * ps, Bandwidth: base.Bandwidth * bs}
-			opt := ev.Optimize
-			if req.Objective == "energy" {
-				opt = ev.OptimizeEnergy
-			}
-			pt, err := opt(d, f, b)
-			if err == nil {
-				cell.Valid = true
-				cell.R = pt.R
-				cell.Speedup = pt.Speedup
-				cell.Limit = pt.Limit.String()
-				cell.EnergyNorm = pt.EnergyNorm
-			} else if !errors.Is(err, core.ErrInfeasible) {
-				return err
-			}
-			points[flat] = cell
-			return nil
-		})
-		if err != nil {
-			return nil, evalFailure(err, badRequest)
-		}
-		resp := SweepResponse{
-			Workload: req.Workload,
-			Node:     req.Node,
-			Design:   d.Label,
-		}
-		for _, ax := range axes {
-			resp.Axes = append(resp.Axes, AxisJSON{Name: ax.Name, Values: ax.Values})
-		}
-		resp.Points = points
-		// The best cell is reduced serially in index order (strict >), so
-		// ties break to the lowest index at every worker count.
-		for i := range points {
-			if !points[i].Valid {
-				continue
-			}
-			resp.Feasible++
-			better := resp.Best == nil
-			if !better {
-				if req.Objective == "energy" {
-					better = points[i].EnergyNorm < resp.Best.EnergyNorm
-				} else {
-					better = points[i].Speedup > resp.Best.Speedup
-				}
-			}
-			if better {
-				resp.Best = &points[i]
-			}
-		}
-		return json.Marshal(resp)
-	}, nil
-}
-
-// ---------------------------------------------------------------------
-// POST /v1/project — ITRS trajectory projection.
-
-// ProjectRequest mirrors the CLI `project` subcommand: a workload and
-// parallel fraction under a scenario (0 = baseline), with optional
-// physical-budget overrides.
-type ProjectRequest struct {
-	Workload  string  `json:"workload"`
-	F         float64 `json:"f"`
-	Scenario  int     `json:"scenario,omitempty"`
-	Power     float64 `json:"power,omitempty"`     // watts; overrides the scenario default
-	Bandwidth float64 `json:"bandwidth,omitempty"` // GB/s at the first node
-	AreaScale float64 `json:"areaScale,omitempty"`
-	Objective string  `json:"objective,omitempty"`
-	Workers   int     `json:"workers,omitempty"`
-}
-
-// ProjectResponse is the full design lineup's trajectories.
-type ProjectResponse struct {
-	Workload     string           `json:"workload"`
-	F            float64          `json:"f"`
-	Scenario     int              `json:"scenario"`
-	ScenarioName string           `json:"scenarioName"`
-	Objective    string           `json:"objective"`
-	Nodes        []string         `json:"nodes"`
-	Trajectories []TrajectoryJSON `json:"trajectories"`
-}
-
-// projectConfig resolves a ProjectRequest into the engine configuration,
-// shared by the project and scenario endpoints.
-func (s *Server) projectConfig(req *ProjectRequest) (project.Config, scenario.Scenario, error) {
-	w, err := parseWorkload(req.Workload)
-	if err != nil {
-		return project.Config{}, scenario.Scenario{}, err
-	}
-	req.Workload = string(w)
-	if err := checkF(req.F); err != nil {
-		return project.Config{}, scenario.Scenario{}, err
-	}
-	obj, err := parseObjective(req.Objective)
-	if err != nil {
-		return project.Config{}, scenario.Scenario{}, err
-	}
-	req.Objective = obj
-	sc, err := scenario.Get(scenario.ID(req.Scenario))
-	if err != nil {
-		return project.Config{}, scenario.Scenario{}, badRequest("%v", err)
-	}
-	if req.Power < 0 || req.Bandwidth < 0 || req.AreaScale < 0 {
-		return project.Config{}, scenario.Scenario{}, badRequest("overrides must be positive (or omitted)")
-	}
-	cfg := sc.Apply(project.DefaultConfig(w))
-	if req.Power > 0 {
-		cfg.PowerBudgetW = req.Power
-	}
-	if req.Bandwidth > 0 {
-		cfg.BaseBandwidthGBs = req.Bandwidth
-	}
-	if req.AreaScale > 0 {
-		cfg.AreaScale = req.AreaScale
-	}
-	workers := par.Normalize(req.Workers)
-	if workers == 0 {
-		workers = s.cfg.Workers
-	}
-	cfg.Workers = workers
-	req.Workers = 0 // responses are identical at every worker count
-	return cfg, sc, nil
-}
-
-func (s *Server) evalProject(body []byte) (string, func(context.Context) ([]byte, error), error) {
-	var req ProjectRequest
-	if err := decodeStrict(body, &req); err != nil {
-		return "", nil, err
-	}
-	cfg, sc, err := s.projectConfig(&req)
-	if err != nil {
-		return "", nil, err
-	}
-	key, err := canonicalKey("/v1/project", req)
-	if err != nil {
-		return "", nil, err
-	}
-	return key, func(ctx context.Context) ([]byte, error) {
-		proj := project.ProjectCtx
-		if req.Objective == "energy" {
-			proj = project.ProjectEnergyCtx
-		}
-		ts, err := proj(ctx, cfg, req.F)
-		if err != nil {
-			return nil, evalFailure(err, unprocessable)
-		}
-		resp := ProjectResponse{
-			Workload:     req.Workload,
-			F:            req.F,
-			Scenario:     req.Scenario,
-			ScenarioName: sc.Name,
-			Objective:    req.Objective,
-			Trajectories: trajectoryJSON(ts),
-		}
-		for _, n := range cfg.Roadmap.Nodes() {
-			resp.Nodes = append(resp.Nodes, n.Name)
-		}
-		return json.Marshal(resp)
-	}, nil
-}
-
-// ---------------------------------------------------------------------
-// POST /v1/scenario — a Section 6.2 study: baseline vs alternative.
-
-// ScenarioRequest runs one of the six alternative-assumption studies
-// side by side with the baseline.
-type ScenarioRequest struct {
-	Scenario int     `json:"scenario"` // 1-6
-	Workload string  `json:"workload"`
-	F        float64 `json:"f"`
-	Workers  int     `json:"workers,omitempty"`
-}
-
-// ScenarioResponse pairs the baseline and alternative trajectory sets
-// with the scenario's metadata.
-type ScenarioResponse struct {
-	Scenario    int              `json:"scenario"`
-	Name        string           `json:"name"`
-	Rationale   string           `json:"rationale"`
-	Expectation string           `json:"expectation"`
-	Workload    string           `json:"workload"`
-	F           float64          `json:"f"`
-	Nodes       []string         `json:"nodes"`
-	Baseline    []TrajectoryJSON `json:"baseline"`
-	Alternative []TrajectoryJSON `json:"alternative"`
-}
-
-func (s *Server) evalScenario(body []byte) (string, func(context.Context) ([]byte, error), error) {
-	var req ScenarioRequest
-	if err := decodeStrict(body, &req); err != nil {
-		return "", nil, err
-	}
-	if req.Scenario < 1 || req.Scenario > 6 {
-		return "", nil, badRequest("scenario must be 1-6, got %d", req.Scenario)
-	}
-	w, err := parseWorkload(req.Workload)
-	if err != nil {
-		return "", nil, err
-	}
-	req.Workload = string(w)
-	if err := checkF(req.F); err != nil {
-		return "", nil, err
-	}
-	sc, err := scenario.Get(scenario.ID(req.Scenario))
-	if err != nil {
-		return "", nil, badRequest("%v", err)
-	}
-	workers := par.Normalize(req.Workers)
-	if workers == 0 {
-		workers = s.cfg.Workers
-	}
-	req.Workers = 0 // responses are identical at every worker count
-	key, err := canonicalKey("/v1/scenario", req)
-	if err != nil {
-		return "", nil, err
-	}
-	return key, func(ctx context.Context) ([]byte, error) {
-		base, alt, err := scenario.CompareCtx(ctx, sc, w, req.F, workers)
-		if err != nil {
-			return nil, evalFailure(err, unprocessable)
-		}
-		resp := ScenarioResponse{
-			Scenario:    req.Scenario,
-			Name:        sc.Name,
-			Rationale:   sc.Rationale,
-			Expectation: sc.Expectation,
-			Workload:    req.Workload,
-			F:           req.F,
-			Baseline:    trajectoryJSON(base),
-			Alternative: trajectoryJSON(alt),
-		}
-		for _, n := range project.DefaultConfig(w).Roadmap.Nodes() {
-			resp.Nodes = append(resp.Nodes, n.Name)
-		}
-		return json.Marshal(resp)
-	}, nil
-}
-
-// Endpoints lists the serving surface, for startup logs and smoke
-// checks.
+// Endpoints lists the serving surface — derived from the registry so
+// startup logs and smoke checks can never drift from what is actually
+// routed.
 func Endpoints() []string {
-	return []string{
-		"POST /v1/optimize",
-		"POST /v1/sweep",
-		"POST /v1/project",
-		"POST /v1/scenario",
-		"GET /v1/version",
-		"GET /healthz",
-		"GET /metrics",
+	out := make([]string, 0, len(registry.Ops())+3)
+	for _, op := range registry.Ops() {
+		out = append(out, "POST "+op.Path())
 	}
+	return append(out, "GET /v1/version", "GET /healthz", "GET /metrics")
 }

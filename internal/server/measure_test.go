@@ -65,7 +65,7 @@ func TestMeasureStageBreakdown(t *testing.T) {
 		for _, fam := range s.Telemetry().Snapshot() {
 			if fam.Name == famRequestDuration {
 				for _, series := range fam.Series {
-					if series.Label != endpointNames[epSweep] {
+					if series.Label != opSweep.Name() {
 						continue
 					}
 					h := series.Hist

@@ -95,13 +95,14 @@ func (w *statusWriter) Flush() {
 }
 
 // timeEndpoint starts the per-endpoint latency clock; the returned stop
-// records into the request-duration family under the endpoint's name.
-// Call it where the endpoint's request counter increments, so histogram
-// counts and the JSON counters always agree.
-func (s *Server) timeEndpoint(ep endpoint) func() {
+// records into the request-duration family under the endpoint's name
+// (i indexes Server.names). Call it where the endpoint's request
+// counter increments, so histogram counts and the JSON counters always
+// agree.
+func (s *Server) timeEndpoint(i int) func() {
 	start := time.Now()
 	return func() {
-		s.reqHist.Observe(endpointNames[ep], time.Since(start))
+		s.reqHist.Observe(s.names[i], time.Since(start))
 	}
 }
 
@@ -165,8 +166,8 @@ func (s *Server) writePrometheus(w io.Writer) error {
 	if err := telemetry.WriteType(w, "heterosimd_requests_total", "counter"); err != nil {
 		return err
 	}
-	for i := endpoint(0); i < endpointCount; i++ {
-		if err := telemetry.WriteCounter(w, "heterosimd_requests_total", "endpoint", endpointNames[i], m.Requests[endpointNames[i]]); err != nil {
+	for _, name := range s.names {
+		if err := telemetry.WriteCounter(w, "heterosimd_requests_total", "endpoint", name, m.Requests[name]); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"context"
+
+	"github.com/calcm/heterosim/internal/engine"
+	"github.com/calcm/heterosim/internal/project"
+	"github.com/calcm/heterosim/internal/scenario"
+)
+
+// POST /v1/scenario — a Section 6.2 study: baseline vs alternative.
+
+// ScenarioRequest runs one of the six alternative-assumption studies
+// side by side with the baseline.
+type ScenarioRequest struct {
+	Scenario int     `json:"scenario"` // 1-6
+	Workload string  `json:"workload"`
+	F        float64 `json:"f"`
+	Workers  int     `json:"workers,omitempty"`
+}
+
+// ScenarioResponse pairs the baseline and alternative trajectory sets
+// with the scenario's metadata.
+type ScenarioResponse struct {
+	Scenario    int              `json:"scenario"`
+	Name        string           `json:"name"`
+	Rationale   string           `json:"rationale"`
+	Expectation string           `json:"expectation"`
+	Workload    string           `json:"workload"`
+	F           float64          `json:"f"`
+	Nodes       []string         `json:"nodes"`
+	Baseline    []TrajectoryJSON `json:"baseline"`
+	Alternative []TrajectoryJSON `json:"alternative"`
+}
+
+var opScenario = engine.New("scenario", buildScenario)
+
+func buildScenario(req *ScenarioRequest, env engine.Env) (func(context.Context) (ScenarioResponse, error), error) {
+	if req.Scenario < 1 || req.Scenario > 6 {
+		return nil, badRequest("scenario must be 1-6, got %d", req.Scenario)
+	}
+	w, err := parseWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	req.Workload = string(w)
+	if err := engine.CheckF(req.F); err != nil {
+		return nil, err
+	}
+	sc, err := scenario.Get(scenario.ID(req.Scenario))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	workers := workersOr(&req.Workers, env)
+	return func(ctx context.Context) (ScenarioResponse, error) {
+		base, alt, err := scenario.CompareCtx(ctx, sc, w, req.F, workers)
+		if err != nil {
+			return ScenarioResponse{}, evalFailure(err, unprocessable)
+		}
+		resp := ScenarioResponse{
+			Scenario:    req.Scenario,
+			Name:        sc.Name,
+			Rationale:   sc.Rationale,
+			Expectation: sc.Expectation,
+			Workload:    req.Workload,
+			F:           req.F,
+			Baseline:    trajectoryJSON(base),
+			Alternative: trajectoryJSON(alt),
+		}
+		for _, n := range project.DefaultConfig(w).Roadmap.Nodes() {
+			resp.Nodes = append(resp.Nodes, n.Name)
+		}
+		return resp, nil
+	}, nil
+}

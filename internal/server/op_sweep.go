@@ -1,0 +1,243 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/engine"
+	"github.com/calcm/heterosim/internal/project"
+	"github.com/calcm/heterosim/internal/sweep"
+)
+
+// POST /v1/sweep — an (f x budget-scale) grid of design points.
+
+// maxSweepCells bounds one sweep request: a 100k-cell grid evaluates in
+// well under a second, anything larger should be split by the client.
+const maxSweepCells = 100_000
+
+// AxisSpec is one sweep dimension: either explicit values or an
+// inclusive [lo, hi] range sampled at steps points.
+type AxisSpec struct {
+	Lo     float64   `json:"lo,omitempty"`
+	Hi     float64   `json:"hi,omitempty"`
+	Steps  int       `json:"steps,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+}
+
+// values materializes the axis.
+func (a AxisSpec) values(name string) ([]float64, error) {
+	if len(a.Values) > 0 {
+		if a.Lo != 0 || a.Hi != 0 || a.Steps != 0 {
+			return nil, badRequest("axis %s: give either values or lo/hi/steps, not both", name)
+		}
+		return a.Values, nil
+	}
+	vals, err := sweep.Range(a.Lo, a.Hi, a.Steps)
+	if err != nil {
+		return nil, badRequest("axis %s: %v", name, err)
+	}
+	return vals, nil
+}
+
+// unitAxis is the default for omitted budget-scale axes.
+func unitAxis(a *AxisSpec) AxisSpec {
+	if a == nil {
+		return AxisSpec{Values: []float64{1}}
+	}
+	return *a
+}
+
+// SweepRequest evaluates one design across an f x budget-scale grid at a
+// roadmap node. Scale axes multiply the node's converted budgets, so
+// {f: {values: [0.9, 0.99]}, bandwidthScale: {lo: 0.5, hi: 2, steps: 4}}
+// explores the bandwidth wall interactively.
+type SweepRequest struct {
+	Workload       string     `json:"workload"`
+	Node           string     `json:"node,omitempty"`
+	Design         DesignSpec `json:"design"`
+	Alpha          float64    `json:"alpha,omitempty"`
+	Objective      string     `json:"objective,omitempty"`
+	F              AxisSpec   `json:"f"`
+	AreaScale      *AxisSpec  `json:"areaScale,omitempty"`
+	PowerScale     *AxisSpec  `json:"powerScale,omitempty"`
+	BandwidthScale *AxisSpec  `json:"bandwidthScale,omitempty"`
+	Workers        int        `json:"workers,omitempty"`
+}
+
+// SweepPointJSON is one evaluated grid cell. Infeasible cells are
+// reported with Valid=false rather than failing the sweep.
+type SweepPointJSON struct {
+	F              float64 `json:"f"`
+	AreaScale      float64 `json:"areaScale"`
+	PowerScale     float64 `json:"powerScale"`
+	BandwidthScale float64 `json:"bandwidthScale"`
+	Valid          bool    `json:"valid"`
+	R              int     `json:"r,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	Limit          string  `json:"limit,omitempty"`
+	EnergyNorm     float64 `json:"energyNorm,omitempty"`
+}
+
+// SweepResponse carries the full surface in row-major order (axes in
+// the listed order, last axis fastest) plus the best feasible cell.
+type SweepResponse struct {
+	Workload string           `json:"workload"`
+	Node     string           `json:"node"`
+	Design   string           `json:"design"`
+	Axes     []AxisJSON       `json:"axes"`
+	Points   []SweepPointJSON `json:"points"`
+	Feasible int              `json:"feasible"`
+	Best     *SweepPointJSON  `json:"best,omitempty"`
+}
+
+// AxisJSON names one grid dimension and its values.
+type AxisJSON struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+var opSweep = engine.New("sweep", buildSweep)
+
+func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (SweepResponse, error), error) {
+	w, err := parseWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	req.Workload = string(w)
+	if req.Node == "" {
+		req.Node = "40nm"
+	}
+	obj, err := engine.ParseObjective(req.Objective)
+	if err != nil {
+		return nil, err
+	}
+	req.Objective = obj
+	d, err := req.Design.resolve(w)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := evaluatorFor(req.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	cfg := project.DefaultConfig(w)
+	node, err := cfg.Roadmap.ByName(req.Node)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	base, err := cfg.BudgetsAt(node)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	fVals, err := req.F.values("f")
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fVals {
+		if err := engine.CheckF(f); err != nil {
+			return nil, err
+		}
+	}
+	axes := []sweep.Axis{{Name: "f", Values: fVals}}
+	for _, sc := range []struct {
+		name string
+		spec AxisSpec
+	}{
+		{"area", unitAxis(req.AreaScale)},
+		{"power", unitAxis(req.PowerScale)},
+		{"bandwidth", unitAxis(req.BandwidthScale)},
+	} {
+		vals, err := sc.spec.values(sc.name + "Scale")
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			if v <= 0 || math.IsNaN(v) {
+				return nil, badRequest("axis %sScale: scales must be positive", sc.name)
+			}
+		}
+		axes = append(axes, sweep.Axis{Name: sc.name, Values: vals})
+	}
+	grid, err := sweep.NewGrid(axes...)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if grid.Size() > maxSweepCells {
+		return nil, badRequest("sweep has %d cells, limit %d: split the request", grid.Size(), maxSweepCells)
+	}
+	workers := workersOr(&req.Workers, env)
+
+	// Per-axis value -> index tables recover each cell's flat row-major
+	// index from the Point EachParallel hands us (the values are exact
+	// copies of the axis slices, so float equality is reliable).
+	index := make([]map[float64]int, len(axes))
+	for i, ax := range axes {
+		index[i] = make(map[float64]int, len(ax.Values))
+		for j, v := range ax.Values {
+			index[i][v] = j
+		}
+	}
+	return func(ctx context.Context) (SweepResponse, error) {
+		points := make([]SweepPointJSON, grid.Size())
+		err := grid.EachParallel(ctx, workers, func(p sweep.Point) error {
+			flat := 0
+			for i, ax := range axes {
+				flat = flat*len(ax.Values) + index[i][p[ax.Name]]
+			}
+			f, as, ps, bs := p["f"], p["area"], p["power"], p["bandwidth"]
+			cell := SweepPointJSON{F: f, AreaScale: as, PowerScale: ps, BandwidthScale: bs}
+			b := bounds.Budgets{Area: base.Area * as, Power: base.Power * ps, Bandwidth: base.Bandwidth * bs}
+			opt := ev.Optimize
+			if req.Objective == "energy" {
+				opt = ev.OptimizeEnergy
+			}
+			pt, err := opt(d, f, b)
+			if err == nil {
+				cell.Valid = true
+				cell.R = pt.R
+				cell.Speedup = pt.Speedup
+				cell.Limit = pt.Limit.String()
+				cell.EnergyNorm = pt.EnergyNorm
+			} else if !errors.Is(err, core.ErrInfeasible) {
+				return err
+			}
+			points[flat] = cell
+			return nil
+		})
+		if err != nil {
+			return SweepResponse{}, evalFailure(err, badRequest)
+		}
+		resp := SweepResponse{
+			Workload: req.Workload,
+			Node:     req.Node,
+			Design:   d.Label,
+		}
+		for _, ax := range axes {
+			resp.Axes = append(resp.Axes, AxisJSON{Name: ax.Name, Values: ax.Values})
+		}
+		resp.Points = points
+		// The best cell is reduced serially in index order (strict >), so
+		// ties break to the lowest index at every worker count.
+		for i := range points {
+			if !points[i].Valid {
+				continue
+			}
+			resp.Feasible++
+			better := resp.Best == nil
+			if !better {
+				if req.Objective == "energy" {
+					better = points[i].EnergyNorm < resp.Best.EnergyNorm
+				} else {
+					better = points[i].Speedup > resp.Best.Speedup
+				}
+			}
+			if better {
+				resp.Best = &points[i]
+			}
+		}
+		return resp, nil
+	}, nil
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/engine"
+)
+
+// sampleBodies holds one known-good request per registered op. The
+// invariant tests below range over the registry, so registering a new
+// op without a sample here fails TestRegistrySampleCompleteness — the
+// price of admission to the serving surface is one line in this map.
+var sampleBodies = map[string]string{
+	"optimize":    `{"workload":"MMM","f":0.9,"design":{"kind":"sym"}}`,
+	"sweep":       `{"workload":"MMM","design":{"kind":"sym"},"f":{"values":[0.9]}}`,
+	"project":     `{"workload":"MMM","f":0.9}`,
+	"scenario":    `{"scenario":1,"workload":"MMM","f":0.9}`,
+	"sensitivity": `{"workload":"MMM","f":0.9,"design":{"kind":"sym"},"samples":50}`,
+	"ablation":    `{"workload":"MMM","f":0.9,"node":"40nm"}`,
+}
+
+func TestRegistrySampleCompleteness(t *testing.T) {
+	for _, op := range registry.Ops() {
+		body, ok := sampleBodies[op.Name()]
+		if !ok {
+			t.Errorf("op %q has no sample body in sampleBodies", op.Name())
+			continue
+		}
+		if _, _, err := op.Prepare([]byte(body), engine.Env{}); err != nil {
+			t.Errorf("op %q: sample body rejected: %v", op.Name(), err)
+		}
+	}
+	registered := make(map[string]bool)
+	for _, name := range registry.Names() {
+		registered[name] = true
+	}
+	for name := range sampleBodies {
+		if !registered[name] {
+			t.Errorf("sampleBodies entry %q matches no registered op", name)
+		}
+	}
+}
+
+// TestEndpointsCoverRegistry asserts Endpoints() lists every registered
+// op (as POST) plus the three GET routes — derived, so this can only
+// fail if Endpoints() stops deriving.
+func TestEndpointsCoverRegistry(t *testing.T) {
+	eps := Endpoints()
+	listed := make(map[string]bool, len(eps))
+	for _, e := range eps {
+		listed[e] = true
+	}
+	for _, op := range registry.Ops() {
+		if !listed["POST "+op.Path()] {
+			t.Errorf("Endpoints() is missing POST %s", op.Path())
+		}
+	}
+	for _, e := range []string{"GET /v1/version", "GET /healthz", "GET /metrics"} {
+		if !listed[e] {
+			t.Errorf("Endpoints() is missing %s", e)
+		}
+	}
+	if want := len(registry.Ops()) + 3; len(eps) != want {
+		t.Errorf("Endpoints() has %d entries, want %d", len(eps), want)
+	}
+}
+
+// TestMetricsCoverRegistry drives one successful request through every
+// registered op and asserts both /metrics renderings emit per-endpoint
+// families for it: the JSON requests counter, the Prometheus
+// requests_total sample, and the request-duration histogram series.
+func TestMetricsCoverRegistry(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, op := range registry.Ops() {
+		rec := do(t, s, http.MethodPost, op.Path(), sampleBodies[op.Name()])
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d (body %s)", op.Path(), rec.Code, rec.Body)
+		}
+	}
+
+	var m Metrics
+	if err := json.Unmarshal(do(t, s, http.MethodGet, "/metrics", "").Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	prom := do(t, s, http.MethodGet, "/metrics?format=prometheus", "").Body.String()
+	durSeries := make(map[string]bool)
+	for _, fam := range s.Telemetry().Snapshot() {
+		if fam.Name == famRequestDuration {
+			for _, series := range fam.Series {
+				durSeries[series.Label] = true
+			}
+		}
+	}
+	for _, op := range registry.Ops() {
+		name := op.Name()
+		if m.Requests[name] != 1 {
+			t.Errorf("JSON metrics: requests[%q] = %d, want 1", name, m.Requests[name])
+		}
+		if want := `heterosimd_requests_total{endpoint="` + name + `"} 1`; !strings.Contains(prom, want) {
+			t.Errorf("Prometheus metrics: missing %q", want)
+		}
+		if !durSeries[name] {
+			t.Errorf("request-duration histogram has no series for %q", name)
+		}
+	}
+}
+
+// TestCacheKeyIgnoresWorkers asserts, generically over the registry,
+// that a request's worker count never reaches its cache key: the same
+// body with "workers" injected must produce an identical key, so two
+// clients asking for different parallelism share one cached response.
+// Ops whose request type has no workers field reject the injected
+// body's unknown field under strict decode, which equally keeps workers
+// out of the key.
+func TestCacheKeyIgnoresWorkers(t *testing.T) {
+	for _, op := range registry.Ops() {
+		base, _, err := op.Prepare([]byte(sampleBodies[op.Name()]), engine.Env{})
+		if err != nil {
+			t.Fatalf("%s: %v", op.Name(), err)
+		}
+		var decoded map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(sampleBodies[op.Name()]), &decoded); err != nil {
+			t.Fatal(err)
+		}
+		decoded["workers"] = json.RawMessage("7")
+		withWorkers, err := json.Marshal(decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _, err := op.Prepare(withWorkers, engine.Env{})
+		if err != nil {
+			if strings.Contains(err.Error(), "unknown field") {
+				continue // no workers field at all: trivially key-invariant
+			}
+			t.Fatalf("%s: Prepare with workers failed: %v", op.Name(), err)
+		}
+		if key != base {
+			t.Errorf("%s: workers leaked into the cache key:\n--- without ---\n%q\n--- with ---\n%q",
+				op.Name(), base, key)
+		}
+	}
+}
+
+// TestRegistryDuplicateNamePanics pins the registry's construction
+// invariant: two ops with one name cannot coexist.
+func TestRegistryDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRegistry accepted a duplicate op name")
+		}
+	}()
+	engine.NewRegistry(opOptimize, opOptimize)
+}
+
+// TestWorkersDoNotChangeResponses runs every op's sample at two worker
+// counts and compares response bytes — the engine determinism guarantee
+// holds across the whole registry, new ops included.
+func TestWorkersDoNotChangeResponses(t *testing.T) {
+	for _, op := range registry.Ops() {
+		var got []string
+		for _, env := range []engine.Env{{Workers: 1}, {Workers: 4}} {
+			_, eval, err := op.Prepare([]byte(sampleBodies[op.Name()]), env)
+			if err != nil {
+				t.Fatalf("%s: %v", op.Name(), err)
+			}
+			resp, err := eval(context.Background())
+			if err != nil {
+				t.Fatalf("%s: eval: %v", op.Name(), err)
+			}
+			got = append(got, string(resp))
+		}
+		if got[0] != got[1] {
+			t.Errorf("%s: response depends on worker count:\n--- 1 worker ---\n%s\n--- 4 workers ---\n%s",
+				op.Name(), got[0], got[1])
+		}
+	}
+}

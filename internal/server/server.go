@@ -13,7 +13,6 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -25,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/calcm/heterosim/internal/engine"
 	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/servecache"
 	"github.com/calcm/heterosim/internal/telemetry"
@@ -135,30 +135,16 @@ type Server struct {
 	reqHist   *telemetry.Family
 	stageHist *telemetry.Family
 
-	requests  [endpointCount]atomic.Int64
+	// names and requests are the per-endpoint counters, indexed in
+	// registry order with the GET endpoints appended — both derived from
+	// the registry in New, so a new op gets its counter for free.
+	names     []string
+	requests  []atomic.Int64
 	responses struct{ ok, clientErr, serverErr atomic.Int64 }
 
 	// onEvaluate, when set (tests only), observes every actual model
 	// evaluation — after admission, on misses only — keyed by endpoint.
 	onEvaluate func(endpoint string)
-}
-
-// endpoint indexes the per-endpoint request counters.
-type endpoint int
-
-const (
-	epOptimize endpoint = iota
-	epSweep
-	epProject
-	epScenario
-	epHealthz
-	epMetrics
-	epVersion
-	endpointCount
-)
-
-var endpointNames = [endpointCount]string{
-	"optimize", "sweep", "project", "scenario", "healthz", "metrics", "version",
 }
 
 // New builds a Server from the config (zero value = production
@@ -190,13 +176,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reqHist = s.tel.Family(famRequestDuration, "endpoint")
 	s.stageHist = s.tel.Family(famStageDuration, "stage")
+	ops := registry.Ops()
+	s.names = append(append(s.names, registry.Names()...), getEndpoints[:]...)
+	s.requests = make([]atomic.Int64, len(s.names))
+	for i, op := range ops {
+		s.mux.HandleFunc(op.Path(), s.model(i, op))
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/version", s.handleVersion)
-	s.mux.HandleFunc("/v1/optimize", s.model(epOptimize, s.evalOptimize))
-	s.mux.HandleFunc("/v1/sweep", s.model(epSweep, s.evalSweep))
-	s.mux.HandleFunc("/v1/project", s.model(epProject, s.evalProject))
-	s.mux.HandleFunc("/v1/scenario", s.model(epScenario, s.evalScenario))
 	s.handler = http.Handler(s.mux)
 	if cfg.Middleware != nil {
 		s.handler = cfg.Middleware(s.handler)
@@ -251,22 +239,17 @@ func (s *Server) ListenAndServe(ctx context.Context, ready chan<- net.Addr) erro
 	return s.Serve(ctx, ln)
 }
 
-// evaluator is one endpoint's model evaluation: it validates and
-// canonicalizes the decoded body (returning the canonical request for
-// keying) and a closure producing the marshaled response. The closure
-// receives the request's deadline-bounded context and must stop early
-// (returning the context error) when it expires.
-type evaluator func(body []byte) (key string, eval func(ctx context.Context) ([]byte, error), err error)
-
-// model wraps an evaluator with the serving pipeline: method and body
-// checks, canonical cache key, coalescing lookup, admission gate (misses
-// only — cached work is free and must stay admissible under overload),
-// per-request deadline enforcement, stale fallback, and error-to-status
-// mapping.
-func (s *Server) model(ep endpoint, ev evaluator) http.HandlerFunc {
+// model wraps a registry op with the serving pipeline — written once
+// for every POST endpoint: method and body checks, strict decode +
+// validation + canonical cache key (op.Prepare), coalescing lookup,
+// admission gate (misses only — cached work is free and must stay
+// admissible under overload), per-request deadline enforcement, stale
+// fallback, and error-to-status mapping. i indexes the op's counter.
+func (s *Server) model(i int, op engine.Op) http.HandlerFunc {
+	env := engine.Env{Workers: s.cfg.Workers}
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.requests[ep].Add(1)
-		defer s.timeEndpoint(ep)()
+		s.requests[i].Add(1)
+		defer s.timeEndpoint(i)()
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Message: "use POST"})
@@ -279,7 +262,7 @@ func (s *Server) model(ep endpoint, ev evaluator) http.HandlerFunc {
 			s.writeError(w, err)
 			return
 		}
-		key, eval, err := ev(body)
+		key, eval, err := op.Prepare(body, env)
 		decode.End()
 		if err != nil {
 			s.writeError(w, err)
@@ -298,7 +281,7 @@ func (s *Server) model(ep endpoint, ev evaluator) http.HandlerFunc {
 			}
 			defer release()
 			if s.onEvaluate != nil {
-				s.onEvaluate(endpointNames[ep])
+				s.onEvaluate(op.Name())
 			}
 			defer telemetry.StartSpan(ctx, stageEvaluate).End()
 			return eval(ctx)
@@ -328,20 +311,6 @@ func readBody(r *http.Request) ([]byte, error) {
 		return nil, badRequest("reading body: %v", err)
 	}
 	return body, nil
-}
-
-// decodeStrict unmarshals JSON rejecting unknown fields, so typos in
-// request bodies fail loudly instead of silently using defaults.
-func decodeStrict(body []byte, dst any) error {
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		return badRequest("invalid request body: %v", err)
-	}
-	if dec.More() {
-		return badRequest("invalid request body: trailing data")
-	}
-	return nil
 }
 
 // writeError maps an error to a JSON error response; apiError carries
@@ -374,16 +343,16 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 
 // handleHealthz reports liveness.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.requests[epHealthz].Add(1)
-	defer s.timeEndpoint(epHealthz)()
+	s.requests[idxHealthz].Add(1)
+	defer s.timeEndpoint(idxHealthz)()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
 // handleVersion reports the build identity.
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	s.requests[epVersion].Add(1)
-	defer s.timeEndpoint(epVersion)()
+	s.requests[idxVersion].Add(1)
+	defer s.timeEndpoint(idxVersion)()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(version.Get())
 }
@@ -402,9 +371,9 @@ type Metrics struct {
 
 // Snapshot returns the current metrics document.
 func (s *Server) Snapshot() Metrics {
-	reqs := make(map[string]int64, endpointCount)
-	for i := endpoint(0); i < endpointCount; i++ {
-		reqs[endpointNames[i]] = s.requests[i].Load()
+	reqs := make(map[string]int64, len(s.names))
+	for i, name := range s.names {
+		reqs[name] = s.requests[i].Load()
 	}
 	return Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -426,8 +395,8 @@ func (s *Server) Snapshot() Metrics {
 // change), Prometheus text exposition when the client asks via
 // ?format=prometheus or an Accept header (see wantsPrometheus).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.requests[epMetrics].Add(1)
-	defer s.timeEndpoint(epMetrics)()
+	s.requests[idxMetrics].Add(1)
+	defer s.timeEndpoint(idxMetrics)()
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := s.writePrometheus(w); err != nil {
