@@ -156,7 +156,7 @@ func Symmetric(law pollack.Law, b Budgets, r float64) (Bound, error) {
 	}
 	nPow := b.Power / math.Pow(r, law.Alpha()/2-1)
 	nBW := b.Bandwidth * math.Sqrt(r)
-	return attribute(r, b.Area, nPow, nBW), nil
+	return Attribute(r, b.Area, nPow, nBW), nil
 }
 
 // AsymmetricOffload solves the asym-offload column of Table 1 for core
@@ -169,7 +169,7 @@ func AsymmetricOffload(law pollack.Law, b Budgets, r float64) (Bound, error) {
 	if err := SerialFeasible(law, b, r); err != nil {
 		return Bound{R: r, Limit: Infeasible}, err
 	}
-	return attribute(r, b.Area, b.Power+r, b.Bandwidth+r), nil
+	return Attribute(r, b.Area, b.Power+r, b.Bandwidth+r), nil
 }
 
 // Heterogeneous solves the heterogeneous column of Table 1 for core size
@@ -188,27 +188,5 @@ func Heterogeneous(law pollack.Law, b Budgets, r float64, u UCore) (Bound, error
 	if err := SerialFeasible(law, b, r); err != nil {
 		return Bound{R: r, Limit: Infeasible}, err
 	}
-	return attribute(r, b.Area, b.Power/u.Phi+r, b.Bandwidth/u.Mu+r), nil
-}
-
-// attribute takes the three bounds, clamps n below by r (a chip always
-// contains at least its sequential core), and identifies the binding
-// budget. Area wins attribution only when it is the strict minimum; when
-// power or bandwidth prevents the full area from being used, that budget
-// is reported (matching the dashed/solid plotting convention).
-func attribute(r, nArea, nPow, nBW float64) Bound {
-	n := math.Min(nArea, math.Min(nPow, nBW))
-	lim := AreaLimited
-	switch {
-	case nPow < nArea && nPow <= nBW:
-		lim = PowerLimited
-	case nBW < nArea && nBW < nPow:
-		lim = BandwidthLimited
-	}
-	if n < r {
-		// The parallel-phase budget cannot even cover the sequential core's
-		// area slot; the usable n degenerates to r (no parallel resources).
-		n = r
-	}
-	return Bound{R: r, NArea: nArea, NPower: nPow, NBandwidt: nBW, N: n, Limit: lim}
+	return Attribute(r, b.Area, b.Power/u.Phi+r, b.Bandwidth/u.Mu+r), nil
 }

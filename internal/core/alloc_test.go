@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/calcm/heterosim/internal/bounds"
+)
+
+// TestOptimizeZeroAllocs pins the alloc ceiling of the analytic hot
+// path: a warm single-point Optimize (and OptimizeEnergy) must not
+// allocate for any design kind. The serving layer leans on this — the
+// sweep and sensitivity loops call Optimize per cell/draw, so a single
+// allocation here multiplies by the grid size. The grid fallback
+// (OptimizeGrid) is exempt: it is the testing oracle, not the hot path.
+func TestOptimizeZeroAllocs(t *testing.T) {
+	ev := NewEvaluator()
+	b := bounds.Budgets{Area: 64, Power: 48, Bandwidth: 16}
+	designs := map[string]Design{
+		"sym":  {Kind: SymCMP},
+		"asym": {Kind: AsymCMP},
+		"het":  {Kind: Het, UCore: bounds.UCore{Mu: 10, Phi: 0.2}},
+	}
+	for name, d := range designs {
+		d := d
+		// Warm once so lazy state (none today, but cheap insurance) is
+		// outside the measured runs.
+		if _, err := ev.Optimize(d, 0.99, b); err != nil {
+			t.Fatalf("%s: warm Optimize: %v", name, err)
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, err := ev.Optimize(d, 0.99, b); err != nil {
+				t.Fatalf("%s: Optimize: %v", name, err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: Optimize allocates %.0f allocs/op, want 0", name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, err := ev.OptimizeEnergy(d, 0.99, b); err != nil {
+				t.Fatalf("%s: OptimizeEnergy: %v", name, err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: OptimizeEnergy allocates %.0f allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// BenchmarkOptimizeAnalytic is the core-level counterpart of the
+// serving benchmarks: one warm analytic optimize, no HTTP framing.
+func BenchmarkOptimizeAnalytic(b *testing.B) {
+	ev := NewEvaluator()
+	bud := bounds.Budgets{Area: 64, Power: 48, Bandwidth: 16}
+	d := Design{Kind: Het, UCore: bounds.UCore{Mu: 10, Phi: 0.2}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Optimize(d, 0.99, bud); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeGridOracle measures the serial grid scan the
+// analytic path replaced, for the EXPERIMENTS before/after table.
+func BenchmarkOptimizeGridOracle(b *testing.B) {
+	ev := NewEvaluator()
+	bud := bounds.Budgets{Area: 64, Power: 48, Bandwidth: 16}
+	d := Design{Kind: Het, UCore: bounds.UCore{Mu: 10, Phi: 0.2}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.OptimizeGrid(d, 0.99, bud); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,526 @@
+// analytic.go implements the closed-form optimizer over r (ROADMAP item
+// 2): instead of evaluating every r in 1..MaxR, it derives where each
+// budget binds (package bounds exports the piece boundaries), places the
+// per-piece optima analytically, and scores only those O(pieces)
+// candidate core sizes. The winner is then re-evaluated through the exact
+// Evaluate, so every Point this package hands out is byte-identical to
+// what the serial grid scan (OptimizeGrid, kept as the testing oracle)
+// would have produced.
+//
+// Per-piece structure of the speedup S(r) = 1/((1-f)/perf(r) + f·cost(r)):
+//
+//   - Symmetric, area piece (n = A): cost = r/(A·√r); S is unimodal with
+//     the stationary point at r* = A(1-f)/f.
+//   - Symmetric, power piece (n = P·r^(1-α/2)): cost = r^((α-1)/2)/P·...;
+//     minimizing (1-f)r^(-1/2) + (f/P)r^((α-1)/2) gives
+//     r* = ((1-f)P / (f(α-1)))^(2/α) for α > 1 (monotone otherwise).
+//   - Symmetric, bandwidth piece (n = B·√r): cost = f/B is constant, so S
+//     increases with r — the optimum sits at the piece's right edge.
+//   - Asym/Het, constant piece (n - r = C): S increases with r.
+//   - Asym/Het, area piece (n = A): minimizing
+//     (1-f)r^(-1/2) + f/(µ(A-r)) gives the root of
+//     g(r) = (1-f)·µ·(A-r)² - 2f·r^(3/2), which is strictly decreasing on
+//     [1, A] — an interval bisection to width < 1/2 brackets the integer
+//     argmax (µ = 1 for the asymmetric-offload chip).
+//
+// Candidates are scored with the same speedup/energy formulas Evaluate
+// uses, and n(r) is recomputed with float-for-float the same expressions
+// as package bounds (single binary operations and math calls in the same
+// order), so the analytic scan and the grid scan agree bit for bit on
+// which r wins, including ties (ascending order, strict comparison, then
+// a walk-down over exact-equal plateaus).
+//
+// Feasibility in r is contiguous: the three serial bounds are monotone in
+// r, and for the offload/heterogeneous chips the extra n(r) > r
+// requirement has a non-increasing margin min(A - r, C), so the feasible
+// set is always [1, rTop] — every candidate inside it scores cleanly.
+package core
+
+import (
+	"math"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+// fallbackMaxR mirrors the paper's default sweep ceiling, applied when an
+// Evaluator is used with an unset MaxR (matching the grid scan).
+const fallbackMaxR = 16
+
+// fmin is math.Min for the value domain of this file: budgets, bound
+// curves, and their quotients, which are positive, +Inf, or NaN — never
+// a negative zero. On that domain it returns the identical value (and
+// identical bits) while avoiding the non-intrinsified math.Min call on
+// the per-candidate path.
+func fmin(a, b float64) float64 {
+	if a < b || math.IsNaN(a) {
+		return a
+	}
+	return b
+}
+
+// nOf reproduces the bounded n of package bounds for core size rf,
+// including the n >= r clamp, using bitwise the same float expressions as
+// Symmetric/AsymmetricOffload/Heterogeneous + Attribute. Keeping every
+// step a single binary operation (or math call) in the same order means
+// no compiler re-association or FMA contraction can make this value
+// differ from the one Evaluate computes. The design and budgets must be
+// pre-validated.
+func nOf(d Design, law pollack.Law, eb bounds.Budgets, rf float64) float64 {
+	var nPow, nBW float64
+	switch d.Kind {
+	case SymCMP:
+		nPow = eb.Power / math.Pow(rf, law.Alpha()/2-1)
+		nBW = eb.Bandwidth * math.Sqrt(rf)
+	case AsymCMP:
+		nPow = eb.Power + rf
+		nBW = eb.Bandwidth + rf
+	default: // Het; Validate has already excluded unknown kinds.
+		nPow = eb.Power/d.UCore.Phi + rf
+		nBW = eb.Bandwidth/d.UCore.Mu + rf
+	}
+	n := fmin(eb.Area, fmin(nPow, nBW))
+	if n < rf {
+		n = rf
+	}
+	return n
+}
+
+// scoreSpeedup evaluates the same speedup Evaluate would report at r,
+// without constructing a Point or any error values. The boolean is false
+// exactly when Evaluate would fail at this r for a non-serial reason
+// (n degenerate while f > 0, or a non-finite n).
+//
+// The formulas are float-exact replicas of the amdahl package's (same
+// expression shapes, so not even FMA contraction can split them), with
+// the input validation amdahl repeats per call hoisted out: argmaxAnalytic
+// has already validated d, f, and the budgets, and nOf clamps n >= r, so
+// the only reachable failure modes are a non-finite n and the offload
+// chips' empty parallel fabric. Called a dozen times per optimize, this
+// is the innermost loop of the serving hot path.
+func (e Evaluator) scoreSpeedup(d Design, f float64, eb bounds.Budgets, r int) (float64, bool) {
+	rf := float64(r)
+	n := nOf(d, e.Law, eb, rf)
+	if math.IsNaN(n) || math.IsInf(n, 0) {
+		return 0, false
+	}
+	p := math.Sqrt(rf)
+	switch d.Kind {
+	case SymCMP:
+		return 1 / ((1-f)/p + f*rf/(n*p)), true
+	case AsymCMP:
+		if f == 0 {
+			return p, true
+		}
+		if n <= rf {
+			return 0, false
+		}
+		return 1 / ((1-f)/p + f/(n-rf)), true
+	default: // Het; unknown kinds fail d.Validate before scoring.
+		if f == 0 {
+			return p, true
+		}
+		if n <= rf {
+			return 0, false
+		}
+		return 1 / ((1-f)/p + f/(d.UCore.Mu*(n-rf))), true
+	}
+}
+
+// scoreEnergy evaluates the normalized energy at r. Evaluate requires the
+// speedup to be computable before it reports energy, so the same gate
+// applies here to keep feasible sets identical; the formula replicates
+// energyNorm exactly (serial + f·parallelRatio, identical shapes).
+func (e Evaluator) scoreEnergy(d Design, f float64, eb bounds.Budgets, r int) (float64, bool) {
+	rf := float64(r)
+	n := nOf(d, e.Law, eb, rf)
+	if math.IsNaN(n) || math.IsInf(n, 0) {
+		return 0, false
+	}
+	if d.Kind != SymCMP && f > 0 && n <= rf {
+		return 0, false
+	}
+	pw, err := e.Law.Power(rf)
+	if err != nil {
+		return 0, false // unreachable: r >= 1
+	}
+	serial := (1 - f) * pw / math.Sqrt(rf)
+	switch d.Kind {
+	case SymCMP:
+		return serial + f*math.Pow(rf, (e.Law.Alpha()-1)/2), true
+	case AsymCMP:
+		parallelRatio := 1.0
+		return serial + f*parallelRatio, true
+	default: // Het
+		return serial + f*(d.UCore.Phi/d.UCore.Mu), true
+	}
+}
+
+// addCandidates appends the integers floor(x)-1 .. floor(x)+2, clamped to
+// [1, rTop], to cand. The ±1 padding absorbs any float error in where a
+// piece boundary or stationary point actually falls; NaN contributes
+// nothing. cand is caller-stack backed — never grown past its capacity.
+func addCandidates(cand []int, rTop int, x float64) []int {
+	if math.IsNaN(x) {
+		return cand
+	}
+	base := rTop
+	switch {
+	case x < 1:
+		base = 1
+	case x < float64(rTop):
+		base = int(x)
+	}
+	for r := base - 1; r <= base+2; r++ {
+		if r >= 1 && r <= rTop {
+			cand = append(cand, r)
+		}
+	}
+	return cand
+}
+
+// areaPieceGap is the decreasing function whose root is the stationary
+// point of the offload/heterogeneous speedup on the area-limited piece:
+// g(r) = (1-f)·µ·(A-r)² - 2f·r^(3/2).
+func areaPieceGap(area, f, mu, r float64) float64 {
+	ar := area - r
+	return (1-f)*mu*ar*ar - 2*f*r*math.Sqrt(r)
+}
+
+// feasibleTop returns the largest r in [1, maxR] at which Evaluate can
+// succeed, or 0 when there is none: the serial cap, further trimmed for
+// the offload/heterogeneous chips by the n(r) > r requirement (checked
+// with the exact bounded-n expression, so float underflow in C + r is
+// honored rather than idealized away). The trim walks at most the
+// (narrow) degenerate band, and the feasible set below the returned top
+// is contiguous.
+func (e Evaluator) feasibleTop(d Design, f float64, eb bounds.Budgets, maxR int) int {
+	rTop := bounds.SerialCap(e.Law, eb, maxR)
+	if f > 0 && d.Kind != SymCMP {
+		for rTop >= 1 {
+			rf := float64(rTop)
+			if nOf(d, e.Law, eb, rf) > rf {
+				break
+			}
+			rTop--
+		}
+	}
+	return rTop
+}
+
+// effectiveBudgets applies the design's bandwidth exemption the same way
+// Evaluate does.
+func effectiveBudgets(d Design, b bounds.Budgets) bounds.Budgets {
+	if d.ExemptBandwidth {
+		b.Bandwidth = math.Inf(1)
+	}
+	return b
+}
+
+// offloadMargin is the constant parallel-resource margin C of the
+// offload/heterogeneous bound (n - r on the non-area piece).
+func offloadMargin(d Design, eb bounds.Budgets) float64 {
+	if d.Kind == Het {
+		return fmin(eb.Power/d.UCore.Phi, eb.Bandwidth/d.UCore.Mu)
+	}
+	return fmin(eb.Power, eb.Bandwidth)
+}
+
+// needsSpeedupScan reports the regimes where piece analysis cannot pin
+// the float argmax: the per-piece monotonicity arguments hold in real
+// arithmetic, and rounding (e.g. √r·√r ≠ r by an ulp) makes
+// exactly-constant pieces wiggle. The serial Amdahl term (1-f)/√r
+// normally dominates those wiggles, so the degenerate cases are f within
+// float noise of 1 (no serial anchor — at f = 1 the bandwidth-limited
+// symmetric speedup B·√r·√r/r is flat and its ulp wiggle decides the
+// argmax) and an offload margin C so small that the relative rounding of
+// (C + r) - r rivals the serial increments. There the optimizer scores
+// every r in [1, rTop] instead — still error- and allocation-free, just
+// not O(pieces).
+func needsSpeedupScan(d Design, f float64, eb bounds.Budgets) bool {
+	if 1-f <= 1e-6 {
+		return true
+	}
+	return d.Kind != SymCMP && f > 0 && offloadMargin(d, eb) <= 1e-3
+}
+
+// needsEnergyScan is the energy-objective analogue: the normalized
+// energy is exactly monotone in real arithmetic, but near α = 1 (where
+// r^((α-1)/2) is flat to sub-ulp increments), near f = 1, or with an
+// extreme heterogeneous φ/µ ratio swamping the r-dependent term, the
+// float sequence can wiggle and the endpoint argument no longer picks
+// the grid's bit-exact minimum.
+func needsEnergyScan(d Design, f float64, law pollack.Law) bool {
+	if 1-f <= 1e-6 || math.Abs(law.Alpha()-1) <= 1e-9 {
+		return true
+	}
+	return d.Kind == Het && d.UCore.Phi/d.UCore.Mu >= 1e6
+}
+
+// scanSpeedup reproduces the grid argmax over the (contiguous) feasible
+// range by scoring every r — the degenerate-regime fallback.
+func (e Evaluator) scanSpeedup(d Design, f float64, eb bounds.Budgets, rTop int) (int, bool) {
+	bestR := 0
+	var bestS float64
+	for r := 1; r <= rTop; r++ {
+		s, ok := e.scoreSpeedup(d, f, eb, r)
+		if !ok {
+			continue
+		}
+		if bestR == 0 || s > bestS {
+			bestR, bestS = r, s
+		}
+	}
+	return bestR, bestR != 0
+}
+
+// scanEnergy is scanSpeedup for the energy objective (strict <, exactly
+// the grid's tie break).
+func (e Evaluator) scanEnergy(d Design, f float64, eb bounds.Budgets, rTop int) (int, bool) {
+	bestR := 0
+	var bestE float64
+	for r := 1; r <= rTop; r++ {
+		en, ok := e.scoreEnergy(d, f, eb, r)
+		if !ok {
+			continue
+		}
+		if bestR == 0 || en < bestE {
+			bestR, bestE = r, en
+		}
+	}
+	return bestR, bestR != 0
+}
+
+// argmaxAnalytic returns the grid argmax of the speedup over r in
+// [1, maxR] without scanning, or ok = false when no r is feasible (or the
+// inputs fail validation — the caller's grid fallback reproduces the
+// exact error in that case).
+func (e Evaluator) argmaxAnalytic(d Design, f float64, b bounds.Budgets, maxR int) (int, bool) {
+	if d.Validate() != nil || f < 0 || f > 1 || math.IsNaN(f) {
+		return 0, false
+	}
+	eb := effectiveBudgets(d, b)
+	if eb.Validate() != nil {
+		return 0, false
+	}
+	rTop := e.feasibleTop(d, f, eb, maxR)
+	if rTop < 1 {
+		return 0, false
+	}
+	if needsSpeedupScan(d, f, eb) {
+		return e.scanSpeedup(d, f, eb, rTop)
+	}
+
+	var cbuf [24]int
+	cand := cbuf[:0]
+	cand = append(cand, 1, rTop)
+
+	var bbuf [3]float64
+	switch d.Kind {
+	case SymCMP:
+		for _, x := range bounds.SymmetricBreaks(e.Law, eb, bbuf[:0]) {
+			cand = addCandidates(cand, rTop, x)
+		}
+		if f > 0 && f < 1 {
+			// Area-piece stationary point, then the power piece's (only
+			// present when bigger cores cost superlinear power).
+			cand = addCandidates(cand, rTop, eb.Area*(1-f)/f)
+			if alpha := e.Law.Alpha(); alpha > 1 {
+				cand = addCandidates(cand, rTop, math.Pow((1-f)*eb.Power/(f*(alpha-1)), 2/alpha))
+			}
+		}
+	case AsymCMP, Het:
+		breaks := bbuf[:0]
+		mu := 1.0
+		if d.Kind == Het {
+			mu = d.UCore.Mu
+			breaks = bounds.HeterogeneousBreaks(eb, d.UCore, breaks)
+		} else {
+			breaks = bounds.AsymmetricOffloadBreaks(eb, breaks)
+		}
+		for _, x := range breaks {
+			cand = addCandidates(cand, rTop, x)
+		}
+		if f > 0 && f < 1 {
+			lo, hi := 1.0, fmin(float64(rTop), eb.Area)
+			switch {
+			case hi <= lo || areaPieceGap(eb.Area, f, mu, lo) <= 0:
+				cand = addCandidates(cand, rTop, lo)
+			case areaPieceGap(eb.Area, f, mu, hi) >= 0:
+				cand = addCandidates(cand, rTop, hi)
+			default:
+				for hi-lo > 0.5 {
+					mid := (lo + hi) / 2
+					if areaPieceGap(eb.Area, f, mu, mid) > 0 {
+						lo = mid
+					} else {
+						hi = mid
+					}
+				}
+				cand = addCandidates(cand, rTop, lo)
+				cand = addCandidates(cand, rTop, hi)
+			}
+		}
+	}
+
+	// Ascending order + strict > reproduces the grid's smallest-r tie
+	// break among the candidates themselves.
+	for i := 1; i < len(cand); i++ {
+		for j := i; j > 0 && cand[j] < cand[j-1]; j-- {
+			cand[j], cand[j-1] = cand[j-1], cand[j]
+		}
+	}
+	bestR, prev := 0, 0
+	var bestS float64
+	for _, r := range cand {
+		if r == prev {
+			continue
+		}
+		prev = r
+		s, ok := e.scoreSpeedup(d, f, eb, r)
+		if !ok {
+			continue
+		}
+		if bestR == 0 || s > bestS {
+			bestR, bestS = r, s
+		}
+	}
+	if bestR == 0 {
+		return 0, false
+	}
+	// The grid prefers the smallest r over ALL of [1, rTop]: when the
+	// float speedup plateaus across a piece (e.g. f = 1 on a constant
+	// piece), walk down while the score stays exactly equal.
+	for bestR > 1 {
+		s, ok := e.scoreSpeedup(d, f, eb, bestR-1)
+		if !ok || s != bestS {
+			break
+		}
+		bestR--
+	}
+	return bestR, true
+}
+
+// argminEnergyAnalytic mirrors argmaxAnalytic for the energy objective.
+// The normalized energy (1-f)·r^((α-1)/2) + f·ratio(r) is monotone in r
+// for every chip kind (ratio is r^((α-1)/2), 1, or φ/µ), so the integer
+// argmin sits at an end of the feasible range; the strict < pick and the
+// walk-down reproduce the grid's smallest-r tie break, and a NaN energy
+// (possible for degenerate U-cores) falls to r = 1 exactly as the grid's
+// failed strict comparisons do.
+func (e Evaluator) argminEnergyAnalytic(d Design, f float64, b bounds.Budgets, maxR int) (int, bool) {
+	if d.Validate() != nil || f < 0 || f > 1 || math.IsNaN(f) {
+		return 0, false
+	}
+	eb := effectiveBudgets(d, b)
+	if eb.Validate() != nil {
+		return 0, false
+	}
+	rTop := e.feasibleTop(d, f, eb, maxR)
+	if rTop < 1 {
+		return 0, false
+	}
+	if needsEnergyScan(d, f, e.Law) {
+		return e.scanEnergy(d, f, eb, rTop)
+	}
+	e1, ok1 := e.scoreEnergy(d, f, eb, 1)
+	if rTop == 1 {
+		if !ok1 {
+			return 0, false
+		}
+		return 1, true
+	}
+	eT, okT := e.scoreEnergy(d, f, eb, rTop)
+	best := 0
+	if ok1 {
+		best = 1
+	}
+	if okT && (!ok1 || eT < e1) {
+		best = rTop
+		for best > 1 {
+			s, ok := e.scoreEnergy(d, f, eb, best-1)
+			if !ok || s != eT {
+				break
+			}
+			best--
+		}
+	}
+	if best == 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// evaluateWinner builds the Point Evaluate would return for a winning r
+// the analytic argmax has already proven feasible, skipping the checks
+// that proof makes redundant: d.Validate and the f/r range tests passed
+// in the argmax preamble, and the serial bounds are monotone in r, so a
+// winner at or below feasibleTop's cap satisfies SerialFeasible. What
+// remains is the identical arithmetic in the identical order — the same
+// Attribute expressions bounds.Symmetric/AsymmetricOffload/Heterogeneous
+// evaluate, then the same speedup and energyNorm calls — so the Point is
+// bit-for-bit Evaluate's. Any error (unreachable for a proven winner)
+// reports exactly as Evaluate would, keeping Optimize's grid fallback
+// semantics unchanged.
+func (e Evaluator) evaluateWinner(d Design, f float64, b bounds.Budgets, r int) (Point, error) {
+	eb := effectiveBudgets(d, b)
+	rf := float64(r)
+	var bd bounds.Bound
+	switch d.Kind {
+	case SymCMP:
+		bd = bounds.Attribute(rf, eb.Area, eb.Power/math.Pow(rf, e.Law.Alpha()/2-1), eb.Bandwidth*math.Sqrt(rf))
+	case AsymCMP:
+		bd = bounds.Attribute(rf, eb.Area, eb.Power+rf, eb.Bandwidth+rf)
+	default: // Het; argmax rejected unknown kinds.
+		bd = bounds.Attribute(rf, eb.Area, eb.Power/d.UCore.Phi+rf, eb.Bandwidth/d.UCore.Mu+rf)
+	}
+	speedup, err := e.speedup(d, f, bd.N, rf)
+	if err != nil {
+		return Point{}, err
+	}
+	energy, err := e.energyNorm(d, f, bd.N, rf)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Design: d, F: f, R: r, N: bd.N,
+		Speedup: speedup, Limit: bd.Limit, EnergyNorm: energy,
+	}, nil
+}
+
+// Optimize sweeps r in [1, MaxR] and returns the point with the highest
+// speedup (ties broken toward smaller r), exactly as the serial grid scan
+// does but visiting only the analytically placed candidate core sizes.
+// The winner is re-evaluated with Evaluate's arithmetic, so the returned
+// Point is byte-identical to OptimizeGrid's. Degenerate inputs
+// (validation failures, infeasible budgets) fall back to OptimizeGrid to
+// reproduce its exact error, including the ErrInfeasible wrap.
+func (e Evaluator) Optimize(d Design, f float64, b bounds.Budgets) (Point, error) {
+	maxR := e.MaxR
+	if maxR < 1 {
+		maxR = fallbackMaxR
+	}
+	if r, ok := e.argmaxAnalytic(d, f, b, maxR); ok {
+		if p, err := e.evaluateWinner(d, f, b, r); err == nil {
+			return p, nil
+		}
+	}
+	return e.OptimizeGrid(d, f, b)
+}
+
+// OptimizeEnergy sweeps r and returns the point with the lowest
+// normalized energy among feasible points (the alternative objective of
+// the paper's third question), via the analytic endpoint argument above,
+// with the same grid fallback and byte-identical results.
+func (e Evaluator) OptimizeEnergy(d Design, f float64, b bounds.Budgets) (Point, error) {
+	maxR := e.MaxR
+	if maxR < 1 {
+		maxR = fallbackMaxR
+	}
+	if r, ok := e.argminEnergyAnalytic(d, f, b, maxR); ok {
+		if p, err := e.evaluateWinner(d, f, b, r); err == nil {
+			return p, nil
+		}
+	}
+	return e.OptimizeEnergyGrid(d, f, b)
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/pollack"
+	"github.com/calcm/heterosim/internal/sweep"
+)
+
+// fuzzCase draws one optimizer input. The distributions deliberately mix
+// smooth interiors with degenerate edges: f pinned to 0 and 1, budgets
+// spanning infeasible (< 1) through slack (10^4), infinite bandwidth, and
+// U-cores from hopeless (mu << 1) to exotic (mu >> 1).
+type fuzzCase struct {
+	d     Design
+	f     float64
+	b     bounds.Budgets
+	alpha float64
+}
+
+func drawCase(rng *rand.Rand) fuzzCase {
+	logU := func(lo, hi float64) float64 {
+		return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+	}
+	var f float64
+	switch rng.Intn(6) {
+	case 0:
+		f = 0
+	case 1:
+		f = 1
+	case 2:
+		f = 1 - logU(1e-6, 1) // the paper's 0.9/0.99/0.999 regime
+	default:
+		f = rng.Float64()
+	}
+	b := bounds.Budgets{
+		Area:      logU(0.3, 2e4),
+		Power:     logU(0.3, 2e4),
+		Bandwidth: logU(0.05, 2e3),
+	}
+	if rng.Intn(12) == 0 {
+		b.Bandwidth = math.Inf(1)
+	}
+	d := Design{Label: "fuzz"}
+	switch rng.Intn(3) {
+	case 0:
+		d.Kind = SymCMP
+	case 1:
+		d.Kind = AsymCMP
+	default:
+		d.Kind = Het
+		d.UCore = bounds.UCore{Mu: logU(0.01, 200), Phi: logU(0.01, 200)}
+	}
+	if rng.Intn(10) == 0 {
+		d.ExemptBandwidth = true
+	}
+	alphas := []float64{pollack.DefaultAlpha, pollack.ScenarioSixAlpha, 1, 2, 0.5}
+	var alpha float64
+	if rng.Intn(2) == 0 {
+		alpha = alphas[rng.Intn(len(alphas))]
+	} else {
+		alpha = 0.3 + rng.Float64()*2.7
+	}
+	return fuzzCase{d: d, f: f, b: b, alpha: alpha}
+}
+
+func evaluatorFor(t *testing.T, alpha float64, maxR int) Evaluator {
+	t.Helper()
+	law, err := pollack.New(alpha)
+	if err != nil {
+		t.Fatalf("pollack.New(%v): %v", alpha, err)
+	}
+	return Evaluator{Law: law, MaxR: maxR}
+}
+
+// TestAnalyticMatchesGridFuzz is the core equivalence property: for
+// fuzzed (f, budgets, design, alpha) across all three chip kinds, the
+// analytic Optimize must return exactly the Point the serial grid scan
+// returns — same r, same bit pattern of every float — and must be
+// infeasible exactly when the grid finds nothing.
+func TestAnalyticMatchesGridFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const cases = 6000
+	feasible, infeasible := 0, 0
+	for i := 0; i < cases; i++ {
+		c := drawCase(rng)
+		maxR := 16
+		if rng.Intn(8) == 0 {
+			maxR = 1 + rng.Intn(64)
+		}
+		e := evaluatorFor(t, c.alpha, maxR)
+		got, gotErr := e.Optimize(c.d, c.f, c.b)
+		want, wantErr := e.OptimizeGrid(c.d, c.f, c.b)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("case %d (%+v): analytic err=%v grid err=%v", i, c, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			infeasible++
+			if !errors.Is(gotErr, ErrInfeasible) || !errors.Is(wantErr, ErrInfeasible) {
+				t.Fatalf("case %d (%+v): non-infeasible errors: %v vs %v", i, c, gotErr, wantErr)
+			}
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("case %d (%+v): error text diverged:\n  analytic: %v\n  grid:     %v", i, c, gotErr, wantErr)
+			}
+			continue
+		}
+		feasible++
+		if got != want {
+			t.Fatalf("case %d (%+v):\n  analytic: %+v\n  grid:     %+v", i, c, got, want)
+		}
+	}
+	// The draw must exercise both outcomes or the property is vacuous.
+	if feasible < cases/10 || infeasible < cases/50 {
+		t.Fatalf("draw imbalance: %d feasible, %d infeasible of %d", feasible, infeasible, cases)
+	}
+}
+
+// TestAnalyticEnergyMatchesGridFuzz is the same property for the energy
+// objective.
+func TestAnalyticEnergyMatchesGridFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	const cases = 6000
+	for i := 0; i < cases; i++ {
+		c := drawCase(rng)
+		e := evaluatorFor(t, c.alpha, 16)
+		got, gotErr := e.OptimizeEnergy(c.d, c.f, c.b)
+		want, wantErr := e.OptimizeEnergyGrid(c.d, c.f, c.b)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("case %d (%+v): analytic err=%v grid err=%v", i, c, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("case %d (%+v): error text diverged:\n  analytic: %v\n  grid:     %v", i, c, gotErr, wantErr)
+			}
+			continue
+		}
+		// NaN energy (degenerate U-cores) compares unequal to itself under
+		// struct ==; both paths must still pick the same r and bit pattern.
+		if got.R != want.R || math.Float64bits(got.EnergyNorm) != math.Float64bits(want.EnergyNorm) ||
+			math.Float64bits(got.Speedup) != math.Float64bits(want.Speedup) || got.N != want.N || got.Limit != want.Limit {
+			t.Fatalf("case %d (%+v):\n  analytic: %+v\n  grid:     %+v", i, c, got, want)
+		}
+	}
+}
+
+// TestAnalyticMatchesArgMaxParallelFuzz closes the triangle from the
+// issue: analytic optimum == serial grid scan == sweep.ArgMaxParallel
+// over an explicit r axis, including infeasible-case agreement.
+func TestAnalyticMatchesArgMaxParallelFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	const cases = 500
+	for i := 0; i < cases; i++ {
+		c := drawCase(rng)
+		e := evaluatorFor(t, c.alpha, 16)
+		rs := make([]float64, e.MaxR)
+		for r := range rs {
+			rs[r] = float64(r + 1)
+		}
+		grid, err := sweep.NewGrid(sweep.Axis{Name: "r", Values: rs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, sweepErr := grid.ArgMaxParallel(context.Background(), 4, func(p sweep.Point) (float64, error) {
+			pt, err := e.Evaluate(c.d, c.f, c.b, int(p["r"]))
+			if err != nil {
+				return 0, err
+			}
+			return pt.Speedup, nil
+		})
+		got, gotErr := e.Optimize(c.d, c.f, c.b)
+		if (gotErr == nil) != (sweepErr == nil) {
+			t.Fatalf("case %d (%+v): analytic err=%v sweep err=%v", i, c, gotErr, sweepErr)
+		}
+		if sweepErr != nil {
+			if !errors.Is(gotErr, ErrInfeasible) {
+				t.Fatalf("case %d: analytic error not ErrInfeasible: %v", i, gotErr)
+			}
+			continue
+		}
+		if int(res.Point["r"]) != got.R || res.Value != got.Speedup {
+			t.Fatalf("case %d (%+v): sweep picked r=%v v=%v, analytic r=%d v=%v",
+				i, c, res.Point["r"], res.Value, got.R, got.Speedup)
+		}
+	}
+}
+
+// TestAnalyticDegenerateInputs pins the fallback behavior for inputs the
+// analytic path refuses to analyze: validation failures must surface the
+// grid's exact errors.
+func TestAnalyticDegenerateInputs(t *testing.T) {
+	e := NewEvaluator()
+	okB := bounds.Budgets{Area: 64, Power: 32, Bandwidth: 8}
+	cases := []struct {
+		name string
+		d    Design
+		f    float64
+		b    bounds.Budgets
+	}{
+		{"bad kind", Design{Kind: ChipKind(9)}, 0.5, okB},
+		{"bad fraction", Design{Kind: SymCMP}, 1.5, okB},
+		{"nan fraction", Design{Kind: SymCMP}, math.NaN(), okB},
+		{"zero area", Design{Kind: SymCMP}, 0.5, bounds.Budgets{Area: 0, Power: 32, Bandwidth: 8}},
+		{"negative power", Design{Kind: AsymCMP}, 0.5, bounds.Budgets{Area: 64, Power: -1, Bandwidth: 8}},
+		{"nan bandwidth", Design{Kind: AsymCMP}, 0.5, bounds.Budgets{Area: 64, Power: 32, Bandwidth: math.NaN()}},
+		{"bad ucore", Design{Kind: Het, UCore: bounds.UCore{Mu: 0, Phi: 1}}, 0.5, okB},
+		{"sub-serial budgets", Design{Kind: SymCMP}, 0.5, bounds.Budgets{Area: 0.5, Power: 0.5, Bandwidth: 0.5}},
+		{"offload no headroom", Design{Kind: AsymCMP}, 0.5, bounds.Budgets{Area: 1, Power: 1, Bandwidth: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, gotErr := e.Optimize(tc.d, tc.f, tc.b)
+			_, wantErr := e.OptimizeGrid(tc.d, tc.f, tc.b)
+			if gotErr == nil || wantErr == nil {
+				t.Fatalf("expected errors, got analytic=%v grid=%v", gotErr, wantErr)
+			}
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("error text diverged:\n  analytic: %v\n  grid:     %v", gotErr, wantErr)
+			}
+		})
+	}
+}
+
+// TestSerialCapMatchesMaxSerialR checks the closed-form serial cap
+// against the linear scan it replaces.
+func TestSerialCapMatchesMaxSerialR(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 3000; i++ {
+		c := drawCase(rng)
+		law, err := pollack.New(c.alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		if r, err := bounds.MaxSerialR(law, c.b); err == nil {
+			want = r
+		}
+		if want > 16 {
+			want = 16
+		}
+		if got := bounds.SerialCap(law, c.b, 16); got != want {
+			t.Fatalf("case %d (%+v): SerialCap=%d, MaxSerialR-capped=%d", i, c, got, want)
+		}
+	}
+}

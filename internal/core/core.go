@@ -148,10 +148,15 @@ func (e Evaluator) Evaluate(d Design, f float64, b bounds.Budgets, r int) (Point
 	}, nil
 }
 
-// Optimize sweeps r in [1, MaxR] and returns the point with the highest
-// speedup (ties broken toward smaller r). Infeasible r values are
-// skipped; if every r fails, ErrInfeasible wraps the last cause.
-func (e Evaluator) Optimize(d Design, f float64, b bounds.Budgets) (Point, error) {
+// OptimizeGrid sweeps r in [1, MaxR] serially and returns the point with
+// the highest speedup (ties broken toward smaller r). Infeasible r values
+// are skipped; if every r fails, ErrInfeasible wraps the last cause.
+//
+// This is the brute-force reference: Optimize produces byte-identical
+// results by visiting only the analytic candidate set, and the property
+// tests use this scan as the oracle. It is also the fallback for
+// degenerate inputs, so the two share error behavior exactly.
+func (e Evaluator) OptimizeGrid(d Design, f float64, b bounds.Budgets) (Point, error) {
 	maxR := e.MaxR
 	if maxR < 1 {
 		maxR = 16
@@ -177,10 +182,10 @@ func (e Evaluator) Optimize(d Design, f float64, b bounds.Budgets) (Point, error
 	return best, nil
 }
 
-// OptimizeEnergy sweeps r and returns the point with the lowest
-// normalized energy among feasible points (the alternative objective of
-// the paper's third question).
-func (e Evaluator) OptimizeEnergy(d Design, f float64, b bounds.Budgets) (Point, error) {
+// OptimizeEnergyGrid sweeps r serially and returns the point with the
+// lowest normalized energy among feasible points. Like OptimizeGrid it is
+// the oracle and fallback for the analytic OptimizeEnergy.
+func (e Evaluator) OptimizeEnergyGrid(d Design, f float64, b bounds.Budgets) (Point, error) {
 	maxR := e.MaxR
 	if maxR < 1 {
 		maxR = 16

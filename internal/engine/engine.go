@@ -92,6 +92,12 @@ func (o *op[Req, Resp]) Prepare(body []byte, env Env) (string, func(context.Cont
 		if err != nil {
 			return nil, err
 		}
+		// Responses that implement Appender (large, hot ones like the
+		// sweep surface) skip the reflection encoder; the bytes are
+		// identical by contract, fuzz-checked per type.
+		if a, ok := any(resp).(Appender); ok {
+			return a.AppendJSON(nil)
+		}
 		return json.Marshal(resp)
 	}, nil
 }

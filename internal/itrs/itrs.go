@@ -89,6 +89,16 @@ func ITRS2009() Roadmap {
 	}}
 }
 
+// defaultRoadmap is the process-wide shared copy of the paper roadmap.
+// Roadmap's node slice is unexported and no method mutates it (Nodes
+// returns a defensive copy), so sharing one value is safe.
+var defaultRoadmap = ITRS2009()
+
+// Default returns the shared Table 6 roadmap without copying. Use it on
+// hot paths that only read; use ITRS2009 when a caller needs a private
+// copy to build variations from.
+func Default() Roadmap { return defaultRoadmap }
+
 // CustomRoadmap builds a roadmap from caller-supplied nodes (earliest
 // first). Callers should Validate the result; validation is not forced
 // here so tests can construct deliberately inconsistent roadmaps.
@@ -110,12 +120,21 @@ func (r Roadmap) Len() int { return len(r.nodes) }
 
 // ByName looks a node up by its name (e.g. "22nm").
 func (r Roadmap) ByName(name string) (Node, error) {
-	for _, n := range r.nodes {
+	i, err := r.Index(name)
+	if err != nil {
+		return Node{}, err
+	}
+	return r.nodes[i], nil
+}
+
+// Index returns the position of the named node in roadmap order.
+func (r Roadmap) Index(name string) (int, error) {
+	for i, n := range r.nodes {
 		if n.Name == name {
-			return n, nil
+			return i, nil
 		}
 	}
-	return Node{}, fmt.Errorf("itrs: unknown node %q", name)
+	return -1, fmt.Errorf("itrs: unknown node %q", name)
 }
 
 // ByYear looks a node up by its production year.

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // DefaultAlpha is the performance-to-power exponent estimated in
@@ -29,10 +30,31 @@ const ScenarioSixAlpha = 2.25
 // ErrBadResource indicates a non-positive core size r.
 var ErrBadResource = errors.New("pollack: core size r must be positive")
 
+// powTabSize covers the integer core sizes the serial bounds probe
+// repeatedly (the paper sweeps r <= 16; 64 leaves slack for larger
+// evaluator settings).
+const powTabSize = 64
+
+// capEntry memoizes one MaxRForPower evaluation. The stored r is the
+// exact Pow result for the stored p, so a memo hit returns the same
+// bits the direct computation would.
+type capEntry struct{ p, r float64 }
+
 // Law bundles the sequential performance and power laws for one choice of
 // the power exponent alpha. The zero value is not valid; use New.
 type Law struct {
 	alpha float64
+	// powTab[i] = Pow(i+1, alpha/2), precomputed at New: Power is on the
+	// per-candidate path of the analytic optimizer, and a general-exponent
+	// Pow per feasibility probe dominated the optimize cost. Entries are
+	// the exact Pow values, so table hits are bit-identical to the direct
+	// computation.
+	powTab *[powTabSize]float64
+	// capMemo holds the last MaxRForPower result. Grid sweeps solve the
+	// serial cap once per cell against a power budget that rarely changes
+	// between cells, and the general-exponent Pow there was a measurable
+	// slice of a cold sweep request.
+	capMemo *atomic.Pointer[capEntry]
 }
 
 // New returns a Law with the given performance-to-power exponent. alpha
@@ -41,7 +63,15 @@ func New(alpha float64) (Law, error) {
 	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
 		return Law{}, fmt.Errorf("pollack: alpha must be a positive finite number, got %v", alpha)
 	}
-	return Law{alpha: alpha}, nil
+	l := Law{
+		alpha:   alpha,
+		powTab:  new([powTabSize]float64),
+		capMemo: new(atomic.Pointer[capEntry]),
+	}
+	for i := range l.powTab {
+		l.powTab[i] = math.Pow(float64(i+1), alpha/2)
+	}
+	return l, nil
 }
 
 // Default returns the paper's baseline law (alpha = 1.75).
@@ -72,6 +102,11 @@ func (l Law) Power(r float64) (float64, error) {
 	if r <= 0 || math.IsNaN(r) {
 		return 0, ErrBadResource
 	}
+	if l.powTab != nil {
+		if i := int(r); float64(i) == r && i >= 1 && i <= powTabSize {
+			return l.powTab[i-1], nil
+		}
+	}
 	return math.Pow(r, l.alpha/2), nil
 }
 
@@ -90,7 +125,16 @@ func (l Law) MaxRForPower(p float64) (float64, error) {
 	if p <= 0 || math.IsNaN(p) {
 		return 0, errors.New("pollack: power budget must be positive")
 	}
-	return math.Pow(p, 2/l.alpha), nil
+	if l.capMemo != nil {
+		if e := l.capMemo.Load(); e != nil && e.p == p {
+			return e.r, nil
+		}
+	}
+	r := math.Pow(p, 2/l.alpha)
+	if l.capMemo != nil {
+		l.capMemo.Store(&capEntry{p: p, r: r})
+	}
+	return r, nil
 }
 
 // Efficiency returns sequential performance per unit power for a core of

@@ -47,7 +47,7 @@ type Config struct {
 func DefaultConfig(w paper.WorkloadID) Config {
 	return Config{
 		Workload:         w,
-		Roadmap:          itrs.ITRS2009(),
+		Roadmap:          itrs.Default(),
 		PowerBudgetW:     itrs.CorePowerBudgetW,
 		BaseBandwidthGBs: itrs.BaseBandwidthGBs,
 		AreaScale:        1,
@@ -92,18 +92,32 @@ func (c Config) evaluator() (core.Evaluator, error) {
 //	P = watts / (BCE watts x relative power per transistor)
 //	B = node GB/s / BCE compulsory GB/s
 func (c Config) BudgetsAt(node itrs.Node) (bounds.Budgets, error) {
-	ref, err := ucore.DefaultBCE(c.Workload)
+	conv, err := c.budgetConverter()
 	if err != nil {
 		return bounds.Budgets{}, err
+	}
+	return conv(node), nil
+}
+
+// budgetConverter resolves the workload's BCE calibration once and
+// returns a per-node converter, so multi-node callers (the projection
+// fan-out, the startup tables) do not re-derive the anchors for every
+// cell. The conversion expressions are exactly BudgetsAt's.
+func (c Config) budgetConverter() (func(itrs.Node) bounds.Budgets, error) {
+	ref, err := ucore.DefaultBCE(c.Workload)
+	if err != nil {
+		return nil, err
 	}
 	bceBW, err := BCEBandwidthGBs(c.Workload, ref)
 	if err != nil {
-		return bounds.Budgets{}, err
+		return nil, err
 	}
-	return bounds.Budgets{
-		Area:      node.MaxAreaBCE * c.AreaScale,
-		Power:     c.PowerBudgetW / (ref.Watts * node.RelPowerPerXtor),
-		Bandwidth: node.BandwidthGBs(c.BaseBandwidthGBs) / bceBW,
+	return func(node itrs.Node) bounds.Budgets {
+		return bounds.Budgets{
+			Area:      node.MaxAreaBCE * c.AreaScale,
+			Power:     c.PowerBudgetW / (ref.Watts * node.RelPowerPerXtor),
+			Bandwidth: node.BandwidthGBs(c.BaseBandwidthGBs) / bceBW,
+		}
 	}, nil
 }
 
@@ -230,7 +244,7 @@ func projectWith(ctx context.Context, cfg Config, f float64, opt func(core.Evalu
 	if f < 0 || f > 1 || math.IsNaN(f) {
 		return nil, errors.New("project: f must be in [0, 1]")
 	}
-	designs, err := DesignsFor(cfg.Workload)
+	designs, err := designsCached(cfg.Workload)
 	if err != nil {
 		return nil, err
 	}
@@ -239,15 +253,21 @@ func projectWith(ctx context.Context, cfg Config, f float64, opt func(core.Evalu
 		return nil, err
 	}
 	nodes := cfg.Roadmap.Nodes()
+	// The budget conversion depends only on (workload, node): resolve the
+	// BCE anchors once and convert each node once, instead of per cell.
+	conv, err := cfg.budgetConverter()
+	if err != nil {
+		return nil, err
+	}
+	buds := make([]bounds.Budgets, len(nodes))
+	for i, node := range nodes {
+		buds[i] = conv(node)
+	}
 	// One flat cell per (design, node), row-major with node fastest, so
 	// cell i maps to designs[i/len(nodes)] at nodes[i%len(nodes)].
 	pts, err := par.Map(ctx, len(designs)*len(nodes), cfg.Workers,
 		func(_ context.Context, i int) (NodePoint, error) {
-			d, node := designs[i/len(nodes)], nodes[i%len(nodes)]
-			b, err := cfg.BudgetsAt(node)
-			if err != nil {
-				return NodePoint{}, err
-			}
+			d, node, b := designs[i/len(nodes)], nodes[i%len(nodes)], buds[i%len(nodes)]
 			pt, err := opt(ev, d, b)
 			np := NodePoint{Node: node}
 			if err == nil {

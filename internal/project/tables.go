@@ -1,0 +1,75 @@
+// tables.go precomputes everything the serving hot path would otherwise
+// rebuild per request: the paper's design lineup and the BCE-relative
+// budgets of every (workload, default-roadmap node) pair under the
+// baseline physical budgets. The entries are produced by exactly the
+// same code paths callers would run directly (DesignsFor, BudgetsAt), so
+// table hits are byte-identical to cold computation — the tables change
+// latency, never results.
+package project
+
+import (
+	"sync"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/paper"
+)
+
+// workloadTable is the precomputed per-workload state.
+type workloadTable struct {
+	designs []core.Design             // the Figure 6-10 lineup, shared read-only
+	budgets map[string]bounds.Budgets // default budgets by node name
+}
+
+// defaultTables builds the tables once, on first use, for every Table 5
+// workload. Workloads whose calibration data is incomplete are simply
+// absent; lookups fall back to the direct computation (and its error).
+var defaultTables = sync.OnceValue(func() map[paper.WorkloadID]workloadTable {
+	m := make(map[paper.WorkloadID]workloadTable, len(paper.AllWorkloads))
+	for _, w := range paper.AllWorkloads {
+		cfg := DefaultConfig(w)
+		designs, err := DesignsFor(w)
+		if err != nil {
+			continue
+		}
+		conv, err := cfg.budgetConverter()
+		if err != nil {
+			continue
+		}
+		t := workloadTable{designs: designs, budgets: make(map[string]bounds.Budgets)}
+		for _, n := range cfg.Roadmap.Nodes() {
+			t.budgets[n.Name] = conv(n)
+		}
+		m[w] = t
+	}
+	return m
+})
+
+// designsCached returns the workload's lineup from the table, falling
+// back to DesignsFor for workloads outside it. The returned slice is
+// shared: callers must treat it as read-only (DesignsFor allocates a
+// private copy for callers that need to mutate).
+func designsCached(w paper.WorkloadID) ([]core.Design, error) {
+	if t, ok := defaultTables()[w]; ok {
+		return t.designs, nil
+	}
+	return DesignsFor(w)
+}
+
+// DefaultBudgets returns the BCE-relative budgets for workload w at the
+// named node of the default roadmap under the paper's baseline physical
+// budgets (DefaultConfig), served from the precomputed table. Unknown
+// workloads or node names take the direct path and report its errors.
+func DefaultBudgets(w paper.WorkloadID, nodeName string) (bounds.Budgets, error) {
+	if t, ok := defaultTables()[w]; ok {
+		if b, ok := t.budgets[nodeName]; ok {
+			return b, nil
+		}
+	}
+	cfg := DefaultConfig(w)
+	node, err := cfg.Roadmap.ByName(nodeName)
+	if err != nil {
+		return bounds.Budgets{}, err
+	}
+	return cfg.BudgetsAt(node)
+}

@@ -1,0 +1,74 @@
+package sensitivity
+
+import (
+	"testing"
+
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/core"
+)
+
+// TestMonteCarloNormCacheReplay checks that a cache hit replays exactly
+// the interval a cache miss computes: the first call on a fresh key
+// generates and publishes the draw matrix, the second consumes it, and
+// both must agree bit for bit (the serving layer's responses are
+// compared as bytes).
+func TestMonteCarloNormCacheReplay(t *testing.T) {
+	ev := core.NewEvaluator()
+	b := bounds.Budgets{Area: 64, Power: 48, Bandwidth: 16}
+	d := core.Design{Kind: core.Het, UCore: bounds.UCore{Mu: 10, Phi: 0.2}}
+	// An uncommon seed keeps this test's key disjoint from the other
+	// tests in the package, so the first call is a genuine miss.
+	const seed = 987654321
+	miss, err := MonteCarlo(ev, d, 0.99, b, 0.2, 200, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cachedNormals(normKey{seed: seed, samples: 200, inputs: 5}); !ok {
+		t.Fatal("miss did not publish the draw matrix")
+	}
+	hit, err := MonteCarlo(ev, d, 0.99, b, 0.2, 200, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss != hit {
+		t.Fatalf("cache hit changed the interval:\nmiss: %+v\nhit:  %+v", miss, hit)
+	}
+	// Same draws, different sigma: the matrix is sigma-independent, so
+	// this hits too, and must still differ from the sigma=0.2 interval.
+	wide, err := MonteCarlo(ev, d, 0.99, b, 0.5, 200, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide == hit {
+		t.Fatal("sigma=0.5 interval identical to sigma=0.2: draws not rescaled")
+	}
+	// A symmetric design consumes 3 draws per sample, not 5: its matrix
+	// must live under its own key rather than reusing the het one.
+	if _, err := MonteCarlo(ev, core.Design{Kind: core.SymCMP}, 0.99, b, 0.2, 200, seed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cachedNormals(normKey{seed: seed, samples: 200, inputs: 3}); !ok {
+		t.Fatal("symmetric design did not publish its own 3-input matrix")
+	}
+}
+
+// TestNormCacheBounded checks the eviction path: publishing more than
+// maxNormCacheFloats worth of matrices keeps the total in bounds, and
+// an oversized matrix is rejected outright.
+func TestNormCacheBounded(t *testing.T) {
+	const rows = maxNormCacheFloats / 8
+	for s := int64(0); s < 12; s++ {
+		storeNormals(normKey{seed: 1000 + s, samples: rows, inputs: 1}, make([]float64, rows))
+	}
+	normMu.Lock()
+	total := normFloats
+	normMu.Unlock()
+	if total > maxNormCacheFloats {
+		t.Fatalf("cache holds %d floats, cap %d", total, maxNormCacheFloats)
+	}
+	big := normKey{seed: -1, samples: maxNormCacheFloats + 1, inputs: 1}
+	storeNormals(big, make([]float64, maxNormCacheFloats+1))
+	if _, ok := cachedNormals(big); ok {
+		t.Fatal("oversized matrix was cached")
+	}
+}

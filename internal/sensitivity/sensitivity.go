@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
@@ -160,6 +161,64 @@ func MonteCarlo(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, s
 	return MonteCarloWorkers(ev, d, f, b, sigma, samples, seed, 0)
 }
 
+// normKey identifies one deterministic matrix of standard-normal draws:
+// sample i consumes row i (inputs values, in Inputs order). Sigma is
+// deliberately absent — draws are N(0,1) and scaled at use — so studies
+// that vary sigma share one matrix.
+type normKey struct {
+	seed    int64
+	samples int
+	inputs  int
+}
+
+// maxNormCacheFloats bounds the normal-draw cache (2^21 float64s is
+// 16 MiB). Seeding Go's lagged-Fibonacci source costs ~1800 arithmetic
+// steps per sample — with one source per sample for worker-count
+// determinism, that seeding dominated a cold Monte Carlo request by 5x
+// over the actual optimizations. The draws depend only on (seed,
+// samples, inputs), and the serving layer defaults seed to 1, so
+// caching them removes the cost from every request after the first
+// while leaving the interval byte-identical: hit or miss, the same
+// N(0,1) values feed the same perturbation arithmetic.
+const maxNormCacheFloats = 1 << 21
+
+var (
+	normMu     sync.Mutex
+	normCache  = map[normKey][]float64{}
+	normFloats int
+)
+
+// cachedNormals returns the shared (read-only) draw matrix for key.
+func cachedNormals(key normKey) ([]float64, bool) {
+	normMu.Lock()
+	defer normMu.Unlock()
+	m, ok := normCache[key]
+	return m, ok
+}
+
+// storeNormals publishes a completed draw matrix, evicting arbitrary
+// entries if needed; matrices too large for the whole cache are simply
+// not kept.
+func storeNormals(key normKey, m []float64) {
+	if len(m) > maxNormCacheFloats {
+		return
+	}
+	normMu.Lock()
+	defer normMu.Unlock()
+	if _, ok := normCache[key]; ok {
+		return // a concurrent miss computed the identical matrix
+	}
+	for k := range normCache {
+		if normFloats+len(m) <= maxNormCacheFloats {
+			break
+		}
+		normFloats -= len(normCache[k])
+		delete(normCache, k)
+	}
+	normCache[key] = m
+	normFloats += len(m)
+}
+
 // splitmix64 is the SplitMix64 finalizer, used to derive decorrelated
 // per-sample RNG seeds from (seed, sample index). Adjacent raw seeds feed
 // Go's additive-lagged-Fibonacci source nearly identical streams; the
@@ -206,15 +265,36 @@ func MonteCarloCtx(ctx context.Context, ev core.Evaluator, d core.Design, f floa
 		speedup  float64
 		feasible bool
 	}
+	inputs := len(Inputs)
+	if d.Kind != core.Het {
+		inputs -= 2 // Mu and Phi draw nothing
+	}
+	key := normKey{seed: seed, samples: samples, inputs: inputs}
+	norms, hit := cachedNormals(key)
+	if !hit {
+		norms = make([]float64, samples*inputs)
+	}
 	draws, err := par.Map(ctx, samples, workers,
 		func(_ context.Context, i int) (draw, error) {
-			rng := sampleRNG(seed, i)
+			row := norms[i*inputs : (i+1)*inputs]
+			if !hit {
+				// Each sample owns its own deterministic RNG sub-stream
+				// (and its own row, so the fill is race-free): the matrix
+				// is the same at every worker count, and a cache hit
+				// replays exactly the values a miss would generate.
+				rng := sampleRNG(seed, i)
+				for j := range row {
+					row[j] = rng.NormFloat64()
+				}
+			}
 			dd, bb := d, b
+			next := 0
 			for _, in := range Inputs {
 				if (in == Mu || in == Phi) && d.Kind != core.Het {
 					continue
 				}
-				k := math.Exp(sigma * rng.NormFloat64())
+				k := math.Exp(sigma * row[next])
+				next++
 				dd, bb = perturb(dd, bb, in, k)
 			}
 			p, err := ev.Optimize(dd, f, bb)
@@ -225,6 +305,9 @@ func MonteCarloCtx(ctx context.Context, ev core.Evaluator, d core.Design, f floa
 		})
 	if err != nil {
 		return Interval{}, err
+	}
+	if !hit {
+		storeNormals(key, norms)
 	}
 	vals := make([]float64, 0, samples)
 	for _, dr := range draws {

@@ -196,4 +196,3 @@ func trajectoryJSON(ts []project.Trajectory) []TrajectoryJSON {
 	}
 	return out
 }
-

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
 	"github.com/calcm/heterosim/internal/engine"
+	"github.com/calcm/heterosim/internal/paper"
 	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/pollack"
+	"github.com/calcm/heterosim/internal/project"
 )
 
 // registry is the model-serving surface: every POST /v1 endpoint is one
@@ -33,17 +36,33 @@ var (
 	idxVersion = idxHealthz + 2
 )
 
+// defaultEvaluator is the shared paper-default evaluator: Evaluator is
+// an immutable value, so every request using the default (or explicit
+// paper) alpha reuses this one instead of revalidating the law.
+var defaultEvaluator = core.NewEvaluator()
+
 // evaluatorFor builds the core evaluator, honoring an alpha override
 // (0 means the paper default of 1.75).
 func evaluatorFor(alpha float64) (core.Evaluator, error) {
-	if alpha == 0 {
-		return core.NewEvaluator(), nil
+	if alpha == 0 || alpha == pollack.DefaultAlpha {
+		return defaultEvaluator, nil
 	}
 	law, err := pollack.New(alpha)
 	if err != nil {
 		return core.Evaluator{}, badRequest("%v", err)
 	}
-	return core.Evaluator{Law: law, MaxR: core.NewEvaluator().MaxR}, nil
+	return core.Evaluator{Law: law, MaxR: defaultEvaluator.MaxR}, nil
+}
+
+// nodeBudgets resolves a request's (workload, node-name) pair to its
+// default-configuration budgets via the precomputed project tables,
+// mapping failures (unknown node names) to 400s.
+func nodeBudgets(w paper.WorkloadID, nodeName string) (bounds.Budgets, error) {
+	b, err := project.DefaultBudgets(w, nodeName)
+	if err != nil {
+		return bounds.Budgets{}, badRequest("%v", err)
+	}
+	return b, nil
 }
 
 // workersOr resolves a request's worker count: normalized like the CLI

@@ -5,7 +5,7 @@ import (
 
 	"github.com/calcm/heterosim/internal/ablation"
 	"github.com/calcm/heterosim/internal/engine"
-	"github.com/calcm/heterosim/internal/project"
+	"github.com/calcm/heterosim/internal/itrs"
 )
 
 // POST /v1/ablation — the three configuration ablations at one node.
@@ -60,14 +60,8 @@ func buildAblation(req *AblationRequest, env engine.Env) (func(context.Context) 
 	if req.Node == "" {
 		req.Node = "11nm"
 	}
-	nodeIdx := -1
-	for i, n := range project.DefaultConfig(w).Roadmap.Nodes() {
-		if n.Name == req.Node {
-			nodeIdx = i
-			break
-		}
-	}
-	if nodeIdx < 0 {
+	nodeIdx, err := itrs.Default().Index(req.Node)
+	if err != nil {
 		return nil, badRequest("unknown node %q", req.Node)
 	}
 	workers := workersOr(&req.Workers, env)

@@ -7,7 +7,6 @@ import (
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
 	"github.com/calcm/heterosim/internal/engine"
-	"github.com/calcm/heterosim/internal/project"
 )
 
 // POST /v1/optimize — one design point.
@@ -72,14 +71,9 @@ func buildOptimize(req *OptimizeRequest, _ engine.Env) (func(context.Context) (O
 		if req.Node == "" {
 			req.Node = "40nm"
 		}
-		cfg := project.DefaultConfig(w)
-		node, err := cfg.Roadmap.ByName(req.Node)
+		b, err = nodeBudgets(w, req.Node)
 		if err != nil {
-			return nil, badRequest("%v", err)
-		}
-		b, err = cfg.BudgetsAt(node)
-		if err != nil {
-			return nil, badRequest("%v", err)
+			return nil, err
 		}
 	}
 	return func(context.Context) (OptimizeResponse, error) {

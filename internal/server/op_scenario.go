@@ -4,7 +4,7 @@ import (
 	"context"
 
 	"github.com/calcm/heterosim/internal/engine"
-	"github.com/calcm/heterosim/internal/project"
+	"github.com/calcm/heterosim/internal/itrs"
 	"github.com/calcm/heterosim/internal/scenario"
 )
 
@@ -67,7 +67,7 @@ func buildScenario(req *ScenarioRequest, env engine.Env) (func(context.Context) 
 			Baseline:    trajectoryJSON(base),
 			Alternative: trajectoryJSON(alt),
 		}
-		for _, n := range project.DefaultConfig(w).Roadmap.Nodes() {
+		for _, n := range itrs.Default().Nodes() {
 			resp.Nodes = append(resp.Nodes, n.Name)
 		}
 		return resp, nil

@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"github.com/calcm/heterosim/internal/engine"
-	"github.com/calcm/heterosim/internal/project"
 	"github.com/calcm/heterosim/internal/sensitivity"
 )
 
@@ -101,14 +100,9 @@ func buildSensitivity(req *SensitivityRequest, env engine.Env) (func(context.Con
 	if req.Seed == 0 {
 		req.Seed = 1
 	}
-	cfg := project.DefaultConfig(w)
-	node, err := cfg.Roadmap.ByName(req.Node)
+	b, err := nodeBudgets(w, req.Node)
 	if err != nil {
-		return nil, badRequest("%v", err)
-	}
-	b, err := cfg.BudgetsAt(node)
-	if err != nil {
-		return nil, badRequest("%v", err)
+		return nil, err
 	}
 	workers := workersOr(&req.Workers, env)
 	return func(ctx context.Context) (SensitivityResponse, error) {

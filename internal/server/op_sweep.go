@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"math"
+	"strconv"
 
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
 	"github.com/calcm/heterosim/internal/engine"
-	"github.com/calcm/heterosim/internal/project"
 	"github.com/calcm/heterosim/internal/sweep"
 )
 
@@ -99,6 +99,188 @@ type AxisJSON struct {
 	Values []float64 `json:"values"`
 }
 
+// coordCache memoizes the formatted text of one point field's values in
+// a most-recently-inserted-first ring. A sweep's coordinates are drawn
+// from its (small) axes, and the model outputs repeat row-locally —
+// EnergyNorm depends only on (f, r), never on bandwidth, and Speedup
+// repeats across cells whose binding budget isn't the swept one — so
+// each point tends to repeat values the encoder formatted moments ago.
+// The backward scan from the insertion point finds those in a few
+// probes, trading them against the much costlier shortest-float
+// formatting. Zero is excluded (so a -0 can never alias the "0" text of
+// a +0), as is any rendering wider than a slot (impossible for float64,
+// but the guard keeps correctness local). The ring overwrites its
+// oldest entry when full, which keeps high-cardinality fields cheap:
+// they cost a bounded scan, never an unbounded table.
+type coordCache struct {
+	n      int // entries in use
+	next   int // ring insertion position
+	vals   [maxCoordCache]float64
+	length [maxCoordCache]uint8
+	text   [maxCoordCache][28]byte
+}
+
+const maxCoordCache = 64
+
+// appendVal appends the json encoding of v, from cache when possible.
+func (c *coordCache) appendVal(b []byte, v float64) ([]byte, error) {
+	if v != 0 {
+		// Repeats are row-local, so they sit near the insertion point;
+		// probing half the ring keeps a high-cardinality field's misses
+		// (which would scan everything for nothing) at half price. A
+		// value evicted or beyond the probe horizon is simply formatted
+		// and re-inserted.
+		probe := c.n
+		if probe > maxCoordCache/2 {
+			probe = maxCoordCache / 2
+		}
+		for k := 1; k <= probe; k++ {
+			i := c.next - k
+			if i < 0 {
+				i += maxCoordCache
+			}
+			if c.vals[i] == v {
+				return append(b, c.text[i][:c.length[i]]...), nil
+			}
+		}
+	}
+	start := len(b)
+	b, err := engine.AppendFloat(b, v)
+	if err != nil {
+		return nil, err
+	}
+	if t := b[start:]; v != 0 && len(t) <= len(c.text[0]) {
+		i := c.next
+		c.vals[i] = v
+		c.length[i] = uint8(len(t))
+		copy(c.text[i][:], t)
+		c.next = (i + 1) % maxCoordCache
+		if c.n < maxCoordCache {
+			c.n++
+		}
+	}
+	return b, nil
+}
+
+// sweepEnc carries one value cache per float point field for the
+// duration of a response encoding: the four grid coordinates, Speedup,
+// and EnergyNorm.
+type sweepEnc struct {
+	coords [6]coordCache
+}
+
+// appendPoint appends one cell exactly as encoding/json encodes
+// SweepPointJSON, including the omitempty suppression of the zero R,
+// Speedup, Limit, and EnergyNorm of infeasible cells.
+func (e *sweepEnc) appendPoint(b []byte, p *SweepPointJSON) ([]byte, error) {
+	var err error
+	b = append(b, `{"f":`...)
+	if b, err = e.coords[0].appendVal(b, p.F); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"areaScale":`...)
+	if b, err = e.coords[1].appendVal(b, p.AreaScale); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"powerScale":`...)
+	if b, err = e.coords[2].appendVal(b, p.PowerScale); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"bandwidthScale":`...)
+	if b, err = e.coords[3].appendVal(b, p.BandwidthScale); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"valid":`...)
+	b = strconv.AppendBool(b, p.Valid)
+	if p.R != 0 {
+		b = append(b, `,"r":`...)
+		b = strconv.AppendInt(b, int64(p.R), 10)
+	}
+	if p.Speedup != 0 {
+		b = append(b, `,"speedup":`...)
+		if b, err = e.coords[4].appendVal(b, p.Speedup); err != nil {
+			return nil, err
+		}
+	}
+	if p.Limit != "" {
+		b = append(b, `,"limit":`...)
+		b = engine.AppendString(b, p.Limit)
+	}
+	if p.EnergyNorm != 0 {
+		b = append(b, `,"energyNorm":`...)
+		if b, err = e.coords[5].appendVal(b, p.EnergyNorm); err != nil {
+			return nil, err
+		}
+	}
+	return append(b, '}'), nil
+}
+
+// AppendJSON implements engine.Appender: a sweep response is one point
+// per grid cell, and encoding a few thousand cells through reflection
+// costs more than evaluating them, so the surface writes itself. The
+// bytes are exactly json.Marshal's (TestSweepResponseAppendJSON fuzzes
+// the equivalence); keep both in sync when fields change.
+func (r SweepResponse) AppendJSON(b []byte) ([]byte, error) {
+	var err error
+	// ~176 bytes covers a fully populated point, so a normal response
+	// encodes without growing the buffer.
+	if need := 512 + 176*len(r.Points); cap(b)-len(b) < need {
+		nb := make([]byte, len(b), len(b)+need)
+		copy(nb, b)
+		b = nb
+	}
+	var enc sweepEnc
+	b = append(b, `{"workload":`...)
+	b = engine.AppendString(b, r.Workload)
+	b = append(b, `,"node":`...)
+	b = engine.AppendString(b, r.Node)
+	b = append(b, `,"design":`...)
+	b = engine.AppendString(b, r.Design)
+	b = append(b, `,"axes":`...)
+	if r.Axes == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i := range r.Axes {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"name":`...)
+			b = engine.AppendString(b, r.Axes[i].Name)
+			b = append(b, `,"values":`...)
+			if b, err = engine.AppendFloats(b, r.Axes[i].Values); err != nil {
+				return nil, err
+			}
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"points":`...)
+	if r.Points == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i := range r.Points {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			if b, err = enc.appendPoint(b, &r.Points[i]); err != nil {
+				return nil, err
+			}
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"feasible":`...)
+	b = strconv.AppendInt(b, int64(r.Feasible), 10)
+	if r.Best != nil {
+		b = append(b, `,"best":`...)
+		if b, err = enc.appendPoint(b, r.Best); err != nil {
+			return nil, err
+		}
+	}
+	return append(b, '}'), nil
+}
+
 var opSweep = engine.New("sweep", buildSweep)
 
 func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (SweepResponse, error), error) {
@@ -123,14 +305,9 @@ func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (Sweep
 	if err != nil {
 		return nil, err
 	}
-	cfg := project.DefaultConfig(w)
-	node, err := cfg.Roadmap.ByName(req.Node)
+	base, err := nodeBudgets(w, req.Node)
 	if err != nil {
-		return nil, badRequest("%v", err)
-	}
-	base, err := cfg.BudgetsAt(node)
-	if err != nil {
-		return nil, badRequest("%v", err)
+		return nil, err
 	}
 	fVals, err := req.F.values("f")
 	if err != nil {
@@ -170,30 +347,21 @@ func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (Sweep
 	}
 	workers := workersOr(&req.Workers, env)
 
-	// Per-axis value -> index tables recover each cell's flat row-major
-	// index from the Point EachParallel hands us (the values are exact
-	// copies of the axis slices, so float equality is reliable).
-	index := make([]map[float64]int, len(axes))
-	for i, ax := range axes {
-		index[i] = make(map[float64]int, len(ax.Values))
-		for j, v := range ax.Values {
-			index[i][v] = j
-		}
+	// The evaluation loop runs on Cells: each worker gets the flat
+	// row-major index directly plus the axis values by position (0 f,
+	// 1 area, 2 power, 3 bandwidth — the declared order above), so the
+	// hot path writes points[flat] with no per-cell Point map or
+	// value->index lookups.
+	opt := ev.Optimize
+	if req.Objective == "energy" {
+		opt = ev.OptimizeEnergy
 	}
 	return func(ctx context.Context) (SweepResponse, error) {
 		points := make([]SweepPointJSON, grid.Size())
-		err := grid.EachParallel(ctx, workers, func(p sweep.Point) error {
-			flat := 0
-			for i, ax := range axes {
-				flat = flat*len(ax.Values) + index[i][p[ax.Name]]
-			}
-			f, as, ps, bs := p["f"], p["area"], p["power"], p["bandwidth"]
+		err := grid.Cells(ctx, workers, func(flat int, v []float64) error {
+			f, as, ps, bs := v[0], v[1], v[2], v[3]
 			cell := SweepPointJSON{F: f, AreaScale: as, PowerScale: ps, BandwidthScale: bs}
 			b := bounds.Budgets{Area: base.Area * as, Power: base.Power * ps, Bandwidth: base.Bandwidth * bs}
-			opt := ev.Optimize
-			if req.Objective == "energy" {
-				opt = ev.OptimizeEnergy
-			}
 			pt, err := opt(d, f, b)
 			if err == nil {
 				cell.Valid = true

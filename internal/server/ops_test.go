@@ -8,8 +8,8 @@ import (
 	"testing"
 
 	"github.com/calcm/heterosim/internal/ablation"
-	"github.com/calcm/heterosim/internal/engine"
 	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/engine"
 	"github.com/calcm/heterosim/internal/paper"
 	"github.com/calcm/heterosim/internal/project"
 	"github.com/calcm/heterosim/internal/sensitivity"

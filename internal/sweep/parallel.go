@@ -8,26 +8,92 @@ import (
 	"github.com/calcm/heterosim/internal/telemetry"
 )
 
-// EachParallel invokes fn for every grid point across a bounded worker
-// pool (workers <= 0 means GOMAXPROCS). Each invocation decodes its
-// row-major index directly into its own Point — there is no shared
-// multi-index state — so any interleaving visits exactly the same points
-// as Each. The Point is valid only for the duration of the call (use
-// Copy to keep one). The first error cancels the sweep; the
-// lowest-indexed observed error is returned. Cancelling ctx (nil means
-// Background) stops the sweep between points and returns ctx.Err(), so
-// request deadlines propagate into long grids.
-//
-// fn runs concurrently: it must be safe for parallel use.
-func (g *Grid) EachParallel(ctx context.Context, workers int, fn func(Point) error) error {
+// decodeValsInto writes grid point i (row-major, last axis fastest) into
+// vals, indexed by axis position: vals[k] is the value of axis k in the
+// grid's declared order. The caller guarantees 0 <= i < Size() and
+// len(vals) == len(g.axes).
+func (g *Grid) decodeValsInto(i int, vals []float64) {
+	for ax := len(g.axes) - 1; ax >= 0; ax-- {
+		vs := g.axes[ax].Values
+		vals[ax] = vs[i%len(vs)]
+		i /= len(vs)
+	}
+}
+
+// blocks partitions [0, Size()) into one contiguous chunk per worker
+// slot and fans the chunks out through the par pool. Each chunk is
+// visited in ascending index order, so per-chunk scratch state can be
+// reused across cells without allocation; ctx is polled between cells so
+// request deadlines still propagate into long grids. Errors follow par's
+// contract: the first failure cancels the pool and the lowest-indexed
+// observed error is returned (chunks are in index order and stop at
+// their first error, so this is the lowest-indexed failing cell among
+// those observed).
+func (g *Grid) blocks(ctx context.Context, workers int, run func(ctx context.Context, lo, hi int) error) error {
+	n := g.Size()
+	w := par.Workers(workers)
+	if w > n {
+		w = n
+	}
+	return par.ForEach(ctx, w, w, func(ctx context.Context, b int) error {
+		return run(ctx, b*n/w, (b+1)*n/w)
+	})
+}
+
+// Cells invokes fn for every grid point across a bounded worker pool
+// (workers <= 0 means GOMAXPROCS), passing the point's flat row-major
+// index and its values indexed by axis position — the allocation-free
+// counterpart of EachParallel for hot paths that would otherwise pay a
+// map per cell. vals is per-worker scratch, valid only for the duration
+// of the call: fn must copy anything it keeps. fn runs concurrently and
+// must be safe for parallel use; the first error cancels the sweep, and
+// cancelling ctx (nil means Background) stops it between points.
+func (g *Grid) Cells(ctx context.Context, workers int, fn func(flat int, vals []float64) error) error {
 	// When the context carries a telemetry stage family (the serving
 	// layer threads one through), the whole parallel grid is recorded as
 	// the "sweep" stage — the engine-side share of an evaluation.
 	defer telemetry.StartSpan(ctx, "sweep").End()
-	return par.ForEach(ctx, g.Size(), workers, func(_ context.Context, i int) error {
+	return g.blocks(ctx, workers, func(ctx context.Context, lo, hi int) error {
+		vals := make([]float64, len(g.axes))
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			g.decodeValsInto(i, vals)
+			if err := fn(i, vals); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// EachParallel invokes fn for every grid point across a bounded worker
+// pool (workers <= 0 means GOMAXPROCS). Points are decoded from their
+// row-major indices — there is no shared multi-index state — so any
+// interleaving visits exactly the same points as Each. The Point is
+// per-worker scratch, valid only for the duration of the call (use Copy
+// to keep one). The first error cancels the sweep; the lowest-indexed
+// observed error is returned. Cancelling ctx (nil means Background)
+// stops the sweep between points and returns ctx.Err(), so request
+// deadlines propagate into long grids.
+//
+// fn runs concurrently: it must be safe for parallel use.
+func (g *Grid) EachParallel(ctx context.Context, workers int, fn func(Point) error) error {
+	// Recorded as the "sweep" telemetry stage, exactly like Cells.
+	defer telemetry.StartSpan(ctx, "sweep").End()
+	return g.blocks(ctx, workers, func(ctx context.Context, lo, hi int) error {
 		p := make(Point, len(g.axes))
-		g.decodeInto(i, p)
-		return fn(p)
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			g.decodeInto(i, p)
+			if err := fn(p); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 }
 
@@ -45,15 +111,23 @@ type cell struct {
 // exactly as the serial scan does. If every point fails, the error of the
 // highest-indexed point is returned — again matching ArgMax, whose
 // "last error" is the last one met in row-major order. Cancelling ctx
-// (nil means Background) aborts the sweep with ctx.Err().
+// (nil means Background) aborts the sweep with ctx.Err(). The Point
+// handed to objective is per-worker scratch: copy it if kept.
 //
 // objective runs concurrently: it must be safe for parallel use.
 func (g *Grid) ArgMaxParallel(ctx context.Context, workers int, objective func(Point) (float64, error)) (Result, error) {
-	cells, err := par.Map(ctx, g.Size(), workers, func(_ context.Context, i int) (cell, error) {
+	cells := make([]cell, g.Size())
+	err := g.blocks(ctx, workers, func(ctx context.Context, lo, hi int) error {
 		p := make(Point, len(g.axes))
-		g.decodeInto(i, p)
-		v, err := objective(p)
-		return cell{value: v, err: err}, nil
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			g.decodeInto(i, p)
+			v, err := objective(p)
+			cells[i] = cell{value: v, err: err}
+		}
+		return nil
 	})
 	if err != nil {
 		return Result{}, err
