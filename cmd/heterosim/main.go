@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
+	"github.com/calcm/heterosim/internal/model"
 	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/version"
 )
@@ -61,11 +63,15 @@ func run(args []string) error {
 		return cmdFrontier(rest)
 	case "devices":
 		return cmdDevices(rest)
+	case "models":
+		return cmdModels(rest)
 	case "all":
 		return cmdAll(rest)
 	case "version":
 		info := version.Get()
-		fmt.Printf("%s %s (%s, %s/%s)\n", info.Module, info.Version, info.GoVersion, info.OS, info.Arch)
+		info.Models = model.Names()
+		fmt.Printf("%s %s (%s, %s/%s) models=%s\n", info.Module, info.Version,
+			info.GoVersion, info.OS, info.Arch, strings.Join(info.Models, ","))
 		return nil
 	case "help", "-h", "--help":
 		usage()
@@ -92,11 +98,15 @@ Subcommands:
   sensitivity    input elasticities + Monte Carlo speedup intervals
   frontier       sweep the (mu, phi) design space on a grid
   devices        list the simulated device catalog and operating points
+  models         list the model backends (Chung, Multi-Amdahl, thermal, sqrt(m))
   all            regenerate every table and figure
-  version        print the build identity (module, version, Go runtime)
+  version        print the build identity (module, version, Go runtime, models)
 
 Model-evaluating subcommands accept -workers N to size the worker pool
 (<= 0 means GOMAXPROCS); outputs are identical at every worker count.
+project, scenario, energy, and sensitivity additionally accept
+-model NAME [-model-params JSON] to evaluate under an alternative
+model backend (run "heterosim models" for the registry).
 `)
 }
 

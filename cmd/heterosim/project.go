@@ -91,10 +91,15 @@ func cmdProject(args []string) error {
 	area := fs.Float64("areascale", 0, "override area scale factor (0 = scenario default)")
 	csvOut := fs.Bool("csv", false, "emit CSV")
 	workers := workersFlag(fs)
+	resolveModel := modelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	w, err := parseWorkload(*wname)
+	if err != nil {
+		return err
+	}
+	sel, err := resolveModel()
 	if err != nil {
 		return err
 	}
@@ -103,6 +108,7 @@ func cmdProject(args []string) error {
 		return err
 	}
 	cfg := s.Apply(project.DefaultConfig(w))
+	cfg.Model = sel.Factory
 	cfg.Workers = *workers
 	if *power > 0 {
 		cfg.PowerBudgetW = *power
@@ -116,6 +122,9 @@ func cmdProject(args []string) error {
 	ts, err := project.Project(cfg, *f)
 	if err != nil {
 		return err
+	}
+	if !*csvOut {
+		printModelBanner(sel)
 	}
 	return renderTrajectories(os.Stdout, ts, cfg, *f, *csvOut)
 }
@@ -171,10 +180,15 @@ func cmdScenario(args []string) error {
 	wname := fs.String("workload", "FFT-1024", "workload")
 	f := fs.Float64("f", 0.9, "parallel fraction")
 	workers := workersFlag(fs)
+	resolveModel := modelFlag(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 	w, err := parseWorkload(*wname)
+	if err != nil {
+		return err
+	}
+	sel, err := resolveModel()
 	if err != nil {
 		return err
 	}
@@ -184,7 +198,8 @@ func cmdScenario(args []string) error {
 	}
 	fmt.Printf("Scenario %d: %s\n  Rationale: %s\n  Paper's finding: %s\n\n",
 		n, s.Name, s.Rationale, s.Expectation)
-	base, alt, err := scenario.CompareWorkers(s, w, *f, *workers)
+	printModelBanner(sel)
+	base, alt, err := scenario.CompareModelCtx(context.Background(), s, w, *f, *workers, sel.Factory)
 	if err != nil {
 		return err
 	}
@@ -203,6 +218,7 @@ func cmdEnergy(args []string) error {
 	wname := fs.String("workload", "MMM", "workload")
 	f := fs.Float64("f", 0.9, "parallel fraction")
 	workers := workersFlag(fs)
+	resolveModel := modelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -210,12 +226,18 @@ func cmdEnergy(args []string) error {
 	if err != nil {
 		return err
 	}
+	sel, err := resolveModel()
+	if err != nil {
+		return err
+	}
 	cfg := project.DefaultConfig(w)
+	cfg.Model = sel.Factory
 	cfg.Workers = *workers
 	ts, err := project.ProjectEnergy(cfg, *f)
 	if err != nil {
 		return err
 	}
+	printModelBanner(sel)
 	nodes := cfg.Roadmap.Nodes()
 	labels := make([]string, len(nodes))
 	for i, n := range nodes {

@@ -20,10 +20,15 @@ func cmdSensitivity(args []string) error {
 	sigma := fs.Float64("sigma", 0.2, "log-normal input uncertainty for Monte Carlo")
 	samples := fs.Int("samples", 1000, "Monte Carlo draws")
 	workers := workersFlag(fs)
+	resolveModel := modelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	w, err := parseWorkload(*wname)
+	if err != nil {
+		return err
+	}
+	sel, err := resolveModel()
 	if err != nil {
 		return err
 	}
@@ -41,6 +46,11 @@ func cmdSensitivity(args []string) error {
 		return err
 	}
 	ev := core.NewEvaluator()
+	var opt sensitivity.Optimizer = ev
+	if sel.Model != nil {
+		opt = sel.Model
+	}
+	printModelBanner(sel)
 
 	t := report.NewTable(
 		fmt.Sprintf("Elasticities d ln(speedup)/d ln(input): %s, f=%.3f, %s",
@@ -54,7 +64,7 @@ func cmdSensitivity(args []string) error {
 		return fmt.Sprintf("%.2f", v)
 	}
 	for _, d := range designs {
-		prof, err := sensitivity.ProfileWorkers(ev, d, *f, budgets, 0.01, *workers)
+		prof, err := sensitivity.ProfileWorkers(opt, d, *f, budgets, 0.01, *workers)
 		if err != nil {
 			t.AddRow(d.Label, "infeasible")
 			continue
@@ -74,7 +84,7 @@ func cmdSensitivity(args []string) error {
 		fmt.Sprintf("Monte Carlo speedup intervals (sigma=%.2f, %d draws)", *sigma, *samples),
 		"Design", "nominal", "p05", "median", "p95")
 	for _, d := range designs {
-		iv, err := sensitivity.MonteCarloWorkers(ev, d, *f, budgets, *sigma, *samples, 1, *workers)
+		iv, err := sensitivity.MonteCarloWorkers(opt, d, *f, budgets, *sigma, *samples, 1, *workers)
 		if err != nil {
 			mc.AddRow(d.Label, "infeasible")
 			continue

@@ -44,10 +44,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/calcm/heterosim/internal/faultinject"
+	"github.com/calcm/heterosim/internal/model"
 	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/server"
 	"github.com/calcm/heterosim/internal/version"
@@ -117,11 +119,13 @@ func cmdVersion(args []string) error {
 		return err
 	}
 	info := version.Get()
+	info.Models = model.Names()
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		return enc.Encode(info)
 	}
-	fmt.Printf("%s %s (%s, %s/%s)\n", info.Module, info.Version, info.GoVersion, info.OS, info.Arch)
+	fmt.Printf("%s %s (%s, %s/%s) models=%s\n", info.Module, info.Version,
+		info.GoVersion, info.OS, info.Arch, strings.Join(info.Models, ","))
 	return nil
 }
 
@@ -203,7 +207,8 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 
 	select {
 	case a := <-bound:
-		logger.Info("listening", "version", version.Get().Version, "addr", a.String())
+		logger.Info("listening", "version", version.Get().Version, "addr", a.String(),
+			"models", strings.Join(model.Names(), ","))
 		for _, e := range server.Endpoints() {
 			logger.Info("endpoint", "route", e)
 		}

@@ -14,6 +14,7 @@ import (
 
 	"github.com/calcm/heterosim/internal/amdahl"
 	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/model"
 	"github.com/calcm/heterosim/internal/paper"
 	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/pollack"
@@ -37,8 +38,9 @@ const effectivelyInfinite = 1e12
 // (<= 0 means GOMAXPROCS); results are identical at every worker count.
 // Cancellation or an expired deadline on ctx stops both projections
 // early and surfaces ctx.Err().
-func run(ctx context.Context, base, ablated project.Config, f float64, nodeIdx, workers int) ([]Result, error) {
+func run(ctx context.Context, base, ablated project.Config, f float64, nodeIdx, workers int, mk model.Factory) ([]Result, error) {
 	base.Workers, ablated.Workers = workers, workers
+	base.Model, ablated.Model = mk, mk
 	configs := []project.Config{base, ablated}
 	ts, err := par.Map(ctx, len(configs), workers,
 		func(ctx context.Context, i int) ([]project.Trajectory, error) {
@@ -84,14 +86,14 @@ func BandwidthBound(w paper.WorkloadID, f float64, nodeIdx int) ([]Result, error
 // BandwidthBoundWorkers is BandwidthBound with an explicit worker bound
 // (<= 0 means GOMAXPROCS).
 func BandwidthBoundWorkers(w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
-	return bandwidthBoundCtx(context.Background(), w, f, nodeIdx, workers)
+	return bandwidthBoundCtx(context.Background(), w, f, nodeIdx, workers, nil)
 }
 
-func bandwidthBoundCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
+func bandwidthBoundCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int, mk model.Factory) ([]Result, error) {
 	base := project.DefaultConfig(w)
 	ablated := base
 	ablated.BaseBandwidthGBs = effectivelyInfinite
-	return run(ctx, base, ablated, f, nodeIdx, workers)
+	return run(ctx, base, ablated, f, nodeIdx, workers, mk)
 }
 
 // PowerBound removes the power constraint (P -> inf) — reducing the
@@ -104,14 +106,14 @@ func PowerBound(w paper.WorkloadID, f float64, nodeIdx int) ([]Result, error) {
 // PowerBoundWorkers is PowerBound with an explicit worker bound (<= 0
 // means GOMAXPROCS).
 func PowerBoundWorkers(w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
-	return powerBoundCtx(context.Background(), w, f, nodeIdx, workers)
+	return powerBoundCtx(context.Background(), w, f, nodeIdx, workers, nil)
 }
 
-func powerBoundCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
+func powerBoundCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int, mk model.Factory) ([]Result, error) {
 	base := project.DefaultConfig(w)
 	ablated := base
 	ablated.PowerBudgetW = effectivelyInfinite
-	return run(ctx, base, ablated, f, nodeIdx, workers)
+	return run(ctx, base, ablated, f, nodeIdx, workers, mk)
 }
 
 // SequentialSizing pins the sequential core at r = 1 instead of sweeping
@@ -126,14 +128,14 @@ func SequentialSizing(w paper.WorkloadID, f float64, nodeIdx int) ([]Result, err
 // SequentialSizingWorkers is SequentialSizing with an explicit worker
 // bound (<= 0 means GOMAXPROCS).
 func SequentialSizingWorkers(w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
-	return sequentialSizingCtx(context.Background(), w, f, nodeIdx, workers)
+	return sequentialSizingCtx(context.Background(), w, f, nodeIdx, workers, nil)
 }
 
-func sequentialSizingCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int) ([]Result, error) {
+func sequentialSizingCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int, mk model.Factory) ([]Result, error) {
 	base := project.DefaultConfig(w)
 	ablated := base
 	ablated.MaxR = 1
-	return run(ctx, base, ablated, f, nodeIdx, workers)
+	return run(ctx, base, ablated, f, nodeIdx, workers, mk)
 }
 
 // Studies runs the three configuration ablations for a workload
@@ -147,14 +149,21 @@ func Studies(w paper.WorkloadID, f float64, nodeIdx, workers int) ([][]Result, e
 // expired deadline stops every projection early and surfaces ctx.Err(),
 // which is how the serving layer turns a request deadline into a 504.
 func StudiesCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int) ([][]Result, error) {
-	studies := []func(context.Context, paper.WorkloadID, float64, int, int) ([]Result, error){
+	return StudiesModelCtx(ctx, w, f, nodeIdx, workers, nil)
+}
+
+// StudiesModelCtx is StudiesCtx under a model backend (nil = Chung
+// baseline). The sequential-sizing study pins MaxR = 1 through the
+// project.Config, so the factory sees the ablated sweep bound.
+func StudiesModelCtx(ctx context.Context, w paper.WorkloadID, f float64, nodeIdx, workers int, mk model.Factory) ([][]Result, error) {
+	studies := []func(context.Context, paper.WorkloadID, float64, int, int, model.Factory) ([]Result, error){
 		bandwidthBoundCtx,
 		powerBoundCtx,
 		sequentialSizingCtx,
 	}
 	return par.Map(ctx, len(studies), workers,
 		func(ctx context.Context, i int) ([]Result, error) {
-			return studies[i](ctx, w, f, nodeIdx, workers)
+			return studies[i](ctx, w, f, nodeIdx, workers, mk)
 		})
 }
 

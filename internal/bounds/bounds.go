@@ -38,6 +38,11 @@ const (
 	BandwidthLimited
 	// Infeasible means no valid design exists (serial bounds violated).
 	Infeasible
+	// ThermalLimited means a temperature budget caps power below the
+	// nominal power budget and that cap binds — the fourth constraint
+	// introduced by the multiamdahl-thermal model backend. It follows
+	// Infeasible so the original enum values stay stable.
+	ThermalLimited
 )
 
 // String names the limit the way the paper's figures do.
@@ -51,6 +56,8 @@ func (l Limit) String() string {
 		return "bandwidth-limited"
 	case Infeasible:
 		return "infeasible"
+	case ThermalLimited:
+		return "thermal-limited"
 	default:
 		return fmt.Sprintf("Limit(%d)", int(l))
 	}

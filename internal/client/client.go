@@ -386,6 +386,13 @@ func (c *Client) Version(ctx context.Context) (*version.Info, error) {
 	return get[version.Info](ctx, c, "/v1/version")
 }
 
+// Models fetches the server's model-backend registry (GET /v1/models):
+// every backend's capabilities and parameters plus the default name,
+// so callers can discover what the `model` request field accepts.
+func (c *Client) Models(ctx context.Context) (*server.ModelsResponse, error) {
+	return get[server.ModelsResponse](ctx, c, "/v1/models")
+}
+
 // Metrics fetches the server counters (GET /metrics).
 func (c *Client) Metrics(ctx context.Context) (*server.Metrics, error) {
 	return get[server.Metrics](ctx, c, "/metrics")

@@ -28,6 +28,28 @@ type Env struct {
 	// byte-identical at every worker count, so Workers never
 	// participates in cache keys.
 	Workers int
+
+	// Meta, when non-nil, lets an operation report request metadata back
+	// to the serving layer during Prepare — today the resolved model
+	// backend, stamped into response headers and access logs. It flows
+	// serving-layer-outward only and never participates in cache keys.
+	Meta *Meta
+}
+
+// Meta is per-request metadata an operation reports during Prepare.
+type Meta struct {
+	// Model is the canonical name of the model backend answering the
+	// request (e.g. "chung"), including defaulted requests.
+	Model string
+}
+
+// ReportModel records the resolved model backend when the serving layer
+// asked for metadata; it is a no-op under a nil Meta, so tests and
+// embedded callers need not allocate one.
+func (e Env) ReportModel(name string) {
+	if e.Meta != nil {
+		e.Meta.Model = name
+	}
 }
 
 // Op is one model operation as the serving stack consumes it. Prepare

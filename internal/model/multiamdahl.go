@@ -1,0 +1,259 @@
+package model
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/calcm/heterosim/internal/amdahl"
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+// Segment is one program execution segment in the Multi-Amdahl model of
+// Zidenberg, Keslassy & Weiser ("MultiAmdahl: How Should I Divide My
+// Heterogeneous Chip?"). Share is the segment's share of the parallel
+// fraction f (shares sum to 1); Mu and Phi scale the performance and
+// active-power density of the accelerator fabric the segment runs on,
+// relative to the design's baseline parallel fabric (the design's
+// U-core for HET chips, plain BCEs for the CMPs).
+type Segment struct {
+	Share float64 `json:"share"`
+	Mu    float64 `json:"mu"`
+	Phi   float64 `json:"phi"`
+}
+
+// maParams configures the multiamdahl backend. The default single
+// segment {share:1, mu:1, phi:1} reduces the model to the paper's
+// single-f form.
+type maParams struct {
+	Segments []Segment `json:"segments"`
+}
+
+func defaultSegments() []Segment { return []Segment{{Share: 1, Mu: 1, Phi: 1}} }
+
+// normalize fills per-segment defaults and validates the partition.
+func (p *maParams) normalize() error {
+	if len(p.Segments) == 0 {
+		p.Segments = defaultSegments()
+		return nil
+	}
+	if len(p.Segments) > 64 {
+		return fmt.Errorf("model: at most 64 segments, got %d", len(p.Segments))
+	}
+	sum := 0.0
+	for i := range p.Segments {
+		s := &p.Segments[i]
+		if s.Mu == 0 {
+			s.Mu = 1
+		}
+		if s.Phi == 0 {
+			s.Phi = 1
+		}
+		if s.Share < 0 || math.IsNaN(s.Share) || math.IsInf(s.Share, 0) {
+			return fmt.Errorf("model: segment %d share must be a finite non-negative number", i)
+		}
+		if s.Mu <= 0 || math.IsNaN(s.Mu) || math.IsInf(s.Mu, 0) {
+			return fmt.Errorf("model: segment %d mu must be a positive finite number", i)
+		}
+		if s.Phi <= 0 || math.IsNaN(s.Phi) || math.IsInf(s.Phi, 0) {
+			return fmt.Errorf("model: segment %d phi must be a positive finite number", i)
+		}
+		sum += s.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("model: segment shares must sum to 1, got %.12g", sum)
+	}
+	return nil
+}
+
+type multiAmdahlBackend struct{}
+
+func (multiAmdahlBackend) Info() Info {
+	return Info{
+		Name: "multiamdahl",
+		Description: "Multi-Amdahl (Zidenberg/Keslassy/Weiser): the parallel fraction splits " +
+			"into segments, each on its own accelerator; parallel area is divided by the " +
+			"closed-form Lagrange optimum a_i proportional to sqrt(t_i/mu_i).",
+		Capabilities: []string{"optimize", "optimize-energy", "evaluate", "segments"},
+		Params: []ParamSpec{{
+			Name: "segments", Type: "array of {share, mu, phi}",
+			Default: `[{"share":1,"mu":1,"phi":1}]`,
+			Description: "Partition of the parallel fraction; shares sum to 1, mu/phi scale " +
+				"each segment's accelerator perf/power density relative to the design's fabric.",
+		}},
+	}
+}
+
+func (multiAmdahlBackend) New(alpha float64, maxR int, params json.RawMessage) (Model, json.RawMessage, error) {
+	var p maParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, nil, err
+	}
+	if err := p.normalize(); err != nil {
+		return nil, nil, err
+	}
+	law, err := pollack.New(alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	canon, err := canonicalParams(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return multiAmdahlModel{law: law, maxR: maxR, segs: p.Segments}, canon, nil
+}
+
+// multiAmdahlModel evaluates a design with the parallel phase split
+// across per-segment accelerators. The serial phase and the Table 1
+// serial bounds are the paper's; the parallel area A_par is bounded by
+// area, by parallel power Sum(phi_i·a_i) <= P, and by parallel
+// bandwidth Sum(mu_i·a_i·bw) <= B, each evaluated at the Lagrange
+// allocation shape a_i proportional to sqrt(t_i/mu_i).
+type multiAmdahlModel struct {
+	law  pollack.Law
+	maxR int
+	segs []Segment
+}
+
+func (m multiAmdahlModel) Name() string { return "multiamdahl" }
+
+func (m multiAmdahlModel) Space() Space { return Space{MaxR: m.maxR, Kinds: allKinds()} }
+
+func (m multiAmdahlModel) Evaluate(d core.Design, f float64, b bounds.Budgets, r int) (core.Point, error) {
+	if err := d.Validate(); err != nil {
+		return core.Point{}, err
+	}
+	if r < 1 {
+		return core.Point{}, errors.New("model: r must be >= 1")
+	}
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return core.Point{}, amdahl.ErrFraction
+	}
+	eb := b
+	if d.ExemptBandwidth {
+		eb.Bandwidth = math.Inf(1)
+	}
+	rf := float64(r)
+	if err := bounds.SerialFeasible(m.law, eb, rf); err != nil {
+		return core.Point{}, err
+	}
+	pf := math.Sqrt(rf)
+	pwr, err := m.law.Power(rf)
+	if err != nil {
+		return core.Point{}, err
+	}
+
+	// Baseline parallel-fabric densities per BCE of area — perf q, power
+	// w, bandwidth demand bw — and the area available to the parallel
+	// phase. The symmetric CMP runs parallel phases on the whole chip
+	// (the serial core is one of the parallel cores); the offload and
+	// heterogeneous chips spend r on a dark serial core first.
+	var q, w, bw, areaCap float64
+	switch d.Kind {
+	case core.SymCMP:
+		q, w, bw = pf/rf, pwr/rf, 1/pf
+		areaCap = eb.Area
+	case core.AsymCMP:
+		q, w, bw = 1, 1, 1
+		areaCap = eb.Area - rf
+	case core.Het:
+		q, w, bw = d.UCore.Mu, d.UCore.Phi, d.UCore.Mu
+		areaCap = eb.Area - rf
+	}
+
+	// Lagrange allocation shape over the active segments: minimizing
+	// Sum(t_i/(q·mu_i·a_i)) subject to Sum(a_i) = A_par gives
+	// a_i proportional to sqrt(t_i/(q·mu_i)). With f == 0 no parallel
+	// work exists; budget attribution then uses the unit fabric.
+	type alloc struct {
+		seg  Segment
+		frac float64 // a_i / A_par
+	}
+	var (
+		active []alloc
+		muBar  float64 // Sum frac_i·mu_i
+		phiBar float64 // Sum frac_i·phi_i
+	)
+	if f > 0 {
+		total := 0.0
+		for _, s := range m.segs {
+			if s.Share == 0 {
+				continue
+			}
+			wt := math.Sqrt(f * s.Share / (q * s.Mu))
+			active = append(active, alloc{seg: s, frac: wt})
+			total += wt
+		}
+		for i := range active {
+			active[i].frac /= total
+			muBar += active[i].frac * active[i].seg.Mu
+			phiBar += active[i].frac * active[i].seg.Phi
+		}
+	} else {
+		muBar, phiBar = 1, 1
+	}
+
+	// Parallel-area bound under each budget, attributed with the same
+	// tie preferences as bounds.Attribute (power beats bandwidth beats
+	// area on equality against area; bandwidth must strictly beat power).
+	aPar, lim := areaCap, bounds.AreaLimited
+	aPow := eb.Power / (w * phiBar)
+	aBW := eb.Bandwidth / (bw * muBar)
+	if aPow < aPar && aPow <= aBW {
+		aPar, lim = aPow, bounds.PowerLimited
+	} else if aBW < aPar && aBW < aPow {
+		aPar, lim = aBW, bounds.BandwidthLimited
+	}
+
+	// Usable resources n mirrors the paper's accounting: the whole chip
+	// for the symmetric CMP, serial core plus parallel fabric otherwise.
+	var n float64
+	if d.Kind == core.SymCMP {
+		n = aPar
+		if n < rf {
+			n = rf
+		}
+		aPar = n
+	} else {
+		if f > 0 && aPar <= 0 {
+			return core.Point{}, amdahl.ErrNoProgram
+		}
+		if aPar < 0 {
+			aPar = 0
+		}
+		n = rf + aPar
+	}
+
+	// Speedup: serial time on the fast core plus each segment on its
+	// allocated accelerator area. Energy mirrors core.energyNorm: each
+	// segment contributes time · power at its own density ratio.
+	speedup := pf
+	energy := (1 - f) * pwr / pf
+	if f > 0 {
+		parTime := 0.0
+		for _, a := range active {
+			parTime += (f * a.seg.Share) / (q * a.seg.Mu * (a.frac * aPar))
+			energy += (f * a.seg.Share) * (w * a.seg.Phi) / (q * a.seg.Mu)
+		}
+		speedup = 1 / ((1-f)/pf + parTime)
+	}
+	return core.Point{
+		Design: d, F: f, R: r, N: n,
+		Speedup: speedup, Limit: lim, EnergyNorm: energy,
+	}, nil
+}
+
+func (m multiAmdahlModel) Optimize(d core.Design, f float64, b bounds.Budgets) (core.Point, error) {
+	return optimizeSweep(m.maxR, false, func(r int) (core.Point, error) {
+		return m.Evaluate(d, f, b, r)
+	})
+}
+
+func (m multiAmdahlModel) OptimizeEnergy(d core.Design, f float64, b bounds.Budgets) (core.Point, error) {
+	return optimizeSweep(m.maxR, true, func(r int) (core.Point, error) {
+		return m.Evaluate(d, f, b, r)
+	})
+}

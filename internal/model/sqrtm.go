@@ -1,0 +1,212 @@
+package model
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/calcm/heterosim/internal/amdahl"
+	"github.com/calcm/heterosim/internal/bounds"
+	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/pollack"
+)
+
+// sqrtmParams configures the sqrtm backend: theta is the area-to-
+// performance exponent of the generalized sequential law
+// perf_seq(r) = r^theta. Ginosar's sqrt(m) complexity argument — a core
+// of m resources can usefully exploit about sqrt(m) of them — derives
+// theta = 1/2 analytically, which is exactly Pollack's empirical rule;
+// other exponents in (0, 1] explore how the paper's conclusions depend
+// on that assumption.
+type sqrtmParams struct {
+	Theta float64 `json:"theta"`
+}
+
+type sqrtmBackend struct{}
+
+func (sqrtmBackend) Info() Info {
+	return Info{
+		Name: "sqrtm",
+		Description: "Ginosar's sqrt(m) complexity scaling generalized to perf_seq(r) = r^theta " +
+			"with power_seq = r^(alpha*theta); theta = 0.5 reproduces Pollack's rule and the " +
+			"chung baseline exactly.",
+		Capabilities: []string{"optimize", "optimize-energy", "evaluate", "scaling-exponent"},
+		Params: []ParamSpec{{
+			Name: "theta", Type: "number", Default: "0.5",
+			Description: "Area-to-performance exponent in (0, 1]; 0.5 is Pollack/sqrt(m).",
+		}},
+	}
+}
+
+func (sqrtmBackend) New(alpha float64, maxR int, params json.RawMessage) (Model, json.RawMessage, error) {
+	p := sqrtmParams{Theta: pollack.DefaultTheta}
+	if err := decodeParams(params, &p); err != nil {
+		return nil, nil, err
+	}
+	scal, err := pollack.NewScaling(alpha, p.Theta)
+	if err != nil {
+		return nil, nil, err
+	}
+	canon, err := canonicalParams(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sqrtmModel{scal: scal, maxR: maxR}, canon, nil
+}
+
+// sqrtmModel re-derives the whole Chung framework — Table 1 bounds,
+// speedup, normalized energy — under the generalized sequential law.
+// Every expression keeps the baseline's exact float64 form when
+// theta = 1/2 (math.Sqrt fast paths; alpha*0.5 is the same float64 as
+// alpha/2), so the backend degrades to chung bit for bit at the
+// default exponent.
+type sqrtmModel struct {
+	scal pollack.Scaling
+	maxR int
+}
+
+func (m sqrtmModel) Name() string { return "sqrtm" }
+
+func (m sqrtmModel) Space() Space { return Space{MaxR: m.maxR, Kinds: allKinds()} }
+
+// serialFeasible is bounds.SerialFeasible under the generalized law:
+// r <= A, r^(alpha*theta) <= P, and serial bandwidth perf(r) <= B. At
+// theta = 1/2 the bandwidth check keeps the baseline's exact r > B*B
+// comparison rather than the algebraically equal sqrt(r) > B.
+func (m sqrtmModel) serialFeasible(b bounds.Budgets, r float64) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if r < 1 || math.IsNaN(r) {
+		return errors.New("bounds: r must be >= 1")
+	}
+	if r > b.Area {
+		return fmt.Errorf("bounds: serial area bound violated: r=%.3g > A=%.3g", r, b.Area)
+	}
+	pw, err := m.scal.Power(r)
+	if err != nil {
+		return err
+	}
+	if pw > b.Power {
+		return fmt.Errorf("bounds: serial power bound violated: r^(a*theta)=%.3g > P=%.3g", pw, b.Power)
+	}
+	if m.scal.Theta() == pollack.DefaultTheta {
+		if r > b.Bandwidth*b.Bandwidth {
+			return fmt.Errorf("bounds: serial bandwidth bound violated: r=%.3g > B^2=%.3g", r, b.Bandwidth*b.Bandwidth)
+		}
+	} else {
+		pf, err := m.scal.Perf(r)
+		if err != nil {
+			return err
+		}
+		if pf > b.Bandwidth {
+			return fmt.Errorf("bounds: serial bandwidth bound violated: r^theta=%.3g > B=%.3g", pf, b.Bandwidth)
+		}
+	}
+	return nil
+}
+
+func (m sqrtmModel) Evaluate(d core.Design, f float64, b bounds.Budgets, r int) (core.Point, error) {
+	if err := d.Validate(); err != nil {
+		return core.Point{}, err
+	}
+	if r < 1 {
+		return core.Point{}, errors.New("model: r must be >= 1")
+	}
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return core.Point{}, amdahl.ErrFraction
+	}
+	eb := b
+	if d.ExemptBandwidth {
+		eb.Bandwidth = math.Inf(1)
+	}
+	rf := float64(r)
+	if err := m.serialFeasible(eb, rf); err != nil {
+		return core.Point{}, err
+	}
+	pf, err := m.scal.Perf(rf)
+	if err != nil {
+		return core.Point{}, err
+	}
+	pw, err := m.scal.Power(rf)
+	if err != nil {
+		return core.Point{}, err
+	}
+
+	// Table 1 bounds with the generalized exponents: the symmetric power
+	// column's r^(alpha/2 - 1) becomes r^(alpha*theta - 1) and its
+	// bandwidth column's sqrt(r) becomes perf(r); the offload and
+	// heterogeneous columns are exponent-free and carry over unchanged.
+	var bd bounds.Bound
+	switch d.Kind {
+	case core.SymCMP:
+		nPow := eb.Power / math.Pow(rf, m.scal.PowExp()-1)
+		nBW := eb.Bandwidth * pf
+		bd = bounds.Attribute(rf, eb.Area, nPow, nBW)
+	case core.AsymCMP:
+		bd = bounds.Attribute(rf, eb.Area, eb.Power+rf, eb.Bandwidth+rf)
+	case core.Het:
+		bd = bounds.Attribute(rf, eb.Area, eb.Power/d.UCore.Phi+rf, eb.Bandwidth/d.UCore.Mu+rf)
+	}
+
+	n := bd.N
+	if n < rf {
+		n = rf
+	}
+	var speedup float64
+	switch d.Kind {
+	case core.SymCMP:
+		speedup = 1 / ((1-f)/pf + f*rf/(n*pf))
+	case core.AsymCMP:
+		if f == 0 {
+			speedup = pf
+			break
+		}
+		if n == rf {
+			return core.Point{}, amdahl.ErrNoProgram
+		}
+		speedup = 1 / ((1-f)/pf + f/(n-rf))
+	case core.Het:
+		if f == 0 {
+			speedup = pf
+			break
+		}
+		if n == rf {
+			return core.Point{}, amdahl.ErrNoProgram
+		}
+		speedup = 1 / ((1-f)/pf + f/(d.UCore.Mu*(n-rf)))
+	}
+
+	// Normalized energy mirrors core.energyNorm — same expression shape
+	// (serial + f·ratio, ratio formed first) so theta = 1/2 rounds
+	// identically; the symmetric parallel ratio power/perf per BCE
+	// generalizes from r^((alpha-1)/2) to r^(theta*(alpha-1)).
+	serial := (1 - f) * pw / pf
+	var parallelRatio float64
+	switch d.Kind {
+	case core.SymCMP:
+		parallelRatio = math.Pow(rf, m.scal.Theta()*(m.scal.Alpha()-1))
+	case core.AsymCMP:
+		parallelRatio = 1
+	case core.Het:
+		parallelRatio = d.UCore.Phi / d.UCore.Mu
+	}
+	energy := serial + f*parallelRatio
+	return core.Point{
+		Design: d, F: f, R: r, N: bd.N,
+		Speedup: speedup, Limit: bd.Limit, EnergyNorm: energy,
+	}, nil
+}
+
+func (m sqrtmModel) Optimize(d core.Design, f float64, b bounds.Budgets) (core.Point, error) {
+	return optimizeSweep(m.maxR, false, func(r int) (core.Point, error) {
+		return m.Evaluate(d, f, b, r)
+	})
+}
+
+func (m sqrtmModel) OptimizeEnergy(d core.Design, f float64, b bounds.Budgets) (core.Point, error) {
+	return optimizeSweep(m.maxR, true, func(r int) (core.Point, error) {
+		return m.Evaluate(d, f, b, r)
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
 	"github.com/calcm/heterosim/internal/itrs"
+	"github.com/calcm/heterosim/internal/model"
 	"github.com/calcm/heterosim/internal/paper"
 	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/pollack"
@@ -36,6 +37,13 @@ type Config struct {
 	AreaScale        float64 // multiplies the node area budget (paper: 1)
 	Alpha            float64 // sequential power exponent (paper: 1.75)
 	MaxR             int     // sequential-core sweep bound (paper: 16)
+
+	// Model, when non-nil, selects the model backend evaluating each
+	// design x node cell; nil means the paper's Chung evaluator (the
+	// analytic fast path). The factory runs after all config transforms
+	// (scenario alpha overrides, ablation MaxR pinning) so backends see
+	// the final Alpha and MaxR.
+	Model model.Factory
 
 	// Workers bounds the design x node evaluation pool; <= 0 means
 	// GOMAXPROCS. Results are identical at every worker count.
@@ -215,9 +223,7 @@ func Project(cfg Config, f float64) ([]Trajectory, error) {
 // HTTP request deadline) aborts the projection between cells and returns
 // ctx.Err(). nil means Background.
 func ProjectCtx(ctx context.Context, cfg Config, f float64) ([]Trajectory, error) {
-	return projectWith(ctx, cfg, f, func(ev core.Evaluator, d core.Design, b bounds.Budgets) (core.Point, error) {
-		return ev.Optimize(d, f, b)
-	})
+	return projectWith(ctx, cfg, f, false)
 }
 
 // ProjectEnergy is like Project but optimizes each node for minimum
@@ -229,15 +235,14 @@ func ProjectEnergy(cfg Config, f float64) ([]Trajectory, error) {
 
 // ProjectEnergyCtx is ProjectEnergy bounded by ctx (nil = Background).
 func ProjectEnergyCtx(ctx context.Context, cfg Config, f float64) ([]Trajectory, error) {
-	return projectWith(ctx, cfg, f, func(ev core.Evaluator, d core.Design, b bounds.Budgets) (core.Point, error) {
-		return ev.OptimizeEnergy(d, f, b)
-	})
+	return projectWith(ctx, cfg, f, true)
 }
 
 // projectWith is the shared projection engine: it fans the design x node
-// cells out over the worker pool, optimizes each with opt, and stitches
-// the NodePoints back into per-design trajectories in roadmap order.
-func projectWith(ctx context.Context, cfg Config, f float64, opt func(core.Evaluator, core.Design, bounds.Budgets) (core.Point, error)) ([]Trajectory, error) {
+// cells out over the worker pool, optimizes each for the requested
+// objective under the config's model backend, and stitches the
+// NodePoints back into per-design trajectories in roadmap order.
+func projectWith(ctx context.Context, cfg Config, f float64, energy bool) ([]Trajectory, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -248,9 +253,18 @@ func projectWith(ctx context.Context, cfg Config, f float64, opt func(core.Evalu
 	if err != nil {
 		return nil, err
 	}
-	ev, err := cfg.evaluator()
+	var optimizer model.Optimizer
+	if cfg.Model != nil {
+		optimizer, err = cfg.Model(cfg.Alpha, cfg.MaxR)
+	} else {
+		optimizer, err = cfg.evaluator()
+	}
 	if err != nil {
 		return nil, err
+	}
+	opt := optimizer.Optimize
+	if energy {
+		opt = optimizer.OptimizeEnergy
 	}
 	nodes := cfg.Roadmap.Nodes()
 	// The budget conversion depends only on (workload, node): resolve the
@@ -268,7 +282,7 @@ func projectWith(ctx context.Context, cfg Config, f float64, opt func(core.Evalu
 	pts, err := par.Map(ctx, len(designs)*len(nodes), cfg.Workers,
 		func(_ context.Context, i int) (NodePoint, error) {
 			d, node, b := designs[i/len(nodes)], nodes[i%len(nodes)], buds[i%len(nodes)]
-			pt, err := opt(ev, d, b)
+			pt, err := opt(d, f, b)
 			np := NodePoint{Node: node}
 			if err == nil {
 				np.Valid = true

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/calcm/heterosim/internal/model"
 	"github.com/calcm/heterosim/internal/paper"
 	"github.com/calcm/heterosim/internal/pollack"
 	"github.com/calcm/heterosim/internal/project"
@@ -136,8 +137,17 @@ func RunWorkers(s Scenario, w paper.WorkloadID, f float64, workers int) ([]proje
 // RunCtx is RunWorkers bounded by ctx (nil = Background): cancellation
 // aborts the projection between cells with ctx.Err().
 func RunCtx(ctx context.Context, s Scenario, w paper.WorkloadID, f float64, workers int) ([]project.Trajectory, error) {
+	return RunModelCtx(ctx, s, w, f, workers, nil)
+}
+
+// RunModelCtx is RunCtx under a model backend: mk selects the model
+// evaluating every design x node cell (nil means the Chung baseline).
+// The factory is applied after the scenario's configuration transform,
+// so e.g. Scenario 6's alpha override reaches the backend.
+func RunModelCtx(ctx context.Context, s Scenario, w paper.WorkloadID, f float64, workers int, mk model.Factory) ([]project.Trajectory, error) {
 	cfg := s.Apply(project.DefaultConfig(w))
 	cfg.Workers = workers
+	cfg.Model = mk
 	return project.ProjectCtx(ctx, cfg, f)
 }
 
@@ -156,15 +166,22 @@ func CompareWorkers(s Scenario, w paper.WorkloadID, f float64, workers int) (bas
 // CompareCtx is CompareWorkers bounded by ctx (nil = Background), so a
 // request deadline covers both the baseline and alternative projections.
 func CompareCtx(ctx context.Context, s Scenario, w paper.WorkloadID, f float64, workers int) (base, alt []project.Trajectory, err error) {
+	return CompareModelCtx(ctx, s, w, f, workers, nil)
+}
+
+// CompareModelCtx is CompareCtx under a model backend (nil = Chung
+// baseline): both the baseline and alternative projections run on the
+// same backend, so the comparison isolates the scenario, not the model.
+func CompareModelCtx(ctx context.Context, s Scenario, w paper.WorkloadID, f float64, workers int, mk model.Factory) (base, alt []project.Trajectory, err error) {
 	baseScen, err := Get(Baseline)
 	if err != nil {
 		return nil, nil, err
 	}
-	base, err = RunCtx(ctx, baseScen, w, f, workers)
+	base, err = RunModelCtx(ctx, baseScen, w, f, workers, mk)
 	if err != nil {
 		return nil, nil, err
 	}
-	alt, err = RunCtx(ctx, s, w, f, workers)
+	alt, err = RunModelCtx(ctx, s, w, f, workers, mk)
 	if err != nil {
 		return nil, nil, err
 	}

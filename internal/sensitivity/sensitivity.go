@@ -26,6 +26,14 @@ import (
 	"github.com/calcm/heterosim/internal/stats"
 )
 
+// Optimizer is the evaluation surface a sensitivity study perturbs:
+// optimize a design under one budget triple. core.Evaluator and every
+// model backend satisfy it, so elasticities and Monte Carlo intervals
+// apply to the whole Amdahl-extension family, not just the baseline.
+type Optimizer interface {
+	Optimize(d core.Design, f float64, b bounds.Budgets) (core.Point, error)
+}
+
 // Input identifies one perturbable model input.
 type Input int
 
@@ -83,7 +91,7 @@ func perturb(d core.Design, b bounds.Budgets, in Input, k float64) (core.Design,
 // Elasticity estimates d ln(speedup) / d ln(input) by a central
 // difference with relative step h (e.g. 0.01). The design must be
 // heterogeneous when perturbing Mu or Phi.
-func Elasticity(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, in Input, h float64) (float64, error) {
+func Elasticity(ev Optimizer, d core.Design, f float64, b bounds.Budgets, in Input, h float64) (float64, error) {
 	if h <= 0 || h >= 0.5 {
 		return 0, errors.New("sensitivity: step h must be in (0, 0.5)")
 	}
@@ -106,21 +114,21 @@ func Elasticity(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, i
 
 // Profile computes all applicable elasticities for a design point across
 // a GOMAXPROCS worker pool. See ProfileWorkers.
-func Profile(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, h float64) (map[Input]float64, error) {
+func Profile(ev Optimizer, d core.Design, f float64, b bounds.Budgets, h float64) (map[Input]float64, error) {
 	return ProfileWorkers(ev, d, f, b, h, 0)
 }
 
 // ProfileWorkers fans the applicable inputs out over workers goroutines
 // (<= 0 means GOMAXPROCS). Each elasticity is an independent pair of
 // optimizations, so the result is identical at every worker count.
-func ProfileWorkers(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, h float64, workers int) (map[Input]float64, error) {
+func ProfileWorkers(ev Optimizer, d core.Design, f float64, b bounds.Budgets, h float64, workers int) (map[Input]float64, error) {
 	return ProfileCtx(context.Background(), ev, d, f, b, h, workers)
 }
 
 // ProfileCtx is ProfileWorkers bounded by a context: cancellation or an
 // expired deadline stops the fan-out early and surfaces ctx.Err(), which
 // is how the serving layer turns a request deadline into a 504.
-func ProfileCtx(ctx context.Context, ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, h float64, workers int) (map[Input]float64, error) {
+func ProfileCtx(ctx context.Context, ev Optimizer, d core.Design, f float64, b bounds.Budgets, h float64, workers int) (map[Input]float64, error) {
 	applicable := make([]Input, 0, len(Inputs))
 	for _, in := range Inputs {
 		if (in == Mu || in == Phi) && d.Kind != core.Het {
@@ -157,7 +165,7 @@ type Interval struct {
 
 // MonteCarlo evaluates the design under `samples` random perturbations
 // across a GOMAXPROCS worker pool. See MonteCarloWorkers.
-func MonteCarlo(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, sigma float64, samples int, seed int64) (Interval, error) {
+func MonteCarlo(ev Optimizer, d core.Design, f float64, b bounds.Budgets, sigma float64, samples int, seed int64) (Interval, error) {
 	return MonteCarloWorkers(ev, d, f, b, sigma, samples, seed, 0)
 }
 
@@ -245,7 +253,7 @@ func sampleRNG(seed int64, i int) *rand.Rand {
 // sample draws from its own deterministic RNG sub-stream derived from
 // (seed, sample index), and the surviving speedups are assembled in
 // sample order, so the interval is identical at every worker count.
-func MonteCarloWorkers(ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, sigma float64, samples int, seed int64, workers int) (Interval, error) {
+func MonteCarloWorkers(ev Optimizer, d core.Design, f float64, b bounds.Budgets, sigma float64, samples int, seed int64, workers int) (Interval, error) {
 	return MonteCarloCtx(context.Background(), ev, d, f, b, sigma, samples, seed, workers)
 }
 
@@ -253,7 +261,7 @@ func MonteCarloWorkers(ev core.Evaluator, d core.Design, f float64, b bounds.Bud
 // or an expired deadline stops the sample fan-out early and surfaces
 // ctx.Err() so callers (the serving layer) can distinguish a timeout
 // from an infeasible study.
-func MonteCarloCtx(ctx context.Context, ev core.Evaluator, d core.Design, f float64, b bounds.Budgets, sigma float64, samples int, seed int64, workers int) (Interval, error) {
+func MonteCarloCtx(ctx context.Context, ev Optimizer, d core.Design, f float64, b bounds.Budgets, sigma float64, samples int, seed int64, workers int) (Interval, error) {
 	if sigma <= 0 || samples < 10 {
 		return Interval{}, errors.New("sensitivity: need sigma > 0 and samples >= 10")
 	}

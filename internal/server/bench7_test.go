@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/model"
+)
+
+// benchModelBody returns the cold-optimize benchmark body for one
+// backend; the default backend keeps the field omitted so it measures
+// the exact legacy path.
+func benchModelBody(name string) string {
+	if name == model.DefaultName {
+		return benchOptimizeBody
+	}
+	return benchOptimizeBody[:len(benchOptimizeBody)-1] + `,"model":"` + name + `"}`
+}
+
+// benchModelOptimizeCold measures a cold /v1/optimize under one backend
+// through the full handler stack, cache storage disabled.
+func benchModelOptimizeCold(b *testing.B, name string) {
+	s := newBenchServer(b, -1)
+	body := benchModelBody(name)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/optimize", body)
+	}
+}
+
+// BenchmarkModelOptimizeCold compares cold optimize latency across the
+// whole backend registry; the chung case is the legacy omitted-field
+// path, so the sub-benchmark spread is the price of each model.
+func BenchmarkModelOptimizeCold(b *testing.B) {
+	for _, name := range model.Names() {
+		b.Run(name, func(b *testing.B) { benchModelOptimizeCold(b, name) })
+	}
+}
+
+// TestMeasureBench7 regenerates BENCH_7.json at the repo root: one cold
+// full-handler optimize measurement per registered model backend, with
+// the chung default as the reference column. Gated behind
+// HETEROSIM_MEASURE=1 because it is a measurement, not a regression
+// check; honors -benchtime:
+//
+//	HETEROSIM_MEASURE=1 go test -run MeasureBench7 -benchtime 200ms -v ./internal/server/
+func TestMeasureBench7(t *testing.T) {
+	if os.Getenv("HETEROSIM_MEASURE") == "" {
+		t.Skip("set HETEROSIM_MEASURE=1 to regenerate BENCH_7.json")
+	}
+	type stat struct {
+		NsPerOp     int64   `json:"nsPerOp"`
+		BytesPerOp  int64   `json:"bytesPerOp"`
+		AllocsPerOp int64   `json:"allocsPerOp"`
+		VsChungX    float64 `json:"vsChungX,omitempty"`
+	}
+	out := struct {
+		Note      string          `json:"note"`
+		Benchtime string          `json:"benchtime"`
+		Backends  map[string]stat `json:"backends"`
+	}{
+		Note: "Cold full-handler /v1/optimize latency per model backend " +
+			"(cache storage disabled; chung is the omitted-field default " +
+			"path and the reference for vsChungX). Minimum of three runs. " +
+			"Regenerate: HETEROSIM_MEASURE=1 " +
+			"go test -run MeasureBench7 -benchtime 200ms ./internal/server/",
+		Benchtime: "200ms",
+		Backends:  make(map[string]stat, len(model.Names())),
+	}
+	measure := func(name string) stat {
+		fn := func(b *testing.B) { benchModelOptimizeCold(b, name) }
+		// Minimum of three runs: pure-CPU latencies, so the fastest run
+		// is the least disturbed by background load (same estimator as
+		// BENCH_6).
+		r := testing.Benchmark(fn)
+		for extra := 0; extra < 2; extra++ {
+			if rr := testing.Benchmark(fn); rr.NsPerOp() < r.NsPerOp() {
+				r = rr
+			}
+		}
+		return stat{NsPerOp: r.NsPerOp(), BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp()}
+	}
+	ref := measure(model.DefaultName)
+	out.Backends[model.DefaultName] = ref
+	for _, name := range model.Names() {
+		if name == model.DefaultName {
+			continue
+		}
+		s := measure(name)
+		if ref.NsPerOp > 0 {
+			// One decimal place keeps the file diff-stable across runs.
+			s.VsChungX = float64(int64(float64(s.NsPerOp)/float64(ref.NsPerOp)*10+0.5)) / 10
+		}
+		out.Backends[name] = s
+		t.Logf("%-20s %10d ns/op (%.1fx chung)", name, s.NsPerOp, s.VsChungX)
+	}
+	t.Logf("%-20s %10d ns/op (reference)", model.DefaultName, ref.NsPerOp)
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_7.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"encoding/json"
+
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
 	"github.com/calcm/heterosim/internal/engine"
+	"github.com/calcm/heterosim/internal/model"
 	"github.com/calcm/heterosim/internal/paper"
 	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/pollack"
@@ -27,13 +30,14 @@ var registry = engine.NewRegistry(
 
 // getEndpoints are the hand-rolled GET routes counted beside the
 // registry ops in /metrics, in their fixed counter order.
-var getEndpoints = [...]string{"healthz", "metrics", "version"}
+var getEndpoints = [...]string{"healthz", "metrics", "version", "models"}
 
 // Counter indices of the GET endpoints: they follow the registry ops.
 var (
 	idxHealthz = len(registry.Names())
 	idxMetrics = idxHealthz + 1
 	idxVersion = idxHealthz + 2
+	idxModels  = idxHealthz + 3
 )
 
 // defaultEvaluator is the shared paper-default evaluator: Evaluator is
@@ -78,13 +82,66 @@ func workersOr(reqWorkers *int, env engine.Env) int {
 	return w
 }
 
+// resolveModel canonicalizes a request's (model, modelParams) pair in
+// place, reports the resolved backend to the serving layer, and
+// constructs it. The default backend returns a nil Model: the legacy
+// Chung evaluator answers those requests, so default responses stay
+// byte-identical to the pre-backend contract. Canonicalization also
+// clears every spelling of the default ("", "chung", "CHUNG") back to
+// the omitted form and re-marshals other backends' params with their
+// defaults filled, so equivalent requests share one cache entry.
+// alpha <= 0 means the paper default; maxR is always the serving
+// default sweep bound.
+func resolveModel(name *string, params *json.RawMessage, alpha float64, env engine.Env) (model.Model, error) {
+	canon, err := model.Canonical(*name)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	env.ReportModel(canon)
+	m, cp, err := model.New(canon, alpha, defaultEvaluator.MaxR, *params)
+	if err != nil {
+		return nil, badRequest("model %s: %v", canon, err)
+	}
+	if canon == model.DefaultName {
+		*name, *params = "", nil
+		return nil, nil
+	}
+	*name, *params = canon, cp
+	return m, nil
+}
+
+// resolveModelFactory is resolveModel for the projection operations
+// (project, scenario, ablation): construction is deferred behind a
+// model.Factory so configuration transforms applied later — scenario
+// 6's alpha override, the ablation's MaxR pinning — reach the backend.
+// The pair is still validated and canonicalized here, at request
+// decode time; a nil factory keeps the projection's analytic Chung
+// path.
+func resolveModelFactory(name *string, params *json.RawMessage, env engine.Env) (model.Factory, error) {
+	if _, err := resolveModel(name, params, 0, env); err != nil {
+		return nil, err
+	}
+	if *name == "" {
+		return nil, nil
+	}
+	return model.NewFactory(*name, *params), nil
+}
+
+// ModelsResponse is the GET /v1/models document: the registry's
+// backends in registration order plus the name answering defaulted
+// requests.
+type ModelsResponse struct {
+	Default string       `json:"default"`
+	Models  []model.Info `json:"models"`
+}
+
 // Endpoints lists the serving surface — derived from the registry so
 // startup logs and smoke checks can never drift from what is actually
 // routed.
 func Endpoints() []string {
-	out := make([]string, 0, len(registry.Ops())+3)
+	out := make([]string, 0, len(registry.Ops())+4)
 	for _, op := range registry.Ops() {
 		out = append(out, "POST "+op.Path())
 	}
-	return append(out, "GET /v1/version", "GET /healthz", "GET /metrics")
+	return append(out, "GET /v1/version", "GET /v1/models", "GET /healthz", "GET /metrics")
 }

@@ -24,6 +24,12 @@ const (
 	stageEncode   = "encode"
 )
 
+// headerModel names the response header carrying the canonical model
+// backend that answered a model request (set for every resolvable
+// request, including defaulted ones, so logs can attribute load per
+// backend without parsing bodies).
+const headerModel = "X-Heterosim-Model"
+
 // noopLogger swallows everything; it stands in when Config.Logger is
 // nil so the serving path never nil-checks.
 var noopLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
@@ -56,6 +62,7 @@ func (s *Server) observe(next http.Handler) http.Handler {
 				slog.Int64("bytes", sw.bytes),
 				slog.Bool("aborted", sw.status == 0),
 				slog.String("cache", sw.Header().Get("X-Heterosim-Cache")),
+				slog.String("model", sw.Header().Get(headerModel)),
 				slog.Float64("durMs", float64(time.Since(start))/float64(time.Millisecond)),
 			)
 		}()

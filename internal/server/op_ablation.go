@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 
 	"github.com/calcm/heterosim/internal/ablation"
 	"github.com/calcm/heterosim/internal/engine"
@@ -14,10 +15,12 @@ import (
 // sequential-sizing ablations for a workload's design lineup at one
 // roadmap node.
 type AblationRequest struct {
-	Workload string  `json:"workload"`
-	F        float64 `json:"f"`
-	Node     string  `json:"node,omitempty"` // default "11nm", the CLI's far-node default
-	Workers  int     `json:"workers,omitempty"`
+	Workload    string          `json:"workload"`
+	F           float64         `json:"f"`
+	Node        string          `json:"node,omitempty"` // default "11nm", the CLI's far-node default
+	Model       string          `json:"model,omitempty"`
+	ModelParams json.RawMessage `json:"modelParams,omitempty"`
+	Workers     int             `json:"workers,omitempty"`
 }
 
 // AblationResultJSON compares one design with and without an
@@ -35,12 +38,14 @@ type AblationStudyJSON struct {
 	Results []AblationResultJSON `json:"results"`
 }
 
-// AblationResponse carries the three studies in fixed order.
+// AblationResponse carries the three studies in fixed order. Model
+// names the backend only for non-default requests.
 type AblationResponse struct {
 	Workload string              `json:"workload"`
 	F        float64             `json:"f"`
 	Node     string              `json:"node"`
 	Studies  []AblationStudyJSON `json:"studies"`
+	Model    string              `json:"model,omitempty"`
 }
 
 // ablationStudyNames names ablation.StudiesCtx's fixed return order.
@@ -64,13 +69,17 @@ func buildAblation(req *AblationRequest, env engine.Env) (func(context.Context) 
 	if err != nil {
 		return nil, badRequest("unknown node %q", req.Node)
 	}
+	mk, err := resolveModelFactory(&req.Model, &req.ModelParams, env)
+	if err != nil {
+		return nil, err
+	}
 	workers := workersOr(&req.Workers, env)
 	return func(ctx context.Context) (AblationResponse, error) {
-		studies, err := ablation.StudiesCtx(ctx, w, req.F, nodeIdx, workers)
+		studies, err := ablation.StudiesModelCtx(ctx, w, req.F, nodeIdx, workers, mk)
 		if err != nil {
 			return AblationResponse{}, evalFailure(err, unprocessable)
 		}
-		resp := AblationResponse{Workload: req.Workload, F: req.F, Node: req.Node}
+		resp := AblationResponse{Workload: req.Workload, F: req.F, Node: req.Node, Model: req.Model}
 		for i, rs := range studies {
 			st := AblationStudyJSON{Study: ablationStudyNames[i]}
 			for _, r := range rs {

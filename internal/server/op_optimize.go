@@ -2,11 +2,13 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
 	"github.com/calcm/heterosim/internal/engine"
+	"github.com/calcm/heterosim/internal/model"
 )
 
 // POST /v1/optimize — one design point.
@@ -16,26 +18,31 @@ import (
 // node name (converted for the workload, as the projections do) or as an
 // explicit BCE-relative triple.
 type OptimizeRequest struct {
-	Workload  string       `json:"workload"`
-	F         float64      `json:"f"`
-	Node      string       `json:"node,omitempty"`
-	Budgets   *BudgetsSpec `json:"budgets,omitempty"`
-	Alpha     float64      `json:"alpha,omitempty"`
-	Objective string       `json:"objective,omitempty"`
-	Design    DesignSpec   `json:"design"`
+	Workload    string          `json:"workload"`
+	F           float64         `json:"f"`
+	Node        string          `json:"node,omitempty"`
+	Budgets     *BudgetsSpec    `json:"budgets,omitempty"`
+	Alpha       float64         `json:"alpha,omitempty"`
+	Objective   string          `json:"objective,omitempty"`
+	Design      DesignSpec      `json:"design"`
+	Model       string          `json:"model,omitempty"`
+	ModelParams json.RawMessage `json:"modelParams,omitempty"`
 }
 
 // OptimizeResponse is the evaluated point plus the budgets it ran under.
+// Model names the backend only when the request selected a non-default
+// one, keeping defaulted responses byte-identical.
 type OptimizeResponse struct {
 	Workload string      `json:"workload"`
 	Node     string      `json:"node,omitempty"`
 	Budgets  BudgetsSpec `json:"budgets"`
 	Point    PointJSON   `json:"point"`
+	Model    string      `json:"model,omitempty"`
 }
 
 var opOptimize = engine.New("optimize", buildOptimize)
 
-func buildOptimize(req *OptimizeRequest, _ engine.Env) (func(context.Context) (OptimizeResponse, error), error) {
+func buildOptimize(req *OptimizeRequest, env engine.Env) (func(context.Context) (OptimizeResponse, error), error) {
 	w, err := parseWorkload(req.Workload)
 	if err != nil {
 		return nil, err
@@ -54,6 +61,10 @@ func buildOptimize(req *OptimizeRequest, _ engine.Env) (func(context.Context) (O
 		return nil, err
 	}
 	ev, err := evaluatorFor(req.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	mdl, err := resolveModel(&req.Model, &req.ModelParams, req.Alpha, env)
 	if err != nil {
 		return nil, err
 	}
@@ -77,9 +88,13 @@ func buildOptimize(req *OptimizeRequest, _ engine.Env) (func(context.Context) (O
 		}
 	}
 	return func(context.Context) (OptimizeResponse, error) {
-		opt := ev.Optimize
+		var o model.Optimizer = ev
+		if mdl != nil {
+			o = mdl
+		}
+		opt := o.Optimize
 		if req.Objective == "energy" {
-			opt = ev.OptimizeEnergy
+			opt = o.OptimizeEnergy
 		}
 		pt, err := opt(d, req.F, b)
 		if err != nil {
@@ -93,6 +108,7 @@ func buildOptimize(req *OptimizeRequest, _ engine.Env) (func(context.Context) (O
 			Node:     req.Node,
 			Budgets:  BudgetsSpec{Area: b.Area, Power: b.Power, Bandwidth: b.Bandwidth},
 			Point:    pointJSON(pt),
+			Model:    req.Model,
 		}, nil
 	}, nil
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 
 	"github.com/calcm/heterosim/internal/engine"
 	"github.com/calcm/heterosim/internal/project"
@@ -14,17 +15,20 @@ import (
 // parallel fraction under a scenario (0 = baseline), with optional
 // physical-budget overrides.
 type ProjectRequest struct {
-	Workload  string  `json:"workload"`
-	F         float64 `json:"f"`
-	Scenario  int     `json:"scenario,omitempty"`
-	Power     float64 `json:"power,omitempty"`     // watts; overrides the scenario default
-	Bandwidth float64 `json:"bandwidth,omitempty"` // GB/s at the first node
-	AreaScale float64 `json:"areaScale,omitempty"`
-	Objective string  `json:"objective,omitempty"`
-	Workers   int     `json:"workers,omitempty"`
+	Workload    string          `json:"workload"`
+	F           float64         `json:"f"`
+	Scenario    int             `json:"scenario,omitempty"`
+	Power       float64         `json:"power,omitempty"`     // watts; overrides the scenario default
+	Bandwidth   float64         `json:"bandwidth,omitempty"` // GB/s at the first node
+	AreaScale   float64         `json:"areaScale,omitempty"`
+	Objective   string          `json:"objective,omitempty"`
+	Model       string          `json:"model,omitempty"`
+	ModelParams json.RawMessage `json:"modelParams,omitempty"`
+	Workers     int             `json:"workers,omitempty"`
 }
 
-// ProjectResponse is the full design lineup's trajectories.
+// ProjectResponse is the full design lineup's trajectories. Model names
+// the backend only for non-default requests.
 type ProjectResponse struct {
 	Workload     string           `json:"workload"`
 	F            float64          `json:"f"`
@@ -33,6 +37,7 @@ type ProjectResponse struct {
 	Objective    string           `json:"objective"`
 	Nodes        []string         `json:"nodes"`
 	Trajectories []TrajectoryJSON `json:"trajectories"`
+	Model        string           `json:"model,omitempty"`
 }
 
 // projectConfig resolves a ProjectRequest into the engine configuration.
@@ -67,6 +72,11 @@ func projectConfig(req *ProjectRequest, env engine.Env) (project.Config, scenari
 	if req.AreaScale > 0 {
 		cfg.AreaScale = req.AreaScale
 	}
+	mk, err := resolveModelFactory(&req.Model, &req.ModelParams, env)
+	if err != nil {
+		return project.Config{}, scenario.Scenario{}, err
+	}
+	cfg.Model = mk
 	cfg.Workers = workersOr(&req.Workers, env)
 	return cfg, sc, nil
 }
@@ -94,6 +104,7 @@ func buildProject(req *ProjectRequest, env engine.Env) (func(context.Context) (P
 			ScenarioName: sc.Name,
 			Objective:    req.Objective,
 			Trajectories: trajectoryJSON(ts),
+			Model:        req.Model,
 		}
 		for _, n := range cfg.Roadmap.Nodes() {
 			resp.Nodes = append(resp.Nodes, n.Name)

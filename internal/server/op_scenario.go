@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 
 	"github.com/calcm/heterosim/internal/engine"
 	"github.com/calcm/heterosim/internal/itrs"
@@ -13,14 +14,17 @@ import (
 // ScenarioRequest runs one of the six alternative-assumption studies
 // side by side with the baseline.
 type ScenarioRequest struct {
-	Scenario int     `json:"scenario"` // 1-6
-	Workload string  `json:"workload"`
-	F        float64 `json:"f"`
-	Workers  int     `json:"workers,omitempty"`
+	Scenario    int             `json:"scenario"` // 1-6
+	Workload    string          `json:"workload"`
+	F           float64         `json:"f"`
+	Model       string          `json:"model,omitempty"`
+	ModelParams json.RawMessage `json:"modelParams,omitempty"`
+	Workers     int             `json:"workers,omitempty"`
 }
 
 // ScenarioResponse pairs the baseline and alternative trajectory sets
-// with the scenario's metadata.
+// with the scenario's metadata. Model names the backend only for
+// non-default requests; both trajectory sets run on the same backend.
 type ScenarioResponse struct {
 	Scenario    int              `json:"scenario"`
 	Name        string           `json:"name"`
@@ -31,6 +35,7 @@ type ScenarioResponse struct {
 	Nodes       []string         `json:"nodes"`
 	Baseline    []TrajectoryJSON `json:"baseline"`
 	Alternative []TrajectoryJSON `json:"alternative"`
+	Model       string           `json:"model,omitempty"`
 }
 
 var opScenario = engine.New("scenario", buildScenario)
@@ -51,9 +56,13 @@ func buildScenario(req *ScenarioRequest, env engine.Env) (func(context.Context) 
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
+	mk, err := resolveModelFactory(&req.Model, &req.ModelParams, env)
+	if err != nil {
+		return nil, err
+	}
 	workers := workersOr(&req.Workers, env)
 	return func(ctx context.Context) (ScenarioResponse, error) {
-		base, alt, err := scenario.CompareCtx(ctx, sc, w, req.F, workers)
+		base, alt, err := scenario.CompareModelCtx(ctx, sc, w, req.F, workers, mk)
 		if err != nil {
 			return ScenarioResponse{}, evalFailure(err, unprocessable)
 		}
@@ -66,6 +75,7 @@ func buildScenario(req *ScenarioRequest, env engine.Env) (func(context.Context) 
 			F:           req.F,
 			Baseline:    trajectoryJSON(base),
 			Alternative: trajectoryJSON(alt),
+			Model:       req.Model,
 		}
 		for _, n := range itrs.Default().Nodes() {
 			resp.Nodes = append(resp.Nodes, n.Name)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 
 	"github.com/calcm/heterosim/internal/engine"
 	"github.com/calcm/heterosim/internal/sensitivity"
@@ -19,16 +20,18 @@ const maxMCSamples = 100_000
 // input (central difference with relative step), plus a speedup
 // interval under log-normal perturbation of every input at once.
 type SensitivityRequest struct {
-	Workload string     `json:"workload"`
-	F        float64    `json:"f"`
-	Node     string     `json:"node,omitempty"`
-	Design   DesignSpec `json:"design"`
-	Alpha    float64    `json:"alpha,omitempty"`
-	Step     float64    `json:"step,omitempty"`    // central-difference step, default 0.01
-	Sigma    float64    `json:"sigma,omitempty"`   // log-normal spread, default 0.2
-	Samples  int        `json:"samples,omitempty"` // Monte Carlo draws, default 1000
-	Seed     int64      `json:"seed,omitempty"`    // RNG seed, default 1
-	Workers  int        `json:"workers,omitempty"`
+	Workload    string          `json:"workload"`
+	F           float64         `json:"f"`
+	Node        string          `json:"node,omitempty"`
+	Design      DesignSpec      `json:"design"`
+	Alpha       float64         `json:"alpha,omitempty"`
+	Step        float64         `json:"step,omitempty"`    // central-difference step, default 0.01
+	Sigma       float64         `json:"sigma,omitempty"`   // log-normal spread, default 0.2
+	Samples     int             `json:"samples,omitempty"` // Monte Carlo draws, default 1000
+	Seed        int64           `json:"seed,omitempty"`    // RNG seed, default 1
+	Model       string          `json:"model,omitempty"`
+	ModelParams json.RawMessage `json:"modelParams,omitempty"`
+	Workers     int             `json:"workers,omitempty"`
 }
 
 // IntervalJSON is a Monte Carlo speedup range on the wire. Samples is
@@ -52,6 +55,7 @@ type SensitivityResponse struct {
 	Sigma        float64            `json:"sigma"`
 	Elasticities map[string]float64 `json:"elasticities"`
 	MonteCarlo   IntervalJSON       `json:"monteCarlo"`
+	Model        string             `json:"model,omitempty"`
 }
 
 var opSensitivity = engine.New("sensitivity", buildSensitivity)
@@ -75,6 +79,18 @@ func buildSensitivity(req *SensitivityRequest, env engine.Env) (func(context.Con
 	ev, err := evaluatorFor(req.Alpha)
 	if err != nil {
 		return nil, err
+	}
+	mdl, err := resolveModel(&req.Model, &req.ModelParams, req.Alpha, env)
+	if err != nil {
+		return nil, err
+	}
+	// The sensitivity machinery optimizes through its Optimizer
+	// interface, so a non-default backend substitutes for the evaluator
+	// wholesale: elasticities and Monte Carlo intervals perturb the
+	// selected model, not the Chung baseline.
+	var opt sensitivity.Optimizer = ev
+	if mdl != nil {
+		opt = mdl
 	}
 	// Defaults are materialized into the request before keying so every
 	// spelling of "the defaults" shares one cache entry. The comparisons
@@ -106,11 +122,11 @@ func buildSensitivity(req *SensitivityRequest, env engine.Env) (func(context.Con
 	}
 	workers := workersOr(&req.Workers, env)
 	return func(ctx context.Context) (SensitivityResponse, error) {
-		prof, err := sensitivity.ProfileCtx(ctx, ev, d, req.F, b, req.Step, workers)
+		prof, err := sensitivity.ProfileCtx(ctx, opt, d, req.F, b, req.Step, workers)
 		if err != nil {
 			return SensitivityResponse{}, evalFailure(err, unprocessable)
 		}
-		iv, err := sensitivity.MonteCarloCtx(ctx, ev, d, req.F, b, req.Sigma, req.Samples, req.Seed, workers)
+		iv, err := sensitivity.MonteCarloCtx(ctx, opt, d, req.F, b, req.Sigma, req.Samples, req.Seed, workers)
 		if err != nil {
 			return SensitivityResponse{}, evalFailure(err, unprocessable)
 		}
@@ -133,6 +149,7 @@ func buildSensitivity(req *SensitivityRequest, env engine.Env) (func(context.Con
 				P95:     iv.P95,
 				Samples: iv.Samples,
 			},
+			Model: req.Model,
 		}, nil
 	}, nil
 }

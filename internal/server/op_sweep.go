@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"github.com/calcm/heterosim/internal/bounds"
 	"github.com/calcm/heterosim/internal/core"
 	"github.com/calcm/heterosim/internal/engine"
+	"github.com/calcm/heterosim/internal/model"
 	"github.com/calcm/heterosim/internal/sweep"
 )
 
@@ -55,16 +57,18 @@ func unitAxis(a *AxisSpec) AxisSpec {
 // {f: {values: [0.9, 0.99]}, bandwidthScale: {lo: 0.5, hi: 2, steps: 4}}
 // explores the bandwidth wall interactively.
 type SweepRequest struct {
-	Workload       string     `json:"workload"`
-	Node           string     `json:"node,omitempty"`
-	Design         DesignSpec `json:"design"`
-	Alpha          float64    `json:"alpha,omitempty"`
-	Objective      string     `json:"objective,omitempty"`
-	F              AxisSpec   `json:"f"`
-	AreaScale      *AxisSpec  `json:"areaScale,omitempty"`
-	PowerScale     *AxisSpec  `json:"powerScale,omitempty"`
-	BandwidthScale *AxisSpec  `json:"bandwidthScale,omitempty"`
-	Workers        int        `json:"workers,omitempty"`
+	Workload       string          `json:"workload"`
+	Node           string          `json:"node,omitempty"`
+	Design         DesignSpec      `json:"design"`
+	Alpha          float64         `json:"alpha,omitempty"`
+	Objective      string          `json:"objective,omitempty"`
+	F              AxisSpec        `json:"f"`
+	AreaScale      *AxisSpec       `json:"areaScale,omitempty"`
+	PowerScale     *AxisSpec       `json:"powerScale,omitempty"`
+	BandwidthScale *AxisSpec       `json:"bandwidthScale,omitempty"`
+	Model          string          `json:"model,omitempty"`
+	ModelParams    json.RawMessage `json:"modelParams,omitempty"`
+	Workers        int             `json:"workers,omitempty"`
 }
 
 // SweepPointJSON is one evaluated grid cell. Infeasible cells are
@@ -83,6 +87,7 @@ type SweepPointJSON struct {
 
 // SweepResponse carries the full surface in row-major order (axes in
 // the listed order, last axis fastest) plus the best feasible cell.
+// Model names the backend only for non-default requests.
 type SweepResponse struct {
 	Workload string           `json:"workload"`
 	Node     string           `json:"node"`
@@ -91,6 +96,7 @@ type SweepResponse struct {
 	Points   []SweepPointJSON `json:"points"`
 	Feasible int              `json:"feasible"`
 	Best     *SweepPointJSON  `json:"best,omitempty"`
+	Model    string           `json:"model,omitempty"`
 }
 
 // AxisJSON names one grid dimension and its values.
@@ -278,6 +284,10 @@ func (r SweepResponse) AppendJSON(b []byte) ([]byte, error) {
 			return nil, err
 		}
 	}
+	if r.Model != "" {
+		b = append(b, `,"model":`...)
+		b = engine.AppendString(b, r.Model)
+	}
 	return append(b, '}'), nil
 }
 
@@ -302,6 +312,10 @@ func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (Sweep
 		return nil, err
 	}
 	ev, err := evaluatorFor(req.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	mdl, err := resolveModel(&req.Model, &req.ModelParams, req.Alpha, env)
 	if err != nil {
 		return nil, err
 	}
@@ -352,9 +366,13 @@ func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (Sweep
 	// 1 area, 2 power, 3 bandwidth — the declared order above), so the
 	// hot path writes points[flat] with no per-cell Point map or
 	// value->index lookups.
-	opt := ev.Optimize
+	var o model.Optimizer = ev
+	if mdl != nil {
+		o = mdl
+	}
+	opt := o.Optimize
 	if req.Objective == "energy" {
-		opt = ev.OptimizeEnergy
+		opt = o.OptimizeEnergy
 	}
 	return func(ctx context.Context) (SweepResponse, error) {
 		points := make([]SweepPointJSON, grid.Size())
@@ -382,6 +400,7 @@ func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (Sweep
 			Workload: req.Workload,
 			Node:     req.Node,
 			Design:   d.Label,
+			Model:    req.Model,
 		}
 		for _, ax := range axes {
 			resp.Axes = append(resp.Axes, AxisJSON{Name: ax.Name, Values: ax.Values})

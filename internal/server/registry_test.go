@@ -46,7 +46,7 @@ func TestRegistrySampleCompleteness(t *testing.T) {
 }
 
 // TestEndpointsCoverRegistry asserts Endpoints() lists every registered
-// op (as POST) plus the three GET routes — derived, so this can only
+// op (as POST) plus the four GET routes — derived, so this can only
 // fail if Endpoints() stops deriving.
 func TestEndpointsCoverRegistry(t *testing.T) {
 	eps := Endpoints()
@@ -59,12 +59,12 @@ func TestEndpointsCoverRegistry(t *testing.T) {
 			t.Errorf("Endpoints() is missing POST %s", op.Path())
 		}
 	}
-	for _, e := range []string{"GET /v1/version", "GET /healthz", "GET /metrics"} {
+	for _, e := range []string{"GET /v1/version", "GET /v1/models", "GET /healthz", "GET /metrics"} {
 		if !listed[e] {
 			t.Errorf("Endpoints() is missing %s", e)
 		}
 	}
-	if want := len(registry.Ops()) + 3; len(eps) != want {
+	if want := len(registry.Ops()) + 4; len(eps) != want {
 		t.Errorf("Endpoints() has %d entries, want %d", len(eps), want)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/calcm/heterosim/internal/engine"
+	"github.com/calcm/heterosim/internal/model"
 	"github.com/calcm/heterosim/internal/par"
 	"github.com/calcm/heterosim/internal/servecache"
 	"github.com/calcm/heterosim/internal/telemetry"
@@ -185,6 +186,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/version", s.handleVersion)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.handler = http.Handler(s.mux)
 	if cfg.Middleware != nil {
 		s.handler = cfg.Middleware(s.handler)
@@ -246,7 +248,6 @@ func (s *Server) ListenAndServe(ctx context.Context, ready chan<- net.Addr) erro
 // admissible under overload), per-request deadline enforcement, stale
 // fallback, and error-to-status mapping. i indexes the op's counter.
 func (s *Server) model(i int, op engine.Op) http.HandlerFunc {
-	env := engine.Env{Workers: s.cfg.Workers}
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests[i].Add(1)
 		defer s.timeEndpoint(i)()
@@ -262,8 +263,16 @@ func (s *Server) model(i int, op engine.Op) http.HandlerFunc {
 			s.writeError(w, err)
 			return
 		}
+		// Env.Meta is per-request: Prepare reports the resolved model
+		// backend through it, which the response header and the access
+		// log carry (it never reaches cache keys or response bodies).
+		meta := engine.Meta{}
+		env := engine.Env{Workers: s.cfg.Workers, Meta: &meta}
 		key, eval, err := op.Prepare(body, env)
 		decode.End()
+		if meta.Model != "" {
+			w.Header().Set(headerModel, meta.Model)
+		}
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -349,12 +358,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// handleVersion reports the build identity.
+// handleVersion reports the build identity, stamped with the model
+// backends this build can serve.
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	s.requests[idxVersion].Add(1)
 	defer s.timeEndpoint(idxVersion)()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(version.Get())
+	info := version.Get()
+	info.Models = model.Names()
+	json.NewEncoder(w).Encode(info)
+}
+
+// handleModels reports the model-backend registry: every backend's
+// capabilities and parameters, plus the default answering requests
+// that omit the model field.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.requests[idxModels].Add(1)
+	defer s.timeEndpoint(idxModels)()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ModelsResponse{Default: model.DefaultName, Models: model.Infos()})
 }
 
 // Metrics is the /metrics document: expvar-style JSON with no external

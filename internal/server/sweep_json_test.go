@@ -19,6 +19,7 @@ type shadowSweepResponse struct {
 	Points   []SweepPointJSON `json:"points"`
 	Feasible int              `json:"feasible"`
 	Best     *SweepPointJSON  `json:"best,omitempty"`
+	Model    string           `json:"model,omitempty"`
 }
 
 // fuzzFloat draws floats across the regimes json formats differently:
@@ -94,6 +95,9 @@ func TestSweepResponseAppendJSON(t *testing.T) {
 		if rng.Intn(2) == 0 {
 			bp := fuzzPoint(rng)
 			r.Best = &bp
+		}
+		if rng.Intn(3) == 0 {
+			r.Model = []string{"multiamdahl", "sqrtm", names[rng.Intn(len(names))]}[rng.Intn(3)]
 		}
 		want, err := json.Marshal(shadowSweepResponse(r))
 		if err != nil {

@@ -22,6 +22,12 @@ type Info struct {
 	GoVersion string `json:"goVersion"`
 	OS        string `json:"os"`
 	Arch      string `json:"arch"`
+
+	// Models lists the model backends this build can serve, in registry
+	// order. The version package stays dependency-free, so callers that
+	// know the registry (the serving layer, the CLIs) stamp it before
+	// encoding; bare Get() leaves it empty.
+	Models []string `json:"models,omitempty"`
 }
 
 // Get returns the build's identity including the Go runtime that built it.
