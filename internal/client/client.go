@@ -65,6 +65,57 @@ type Config struct {
 	// attempt and per give-up, each carrying the call's request ID — the
 	// client half of the end-to-end tracing loop.
 	Logger *slog.Logger
+
+	// Sleeper paces the retry loop (default: real timers). Injecting a
+	// fake makes backoff behavior instantly testable: the exact schedule
+	// the client would sleep is observable without waiting through it.
+	Sleeper Sleeper
+
+	// OnAttempt, when non-nil, observes every completed wire attempt
+	// with the caller's context, so a driver issuing concurrent calls
+	// can correlate attempts back to its own per-request state. The
+	// callback must be safe for concurrent use and must not block.
+	OnAttempt func(ctx context.Context, a Attempt)
+}
+
+// Sleeper is the retry loop's clock: Sleep waits d or until ctx is
+// done, returning ctx.Err() when the context ended the wait early.
+type Sleeper interface {
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// realSleeper is the production Sleeper.
+type realSleeper struct{}
+
+func (realSleeper) Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Attempt describes one completed wire attempt for Config.OnAttempt:
+// enough to account for every response class a load driver cares about
+// without re-parsing bodies.
+type Attempt struct {
+	// Endpoint is the request path, e.g. "/v1/optimize".
+	Endpoint string
+	// N is the 1-based attempt number within the call.
+	N int
+	// Status is the HTTP status (0 when no response arrived).
+	Status int
+	// Cache is the X-Heterosim-Cache outcome header, when present.
+	Cache string
+	// Fault is the X-Fault-Injected marker, when the chaos middleware
+	// answered.
+	Fault string
+	// Err is the attempt's error (nil on success); terminal vs
+	// retryable classification is the caller's via errors.As.
+	Err error
 }
 
 // withDefaults normalizes the config.
@@ -90,6 +141,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Sleeper == nil {
+		c.Sleeper = realSleeper{}
 	}
 	return c, nil
 }
@@ -194,22 +248,15 @@ func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
 	return jittered
 }
 
-// sleep waits d or until ctx expires, whichever is first. It refuses to
-// start a sleep the deadline cannot survive, so a tight deadline fails
-// fast instead of burning its budget waiting for an attempt that could
-// never be made.
-func sleep(ctx context.Context, d time.Duration) error {
+// pace waits d (through the configured Sleeper) or until ctx expires,
+// whichever is first. It refuses to start a sleep the deadline cannot
+// survive, so a tight deadline fails fast instead of burning its budget
+// waiting for an attempt that could never be made.
+func (c *Client) pace(ctx context.Context, d time.Duration) error {
 	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < d {
 		return context.DeadlineExceeded
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return c.cfg.Sleeper.Sleep(ctx, d)
 }
 
 // call runs the retry loop for one endpoint: marshal once, attempt up to
@@ -240,11 +287,11 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 			if errors.As(last, &ae) {
 				retryAfter = ae.retryAfter
 			}
-			if err := sleep(ctx, c.backoff(attempt-1, retryAfter)); err != nil {
+			if err := c.pace(ctx, c.backoff(attempt-1, retryAfter)); err != nil {
 				return c.giveUp(ctx, &RetryError{Endpoint: path, Attempts: attempt - 1, Last: last}, id)
 			}
 		}
-		err := c.attempt(ctx, method, path, body, out, id)
+		err := c.attempt(ctx, method, path, body, out, id, attempt)
 		if err == nil {
 			return nil
 		}
@@ -276,8 +323,16 @@ func (c *Client) giveUp(ctx context.Context, re *RetryError, id string) error {
 	return re
 }
 
-// attempt is one wire exchange.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, id string) error {
+// attempt is one wire exchange; n is the 1-based attempt number, passed
+// through to the OnAttempt observer.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, id string, n int) (err error) {
+	a := Attempt{Endpoint: path, N: n}
+	if c.cfg.OnAttempt != nil {
+		defer func() {
+			a.Err = err
+			c.cfg.OnAttempt(ctx, a)
+		}()
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -295,6 +350,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return &TransportError{Endpoint: path, Err: err}
 	}
 	defer res.Body.Close()
+	a.Status = res.StatusCode
+	a.Cache = res.Header.Get("X-Heterosim-Cache")
+	a.Fault = res.Header.Get("X-Fault-Injected")
 	payload, err := io.ReadAll(io.LimitReader(res.Body, 64<<20))
 	if err != nil {
 		// Truncated or reset mid-body: idempotent, so retryable.

@@ -4,9 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -131,15 +133,98 @@ func TestRetryExhaustionWrapsLastError(t *testing.T) {
 	}
 }
 
-// TestRetryAfterIsFloor: a Retry-After hint below the deadline is
-// honored — the gap between attempt one and two is at least the hint
-// even though the jittered backoff would be far smaller.
-func TestRetryAfterIsFloor(t *testing.T) {
-	var times []time.Time
+// recordingSleeper captures every sleep the retry loop requests without
+// actually waiting, so backoff tests are instant and can assert the
+// exact schedule instead of lower-bounding wall time.
+type recordingSleeper struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (s *recordingSleeper) Sleep(ctx context.Context, d time.Duration) error {
+	s.mu.Lock()
+	s.sleeps = append(s.sleeps, d)
+	s.mu.Unlock()
+	return ctx.Err()
+}
+
+func (s *recordingSleeper) recorded() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.sleeps...)
+}
+
+// TestExactBackoffSchedule replays the client's jitter stream with the
+// same seed and asserts the retry loop requests exactly the schedule
+// the config implies: full jitter in (0, min(MaxBackoff, Base<<n)],
+// drawn from the seeded RNG, with no sleep before the first attempt.
+// The fake sleeper makes the whole test instant.
+func TestExactBackoffSchedule(t *testing.T) {
+	var calls atomic.Int32
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		times = append(times, time.Now())
-		if len(times) == 1 {
-			w.Header().Set("Retry-After", "1")
+		calls.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	const (
+		seed        = 42
+		maxAttempts = 5
+		base        = 100 * time.Millisecond
+		cap         = 300 * time.Millisecond
+	)
+	sl := &recordingSleeper{}
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.Seed = seed
+		cfg.MaxAttempts = maxAttempts
+		cfg.BaseBackoff = base
+		cfg.MaxBackoff = cap
+		cfg.Sleeper = sl
+	})
+	if _, err := c.Optimize(context.Background(), optimizeBody()); err == nil {
+		t.Fatal("want retry exhaustion against a permanent 500")
+	}
+	if got := calls.Load(); got != maxAttempts {
+		t.Fatalf("server saw %d calls, want %d", got, maxAttempts)
+	}
+
+	// Replay the schedule: attempt n's pre-sleep draws from the same
+	// seeded stream the client uses, over the capped exponential.
+	rng := rand.New(rand.NewSource(seed))
+	var want []time.Duration
+	for n := 1; n < maxAttempts; n++ {
+		d := base << uint(n-1)
+		if d > cap || d <= 0 {
+			d = cap
+		}
+		want = append(want, time.Duration(rng.Int63n(int64(d)))+1)
+	}
+	got := sl.recorded()
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d sleeps (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v (full schedule %v)", i, got[i], want[i], want)
+		}
+		bound := base << uint(i)
+		if bound > cap || bound <= 0 {
+			bound = cap
+		}
+		if got[i] <= 0 || got[i] > bound {
+			t.Errorf("sleep %d = %v outside (0, %v]", i, got[i], bound)
+		}
+	}
+}
+
+// TestRetryAfterIsFloor: a Retry-After hint larger than the jittered
+// backoff replaces it — the retry loop requests exactly the server's
+// floor. The fake sleeper keeps the 7-second hint instant.
+func TestRetryAfterIsFloor(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
 			http.Error(w, `{"error":"busy"}`, http.StatusTooManyRequests)
 			return
 		}
@@ -147,15 +232,73 @@ func TestRetryAfterIsFloor(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := newTestClient(t, ts.URL, func(cfg *Config) { cfg.MaxAttempts = 2 })
+	sl := &recordingSleeper{}
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.MaxAttempts = 2
+		cfg.Sleeper = sl
+	})
 	if _, err := c.Optimize(context.Background(), optimizeBody()); err != nil {
 		t.Fatal(err)
 	}
-	if len(times) != 2 {
-		t.Fatalf("server saw %d calls, want 2", len(times))
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
 	}
-	if gap := times[1].Sub(times[0]); gap < time.Second {
-		t.Errorf("retry gap %v ignored the 1s Retry-After floor", gap)
+	got := sl.recorded()
+	if len(got) != 1 || got[0] != 7*time.Second {
+		t.Errorf("sleeps = %v, want exactly the 7s Retry-After floor", got)
+	}
+}
+
+// TestOnAttemptObserver: the per-attempt observer sees every wire
+// attempt with its status and cache header, in order, under the
+// caller's context.
+func TestOnAttemptObserver(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("X-Heterosim-Cache", "hit")
+		w.Write([]byte(okOptimizeJSON))
+	}))
+	defer ts.Close()
+
+	type ctxKey struct{}
+	var mu sync.Mutex
+	var seen []Attempt
+	var ctxOK = true
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.Sleeper = &recordingSleeper{}
+		cfg.OnAttempt = func(ctx context.Context, a Attempt) {
+			mu.Lock()
+			defer mu.Unlock()
+			if ctx.Value(ctxKey{}) != "tagged" {
+				ctxOK = false
+			}
+			seen = append(seen, a)
+		}
+	})
+	ctx := context.WithValue(context.Background(), ctxKey{}, "tagged")
+	if _, err := c.Optimize(ctx, optimizeBody()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !ctxOK {
+		t.Error("observer did not receive the caller's context")
+	}
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d attempts, want 2: %+v", len(seen), seen)
+	}
+	if seen[0].N != 1 || seen[0].Status != http.StatusServiceUnavailable || seen[0].Err == nil {
+		t.Errorf("attempt 1 = %+v, want a failed 503", seen[0])
+	}
+	if seen[1].N != 2 || seen[1].Status != http.StatusOK || seen[1].Cache != "hit" || seen[1].Err != nil {
+		t.Errorf("attempt 2 = %+v, want a clean 200 with cache=hit", seen[1])
+	}
+	if seen[0].Endpoint != "/v1/optimize" {
+		t.Errorf("Endpoint = %q", seen[0].Endpoint)
 	}
 }
 

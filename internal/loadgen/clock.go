@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the runner's notion of time: the wall clock for real
+// measurement runs, a logical clock for deterministic ones. Every
+// timestamp and latency the recorders see comes through a Clock, so
+// under the logical clock a sequential run's CSV output is a pure
+// function of the scenario seed — byte-identical across invocations —
+// while under the wall clock the same code path measures real latency.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+
+	// Sleep waits d or until ctx is done, returning ctx.Err() when the
+	// context ended the wait early.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// WallClock is the real-time clock used for measurement runs.
+type WallClock struct{}
+
+// Now returns time.Now.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Sleep waits on a real timer.
+func (WallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// LogicalClock is a deterministic virtual clock: Now advances a fixed
+// tick per call and Sleep advances virtual time without waiting. Runs
+// driven by it finish at memory speed and produce identical timing
+// columns every invocation. Safe for concurrent use, but determinism
+// additionally requires a sequential run (closed loop, concurrency 1) —
+// concurrent callers interleave their ticks nondeterministically.
+type LogicalClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	tick time.Duration
+}
+
+// NewLogicalClock starts a logical clock at start, advancing tick per
+// Now call (tick <= 0 defaults to 1ms).
+func NewLogicalClock(start time.Time, tick time.Duration) *LogicalClock {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	return &LogicalClock{now: start, tick: tick}
+}
+
+// Now advances the virtual time by one tick and returns it.
+func (c *LogicalClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.tick)
+	return c.now
+}
+
+// Sleep advances the virtual time by d without waiting.
+func (c *LogicalClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d > 0 {
+		c.mu.Lock()
+		c.now = c.now.Add(d)
+		c.mu.Unlock()
+	}
+	return nil
+}

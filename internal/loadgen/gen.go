@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/calcm/heterosim/internal/client"
+	"github.com/calcm/heterosim/internal/server"
+)
+
+// genRequest is one generated arrival: what to send and when.
+type genRequest struct {
+	Seq      int
+	Endpoint string
+	// Key indexes the request key space. Keys below the scenario's
+	// KeySpace are "hot" (repeats that become cache hits once warmed);
+	// keys at or above it are unique cold misses.
+	Key int64
+	// Deadline is the client-side budget for this request (0 = none).
+	Deadline time.Duration
+	// Gap is the Poisson interarrival delay before this request fires
+	// (always 0 for the closed loop).
+	Gap time.Duration
+}
+
+// generator derives the deterministic request stream from one seeded
+// RNG. All draws happen under one lock in one goroutine-independent
+// order (closed-loop workers serialize on next), so a (config, seed)
+// pair always produces the same stream.
+type generator struct {
+	sc    *Scenario
+	names []string
+	cum   []float64
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	cold int64
+	seq  int
+}
+
+func newGenerator(sc *Scenario) *generator {
+	names, cum := sc.mixEntries()
+	return &generator{
+		sc:    sc,
+		names: names,
+		cum:   cum,
+		rng:   rand.New(rand.NewSource(sc.Seed)),
+	}
+}
+
+// next draws one arrival; ok is false once the scenario's request
+// budget is exhausted.
+func (g *generator) next() (r genRequest, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.seq >= g.sc.Requests {
+		return genRequest{}, false
+	}
+	r.Seq = g.seq
+	g.seq++
+
+	u := g.rng.Float64()
+	r.Endpoint = g.names[len(g.names)-1]
+	for i, c := range g.cum {
+		if u < c {
+			r.Endpoint = g.names[i]
+			break
+		}
+	}
+
+	// Key shaping: with probability HitRatio reuse a hot key, otherwise
+	// mint a unique cold one. Hot keys repeat, so once the hot set has
+	// been evaluated the realized cache-hit ratio converges on the
+	// target.
+	if g.rng.Float64() < g.sc.HitRatio {
+		r.Key = g.rng.Int63n(int64(g.sc.KeySpace))
+	} else {
+		r.Key = int64(g.sc.KeySpace) + g.cold
+		g.cold++
+	}
+
+	switch g.sc.Deadline.Dist {
+	case "fixed":
+		r.Deadline = time.Duration(g.sc.Deadline.Min)
+	case "uniform":
+		lo, hi := time.Duration(g.sc.Deadline.Min), time.Duration(g.sc.Deadline.Max)
+		r.Deadline = lo + time.Duration(g.rng.Int63n(int64(hi-lo)+1))
+	}
+
+	if g.sc.Arrival.Process == "poisson" {
+		r.Gap = time.Duration(g.rng.ExpFloat64() / g.sc.Arrival.RateHz * float64(time.Second))
+	}
+	return r, true
+}
+
+// fOf maps a key index onto a parallel fraction in [0.5, 0.9): distinct
+// keys produce distinct request bodies, hence distinct canonical cache
+// keys, so the key space shapes the cache-hit ratio directly.
+func fOf(key int64) float64 { return 0.5 + float64(key%400_000)*1e-6 }
+
+// hetASIC is the design every generated model request evaluates: the
+// paper's custom-logic U-core, whose published (mu, phi) exist for
+// FFT-1024.
+var hetASIC = server.DesignSpec{Kind: "het", Device: "ASIC"}
+
+// issue sends one generated request through the typed client. samples
+// is the scenario's Monte Carlo cost knob for sensitivity requests. The
+// response body is discarded — the harness measures the serving
+// behavior, not the model output (which the golden suites already pin).
+func issue(ctx context.Context, c *client.Client, ep string, key int64, samples int) error {
+	f := fOf(key)
+	var err error
+	switch ep {
+	case "optimize":
+		_, err = c.Optimize(ctx, server.OptimizeRequest{Workload: "FFT-1024", F: f, Design: hetASIC})
+	case "sweep":
+		_, err = c.Sweep(ctx, server.SweepRequest{
+			Workload: "FFT-1024", Design: hetASIC,
+			F: server.AxisSpec{Lo: f, Hi: 0.999, Steps: 8},
+		})
+	case "project":
+		_, err = c.Project(ctx, server.ProjectRequest{Workload: "FFT-1024", F: f})
+	case "scenario":
+		_, err = c.Scenario(ctx, server.ScenarioRequest{Scenario: int(key%6) + 1, Workload: "FFT-1024", F: f})
+	case "sensitivity":
+		_, err = c.Sensitivity(ctx, server.SensitivityRequest{
+			Workload: "FFT-1024", F: f, Design: hetASIC, Samples: samples,
+		})
+	case "ablation":
+		_, err = c.Ablation(ctx, server.AblationRequest{Workload: "FFT-1024", F: f})
+	case "models":
+		_, err = c.Models(ctx)
+	default:
+		// Validate rejects unknown endpoints; reaching this is a bug.
+		panic("loadgen: unmixable endpoint " + ep)
+	}
+	return err
+}
