@@ -41,10 +41,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
+	"github.com/calcm/heterosim/internal/baseurl"
 	"github.com/calcm/heterosim/internal/engine"
 	"github.com/calcm/heterosim/internal/loadgen"
 )
@@ -94,7 +94,9 @@ Subcommands:
 run flags:
   -name          shipped scenario to run (see scenarios)
   -config        scenario JSON file (strict schema; overrides -name)
-  -addr          base URL of a live daemon (default: boot one in-process)
+  -addr          base URL of a live daemon, or a comma-separated list of
+                 cluster members for pick-first failover
+                 (default: boot one in-process)
   -csv           write the per-request CSV time series here ("-" = stdout)
   -summary       write the run summary JSON here ("-" = stdout)
   -seed          override the scenario seed
@@ -224,7 +226,7 @@ func cmdRun(args []string, out io.Writer) error {
 	fs.SetOutput(os.Stderr)
 	name := fs.String("name", "", "shipped scenario name")
 	config := fs.String("config", "", "scenario JSON file")
-	addr := fs.String("addr", "", "live daemon base URL (empty = in-process)")
+	addr := fs.String("addr", "", "live daemon base URL, comma-separated for a cluster (empty = in-process)")
 	csvPath := fs.String("csv", "", "per-request CSV destination (\"-\" = stdout)")
 	summaryPath := fs.String("summary", "", "summary JSON destination (\"-\" = stdout)")
 	seed := fs.Int64("seed", 0, "override the scenario seed")
@@ -255,11 +257,17 @@ func cmdRun(args []string, out io.Writer) error {
 
 	srvCfg := server()
 	if *addr != "" {
-		cfg.BaseURL = *addr
-		// A bare host:port would fail every request with an opaque
-		// transport error; default the scheme instead.
-		if !strings.Contains(cfg.BaseURL, "://") {
-			cfg.BaseURL = "http://" + cfg.BaseURL
+		// One shared normalizer (internal/baseurl) handles bare
+		// host:port, trailing slashes, and comma-separated cluster
+		// lists; a list drives the client's pick-first failover.
+		urls, err := baseurl.NormalizeList(*addr)
+		if err != nil {
+			return fmt.Errorf("-addr: %w", err)
+		}
+		if len(urls) == 1 {
+			cfg.BaseURL = urls[0]
+		} else {
+			cfg.BaseURLs = urls
 		}
 		cfg.ServerName = "live"
 	} else {

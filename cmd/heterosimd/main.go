@@ -108,6 +108,11 @@ serve flags:
   -pprof-addr    serve net/http/pprof on this separate listener
                  (default empty = disabled; never exposed on -addr)
   -log-format    structured log format: text or json (default text)
+  -peers         comma-separated base URLs of every cluster member,
+                 this daemon included (default empty = single-node)
+  -peer-self     this daemon's own base URL as it appears in -peers
+                 (required with -peers)
+  -peer-timeout  per-fetch bound on owner-peer requests (default 10s)
 `)
 }
 
@@ -141,6 +146,9 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline before 504 (0 disables)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty disables)")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	peers := fs.String("peers", "", "comma-separated base URLs of every cluster member, this one included (empty = single-node)")
+	peerSelf := fs.String("peer-self", "", "this daemon's own base URL within -peers (required with -peers)")
+	peerTimeout := fs.Duration("peer-timeout", 10*time.Second, "per-fetch bound on owner-peer requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -165,6 +173,13 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 		QueueTimeout:   *queueTimeout,
 		RequestTimeout: reqTimeout,
 		Logger:         logger,
+	}
+	if *peers != "" {
+		cfg.Peers = strings.Split(*peers, ",")
+		cfg.PeerSelf = *peerSelf
+		cfg.PeerTimeout = *peerTimeout
+	} else if *peerSelf != "" {
+		return fmt.Errorf("-peer-self requires -peers")
 	}
 	var inj *faultinject.Injector
 	if spec := os.Getenv(faultsEnv); spec != "" {
@@ -209,6 +224,9 @@ func cmdServe(args []string, ready chan<- net.Addr) error {
 	case a := <-bound:
 		logger.Info("listening", "version", version.Get().Version, "addr", a.String(),
 			"models", strings.Join(model.Names(), ","))
+		if cl := s.Cluster(); cl != nil {
+			logger.Info("clustering", "self", cl.Self(), "peers", strings.Join(cl.Peers(), ","))
+		}
 		for _, e := range server.Endpoints() {
 			logger.Info("endpoint", "route", e)
 		}

@@ -1,0 +1,89 @@
+// Package baseurl canonicalizes serving-endpoint base URLs. It is the
+// single spelling authority shared by internal/client (Config.BaseURL),
+// cmd/heterosim-loadgen (-addr), and the peer-list parsing in
+// internal/servecache: every layer that compares, hashes, or dials a
+// base URL goes through Normalize first, so "127.0.0.1:8080",
+// "http://127.0.0.1:8080" and "http://127.0.0.1:8080/" are one
+// endpoint everywhere — including inside the consistent-hash ring,
+// where a spelling difference would silently split key ownership.
+package baseurl
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Normalize canonicalizes one base URL:
+//
+//   - bare "host:port" gains an "http://" scheme;
+//   - "https://" (and explicit "http://") are preserved;
+//   - trailing slashes are trimmed, so path-joining is always
+//     base + "/v1/...";
+//   - the host must be non-empty and the scheme http or https;
+//   - query strings and fragments are rejected — a base URL names a
+//     process, not a resource.
+func Normalize(raw string) (string, error) {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return "", fmt.Errorf("baseurl: empty address")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("baseurl: %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("baseurl: %q: unsupported scheme %q (want http or https)", raw, u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("baseurl: %q: missing host", raw)
+	}
+	if u.RawQuery != "" || u.Fragment != "" || u.User != nil {
+		return "", fmt.Errorf("baseurl: %q: base URLs must not carry query, fragment, or userinfo", raw)
+	}
+	path := strings.TrimRight(u.Path, "/")
+	if path != "" && !strings.HasPrefix(path, "/") {
+		return "", fmt.Errorf("baseurl: %q: malformed path %q", raw, u.Path)
+	}
+	return u.Scheme + "://" + u.Host + path, nil
+}
+
+// NormalizeList canonicalizes a comma-separated address list, rejecting
+// duplicates (after normalization — two spellings of one endpoint are a
+// config error, not two peers). Order is preserved; empty segments are
+// skipped so trailing commas are harmless.
+func NormalizeList(raw string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(raw, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		u, err := Normalize(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("baseurl: duplicate address %q", u)
+		}
+		seen[u] = true
+		out = append(out, u)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("baseurl: empty address list")
+	}
+	return out, nil
+}
+
+// Sorted returns a sorted copy: the canonical membership order used to
+// build a consistent-hash ring, so every peer derives the identical
+// ring no matter how its -peers flag was ordered.
+func Sorted(urls []string) []string {
+	out := append([]string(nil), urls...)
+	sort.Strings(out)
+	return out
+}

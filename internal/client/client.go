@@ -28,18 +28,31 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/calcm/heterosim/internal/baseurl"
 	"github.com/calcm/heterosim/internal/server"
 	"github.com/calcm/heterosim/internal/telemetry"
 	"github.com/calcm/heterosim/internal/version"
 )
 
 // Config parameterizes a Client. The zero value is not usable — BaseURL
-// is required; every other field has a sensible default applied by New.
+// (or BaseURLs) is required; every other field has a sensible default
+// applied by New.
 type Config struct {
-	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080". A bare
+	// "host:port" is accepted and normalized (internal/baseurl).
 	BaseURL string
+
+	// BaseURLs, when set, lists every endpoint of a cluster; BaseURL
+	// must then be empty. The client is pick-first: all calls go to one
+	// current endpoint, and a retryable failure rotates the whole
+	// client to the next — the existing backoff/Retry-After machinery
+	// paces the retry, it just lands on a different peer. Any peer can
+	// answer any request (the cache tier forwards to the key's owner),
+	// so failover never changes a response body.
+	BaseURLs []string
 
 	// HTTPClient issues the requests (default http.DefaultClient). Give
 	// it no Timeout; the per-call context bounds each attempt.
@@ -118,12 +131,32 @@ type Attempt struct {
 	Err error
 }
 
-// withDefaults normalizes the config.
-func (c Config) withDefaults() (Config, error) {
-	if c.BaseURL == "" {
-		return c, errors.New("client: BaseURL required")
+// withDefaults normalizes the config and resolves the endpoint list.
+func (c Config) withDefaults() (Config, []string, error) {
+	if c.BaseURL != "" && len(c.BaseURLs) > 0 {
+		return c, nil, errors.New("client: set BaseURL or BaseURLs, not both")
 	}
-	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	raw := c.BaseURLs
+	if len(raw) == 0 {
+		if c.BaseURL == "" {
+			return c, nil, errors.New("client: BaseURL required")
+		}
+		raw = []string{c.BaseURL}
+	}
+	endpoints := make([]string, 0, len(raw))
+	seen := make(map[string]bool)
+	for _, u := range raw {
+		n, err := baseurl.Normalize(u)
+		if err != nil {
+			return c, nil, fmt.Errorf("client: %w", err)
+		}
+		if seen[n] {
+			return c, nil, fmt.Errorf("client: duplicate endpoint %q", n)
+		}
+		seen[n] = true
+		endpoints = append(endpoints, n)
+	}
+	c.BaseURL = endpoints[0]
 	if c.HTTPClient == nil {
 		c.HTTPClient = http.DefaultClient
 	}
@@ -131,7 +164,7 @@ func (c Config) withDefaults() (Config, error) {
 		c.MaxAttempts = 5
 	}
 	if c.MaxAttempts < 1 {
-		return c, errors.New("client: MaxAttempts must be >= 1")
+		return c, nil, errors.New("client: MaxAttempts must be >= 1")
 	}
 	if c.BaseBackoff <= 0 {
 		c.BaseBackoff = 50 * time.Millisecond
@@ -145,7 +178,7 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Sleeper == nil {
 		c.Sleeper = realSleeper{}
 	}
-	return c, nil
+	return c, endpoints, nil
 }
 
 // Client calls the serving API. Construct with New; safe for concurrent
@@ -153,17 +186,41 @@ func (c Config) withDefaults() (Config, error) {
 type Client struct {
 	cfg Config
 
+	// endpoints is the normalized endpoint list; cur indexes the
+	// current pick-first choice. A retryable failure rotates cur so
+	// subsequent attempts (and calls) land on the next peer.
+	endpoints []string
+	cur       atomic.Int64
+
 	mu  sync.Mutex
 	rng *rand.Rand
 }
 
 // New builds a client from the config.
 func New(cfg Config) (*Client, error) {
-	cfg, err := cfg.withDefaults()
+	cfg, endpoints, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Client{
+		cfg:       cfg,
+		endpoints: endpoints,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Endpoint returns the base URL the next call will try first.
+func (c *Client) Endpoint() string {
+	return c.endpoints[int(c.cur.Load())%len(c.endpoints)]
+}
+
+// failover rotates away from the endpoint at index from, if it is still
+// current. The compare-and-swap makes concurrent calls that fail
+// against the same peer advance the cursor once, not once each.
+func (c *Client) failover(from int64) {
+	if len(c.endpoints) > 1 {
+		c.cur.CompareAndSwap(from, (from+1)%int64(len(c.endpoints)))
+	}
 }
 
 // APIError is a server-produced error response. Terminal statuses
@@ -291,13 +348,19 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 				return c.giveUp(ctx, &RetryError{Endpoint: path, Attempts: attempt - 1, Last: last}, id)
 			}
 		}
-		err := c.attempt(ctx, method, path, body, out, id, attempt)
+		idx := c.cur.Load()
+		base := c.endpoints[int(idx)%len(c.endpoints)]
+		err := c.attempt(ctx, method, base, path, body, out, id, attempt)
 		if err == nil {
 			return nil
 		}
 		if !retryable(err) {
 			return err
 		}
+		// Pick-first failover: the current peer failed retryably, so
+		// rotate every future attempt — of this call and all others —
+		// to the next peer before backing off.
+		c.failover(idx)
 		last = err
 		if c.cfg.Logger != nil {
 			c.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "attempt failed",
@@ -323,9 +386,9 @@ func (c *Client) giveUp(ctx context.Context, re *RetryError, id string) error {
 	return re
 }
 
-// attempt is one wire exchange; n is the 1-based attempt number, passed
-// through to the OnAttempt observer.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, id string, n int) (err error) {
+// attempt is one wire exchange against base; n is the 1-based attempt
+// number, passed through to the OnAttempt observer.
+func (c *Client) attempt(ctx context.Context, method, base, path string, body []byte, out any, id string, n int) (err error) {
 	a := Attempt{Endpoint: path, N: n}
 	if c.cfg.OnAttempt != nil {
 		defer func() {
@@ -337,7 +400,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", path, err)
 	}
@@ -359,21 +422,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return &TransportError{Endpoint: path, Err: err}
 	}
 	if res.StatusCode != http.StatusOK {
-		ae := &APIError{Status: res.StatusCode, Endpoint: path}
-		var msg struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(payload, &msg) == nil && msg.Error != "" {
-			ae.Message = msg.Error
-		} else {
-			ae.Message = strings.TrimSpace(string(payload))
-		}
-		if ra := res.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-				ae.retryAfter = time.Duration(secs) * time.Second
-			}
-		}
-		return ae
+		return apiErrorFrom(res, payload, path)
 	}
 	if out == nil {
 		return nil
@@ -384,6 +433,28 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return &TransportError{Endpoint: path, Err: fmt.Errorf("decoding response: %w", err)}
 	}
 	return nil
+}
+
+// apiErrorFrom builds the *APIError for a non-200 response: the JSON
+// error message when the body carries one, the raw body otherwise,
+// plus the server's Retry-After hint. Shared by the buffered and
+// streaming attempt paths so error decoding can never drift.
+func apiErrorFrom(res *http.Response, payload []byte, path string) *APIError {
+	ae := &APIError{Status: res.StatusCode, Endpoint: path}
+	var msg struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(payload, &msg) == nil && msg.Error != "" {
+		ae.Message = msg.Error
+	} else {
+		ae.Message = strings.TrimSpace(string(payload))
+	}
+	if ra := res.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			ae.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
 }
 
 // post runs one typed POST call through the shared retry path: every

@@ -1,0 +1,212 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"github.com/calcm/heterosim/internal/server"
+	"github.com/calcm/heterosim/internal/telemetry"
+)
+
+// This file is the client side of the two multi-result surfaces: the
+// batch fan-out (one POST, many typed results) and the NDJSON sweep
+// stream (one POST, rows delivered as they are computed).
+
+// Batch runs a heterogeneous list of registry ops in one exchange
+// (POST /v1/batch). The call retries like any other — the batch
+// answers 200 whenever its envelope was well-formed — but per-item
+// failures come back inside the response, itemized with the status the
+// standalone endpoint would have produced; they are the caller's to
+// inspect, never retried by the client.
+func (c *Client) Batch(ctx context.Context, req server.BatchRequest) (*server.BatchResponse, error) {
+	return post[server.BatchRequest, server.BatchResponse](ctx, c, "/v1/batch", req)
+}
+
+// SweepStreamResult summarizes one completed sweep stream: the header
+// and trailer lines, plus how many rows the callback saw (always the
+// full grid size on success).
+type SweepStreamResult struct {
+	Header  server.SweepStreamHeader
+	Trailer server.SweepStreamTrailer
+	Rows    int
+}
+
+// sweepStreamPath is the streamed form of the sweep endpoint.
+const sweepStreamPath = "/v1/sweep?stream=ndjson"
+
+// SweepStream evaluates a sweep as NDJSON (POST /v1/sweep?stream=ndjson),
+// invoking row once per grid cell in flat row-major order — the exact
+// order and bytes of the buffered response's points array — without
+// ever holding the whole surface in memory. A row callback error stops
+// the stream and surfaces to the caller.
+//
+// Retries only happen before the first row is delivered: establishment
+// failures (connection errors, 429/5xx) go through the same
+// backoff/failover schedule as buffered calls, but once the callback
+// has seen a row the call is no longer transparently repeatable — rows
+// would be delivered twice — so mid-stream failures are terminal.
+func (c *Client) SweepStream(ctx context.Context, req server.SweepRequest, row func(server.SweepPointJSON) error) (*SweepStreamResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if row == nil {
+		return nil, errors.New("client: SweepStream requires a row callback")
+	}
+	id := telemetry.SanitizeRequestID(telemetry.RequestID(ctx))
+	if id == "" {
+		id = telemetry.NewRequestID()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: encoding request: %w", sweepStreamPath, err)
+	}
+	var last error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := c.pace(ctx, c.backoff(attempt-1, retryAfterOf(last))); err != nil {
+				return nil, c.giveUp(ctx, &RetryError{Endpoint: sweepStreamPath, Attempts: attempt - 1, Last: last}, id)
+			}
+		}
+		idx := c.cur.Load()
+		base := c.endpoints[int(idx)%len(c.endpoints)]
+		res, delivered, err := c.attemptStream(ctx, base, body, id, attempt, row)
+		if err == nil {
+			return res, nil
+		}
+		if delivered > 0 || !retryable(err) {
+			// Rows already reached the callback: repeating the call would
+			// deliver them twice, so the failure is the caller's.
+			return nil, err
+		}
+		c.failover(idx)
+		last = err
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "attempt failed",
+				slog.String("id", id), slog.String("endpoint", sweepStreamPath),
+				slog.Int("attempt", attempt), slog.String("error", err.Error()))
+		}
+		if ctx.Err() != nil {
+			return nil, c.giveUp(ctx, &RetryError{Endpoint: sweepStreamPath, Attempts: attempt, Last: last}, id)
+		}
+	}
+	return nil, c.giveUp(ctx, &RetryError{Endpoint: sweepStreamPath, Attempts: c.cfg.MaxAttempts, Last: last}, id)
+}
+
+// retryAfterOf extracts the server's Retry-After floor from a prior
+// attempt's error, when it carried one.
+func retryAfterOf(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.retryAfter
+	}
+	return 0
+}
+
+// streamProbe classifies one NDJSON line. Row lines never carry an
+// "error" or "feasible" key (SweepPointJSON has neither), the trailer
+// always carries "feasible", and the in-band error line always carries
+// "error" — so pointer presence decides the line's kind.
+type streamProbe struct {
+	Error    *string `json:"error"`
+	Feasible *int    `json:"feasible"`
+}
+
+// attemptStream is one wire exchange of a sweep stream. delivered
+// counts rows handed to the callback — the caller uses it to decide
+// whether a failure is still transparently retryable.
+func (c *Client) attemptStream(ctx context.Context, base string, body []byte, id string, n int, row func(server.SweepPointJSON) error) (out *SweepStreamResult, delivered int, err error) {
+	a := Attempt{Endpoint: sweepStreamPath, N: n}
+	if c.cfg.OnAttempt != nil {
+		defer func() {
+			a.Err = err
+			c.cfg.OnAttempt(ctx, a)
+		}()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+sweepStreamPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: %s: %w", sweepStreamPath, err)
+	}
+	req.Header.Set(telemetry.HeaderRequestID, id)
+	req.Header.Set("Content-Type", "application/json")
+	res, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, 0, &TransportError{Endpoint: sweepStreamPath, Err: err}
+	}
+	defer res.Body.Close()
+	a.Status = res.StatusCode
+	a.Cache = res.Header.Get("X-Heterosim-Cache")
+	a.Fault = res.Header.Get("X-Fault-Injected")
+	if res.StatusCode != http.StatusOK {
+		payload, rerr := io.ReadAll(io.LimitReader(res.Body, 64<<20))
+		if rerr != nil {
+			return nil, 0, &TransportError{Endpoint: sweepStreamPath, Err: rerr}
+		}
+		return nil, 0, apiErrorFrom(res, payload, sweepStreamPath)
+	}
+
+	br := bufio.NewReader(res.Body)
+	line, err := readLine(br)
+	if err != nil {
+		return nil, 0, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("reading stream header: %w", err)}
+	}
+	result := &SweepStreamResult{}
+	if err := json.Unmarshal(line, &result.Header); err != nil {
+		return nil, 0, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("decoding stream header: %w", err)}
+	}
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			// The stream ended without a trailer: truncated. Terminal
+			// when rows were already delivered, retryable otherwise.
+			return nil, delivered, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("stream truncated after %d row(s): %w", delivered, err)}
+		}
+		var probe streamProbe
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, delivered, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("undecodable stream line: %w", err)}
+		}
+		switch {
+		case probe.Error != nil:
+			// In-band failure after the 200 header: the server could not
+			// finish the sweep. Terminal — the same request will fail the
+			// same way for validation errors, and for deadline errors the
+			// caller's context decides.
+			return nil, delivered, fmt.Errorf("client: %s: stream error after %d row(s): %s", sweepStreamPath, delivered, *probe.Error)
+		case probe.Feasible != nil:
+			if err := json.Unmarshal(line, &result.Trailer); err != nil {
+				return nil, delivered, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("decoding stream trailer: %w", err)}
+			}
+			result.Rows = delivered
+			return result, delivered, nil
+		default:
+			var p server.SweepPointJSON
+			if err := json.Unmarshal(line, &p); err != nil {
+				return nil, delivered, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("decoding stream row: %w", err)}
+			}
+			delivered++
+			if err := row(p); err != nil {
+				return nil, delivered, fmt.Errorf("client: %s: row callback: %w", sweepStreamPath, err)
+			}
+		}
+	}
+}
+
+// readLine reads one NDJSON line, rejecting EOF-without-newline as
+// truncation so a half-written line never decodes as complete.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		if err == io.EOF && len(line) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return bytes.TrimSuffix(line, []byte{'\n'}), nil
+}

@@ -1,0 +1,301 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/calcm/heterosim/internal/server"
+)
+
+// realServer boots an in-process heterosimd behind httptest.
+func realServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// sweepReq is a small but non-trivial two-axis sweep.
+func sweepReq() server.SweepRequest {
+	return server.SweepRequest{
+		Workload: "MMM",
+		Design:   server.DesignSpec{Kind: "sym"},
+		F:        server.AxisSpec{Lo: 0.5, Hi: 0.99, Steps: 7},
+		AreaScale: &server.AxisSpec{
+			Values: []float64{0.5, 1, 2},
+		},
+	}
+}
+
+func TestBaseURLsValidation(t *testing.T) {
+	if _, err := New(Config{BaseURL: "http://a", BaseURLs: []string{"http://b"}}); err == nil {
+		t.Error("BaseURL together with BaseURLs must fail")
+	}
+	if _, err := New(Config{BaseURLs: []string{"http://a:1", "a:1"}}); err == nil {
+		t.Error("duplicate endpoints (after normalization) must fail")
+	}
+	c, err := New(Config{BaseURLs: []string{"host-a:1", "host-b:2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Endpoint(); got != "http://host-a:1" {
+		t.Errorf("Endpoint() = %q, want the first normalized base URL", got)
+	}
+}
+
+// TestFailoverRotatesEndpoints: a dead first endpoint rotates the
+// whole client onto the healthy second; later calls go straight there.
+func TestFailoverRotatesEndpoints(t *testing.T) {
+	var deadCalls, liveCalls atomic.Int32
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadCalls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		liveCalls.Add(1)
+		w.Write([]byte(okOptimizeJSON))
+	}))
+	defer live.Close()
+
+	c := newTestClient(t, "", func(cfg *Config) {
+		cfg.BaseURL = ""
+		cfg.BaseURLs = []string{dead.URL, live.URL}
+	})
+	if _, err := c.Optimize(context.Background(), optimizeBody()); err != nil {
+		t.Fatalf("first call should fail over and succeed, got %v", err)
+	}
+	if deadCalls.Load() != 1 || liveCalls.Load() != 1 {
+		t.Errorf("calls = (dead %d, live %d), want one each", deadCalls.Load(), liveCalls.Load())
+	}
+	// The rotation is sticky: the next call starts at the live peer.
+	if _, err := c.Optimize(context.Background(), optimizeBody()); err != nil {
+		t.Fatal(err)
+	}
+	if deadCalls.Load() != 1 {
+		t.Errorf("second call hit the dead peer again (dead calls = %d)", deadCalls.Load())
+	}
+	if got := c.Endpoint(); got != live.URL {
+		t.Errorf("Endpoint() = %q, want %q", got, live.URL)
+	}
+}
+
+// TestBatchRoundTrip drives a mixed batch — two valid ops (one a
+// duplicate), an unknown op, and an invalid body — through a real
+// server and checks the per-item contract.
+func TestBatchRoundTrip(t *testing.T) {
+	ts := realServer(t)
+	c := newTestClient(t, ts.URL, nil)
+	ctx := context.Background()
+
+	opt := json.RawMessage(`{"workload":"MMM","f":0.9,"design":{"kind":"sym"}}`)
+	resp, err := c.Batch(ctx, server.BatchRequest{Items: []server.BatchItemRequest{
+		{Op: "optimize", Request: opt},
+		{Op: "optimize", Request: opt},
+		{Op: "nosuch", Request: json.RawMessage(`{}`)},
+		{Op: "optimize", Request: json.RawMessage(`{"workload":"bogus"}`)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK != 2 || resp.Failed != 2 {
+		t.Fatalf("ok/failed = %d/%d, want 2/2", resp.OK, resp.Failed)
+	}
+	if len(resp.Items) != 4 {
+		t.Fatalf("items = %d, want 4 (request order preserved)", len(resp.Items))
+	}
+	standalone, err := c.Optimize(ctx, server.OptimizeRequest{Workload: "MMM", F: 0.9, Design: server.DesignSpec{Kind: "sym"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		it := resp.Items[i]
+		if it.Status != http.StatusOK || it.Op != "optimize" {
+			t.Fatalf("item %d = %+v, want optimize/200", i, it)
+		}
+		var got server.OptimizeResponse
+		if err := json.Unmarshal(it.Response, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(&got, standalone) {
+			t.Errorf("item %d response differs from standalone /v1/optimize:\n got %+v\nwant %+v", i, got, *standalone)
+		}
+	}
+	// The duplicate item coalesced or hit — exactly one compute for the
+	// pair.
+	if a, b := resp.Items[0].Cache, resp.Items[1].Cache; a == "miss" && b == "miss" {
+		t.Errorf("both identical items computed (cache = %q, %q)", a, b)
+	}
+	if it := resp.Items[2]; it.Status != http.StatusBadRequest || !strings.Contains(it.Error, "unknown op") {
+		t.Errorf("unknown op item = %+v, want 400 unknown op", it)
+	}
+	if it := resp.Items[3]; it.Status != http.StatusBadRequest || it.Error == "" {
+		t.Errorf("invalid body item = %+v, want itemized 400", it)
+	}
+}
+
+// TestBatchStructuralErrors: a malformed envelope is a batch-level
+// error, not an itemized response.
+func TestBatchStructuralErrors(t *testing.T) {
+	ts := realServer(t)
+	c := newTestClient(t, ts.URL, nil)
+	_, err := c.Batch(context.Background(), server.BatchRequest{})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Errorf("empty batch: got %v, want a 400 APIError", err)
+	}
+}
+
+// TestSweepStreamMatchesBuffered: the streamed rows are exactly the
+// buffered response's points — same order, same values — and the
+// trailer carries the same reduction.
+func TestSweepStreamMatchesBuffered(t *testing.T) {
+	ts := realServer(t)
+	c := newTestClient(t, ts.URL, nil)
+	ctx := context.Background()
+	req := sweepReq()
+
+	buffered, err := c.Sweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []server.SweepPointJSON
+	res, err := c.SweepStream(ctx, req, func(p server.SweepPointJSON) error {
+		rows = append(rows, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, buffered.Points) {
+		t.Errorf("streamed rows differ from buffered points:\n got %+v\nwant %+v", rows, buffered.Points)
+	}
+	if res.Rows != len(buffered.Points) {
+		t.Errorf("Rows = %d, want %d", res.Rows, len(buffered.Points))
+	}
+	if res.Trailer.Feasible != buffered.Feasible {
+		t.Errorf("trailer feasible = %d, want %d", res.Trailer.Feasible, buffered.Feasible)
+	}
+	if !reflect.DeepEqual(res.Trailer.Best, buffered.Best) {
+		t.Errorf("trailer best = %+v, want %+v", res.Trailer.Best, buffered.Best)
+	}
+	if res.Header.Workload != buffered.Workload || res.Header.Design != buffered.Design {
+		t.Errorf("header identity = %+v, want workload %q design %q", res.Header, buffered.Workload, buffered.Design)
+	}
+}
+
+// TestSweepStreamValidation: a bad request fails the stream before any
+// row, as a terminal APIError.
+func TestSweepStreamValidation(t *testing.T) {
+	ts := realServer(t)
+	c := newTestClient(t, ts.URL, nil)
+	req := sweepReq()
+	req.Workload = "nope"
+	rows := 0
+	_, err := c.SweepStream(context.Background(), req, func(server.SweepPointJSON) error {
+		rows++
+		return nil
+	})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Errorf("got %v, want 400 APIError", err)
+	}
+	if rows != 0 {
+		t.Errorf("callback saw %d rows on a failed stream", rows)
+	}
+}
+
+// TestSweepStreamNoRetryAfterRows: once a row reached the callback, a
+// broken stream is terminal — the client never replays rows.
+func TestSweepStreamNoRetryAfterRows(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"workload":"MMM","node":"40nm","design":"sym","axes":[]}` + "\n"))
+		w.Write([]byte(`{"f":0.9,"areaScale":1,"powerScale":1,"bandwidthScale":1,"valid":true}` + "\n"))
+		w.(http.Flusher).Flush()
+		// Drop the connection mid-stream: no trailer, no clean EOF.
+		if hj, ok := w.(http.Hijacker); ok {
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+		}
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts.URL, nil)
+	rows := 0
+	_, err := c.SweepStream(context.Background(), sweepReq(), func(server.SweepPointJSON) error {
+		rows++
+		return nil
+	})
+	if err == nil {
+		t.Fatal("truncated stream must fail")
+	}
+	if rows != 1 {
+		t.Errorf("callback saw %d rows, want 1", rows)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1 (no replay after delivered rows)", got)
+	}
+}
+
+// TestSweepStreamRetriesEstablishment: 503s before any stream bytes
+// retry and fail over like buffered calls.
+func TestSweepStreamRetriesEstablishment(t *testing.T) {
+	var deadCalls atomic.Int32
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadCalls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	live := realServer(t)
+
+	c := newTestClient(t, "", func(cfg *Config) {
+		cfg.BaseURL = ""
+		cfg.BaseURLs = []string{dead.URL, live.URL}
+	})
+	rows := 0
+	res, err := c.SweepStream(context.Background(), sweepReq(), func(server.SweepPointJSON) error {
+		rows++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream should fail over and succeed, got %v", err)
+	}
+	if deadCalls.Load() != 1 {
+		t.Errorf("dead peer saw %d calls, want 1", deadCalls.Load())
+	}
+	if rows == 0 || res.Rows != rows {
+		t.Errorf("rows = %d (result %d), want the full grid", rows, res.Rows)
+	}
+}
+
+// TestSweepStreamCallbackErrorStops: the row callback's error surfaces
+// and ends the call.
+func TestSweepStreamCallbackErrorStops(t *testing.T) {
+	ts := realServer(t)
+	c := newTestClient(t, ts.URL, nil)
+	boom := errors.New("enough")
+	rows := 0
+	_, err := c.SweepStream(context.Background(), sweepReq(), func(server.SweepPointJSON) error {
+		rows++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("got %v, want the callback error", err)
+	}
+	if rows != 1 {
+		t.Errorf("callback ran %d times after erroring, want 1", rows)
+	}
+}

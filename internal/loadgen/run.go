@@ -16,6 +16,12 @@ type RunConfig struct {
 	// BaseURL is the daemon under load, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 
+	// BaseURLs, when set, lists every member of a cluster under load;
+	// BaseURL must then be empty. The driving client is pick-first with
+	// failover (see internal/client), so a mid-run peer death shifts
+	// traffic instead of failing the scenario.
+	BaseURLs []string
+
 	// HTTPClient overrides the transport (default http.DefaultClient).
 	HTTPClient *http.Client
 
@@ -81,8 +87,8 @@ func Run(ctx context.Context, sc Scenario, cfg RunConfig) (Summary, error) {
 	if err := sc.Validate(); err != nil {
 		return Summary{}, err
 	}
-	if cfg.BaseURL == "" {
-		return Summary{}, errors.New("loadgen: RunConfig.BaseURL required")
+	if cfg.BaseURL == "" && len(cfg.BaseURLs) == 0 {
+		return Summary{}, errors.New("loadgen: RunConfig.BaseURL (or BaseURLs) required")
 	}
 	clock := cfg.Clock
 	if clock == nil {
@@ -90,6 +96,7 @@ func Run(ctx context.Context, sc Scenario, cfg RunConfig) (Summary, error) {
 	}
 	cli, err := client.New(client.Config{
 		BaseURL:     cfg.BaseURL,
+		BaseURLs:    cfg.BaseURLs,
 		HTTPClient:  cfg.HTTPClient,
 		MaxAttempts: sc.Retries,
 		// Snappy backoff: the harness measures the server's behavior,

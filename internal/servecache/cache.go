@@ -44,6 +44,10 @@ const (
 	// expired waiting for it) and a previously computed response was
 	// served from the stale retention tier instead.
 	Stale
+	// Peer means another process owns this key in the cluster's
+	// consistent-hash ring and the response was fetched from it
+	// (see Cluster).
+	Peer
 )
 
 // String names the outcome.
@@ -57,6 +61,8 @@ func (o Outcome) String() string {
 		return "coalesced"
 	case Stale:
 		return "stale"
+	case Peer:
+		return "peer"
 	default:
 		return "unknown"
 	}

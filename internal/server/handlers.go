@@ -28,17 +28,31 @@ var registry = engine.NewRegistry(
 	opAblation,
 )
 
-// getEndpoints are the hand-rolled GET routes counted beside the
-// registry ops in /metrics, in their fixed counter order.
-var getEndpoints = [...]string{"healthz", "metrics", "version", "models"}
+// extraEndpoints are the hand-rolled routes counted beside the
+// registry ops in /metrics, in their fixed counter order: the GET
+// surface plus the batch fan-out (POST, but not a registry op — one
+// batch carries many per-item cache keys, so it cannot ride the
+// one-key pipeline).
+var extraEndpoints = [...]string{"healthz", "metrics", "version", "models", "batch"}
 
-// Counter indices of the GET endpoints: they follow the registry ops.
+// Counter indices of the hand-rolled endpoints: they follow the
+// registry ops.
 var (
 	idxHealthz = len(registry.Names())
 	idxMetrics = idxHealthz + 1
 	idxVersion = idxHealthz + 2
 	idxModels  = idxHealthz + 3
+	idxBatch   = idxHealthz + 4
 )
+
+// registryOps resolves a batch item's op field against the registry.
+var registryOps = func() map[string]engine.Op {
+	m := make(map[string]engine.Op, len(registry.Ops()))
+	for _, op := range registry.Ops() {
+		m[op.Name()] = op
+	}
+	return m
+}()
 
 // defaultEvaluator is the shared paper-default evaluator: Evaluator is
 // an immutable value, so every request using the default (or explicit
@@ -139,9 +153,9 @@ type ModelsResponse struct {
 // startup logs and smoke checks can never drift from what is actually
 // routed.
 func Endpoints() []string {
-	out := make([]string, 0, len(registry.Ops())+4)
+	out := make([]string, 0, len(registry.Ops())+5)
 	for _, op := range registry.Ops() {
 		out = append(out, "POST "+op.Path())
 	}
-	return append(out, "GET /v1/version", "GET /v1/models", "GET /healthz", "GET /metrics")
+	return append(out, "POST /v1/batch", "GET /v1/version", "GET /v1/models", "GET /healthz", "GET /metrics")
 }

@@ -164,6 +164,15 @@ func (s *Server) writePrometheus(w io.Writer) error {
 		{"heterosimd_admission_max_queue", "gauge", "", "", m.Admission.MaxQueue},
 		{"heterosimd_workers", "gauge", "", "", int64(m.Workers)},
 	}
+	if m.Peers != nil {
+		samples = append(samples,
+			counter{"heterosimd_peer_fetches_total", "counter", "", "", m.Peers.Fetches},
+			counter{"heterosimd_peer_hits_total", "counter", "", "", m.Peers.Hits},
+			counter{"heterosimd_peer_misses_total", "counter", "", "", m.Peers.Misses},
+			counter{"heterosimd_peer_fetch_errors_total", "counter", "", "", m.Peers.FetchErrors},
+			counter{"heterosimd_peer_local_fallbacks_total", "counter", "", "", m.Peers.LocalFallbacks},
+		)
+	}
 	if err := telemetry.WriteType(w, "heterosimd_uptime_seconds", "gauge"); err != nil {
 		return err
 	}

@@ -293,7 +293,27 @@ func (r SweepResponse) AppendJSON(b []byte) ([]byte, error) {
 
 var opSweep = engine.New("sweep", buildSweep)
 
-func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (SweepResponse, error), error) {
+// sweepPlan is a validated, canonicalized sweep ready to evaluate: the
+// shared prepare step behind both the buffered /v1/sweep response and
+// the ?stream=ndjson row emitter, so the two paths can never disagree
+// about validation, axis construction, or per-cell evaluation.
+type sweepPlan struct {
+	req     *SweepRequest
+	grid    *sweep.Grid
+	axes    []sweep.Axis
+	base    bounds.Budgets
+	design  core.Design
+	workers int
+	energy  bool
+	opt     func(core.Design, float64, bounds.Budgets) (core.Point, error)
+}
+
+// planSweep validates and canonicalizes req (in place, exactly like
+// every other op's build step) and assembles the evaluation plan.
+// maxCells bounds the grid: the buffered path pays O(cells) response
+// memory, the streaming path only O(chunk), so they pass different
+// limits.
+func planSweep(req *SweepRequest, env engine.Env, maxCells int) (*sweepPlan, error) {
 	w, err := parseWorkload(req.Workload)
 	if err != nil {
 		return nil, err
@@ -356,16 +376,11 @@ func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (Sweep
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	if grid.Size() > maxSweepCells {
-		return nil, badRequest("sweep has %d cells, limit %d: split the request", grid.Size(), maxSweepCells)
+	if grid.Size() > maxCells {
+		return nil, badRequest("sweep has %d cells, limit %d: split the request", grid.Size(), maxCells)
 	}
 	workers := workersOr(&req.Workers, env)
 
-	// The evaluation loop runs on Cells: each worker gets the flat
-	// row-major index directly plus the axis values by position (0 f,
-	// 1 area, 2 power, 3 bandwidth — the declared order above), so the
-	// hot path writes points[flat] with no per-cell Point map or
-	// value->index lookups.
 	var o model.Optimizer = ev
 	if mdl != nil {
 		o = mdl
@@ -374,20 +389,101 @@ func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (Sweep
 	if req.Objective == "energy" {
 		opt = o.OptimizeEnergy
 	}
+	return &sweepPlan{
+		req:     req,
+		grid:    grid,
+		axes:    axes,
+		base:    base,
+		design:  d,
+		workers: workers,
+		energy:  req.Objective == "energy",
+		opt:     opt,
+	}, nil
+}
+
+// evalCell evaluates one grid cell from its axis values by position
+// (0 f, 1 area, 2 power, 3 bandwidth — the declared axis order).
+// Infeasible cells come back Valid=false; only genuine model errors
+// propagate.
+func (p *sweepPlan) evalCell(v []float64) (SweepPointJSON, error) {
+	f, as, ps, bs := v[0], v[1], v[2], v[3]
+	cell := SweepPointJSON{F: f, AreaScale: as, PowerScale: ps, BandwidthScale: bs}
+	b := bounds.Budgets{Area: p.base.Area * as, Power: p.base.Power * ps, Bandwidth: p.base.Bandwidth * bs}
+	pt, err := p.opt(p.design, f, b)
+	if err == nil {
+		cell.Valid = true
+		cell.R = pt.R
+		cell.Speedup = pt.Speedup
+		cell.Limit = pt.Limit.String()
+		cell.EnergyNorm = pt.EnergyNorm
+	} else if !errors.Is(err, core.ErrInfeasible) {
+		return cell, err
+	}
+	return cell, nil
+}
+
+// axesJSON materializes the response axes.
+func (p *sweepPlan) axesJSON() []AxisJSON {
+	out := make([]AxisJSON, 0, len(p.axes))
+	for _, ax := range p.axes {
+		out = append(out, AxisJSON{Name: ax.Name, Values: ax.Values})
+	}
+	return out
+}
+
+// bestReducer folds cells into (feasible count, best cell). Cells must
+// be observed in flat row-major order with strict comparisons, so ties
+// break to the lowest index at every worker count — the contract both
+// the buffered response and the streamed trailer inherit.
+type bestReducer struct {
+	energy   bool
+	feasible int
+	has      bool
+	best     SweepPointJSON
+}
+
+// observe folds one cell, in index order.
+func (r *bestReducer) observe(p *SweepPointJSON) {
+	if !p.Valid {
+		return
+	}
+	r.feasible++
+	better := !r.has
+	if !better {
+		if r.energy {
+			better = p.EnergyNorm < r.best.EnergyNorm
+		} else {
+			better = p.Speedup > r.best.Speedup
+		}
+	}
+	if better {
+		r.has = true
+		r.best = *p
+	}
+}
+
+// bestPtr returns the best cell, nil when nothing was feasible.
+func (r *bestReducer) bestPtr() *SweepPointJSON {
+	if !r.has {
+		return nil
+	}
+	return &r.best
+}
+
+func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (SweepResponse, error), error) {
+	p, err := planSweep(req, env, maxSweepCells)
+	if err != nil {
+		return nil, err
+	}
+	// The evaluation loop runs on Cells: each worker gets the flat
+	// row-major index directly plus the axis values by position, so the
+	// hot path writes points[flat] with no per-cell Point map or
+	// value->index lookups.
 	return func(ctx context.Context) (SweepResponse, error) {
-		points := make([]SweepPointJSON, grid.Size())
-		err := grid.Cells(ctx, workers, func(flat int, v []float64) error {
-			f, as, ps, bs := v[0], v[1], v[2], v[3]
-			cell := SweepPointJSON{F: f, AreaScale: as, PowerScale: ps, BandwidthScale: bs}
-			b := bounds.Budgets{Area: base.Area * as, Power: base.Power * ps, Bandwidth: base.Bandwidth * bs}
-			pt, err := opt(d, f, b)
-			if err == nil {
-				cell.Valid = true
-				cell.R = pt.R
-				cell.Speedup = pt.Speedup
-				cell.Limit = pt.Limit.String()
-				cell.EnergyNorm = pt.EnergyNorm
-			} else if !errors.Is(err, core.ErrInfeasible) {
+		points := make([]SweepPointJSON, p.grid.Size())
+		err := p.grid.Cells(ctx, p.workers, func(flat int, v []float64) error {
+			cell, err := p.evalCell(v)
+			if err != nil {
 				return err
 			}
 			points[flat] = cell
@@ -397,34 +493,21 @@ func buildSweep(req *SweepRequest, env engine.Env) (func(context.Context) (Sweep
 			return SweepResponse{}, evalFailure(err, badRequest)
 		}
 		resp := SweepResponse{
-			Workload: req.Workload,
-			Node:     req.Node,
-			Design:   d.Label,
-			Model:    req.Model,
+			Workload: p.req.Workload,
+			Node:     p.req.Node,
+			Design:   p.design.Label,
+			Model:    p.req.Model,
+			Axes:     p.axesJSON(),
+			Points:   points,
 		}
-		for _, ax := range axes {
-			resp.Axes = append(resp.Axes, AxisJSON{Name: ax.Name, Values: ax.Values})
-		}
-		resp.Points = points
 		// The best cell is reduced serially in index order (strict >), so
 		// ties break to the lowest index at every worker count.
+		red := bestReducer{energy: p.energy}
 		for i := range points {
-			if !points[i].Valid {
-				continue
-			}
-			resp.Feasible++
-			better := resp.Best == nil
-			if !better {
-				if req.Objective == "energy" {
-					better = points[i].EnergyNorm < resp.Best.EnergyNorm
-				} else {
-					better = points[i].Speedup > resp.Best.Speedup
-				}
-			}
-			if better {
-				resp.Best = &points[i]
-			}
+			red.observe(&points[i])
 		}
+		resp.Feasible = red.feasible
+		resp.Best = red.bestPtr()
 		return resp, nil
 	}, nil
 }

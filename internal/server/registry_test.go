@@ -59,12 +59,12 @@ func TestEndpointsCoverRegistry(t *testing.T) {
 			t.Errorf("Endpoints() is missing POST %s", op.Path())
 		}
 	}
-	for _, e := range []string{"GET /v1/version", "GET /v1/models", "GET /healthz", "GET /metrics"} {
+	for _, e := range []string{"POST /v1/batch", "GET /v1/version", "GET /v1/models", "GET /healthz", "GET /metrics"} {
 		if !listed[e] {
 			t.Errorf("Endpoints() is missing %s", e)
 		}
 	}
-	if want := len(registry.Ops()) + 4; len(eps) != want {
+	if want := len(registry.Ops()) + 5; len(eps) != want {
 		t.Errorf("Endpoints() has %d entries, want %d", len(eps), want)
 	}
 }

@@ -73,6 +73,22 @@ type Config struct {
 	// like any other response.
 	Middleware func(http.Handler) http.Handler
 
+	// Peers, when non-empty, turns on the peer-aware cache tier: the
+	// static cluster membership as base URLs (bare host:port accepted).
+	// Every member must be given the same set — ownership of each
+	// canonical cache key is consistent-hashed over the sorted
+	// membership, so the lists must agree for the ring to agree.
+	// PeerSelf is required alongside it.
+	Peers []string
+
+	// PeerSelf is this process's own base URL as it appears in Peers —
+	// how the server recognizes the keys it owns.
+	PeerSelf string
+
+	// PeerTimeout bounds one owner fetch (default 10s). The request
+	// deadline still applies on top; whichever is sooner wins.
+	PeerTimeout time.Duration
+
 	// Logger receives one structured line per request plus lifecycle
 	// events. nil means discard (tests stay quiet by default).
 	Logger *slog.Logger
@@ -116,6 +132,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RequestTimeout < 0 {
 		c.RequestTimeout = -1 // canonical "no per-request deadline"
 	}
+	if c.PeerTimeout == 0 {
+		c.PeerTimeout = 10 * time.Second
+	}
+	if c.PeerTimeout < 0 {
+		return c, errors.New("server: PeerTimeout must be >= 0")
+	}
+	if len(c.Peers) > 0 && c.PeerSelf == "" {
+		return c, errors.New("server: Peers requires PeerSelf")
+	}
+	if len(c.Peers) == 0 && c.PeerSelf != "" {
+		return c, errors.New("server: PeerSelf requires Peers")
+	}
 	return c, nil
 }
 
@@ -124,6 +152,7 @@ func (c Config) withDefaults() (Config, error) {
 type Server struct {
 	cfg     Config
 	cache   *servecache.Cache
+	cluster *servecache.Cluster // nil when single-node
 	gate    *gate
 	mux     *http.ServeMux
 	handler http.Handler // mux, possibly wrapped by cfg.Middleware, inside observe
@@ -177,12 +206,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reqHist = s.tel.Family(famRequestDuration, "endpoint")
 	s.stageHist = s.tel.Family(famStageDuration, "stage")
+	if err := s.initCluster(); err != nil {
+		return nil, err
+	}
 	ops := registry.Ops()
-	s.names = append(append(s.names, registry.Names()...), getEndpoints[:]...)
+	s.names = append(append(s.names, registry.Names()...), extraEndpoints[:]...)
 	s.requests = make([]atomic.Int64, len(s.names))
 	for i, op := range ops {
-		s.mux.HandleFunc(op.Path(), s.model(i, op))
+		h := s.model(i, op)
+		if op.Name() == "sweep" {
+			h = s.sweepRoute(i, h)
+		}
+		s.mux.HandleFunc(op.Path(), h)
 	}
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/version", s.handleVersion)
@@ -283,7 +320,7 @@ func (s *Server) model(i int, op engine.Op) http.HandlerFunc {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
 		}
-		resp, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) ([]byte, error) {
+		resp, outcome, err := s.lookup(r, ctx, key, func(ctx context.Context) ([]byte, error) {
 			release, status := s.gate.acquire(ctx)
 			if status != 0 {
 				return nil, &apiError{Status: status, Message: "server saturated, retry later"}
@@ -380,15 +417,17 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 // Metrics is the /metrics document: expvar-style JSON with no external
-// dependencies.
+// dependencies. Peers appears only when the peer tier is configured,
+// so single-node documents keep their exact pre-cluster shape.
 type Metrics struct {
-	UptimeSeconds float64          `json:"uptimeSeconds"`
-	Version       version.Info     `json:"version"`
-	Cache         servecache.Stats `json:"cache"`
-	Admission     gateStats        `json:"admission"`
-	Requests      map[string]int64 `json:"requests"`
-	Responses     map[string]int64 `json:"responses"`
-	Workers       int              `json:"workers"`
+	UptimeSeconds float64               `json:"uptimeSeconds"`
+	Version       version.Info          `json:"version"`
+	Cache         servecache.Stats      `json:"cache"`
+	Peers         *servecache.PeerStats `json:"peers,omitempty"`
+	Admission     gateStats             `json:"admission"`
+	Requests      map[string]int64      `json:"requests"`
+	Responses     map[string]int64      `json:"responses"`
+	Workers       int                   `json:"workers"`
 }
 
 // Snapshot returns the current metrics document.
@@ -397,7 +436,7 @@ func (s *Server) Snapshot() Metrics {
 	for i, name := range s.names {
 		reqs[name] = s.requests[i].Load()
 	}
-	return Metrics{
+	m := Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Version:       version.Get(),
 		Cache:         s.cache.Stats(),
@@ -410,6 +449,11 @@ func (s *Server) Snapshot() Metrics {
 		},
 		Workers: s.cfg.Workers,
 	}
+	if s.cluster != nil {
+		ps := s.cluster.Stats()
+		m.Peers = &ps
+	}
+	return m
 }
 
 // handleMetrics serves the counters: the PR 2/3 JSON document by

@@ -1,0 +1,256 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"github.com/calcm/heterosim/internal/engine"
+	"github.com/calcm/heterosim/internal/telemetry"
+)
+
+// POST /v1/sweep?stream=ndjson — the sweep surface as NDJSON: one
+// header line (the sweep's identity and axes), one line per grid cell
+// in flat row-major order, one trailer line (feasible count + best
+// cell). Rows are emitted as evaluation windows complete, so a
+// million-cell sweep never buffers a whole response and a mid-stream
+// deadline stops the grid between cells; memory is O(window), not
+// O(cells), which is why the streaming cell limit is 20x the buffered
+// one.
+//
+// Each cell line is encoded by the same sweepEnc.appendPoint the
+// buffered response uses, so the concatenated rows are byte-identical
+// to the buffered Points array for the same request
+// (TestSweepStreamMatchesBuffered pins this across all model
+// backends). Streams always evaluate: the response never enters the
+// result cache or the peer tier — a stream is a bulk export, not a
+// cacheable unit — and the X-Heterosim-Cache header says "stream" so
+// clients can tell.
+
+const (
+	// maxStreamSweepCells bounds one streamed sweep. The stream holds
+	// only one evaluation window in memory, so the bound is about
+	// tying up evaluation workers, not memory.
+	maxStreamSweepCells = 2_000_000
+
+	// sweepStreamChunk is the evaluation window: cells per parallel
+	// CellsRange call, and the flush granularity. Large enough to keep
+	// the worker pool busy, small enough that rows appear promptly and
+	// cancellation is honored quickly.
+	sweepStreamChunk = 2048
+)
+
+// SweepStreamHeader is the first NDJSON line: the sweep's identity —
+// everything SweepResponse carries before its points. Model names the
+// backend only for non-default requests, mirroring the buffered shape.
+type SweepStreamHeader struct {
+	Workload string     `json:"workload"`
+	Node     string     `json:"node"`
+	Design   string     `json:"design"`
+	Axes     []AxisJSON `json:"axes"`
+	Model    string     `json:"model,omitempty"`
+}
+
+// SweepStreamTrailer is the last NDJSON line: the reduction the
+// buffered response carries after its points.
+type SweepStreamTrailer struct {
+	Feasible int             `json:"feasible"`
+	Best     *SweepPointJSON `json:"best,omitempty"`
+}
+
+// SweepStreamError is an NDJSON error line: emitted in-band when the
+// evaluation fails after the 200 header is already on the wire. A
+// stream ending without a trailer always ends with one of these (or a
+// broken connection).
+type SweepStreamError struct {
+	Error string `json:"error"`
+}
+
+// wantsStream classifies the sweep route's stream parameter: absent
+// means the buffered JSON response, "ndjson" the stream; anything else
+// is a 400 so typos fail loudly instead of silently buffering.
+func wantsStream(r *http.Request) (bool, error) {
+	switch v := r.URL.Query().Get("stream"); v {
+	case "":
+		return false, nil
+	case "ndjson":
+		return true, nil
+	default:
+		return false, badRequest("unknown stream format %q (want ndjson)", v)
+	}
+}
+
+// sweepRoute dispatches /v1/sweep on its stream parameter: the generic
+// buffered pipeline (untouched — its bytes, caching, and counters are
+// the pre-stream contract) or the NDJSON stream. i indexes the sweep
+// op's counter, shared by both forms.
+func (s *Server) sweepRoute(i int, buffered http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		stream, err := wantsStream(r)
+		if err != nil {
+			s.requests[i].Add(1)
+			defer s.timeEndpoint(i)()
+			s.writeError(w, err)
+			return
+		}
+		if !stream {
+			buffered(w, r)
+			return
+		}
+		s.requests[i].Add(1)
+		defer s.timeEndpoint(i)()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Message: "use POST"})
+			return
+		}
+		s.handleSweepStream(w, r)
+	}
+}
+
+// handleSweepStream serves one streamed sweep; the sweep route has
+// already counted the request and checked the method.
+func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	decode := telemetry.StartSpan(r.Context(), stageDecode)
+	body, err := readBody(r)
+	if err != nil {
+		decode.End()
+		s.writeError(w, err)
+		return
+	}
+	var req SweepRequest
+	if err := engine.DecodeStrict(body, &req); err != nil {
+		decode.End()
+		s.writeError(w, err)
+		return
+	}
+	meta := engine.Meta{}
+	plan, err := planSweep(&req, engine.Env{Workers: s.cfg.Workers, Meta: &meta}, maxStreamSweepCells)
+	decode.End()
+	if meta.Model != "" {
+		w.Header().Set(headerModel, meta.Model)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	// Streams always evaluate, so they are admitted like any miss — one
+	// slot for the whole stream.
+	release, status := s.gate.acquire(ctx)
+	if status != 0 {
+		s.writeError(w, &apiError{Status: status, Message: "server saturated, retry later"})
+		return
+	}
+	defer release()
+	if s.onEvaluate != nil {
+		s.onEvaluate("sweep")
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Heterosim-Cache", "stream")
+	hdr, err := json.Marshal(SweepStreamHeader{
+		Workload: plan.req.Workload,
+		Node:     plan.req.Node,
+		Design:   plan.design.Label,
+		Axes:     plan.axesJSON(),
+		Model:    plan.req.Model,
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if _, err := w.Write(append(hdr, '\n')); err != nil {
+		return // client gone; nothing to clean up
+	}
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	evalSpan := telemetry.StartSpan(ctx, stageEvaluate)
+	defer evalSpan.End()
+	size := plan.grid.Size()
+	window := make([]SweepPointJSON, sweepStreamChunk)
+	var enc sweepEnc
+	var buf []byte
+	red := bestReducer{energy: plan.energy}
+	for lo := 0; lo < size; lo += sweepStreamChunk {
+		hi := min(lo+sweepStreamChunk, size)
+		cells := window[:hi-lo]
+		err := plan.grid.CellsRange(ctx, plan.workers, lo, hi, func(flat int, v []float64) error {
+			cell, err := plan.evalCell(v)
+			if err != nil {
+				return err
+			}
+			cells[flat-lo] = cell
+			return nil
+		})
+		if err != nil {
+			s.streamError(w, evalFailure(err, badRequest))
+			return
+		}
+		buf = buf[:0]
+		for j := range cells {
+			if buf, err = enc.appendPoint(buf, &cells[j]); err != nil {
+				s.streamError(w, err)
+				return
+			}
+			buf = append(buf, '\n')
+			red.observe(&cells[j])
+		}
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	trailer, err := json.Marshal(SweepStreamTrailer{Feasible: red.feasible, Best: red.bestPtr()})
+	if err != nil {
+		s.streamError(w, err)
+		return
+	}
+	if _, err := w.Write(append(trailer, '\n')); err != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.responses.ok.Add(1)
+}
+
+// streamError reports a failure after the 200 header is on the wire:
+// an in-band NDJSON error line, counted under the same response class
+// writeError would have used.
+func (s *Server) streamError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	status := http.StatusInternalServerError
+	if errors.As(err, &ae) {
+		status = ae.Status
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusGatewayTimeout
+	} else if errors.Is(err, context.Canceled) {
+		status = http.StatusServiceUnavailable
+	}
+	if status >= 500 {
+		s.responses.serverErr.Add(1)
+	} else {
+		s.responses.clientErr.Add(1)
+	}
+	line, merr := json.Marshal(SweepStreamError{Error: err.Error()})
+	if merr != nil {
+		return
+	}
+	w.Write(append(line, '\n'))
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -30,13 +30,21 @@ func (g *Grid) decodeValsInto(i int, vals []float64) {
 // their first error, so this is the lowest-indexed failing cell among
 // those observed).
 func (g *Grid) blocks(ctx context.Context, workers int, run func(ctx context.Context, lo, hi int) error) error {
-	n := g.Size()
+	return g.blocksRange(ctx, workers, 0, g.Size(), run)
+}
+
+// blocksRange is blocks over the half-open index window [lo, hi).
+func (g *Grid) blocksRange(ctx context.Context, workers, lo, hi int, run func(ctx context.Context, lo, hi int) error) error {
+	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
 	w := par.Workers(workers)
 	if w > n {
 		w = n
 	}
 	return par.ForEach(ctx, w, w, func(ctx context.Context, b int) error {
-		return run(ctx, b*n/w, (b+1)*n/w)
+		return run(ctx, lo+b*n/w, lo+(b+1)*n/w)
 	})
 }
 
@@ -52,8 +60,27 @@ func (g *Grid) Cells(ctx context.Context, workers int, fn func(flat int, vals []
 	// When the context carries a telemetry stage family (the serving
 	// layer threads one through), the whole parallel grid is recorded as
 	// the "sweep" stage — the engine-side share of an evaluation.
+	return g.CellsRange(ctx, workers, 0, g.Size(), fn)
+}
+
+// CellsRange is Cells restricted to the half-open flat-index window
+// [lo, hi) — the streaming building block: a caller emitting rows
+// incrementally evaluates one bounded window at a time (parallel
+// inside the window, windows in row-major order), so memory stays
+// proportional to the window and cancellation is honored between
+// windows as well as between cells. Out-of-range bounds are clamped;
+// an empty window is a no-op. Cell indexing, scratch reuse, error
+// selection, and the "sweep" telemetry stage match Cells exactly:
+// Cells(ctx, w, fn) ≡ CellsRange(ctx, w, 0, Size(), fn).
+func (g *Grid) CellsRange(ctx context.Context, workers, lo, hi int, fn func(flat int, vals []float64) error) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > g.Size() {
+		hi = g.Size()
+	}
 	defer telemetry.StartSpan(ctx, "sweep").End()
-	return g.blocks(ctx, workers, func(ctx context.Context, lo, hi int) error {
+	return g.blocksRange(ctx, workers, lo, hi, func(ctx context.Context, lo, hi int) error {
 		vals := make([]float64, len(g.axes))
 		for i := lo; i < hi; i++ {
 			if err := ctx.Err(); err != nil {
