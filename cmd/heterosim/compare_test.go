@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareSubcommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"compare", "-scenarios", "1,2", "-workload", "FFT-1024", "-f", "0.99"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Scenario 1", "Scenario 2",
+		"speedup delta vs baseline",
+		"crossover nodes",
+		"Overtakes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	// The delta table zeroes the CMP columns by construction (the CMPs
+	// are unaffected by a bandwidth scenario), so "0" rows must appear.
+	if !strings.Contains(out, "(0) SymCMP") {
+		t.Errorf("compare output missing CMP column:\n%s", out)
+	}
+}
+
+func TestCompareSubcommandValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"compare", "-scenarios", "9"},        // out of range
+		{"compare", "-scenarios", "1,1"},      // duplicate
+		{"compare", "-scenarios", ","},        // empty list
+		{"compare", "-scenarios", "x"},        // not a number
+		{"compare", "-workload", "nope"},      // unknown workload
+		{"compare", "-model", "no-such-back"}, // unknown backend
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%v must fail", args)
+		}
+	}
+}
+
+// TestCompareSubcommandDeterministic: output is identical at every
+// worker count (the same guarantee every other subcommand makes).
+func TestCompareSubcommandDeterministic(t *testing.T) {
+	args := []string{"compare", "-scenarios", "2,5", "-workload", "MMM", "-f", "0.9"}
+	one, err := capture(t, func() error { return run(append(args, "-workers", "1")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := capture(t, func() error { return run(append(args, "-workers", "8")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != many {
+		t.Errorf("output differs between -workers 1 and 8:\n%s\n--- vs ---\n%s", one, many)
+	}
+}

@@ -49,6 +49,8 @@ func run(args []string) error {
 		return cmdProject(rest)
 	case "scenario":
 		return cmdScenario(rest)
+	case "compare":
+		return cmdCompare(rest)
 	case "energy":
 		return cmdEnergy(rest)
 	case "validate":
@@ -91,6 +93,7 @@ Subcommands:
   calibrate      run the measurement + calibration pipeline (Table 5)
   project        custom projection: -workload MMM|BS|FFT-1024 -f 0.99 [-scenario 0-6]
   scenario <n>   run Section 6.2 scenario n (1-6) against the baseline
+  compare        delta + crossover tables for several scenarios: -scenarios 1,2
   energy         Figure 10 energy projections: [-f 0.9] [-workload MMM]
   validate       check the paper's four conclusions on forward + back-cast roadmaps
   ablate         quantify each model ingredient by removing it
@@ -104,7 +107,7 @@ Subcommands:
 
 Model-evaluating subcommands accept -workers N to size the worker pool
 (<= 0 means GOMAXPROCS); outputs are identical at every worker count.
-project, scenario, energy, and sensitivity additionally accept
+project, scenario, compare, energy, and sensitivity additionally accept
 -model NAME [-model-params JSON] to evaluate under an alternative
 model backend (run "heterosim models" for the registry).
 `)

@@ -118,22 +118,30 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Errorf("JSON metrics document broken: %d %s", code, body)
 	}
 
-	// The same request/response pairs CI replays with curl.
-	for _, ep := range []string{"optimize", "sensitivity", "ablation"} {
-		reqBody, err := os.ReadFile(filepath.Join("testdata", ep+"_smoke.json"))
+	// The same request/response pairs CI replays with curl. The
+	// frontier entry is the NDJSON stream: its golden pins the whole
+	// header/rows/trailer byte sequence, same as the buffered bodies.
+	for _, ep := range []struct{ name, path string }{
+		{"optimize", "/v1/optimize"},
+		{"sensitivity", "/v1/sensitivity"},
+		{"ablation", "/v1/ablation"},
+		{"compare", "/v1/compare"},
+		{"frontier", "/v1/frontier/stream"},
+	} {
+		reqBody, err := os.ReadFile(filepath.Join("testdata", ep.name+"_smoke.json"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, err := http.Post(base+"/v1/"+ep, "application/json", bytes.NewReader(reqBody))
+		resp, err := http.Post(base+ep.path, "application/json", bytes.NewReader(reqBody))
 		if err != nil {
 			t.Fatal(err)
 		}
 		got, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("%s: %d %s", ep, resp.StatusCode, got)
+			t.Fatalf("%s: %d %s", ep.name, resp.StatusCode, got)
 		}
-		goldenPath := filepath.Join("testdata", ep+"_smoke.golden")
+		goldenPath := filepath.Join("testdata", ep.name+"_smoke.golden")
 		if *update {
 			if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
 				t.Fatal(err)
@@ -144,7 +152,7 @@ func TestServeEndToEnd(t *testing.T) {
 			t.Fatalf("%v (regenerate with go test ./cmd/heterosimd -update)", err)
 		}
 		if !bytes.Equal(got, want) {
-			t.Errorf("%s smoke response drifted:\n--- got ---\n%s\n--- want ---\n%s", ep, got, want)
+			t.Errorf("%s smoke response drifted:\n--- got ---\n%s\n--- want ---\n%s", ep.name, got, want)
 		}
 	}
 

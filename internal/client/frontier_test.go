@@ -1,0 +1,325 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/calcm/heterosim/internal/server"
+)
+
+// TestFrontierStream drives the typed frontier stream against a real
+// in-process server: header identity, one row per roadmap node, a
+// trailer whose crossover table lists every (het, CMP) pair.
+func TestFrontierStream(t *testing.T) {
+	ts := realServer(t)
+	c, err := New(Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []server.FrontierRowJSON
+	res, err := c.FrontierStream(context.Background(), server.FrontierRequest{
+		Workload: "FFT-1024", F: 0.99, Scenario: 2,
+	}, func(r server.FrontierRowJSON) error {
+		rows = append(rows, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Header.Workload != "FFT-1024" || res.Header.Scenario != 2 || res.Header.Name == "" {
+		t.Errorf("header = %+v", res.Header)
+	}
+	if len(rows) != res.Trailer.Nodes || res.Rows != len(rows) {
+		t.Errorf("rows = %d, trailer.Nodes = %d, res.Rows = %d", len(rows), res.Trailer.Nodes, res.Rows)
+	}
+	if len(rows) != len(res.Header.Nodes) {
+		t.Errorf("got %d rows, header lists %d nodes", len(rows), len(res.Header.Nodes))
+	}
+	for i, r := range rows {
+		if r.Node != res.Header.Nodes[i] {
+			t.Errorf("row %d: node %q, header says %q", i, r.Node, res.Header.Nodes[i])
+		}
+		if len(r.Points) != len(res.Header.Designs) {
+			t.Errorf("row %d: %d points, header lists %d designs", i, len(r.Points), len(res.Header.Designs))
+		}
+	}
+	if len(res.Trailer.Crossovers) == 0 {
+		t.Error("trailer has no crossover table")
+	}
+}
+
+// TestFrontierStreamValidation4xx: a bad request fails before any row,
+// as a typed APIError — the stream never starts.
+func TestFrontierStreamValidation4xx(t *testing.T) {
+	ts := realServer(t)
+	c, err := New(Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.FrontierStream(context.Background(), server.FrontierRequest{
+		Workload: "MMM", F: 0.9, Scenario: 9,
+	}, func(server.FrontierRowJSON) error { return nil })
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("want 400 APIError, got %v", err)
+	}
+}
+
+// TestFrontierStreamRetriesEstablishment: a 503 on the first attempt
+// retries onto the same endpoint and succeeds — the generic stream
+// decoder inherits the buffered calls' establishment retry schedule.
+func TestFrontierStreamRetriesEstablishment(t *testing.T) {
+	real := realServer(t)
+	var calls atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+		proxy, err := http.NewRequestWithContext(r.Context(), r.Method, real.URL+r.URL.String(), r.Body)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		proxy.Header = r.Header
+		res, err := http.DefaultTransport.RoundTrip(proxy)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer res.Body.Close()
+		w.WriteHeader(res.StatusCode)
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := res.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}))
+	defer flaky.Close()
+	c, err := New(Config{BaseURL: flaky.URL, MaxAttempts: 3, BaseBackoff: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	res, err := c.FrontierStream(context.Background(), server.FrontierRequest{Workload: "MMM", F: 0.9},
+		func(server.FrontierRowJSON) error { rows++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2 (one 503, one success)", calls.Load())
+	}
+	if rows == 0 || res.Trailer.Nodes != rows {
+		t.Errorf("rows = %d, trailer.Nodes = %d", rows, res.Trailer.Nodes)
+	}
+}
+
+// TestCompareTyped drives the buffered compare through the typed
+// client: per-pair rows and deltas, cache hit on the second call.
+func TestCompareTyped(t *testing.T) {
+	ts := realServer(t)
+	var cache []string
+	c, err := New(Config{BaseURL: ts.URL, OnAttempt: func(_ context.Context, a Attempt) {
+		cache = append(cache, a.Cache)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := server.CompareRequest{
+		Workload: "MMM", F: 0.99,
+		Pairs: []server.ComparePair{{Scenario: 1}, {Scenario: 5}},
+	}
+	resp, err := c.Compare(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2", len(resp.Pairs))
+	}
+	for _, p := range resp.Pairs {
+		if len(p.Rows) != len(resp.Nodes) || len(p.Deltas) != len(resp.Nodes) {
+			t.Errorf("pair %d: %d rows, %d delta rows, want %d", p.Scenario, len(p.Rows), len(p.Deltas), len(resp.Nodes))
+		}
+		if len(p.Crossovers) == 0 {
+			t.Errorf("pair %d: no crossovers", p.Scenario)
+		}
+	}
+	if _, err := c.Compare(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if len(cache) != 2 || cache[0] != "miss" || cache[1] != "hit" {
+		t.Errorf("cache outcomes = %v, want [miss hit]", cache)
+	}
+}
+
+// fakeStream answers every POST with a fixed NDJSON body, so each
+// malformed-stream shape below is exercised deterministically.
+func fakeStream(t *testing.T, body string) *Client {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(Config{BaseURL: ts.URL, MaxAttempts: 2, BaseBackoff: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestStreamDecoderMalformedStreams holds the generic NDJSON decoder
+// to its failure contract, shape by shape: a server that answers 200
+// but then violates the header/rows/trailer grammar must surface a
+// typed error, and rows delivered before the violation are reported so
+// the caller knows the call is no longer transparently repeatable.
+func TestStreamDecoderMalformedStreams(t *testing.T) {
+	header := `{"workload":"MMM","f":0.9,"scenario":1,"name":"x","nodes":["40nm"],"designs":["(0) SymCMP"]}` + "\n"
+	row := `{"node":"40nm","points":[{"label":"(0) SymCMP","kind":"sym","valid":false}]}` + "\n"
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"empty body", "", "reading stream header"},
+		{"garbage header", "not json\n", "decoding stream header"},
+		{"undecodable line", header + "{bad\n", "undecodable stream line"},
+		{"half-written line", header + row + `{"node":"32nm"`, "stream truncated after 1 row(s)"},
+		{"no trailer", header + row, "stream truncated after 1 row(s)"},
+		{"in-band error", header + row + `{"error":"evaluation exploded"}` + "\n", "stream error after 1 row(s): evaluation exploded"},
+		{"garbage trailer", header + row + `{"nodes":1,"crossovers":"x"}` + "\n", "decoding stream trailer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := fakeStream(t, tc.body)
+			_, err := c.FrontierStream(context.Background(), server.FrontierRequest{Workload: "MMM", F: 0.9},
+				func(server.FrontierRowJSON) error { return nil })
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestStreamCallGuards: the stream entry points reject impossible
+// calls before touching the wire — a missing row callback and an
+// unmarshalable request body are the caller's bugs, never retried.
+func TestStreamCallGuards(t *testing.T) {
+	c := fakeStream(t, "")
+	if _, err := c.FrontierStream(context.Background(), server.FrontierRequest{Workload: "MMM", F: 0.9}, nil); err == nil ||
+		!strings.Contains(err.Error(), "requires a row callback") {
+		t.Errorf("nil callback err = %v", err)
+	}
+	_, err := c.FrontierStream(context.Background(), server.FrontierRequest{Workload: "MMM", F: math.NaN()},
+		func(server.FrontierRowJSON) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "encoding request") {
+		t.Errorf("NaN request err = %v", err)
+	}
+	// A nil context is tolerated (Background), not a panic.
+	if _, err := c.FrontierStream(nil, server.FrontierRequest{Workload: "MMM", F: 0.9}, //nolint:staticcheck
+		func(server.FrontierRowJSON) error { return nil }); err == nil {
+		t.Error("fake empty stream should fail, not hang")
+	}
+}
+
+// TestStreamRetryAfterFloorsBackoff: a 429 whose Retry-After exceeds
+// the computed backoff floors the next attempt's wait, on the stream
+// path exactly as on the buffered one.
+func TestStreamRetryAfterFloorsBackoff(t *testing.T) {
+	real := realServer(t)
+	var calls atomic.Int32
+	gated := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"saturated"}`, http.StatusTooManyRequests)
+			return
+		}
+		http.Redirect(w, r, real.URL+r.URL.String(), http.StatusTemporaryRedirect)
+	}))
+	defer gated.Close()
+	sl := &recordingSleeper{}
+	c, err := New(Config{BaseURL: gated.URL, MaxAttempts: 3, BaseBackoff: time.Millisecond, Sleeper: sl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	if _, err := c.FrontierStream(context.Background(), server.FrontierRequest{Workload: "MMM", F: 0.9},
+		func(server.FrontierRowJSON) error { rows++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if rows == 0 {
+		t.Error("no rows after retry")
+	}
+	if waits := sl.recorded(); len(waits) != 1 || waits[0] < time.Second {
+		t.Errorf("waits = %v, want one wait floored at the server's 1s Retry-After", waits)
+	}
+}
+
+// TestTypedEndpointWrappers sweeps every remaining typed endpoint
+// method once against a real server, so each wrapper's path string and
+// request/response pairing stays compile- and wire-checked.
+func TestTypedEndpointWrappers(t *testing.T) {
+	ts := realServer(t)
+	c, err := New(Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pr, err := c.Project(ctx, server.ProjectRequest{Workload: "MMM", F: 0.9})
+	if err != nil || len(pr.Trajectories) == 0 {
+		t.Errorf("Project = (%+v, %v)", pr, err)
+	}
+	sc, err := c.Scenario(ctx, server.ScenarioRequest{Scenario: 5, Workload: "MMM", F: 0.9})
+	if err != nil {
+		t.Errorf("Scenario: %v", err)
+	} else if sc.Name == "" {
+		t.Errorf("Scenario: empty name in %+v", sc)
+	}
+	se, err := c.Sensitivity(ctx, server.SensitivityRequest{
+		Workload: "MMM", F: 0.9, Design: server.DesignSpec{Kind: "sym"}, Samples: 16,
+	})
+	if err != nil {
+		t.Errorf("Sensitivity: %v", err)
+	} else if se.MonteCarlo.Samples != 16 {
+		t.Errorf("Sensitivity: samples = %d, want 16", se.MonteCarlo.Samples)
+	}
+	ab, err := c.Ablation(ctx, server.AblationRequest{Workload: "MMM", F: 0.9, Node: "22nm"})
+	if err != nil || len(ab.Studies) == 0 {
+		t.Errorf("Ablation = (%+v, %v)", ab, err)
+	}
+	ms, err := c.Models(ctx)
+	if err != nil || len(ms.Models) == 0 || ms.Default == "" {
+		t.Errorf("Models = (%+v, %v)", ms, err)
+	}
+}
+
+// TestErrorStrings pins the three error types' rendered forms — these
+// land in operator logs, so their shape is part of the surface.
+func TestErrorStrings(t *testing.T) {
+	ae := &APIError{Status: 422, Message: "infeasible", Endpoint: "/v1/optimize"}
+	if got := ae.Error(); got != "client: /v1/optimize: server returned 422: infeasible" {
+		t.Errorf("APIError = %q", got)
+	}
+	te := &TransportError{Endpoint: "/v1/sweep", Err: errors.New("connection refused")}
+	if got := te.Error(); got != "client: /v1/sweep: connection refused" {
+		t.Errorf("TransportError = %q", got)
+	}
+	re := &RetryError{Endpoint: "/v1/compare", Attempts: 3, Last: te}
+	if got := re.Error(); got != "client: /v1/compare: gave up after 3 attempt(s): client: /v1/sweep: connection refused" {
+		t.Errorf("RetryError = %q", got)
+	}
+	if !errors.Is(re, te) {
+		t.Error("RetryError must unwrap to its last attempt error")
+	}
+}

@@ -16,9 +16,11 @@ import (
 	"github.com/calcm/heterosim/internal/telemetry"
 )
 
-// This file is the client side of the two multi-result surfaces: the
-// batch fan-out (one POST, many typed results) and the NDJSON sweep
-// stream (one POST, rows delivered as they are computed).
+// This file is the client side of the multi-result surfaces: the batch
+// fan-out (one POST, many typed results), the buffered compare (one
+// POST, k scenario x model results), and the NDJSON streams — one
+// generic header/rows/trailer decoder with establishment-only retries,
+// instantiated per endpoint (sweep cells, frontier nodes).
 
 // Batch runs a heterogeneous list of registry ops in one exchange
 // (POST /v1/batch). The call retries like any other — the batch
@@ -28,6 +30,13 @@ import (
 // inspect, never retried by the client.
 func (c *Client) Batch(ctx context.Context, req server.BatchRequest) (*server.BatchResponse, error) {
 	return post[server.BatchRequest, server.BatchResponse](ctx, c, "/v1/batch", req)
+}
+
+// Compare runs k scenario x model pairs server-side (POST /v1/compare)
+// and returns the per-node deltas and crossover table. It is a plain
+// buffered registry op: cached, coalesced, and retried like any other.
+func (c *Client) Compare(ctx context.Context, req server.CompareRequest) (*server.CompareResponse, error) {
+	return post[server.CompareRequest, server.CompareResponse](ctx, c, "/v1/compare", req)
 }
 
 // SweepStreamResult summarizes one completed sweep stream: the header
@@ -54,50 +63,37 @@ const sweepStreamPath = "/v1/sweep?stream=ndjson"
 // has seen a row the call is no longer transparently repeatable — rows
 // would be delivered twice — so mid-stream failures are terminal.
 func (c *Client) SweepStream(ctx context.Context, req server.SweepRequest, row func(server.SweepPointJSON) error) (*SweepStreamResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if row == nil {
-		return nil, errors.New("client: SweepStream requires a row callback")
-	}
-	id := telemetry.SanitizeRequestID(telemetry.RequestID(ctx))
-	if id == "" {
-		id = telemetry.NewRequestID()
-	}
-	body, err := json.Marshal(req)
+	out := &SweepStreamResult{}
+	rows, err := streamCall(ctx, c, sweepStreamPath, req, &out.Header, &out.Trailer, row)
 	if err != nil {
-		return nil, fmt.Errorf("client: %s: encoding request: %w", sweepStreamPath, err)
+		return nil, err
 	}
-	var last error
-	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			if err := c.pace(ctx, c.backoff(attempt-1, retryAfterOf(last))); err != nil {
-				return nil, c.giveUp(ctx, &RetryError{Endpoint: sweepStreamPath, Attempts: attempt - 1, Last: last}, id)
-			}
-		}
-		idx := c.cur.Load()
-		base := c.endpoints[int(idx)%len(c.endpoints)]
-		res, delivered, err := c.attemptStream(ctx, base, body, id, attempt, row)
-		if err == nil {
-			return res, nil
-		}
-		if delivered > 0 || !retryable(err) {
-			// Rows already reached the callback: repeating the call would
-			// deliver them twice, so the failure is the caller's.
-			return nil, err
-		}
-		c.failover(idx)
-		last = err
-		if c.cfg.Logger != nil {
-			c.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "attempt failed",
-				slog.String("id", id), slog.String("endpoint", sweepStreamPath),
-				slog.Int("attempt", attempt), slog.String("error", err.Error()))
-		}
-		if ctx.Err() != nil {
-			return nil, c.giveUp(ctx, &RetryError{Endpoint: sweepStreamPath, Attempts: attempt, Last: last}, id)
-		}
+	out.Rows = rows
+	return out, nil
+}
+
+// FrontierStreamResult summarizes one completed frontier stream.
+type FrontierStreamResult struct {
+	Header  server.FrontierStreamHeader
+	Trailer server.FrontierStreamTrailer
+	Rows    int
+}
+
+// frontierStreamPath is the frontier's stream-only endpoint.
+const frontierStreamPath = "/v1/frontier/stream"
+
+// FrontierStream evaluates one trajectory set as NDJSON (POST
+// /v1/frontier/stream), invoking row once per roadmap node in roadmap
+// order with the whole design frontier at that node. The retry
+// contract is SweepStream's: establishment-only.
+func (c *Client) FrontierStream(ctx context.Context, req server.FrontierRequest, row func(server.FrontierRowJSON) error) (*FrontierStreamResult, error) {
+	out := &FrontierStreamResult{}
+	rows, err := streamCall(ctx, c, frontierStreamPath, req, &out.Header, &out.Trailer, row)
+	if err != nil {
+		return nil, err
 	}
-	return nil, c.giveUp(ctx, &RetryError{Endpoint: sweepStreamPath, Attempts: c.cfg.MaxAttempts, Last: last}, id)
+	out.Rows = rows
+	return out, nil
 }
 
 // retryAfterOf extracts the server's Retry-After floor from a prior
@@ -110,35 +106,99 @@ func retryAfterOf(err error) time.Duration {
 	return 0
 }
 
+// streamCall is the generic NDJSON stream exchange with the client's
+// retry schedule, shared by every streaming endpoint: marshal the
+// request once, then attempt until a stream completes or delivers —
+// establishment failures (connection errors, 429/5xx) retry with
+// backoff and failover exactly like buffered calls, but once a row has
+// reached the callback the call is no longer transparently repeatable,
+// so mid-stream failures are terminal. hdr and trl receive the decoded
+// header and trailer lines; the returned int counts delivered rows.
+func streamCall[Row any](ctx context.Context, c *Client, path string, req any, hdr, trl any, row func(Row) error) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if row == nil {
+		return 0, fmt.Errorf("client: %s requires a row callback", path)
+	}
+	id := telemetry.SanitizeRequestID(telemetry.RequestID(ctx))
+	if id == "" {
+		id = telemetry.NewRequestID()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, fmt.Errorf("client: %s: encoding request: %w", path, err)
+	}
+	var last error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := c.pace(ctx, c.backoff(attempt-1, retryAfterOf(last))); err != nil {
+				return 0, c.giveUp(ctx, &RetryError{Endpoint: path, Attempts: attempt - 1, Last: last}, id)
+			}
+		}
+		idx := c.cur.Load()
+		base := c.endpoints[int(idx)%len(c.endpoints)]
+		delivered, err := attemptStream(ctx, c, base, path, body, id, attempt, hdr, trl, row)
+		if err == nil {
+			return delivered, nil
+		}
+		if delivered > 0 || !retryable(err) {
+			// Rows already reached the callback: repeating the call would
+			// deliver them twice, so the failure is the caller's.
+			return 0, err
+		}
+		c.failover(idx)
+		last = err
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "attempt failed",
+				slog.String("id", id), slog.String("endpoint", path),
+				slog.Int("attempt", attempt), slog.String("error", err.Error()))
+		}
+		if ctx.Err() != nil {
+			return 0, c.giveUp(ctx, &RetryError{Endpoint: path, Attempts: attempt, Last: last}, id)
+		}
+	}
+	return 0, c.giveUp(ctx, &RetryError{Endpoint: path, Attempts: c.cfg.MaxAttempts, Last: last}, id)
+}
+
 // streamProbe classifies one NDJSON line. Row lines never carry an
-// "error" or "feasible" key (SweepPointJSON has neither), the trailer
-// always carries "feasible", and the in-band error line always carries
-// "error" — so pointer presence decides the line's kind.
+// "error", "feasible", or "nodes" key (neither SweepPointJSON nor
+// FrontierRowJSON has one), the in-band error line always carries
+// "error", and every trailer carries its marker key — "feasible" for
+// the sweep, "nodes" (a count, never in a row) for the frontier — so
+// pointer presence decides the line's kind. A new stream endpoint adds
+// its trailer marker here.
 type streamProbe struct {
 	Error    *string `json:"error"`
 	Feasible *int    `json:"feasible"`
+	Nodes    *int    `json:"nodes"`
 }
 
-// attemptStream is one wire exchange of a sweep stream. delivered
-// counts rows handed to the callback — the caller uses it to decide
-// whether a failure is still transparently retryable.
-func (c *Client) attemptStream(ctx context.Context, base string, body []byte, id string, n int, row func(server.SweepPointJSON) error) (out *SweepStreamResult, delivered int, err error) {
-	a := Attempt{Endpoint: sweepStreamPath, N: n}
+func (p *streamProbe) trailer() bool { return p.Feasible != nil || p.Nodes != nil }
+
+// attemptStream is one wire exchange of an NDJSON stream: POST the
+// body, decode the header line into hdr, hand decoded row lines to the
+// callback as they arrive, and finish on the trailer line (decoded
+// into trl) or an in-band error line. delivered counts rows handed to
+// the callback — the caller uses it to decide whether a failure is
+// still transparently retryable.
+func attemptStream[Row any](ctx context.Context, c *Client, base, path string, body []byte, id string, n int, hdr, trl any, row func(Row) error) (delivered int, err error) {
+	a := Attempt{Endpoint: path, N: n}
 	if c.cfg.OnAttempt != nil {
 		defer func() {
 			a.Err = err
 			c.cfg.OnAttempt(ctx, a)
 		}()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+sweepStreamPath, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, fmt.Errorf("client: %s: %w", sweepStreamPath, err)
+		return 0, fmt.Errorf("client: %s: %w", path, err)
 	}
 	req.Header.Set(telemetry.HeaderRequestID, id)
 	req.Header.Set("Content-Type", "application/json")
 	res, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
-		return nil, 0, &TransportError{Endpoint: sweepStreamPath, Err: err}
+		return 0, &TransportError{Endpoint: path, Err: err}
 	}
 	defer res.Body.Close()
 	a.Status = res.StatusCode
@@ -147,52 +207,50 @@ func (c *Client) attemptStream(ctx context.Context, base string, body []byte, id
 	if res.StatusCode != http.StatusOK {
 		payload, rerr := io.ReadAll(io.LimitReader(res.Body, 64<<20))
 		if rerr != nil {
-			return nil, 0, &TransportError{Endpoint: sweepStreamPath, Err: rerr}
+			return 0, &TransportError{Endpoint: path, Err: rerr}
 		}
-		return nil, 0, apiErrorFrom(res, payload, sweepStreamPath)
+		return 0, apiErrorFrom(res, payload, path)
 	}
 
 	br := bufio.NewReader(res.Body)
 	line, err := readLine(br)
 	if err != nil {
-		return nil, 0, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("reading stream header: %w", err)}
+		return 0, &TransportError{Endpoint: path, Err: fmt.Errorf("reading stream header: %w", err)}
 	}
-	result := &SweepStreamResult{}
-	if err := json.Unmarshal(line, &result.Header); err != nil {
-		return nil, 0, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("decoding stream header: %w", err)}
+	if err := json.Unmarshal(line, hdr); err != nil {
+		return 0, &TransportError{Endpoint: path, Err: fmt.Errorf("decoding stream header: %w", err)}
 	}
 	for {
 		line, err := readLine(br)
 		if err != nil {
 			// The stream ended without a trailer: truncated. Terminal
 			// when rows were already delivered, retryable otherwise.
-			return nil, delivered, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("stream truncated after %d row(s): %w", delivered, err)}
+			return delivered, &TransportError{Endpoint: path, Err: fmt.Errorf("stream truncated after %d row(s): %w", delivered, err)}
 		}
 		var probe streamProbe
 		if err := json.Unmarshal(line, &probe); err != nil {
-			return nil, delivered, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("undecodable stream line: %w", err)}
+			return delivered, &TransportError{Endpoint: path, Err: fmt.Errorf("undecodable stream line: %w", err)}
 		}
 		switch {
 		case probe.Error != nil:
 			// In-band failure after the 200 header: the server could not
-			// finish the sweep. Terminal — the same request will fail the
-			// same way for validation errors, and for deadline errors the
-			// caller's context decides.
-			return nil, delivered, fmt.Errorf("client: %s: stream error after %d row(s): %s", sweepStreamPath, delivered, *probe.Error)
-		case probe.Feasible != nil:
-			if err := json.Unmarshal(line, &result.Trailer); err != nil {
-				return nil, delivered, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("decoding stream trailer: %w", err)}
+			// finish the evaluation. Terminal — the same request will fail
+			// the same way for validation errors, and for deadline errors
+			// the caller's context decides.
+			return delivered, fmt.Errorf("client: %s: stream error after %d row(s): %s", path, delivered, *probe.Error)
+		case probe.trailer():
+			if err := json.Unmarshal(line, trl); err != nil {
+				return delivered, &TransportError{Endpoint: path, Err: fmt.Errorf("decoding stream trailer: %w", err)}
 			}
-			result.Rows = delivered
-			return result, delivered, nil
+			return delivered, nil
 		default:
-			var p server.SweepPointJSON
-			if err := json.Unmarshal(line, &p); err != nil {
-				return nil, delivered, &TransportError{Endpoint: sweepStreamPath, Err: fmt.Errorf("decoding stream row: %w", err)}
+			var r Row
+			if err := json.Unmarshal(line, &r); err != nil {
+				return delivered, &TransportError{Endpoint: path, Err: fmt.Errorf("decoding stream row: %w", err)}
 			}
 			delivered++
-			if err := row(p); err != nil {
-				return nil, delivered, fmt.Errorf("client: %s: row callback: %w", sweepStreamPath, err)
+			if err := row(r); err != nil {
+				return delivered, fmt.Errorf("client: %s: row callback: %w", path, err)
 			}
 		}
 	}

@@ -1,0 +1,90 @@
+package engine
+
+import "context"
+
+// This file is the streaming counterpart to Op. A buffered operation
+// produces one marshaled response; a streaming operation produces a
+// sequence of NDJSON frames — by convention one header line (the
+// request's identity), any number of row lines, and one trailer line
+// (the reduction) — emitted as the evaluation progresses, so a result
+// too large or too slow to buffer still starts flowing immediately.
+//
+// The split mirrors Op exactly: PrepareStream owns strict decode,
+// validation, and canonicalization (so the serving layer's decode span
+// and error mapping work unchanged), and the returned closure owns the
+// deadline-bounded evaluation. What streams give up is the cache: a
+// stream has no single response value to key, so StreamOps never enter
+// the result cache or the peer tier — every stream evaluates.
+
+// StreamEmitter receives one operation's NDJSON frames. Emit appends
+// the newline itself, so ops hand over bare JSON documents; Flush
+// pushes everything buffered so far to the client — the op decides the
+// flush granularity (after the header, after each evaluation window)
+// because only it knows when a frame boundary is worth a syscall.
+// After either method returns an error the stream is dead (the client
+// went away); the op must stop and return that error unchanged.
+type StreamEmitter interface {
+	// Emit appends one NDJSON line (a complete JSON document, no
+	// trailing newline).
+	Emit(line []byte) error
+
+	// Flush writes all buffered lines to the client immediately.
+	Flush() error
+}
+
+// StreamFunc evaluates one prepared stream: it emits the header, rows,
+// and trailer through e, honoring ctx between frames. Returning nil
+// means the trailer is emitted and the stream is complete; returning an
+// error after frames are on the wire becomes an in-band error line —
+// the transport's status codes are already spent.
+type StreamFunc func(ctx context.Context, e StreamEmitter) error
+
+// StreamOp is one streaming operation as the serving stack consumes
+// it. It deliberately has no cache key: streams always evaluate.
+type StreamOp interface {
+	// Name is the operation's short name. A StreamOp may share its name
+	// with a buffered Op (the sweep does): the pair then shares one
+	// route and one counter, dispatched on the stream query parameter.
+	Name() string
+
+	// Path is the HTTP route. Stream-only operations use their own path
+	// (e.g. "/v1/frontier/stream"); ops shadowing a buffered Op reuse
+	// its path.
+	Path() string
+
+	// PrepareStream decodes the body strictly, validates and
+	// canonicalizes the request, and returns the evaluation closure.
+	// Validation failures surface as *Error before any byte is written,
+	// so they still map to plain 400/422 responses.
+	PrepareStream(body []byte, env Env) (StreamFunc, error)
+}
+
+// StreamBuildFunc is the one endpoint-specific piece of a streaming
+// operation: validate req, canonicalize it in place, and return the
+// frame-emitting closure.
+type StreamBuildFunc[Req any] func(req *Req, env Env) (StreamFunc, error)
+
+// streamOp implements StreamOp for one request type.
+type streamOp[Req any] struct {
+	name  string
+	path  string
+	build StreamBuildFunc[Req]
+}
+
+// NewStream defines the streaming operation served at path. The
+// generic pipeline it inherits mirrors New's: strict decode into Req,
+// then build (validate + canonicalize + stream closure).
+func NewStream[Req any](name, path string, build StreamBuildFunc[Req]) StreamOp {
+	return &streamOp[Req]{name: name, path: path, build: build}
+}
+
+func (o *streamOp[Req]) Name() string { return o.name }
+func (o *streamOp[Req]) Path() string { return o.path }
+
+func (o *streamOp[Req]) PrepareStream(body []byte, env Env) (StreamFunc, error) {
+	var req Req
+	if err := DecodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	return o.build(&req, env)
+}

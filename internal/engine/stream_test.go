@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// collectEmitter buffers emitted lines for assertions.
+type collectEmitter struct {
+	lines   []string
+	flushes int
+}
+
+func (e *collectEmitter) Emit(line []byte) error { e.lines = append(e.lines, string(line)); return nil }
+func (e *collectEmitter) Flush() error           { e.flushes++; return nil }
+
+type streamReq struct {
+	N int `json:"n"`
+}
+
+func testStream() StreamOp {
+	return NewStream("numbers", "/v1/numbers/stream", func(req *streamReq, env Env) (StreamFunc, error) {
+		if req.N < 0 {
+			return nil, BadRequest("n must be >= 0, got %d", req.N)
+		}
+		n := req.N
+		return func(ctx context.Context, e StreamEmitter) error {
+			for i := 0; i < n; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if err := e.Emit([]byte(`{"i":` + string(rune('0'+i)) + `}`)); err != nil {
+					return err
+				}
+			}
+			return e.Flush()
+		}, nil
+	})
+}
+
+func TestNewStreamIdentity(t *testing.T) {
+	op := testStream()
+	if op.Name() != "numbers" {
+		t.Fatalf("Name() = %q", op.Name())
+	}
+	if op.Path() != "/v1/numbers/stream" {
+		t.Fatalf("Path() = %q", op.Path())
+	}
+}
+
+func TestPrepareStreamDecodeStrict(t *testing.T) {
+	op := testStream()
+	if _, err := op.PrepareStream([]byte(`{"n": 1, "typo": true}`), Env{}); err == nil {
+		t.Fatal("unknown field accepted")
+	} else if e := new(Error); !errors.As(err, &e) || e.Status != 400 {
+		t.Fatalf("want 400 *Error, got %v", err)
+	}
+	if _, err := op.PrepareStream([]byte(`{"n": -1}`), Env{}); err == nil {
+		t.Fatal("build validation error lost")
+	} else if !strings.Contains(err.Error(), "n must be >= 0") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestPrepareStreamEmits(t *testing.T) {
+	op := testStream()
+	fn, err := op.PrepareStream([]byte(`{"n": 3}`), Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &collectEmitter{}
+	if err := fn(context.Background(), e); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.lines) != 3 || e.flushes != 1 {
+		t.Fatalf("got %d lines, %d flushes", len(e.lines), e.flushes)
+	}
+}
+
+func TestStreamHonorsContext(t *testing.T) {
+	op := testStream()
+	fn, err := op.PrepareStream([]byte(`{"n": 3}`), Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := fn(ctx, &collectEmitter{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestEnvReportModel: Meta capture when present, no-op (no panic)
+// when the caller did not ask for metadata.
+func TestEnvReportModel(t *testing.T) {
+	meta := Meta{}
+	Env{Meta: &meta}.ReportModel("sqrtm")
+	if meta.Model != "sqrtm" {
+		t.Errorf("Meta.Model = %q, want sqrtm", meta.Model)
+	}
+	Env{}.ReportModel("sqrtm") // nil Meta must be a safe no-op
+}

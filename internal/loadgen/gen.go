@@ -130,6 +130,21 @@ func issue(ctx context.Context, c *client.Client, ep string, key int64, samples 
 		})
 	case "ablation":
 		_, err = c.Ablation(ctx, server.AblationRequest{Workload: "FFT-1024", F: f})
+	case "compare":
+		// Two distinct scenarios per request (s2 is s1 shifted by one in
+		// 1-6), so the pair list is always duplicate-free.
+		s1 := int(key%6) + 1
+		_, err = c.Compare(ctx, server.CompareRequest{
+			Workload: "FFT-1024", F: f,
+			Pairs: []server.ComparePair{{Scenario: s1}, {Scenario: s1%6 + 1}},
+		})
+	case "frontier":
+		// The stream bypasses the cache by design, so every frontier
+		// request is an evaluation regardless of key reuse; rows are
+		// discarded like every other response body.
+		_, err = c.FrontierStream(ctx, server.FrontierRequest{
+			Workload: "FFT-1024", F: f, Scenario: int(key % 7),
+		}, func(server.FrontierRowJSON) error { return nil })
 	case "models":
 		_, err = c.Models(ctx)
 	default:

@@ -399,7 +399,8 @@ func DefaultClusterMatrix() ClusterMatrix {
 func mixAll() map[string]float64 {
 	return map[string]float64{
 		"optimize": 6, "sweep": 3, "project": 1,
-		"scenario": 0.5, "sensitivity": 1, "ablation": 0.5, "models": 0.5,
+		"scenario": 0.5, "sensitivity": 1, "ablation": 0.5,
+		"compare": 0.5, "frontier": 0.5, "models": 0.5,
 	}
 }
 

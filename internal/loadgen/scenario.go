@@ -34,10 +34,14 @@ import (
 	"github.com/calcm/heterosim/internal/faultinject"
 )
 
-// Endpoints the mix may weight: the six registry operations plus the
-// GET /v1/models discovery endpoint.
+// Endpoints the mix may weight: the seven registry operations, the
+// stream-only frontier trajectory endpoint, and the GET /v1/models
+// discovery endpoint. "frontier" drives POST /v1/frontier/stream —
+// NDJSON, cache-bypassing — so mixes with it exercise the streaming
+// pipeline under load, not just the buffered one.
 var endpointNames = []string{
-	"optimize", "sweep", "project", "scenario", "sensitivity", "ablation", "models",
+	"optimize", "sweep", "project", "scenario", "sensitivity", "ablation",
+	"compare", "frontier", "models",
 }
 
 // KnownEndpoint reports whether name is a mixable endpoint.

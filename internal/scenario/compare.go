@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"github.com/calcm/heterosim/internal/core"
+	"github.com/calcm/heterosim/internal/project"
+)
+
+// This file is the analysis layer over trajectory sets: the derived
+// quantities the compare surfaces (POST /v1/compare, the heterosim
+// compare subcommand) answer with. It is pure trajectory arithmetic —
+// no serving or wire concerns — so the CLI and the daemon can never
+// disagree about what a delta or a crossover is.
+
+// Crossover marks the first roadmap node where one design overtakes
+// another within a single trajectory set: the paper's "at which node
+// does the FPGA overtake the asymmetric CMP?" question. NodeIndex is
+// -1 (and Node empty) when the overtake never happens on the roadmap.
+type Crossover struct {
+	Design    string // the overtaking (heterogeneous) design's label
+	Over      string // the overtaken (CMP baseline) design's label
+	Node      string // node name of the first overtake, "" if never
+	NodeIndex int    // roadmap index of the first overtake, -1 if never
+}
+
+// Crossovers scans a trajectory set node-by-node and reports, for every
+// (heterogeneous design, CMP design) pair in set order, the first node
+// where the heterogeneous design's speedup strictly exceeds the CMP's
+// with both points valid. Every pair appears exactly once, so "never
+// overtakes" is an explicit NodeIndex of -1, not an omission.
+func Crossovers(ts []project.Trajectory) []Crossover {
+	var out []Crossover
+	for _, het := range ts {
+		if het.Design.Kind != core.Het {
+			continue
+		}
+		for _, cmp := range ts {
+			if cmp.Design.Kind == core.Het {
+				continue
+			}
+			c := Crossover{Design: het.Design.Label, Over: cmp.Design.Label, NodeIndex: -1}
+			for i := range het.Points {
+				hp, cp := het.Points[i], cmp.Points[i]
+				if hp.Valid && cp.Valid && hp.Point.Speedup > cp.Point.Speedup {
+					c.Node = hp.Node.Name
+					c.NodeIndex = i
+					break
+				}
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DesignDelta is one design's speedup difference at one node between a
+// baseline and an alternative trajectory set. Valid requires the
+// design's point to be feasible in both sets at that node; Base, Alt,
+// and Delta are meaningless otherwise.
+type DesignDelta struct {
+	Label string
+	Valid bool
+	Base  float64 // baseline speedup
+	Alt   float64 // alternative speedup
+	Delta float64 // Alt - Base
+}
+
+// Deltas pairs two trajectory sets of the same lineup node-by-node:
+// out[node][design] is the alternative-minus-baseline speedup delta.
+// The sets must come from the same projection lineup (same designs,
+// same roadmap), as CompareModelCtx guarantees.
+func Deltas(base, alt []project.Trajectory) [][]DesignDelta {
+	if len(base) == 0 || len(base) != len(alt) {
+		return nil
+	}
+	nodes := len(base[0].Points)
+	out := make([][]DesignDelta, nodes)
+	for n := 0; n < nodes; n++ {
+		row := make([]DesignDelta, 0, len(base))
+		for d := range base {
+			bp, ap := base[d].Points[n], alt[d].Points[n]
+			dd := DesignDelta{Label: alt[d].Design.Label}
+			if bp.Valid && ap.Valid {
+				dd.Valid = true
+				dd.Base = bp.Point.Speedup
+				dd.Alt = ap.Point.Speedup
+				dd.Delta = ap.Point.Speedup - bp.Point.Speedup
+			}
+			row = append(row, dd)
+		}
+		out[n] = row
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchCompareBody is a two-pair compare: each pair is two full roadmap
+// projections, so cold latency here is the most expensive buffered
+// operation in the registry.
+const benchCompareBody = `{"workload":"FFT-1024","f":0.99,"pairs":[{"scenario":1},{"scenario":2}]}`
+
+// benchFrontierBody is the frontier stream's request: one trajectory
+// set, streamed node-by-node, never cached.
+const benchFrontierBody = `{"workload":"FFT-1024","f":0.99,"scenario":2}`
+
+func BenchmarkCompareCold(b *testing.B) {
+	s := newBenchServer(b, -1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/compare", benchCompareBody)
+	}
+}
+
+func BenchmarkCompareCached(b *testing.B) {
+	s := newBenchServer(b, 4096)
+	benchPost(b, s, "/v1/compare", benchCompareBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/compare", benchCompareBody)
+	}
+}
+
+// BenchmarkFrontierStream measures one full frontier stream through
+// the generic NDJSON pipeline. There is no cached variant: streams
+// bypass the cache by design, so this is the pipeline's floor.
+func BenchmarkFrontierStream(b *testing.B) {
+	s := newBenchServer(b, -1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, s, "/v1/frontier/stream", benchFrontierBody)
+	}
+}
+
+// TestMeasureBench10 regenerates BENCH_10.json at the repo root: the
+// cold-vs-cached /v1/compare measurement plus the frontier stream's
+// evaluation cost, each the minimum of three testing.Benchmark runs
+// through the full handler stack. Gated behind HETEROSIM_MEASURE=1
+// because it is a measurement, not a regression check:
+//
+//	HETEROSIM_MEASURE=1 go test -run MeasureBench10 -v ./internal/server/
+func TestMeasureBench10(t *testing.T) {
+	if os.Getenv("HETEROSIM_MEASURE") == "" {
+		t.Skip("set HETEROSIM_MEASURE=1 to regenerate BENCH_10.json")
+	}
+	type stat struct {
+		NsPerOp     int64 `json:"nsPerOp"`
+		BytesPerOp  int64 `json:"bytesPerOp"`
+		AllocsPerOp int64 `json:"allocsPerOp"`
+	}
+	measure := func(fn func(b *testing.B)) stat {
+		// Minimum of three runs: pure-CPU latencies, so the fastest run
+		// is the least disturbed by background load (same estimator as
+		// BENCH_7).
+		r := testing.Benchmark(fn)
+		for extra := 0; extra < 2; extra++ {
+			if rr := testing.Benchmark(fn); rr.NsPerOp() < r.NsPerOp() {
+				r = rr
+			}
+		}
+		return stat{NsPerOp: r.NsPerOp(), BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp()}
+	}
+	cold := measure(BenchmarkCompareCold)
+	cached := measure(BenchmarkCompareCached)
+	stream := measure(BenchmarkFrontierStream)
+	speedup := 0.0
+	if cached.NsPerOp > 0 {
+		// One decimal place keeps the file diff-stable across runs.
+		speedup = float64(int64(float64(cold.NsPerOp)/float64(cached.NsPerOp)*10+0.5)) / 10
+	}
+	out := struct {
+		Note           string  `json:"note"`
+		CompareCold    stat    `json:"compareCold"`
+		CompareCached  stat    `json:"compareCached"`
+		FrontierStream stat    `json:"frontierStream"`
+		ColdVsCachedX  float64 `json:"coldVsCachedX"`
+	}{
+		Note: "Cold vs cached /v1/compare (two pairs = four roadmap " +
+			"projections per request) and one full /v1/frontier/stream " +
+			"evaluation, through the full handler stack. Minimum of three " +
+			"runs. Regenerate: HETEROSIM_MEASURE=1 " +
+			"go test -run MeasureBench10 ./internal/server/",
+		CompareCold:    cold,
+		CompareCached:  cached,
+		FrontierStream: stream,
+		ColdVsCachedX:  speedup,
+	}
+	t.Logf("compare cold %d ns/op, cached %d ns/op (%.1fx), frontier stream %d ns/op",
+		cold.NsPerOp, cached.NsPerOp, speedup, stream.NsPerOp)
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_10.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

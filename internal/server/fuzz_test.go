@@ -106,6 +106,65 @@ func FuzzAblation(f *testing.F) {
 	})
 }
 
+func FuzzCompare(f *testing.F) {
+	fuzzEndpoint(f, "/v1/compare", []string{
+		`{"workload":"MMM","f":0.9,"pairs":[{"scenario":1},{"scenario":2}]}`,
+		`{"workload":"FFT-1024","f":0.99,"model":"sqrtm","pairs":[{"scenario":0}]}`,
+		`{"workload":"MMM","f":NaN,"pairs":[{"scenario":1}]}`,
+		`{"workload":"MMM","f":0.9,"pairs":[]}`,
+		`{"workload":"MMM","f":0.9,"pairs":[{"scenario":99}]}`,
+		`{"workload":"MMM","f":0.9,"pairs":[{"scenario":3},{"scenario":3}]}`,
+		`{"workload":"MMM","f":0.9,"model":"sqrtm","pairs":[{"scenario":3},{"scenario":3,"model":"sqrtm"}]}`,
+		`{"workload":"MMM","f":0.9,"pairs":[{"scenario":1,"model":"nope","modelParams":{"x":1}}]}`,
+		`{bad`,
+		`{}`,
+	})
+}
+
+// FuzzFrontier is the NDJSON-aware variant of the shared harness: the
+// stream endpoint's error contract is the same (no panics, no 5xx for
+// bad input), but a 200 body is a sequence of JSON lines, each of
+// which must decode, not one document.
+func FuzzFrontier(f *testing.F) {
+	for _, s := range []string{
+		`{"workload":"MMM","f":0.9,"scenario":1}`,
+		`{"workload":"FFT-1024","f":0.99,"scenario":0,"model":"multiamdahl-thermal"}`,
+		`{"workload":"MMM","f":NaN,"scenario":1}`,
+		`{"workload":"MMM","f":0.9,"scenario":9}`,
+		`{"workload":"nope","f":0.9}`,
+		`{"workload":"MMM","f":0.9,"model":"nope"}`,
+		`{"workload":"MMM","f":0.9,"workers":-2147483648}`,
+		`{bad`,
+		`{}`,
+	} {
+		f.Add([]byte(s))
+	}
+	s, err := New(Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/frontier/stream", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+			for i, line := range strings.Split(strings.TrimSuffix(rec.Body.String(), "\n"), "\n") {
+				if !json.Valid([]byte(line)) {
+					t.Fatalf("body %q: stream line %d is not JSON: %q", body, i, line)
+				}
+			}
+		case http.StatusBadRequest, http.StatusUnprocessableEntity:
+			if !json.Valid(rec.Body.Bytes()) {
+				t.Fatalf("body %q got non-JSON error response %q", body, rec.Body.String())
+			}
+		default:
+			t.Fatalf("body %q got status %d (%s)", body, rec.Code, rec.Body.String())
+		}
+	})
+}
+
 func FuzzScenario(f *testing.F) {
 	fuzzEndpoint(f, "/v1/scenario", []string{
 		`{"scenario":1,"workload":"MMM","f":0.9}`,

@@ -26,6 +26,7 @@ var registry = engine.NewRegistry(
 	opScenario,
 	opSensitivity,
 	opAblation,
+	opCompare,
 )
 
 // extraEndpoints are the hand-rolled routes counted beside the
@@ -33,16 +34,18 @@ var registry = engine.NewRegistry(
 // surface plus the batch fan-out (POST, but not a registry op — one
 // batch carries many per-item cache keys, so it cannot ride the
 // one-key pipeline).
-var extraEndpoints = [...]string{"healthz", "metrics", "version", "models", "batch"}
+var extraEndpoints = [...]string{"healthz", "metrics", "version", "models", "batch", "frontier"}
 
 // Counter indices of the hand-rolled endpoints: they follow the
-// registry ops.
+// registry ops. frontier is a stream-only op (no buffered form, so not
+// a registry entry) routed through the generic stream pipeline.
 var (
-	idxHealthz = len(registry.Names())
-	idxMetrics = idxHealthz + 1
-	idxVersion = idxHealthz + 2
-	idxModels  = idxHealthz + 3
-	idxBatch   = idxHealthz + 4
+	idxHealthz  = len(registry.Names())
+	idxMetrics  = idxHealthz + 1
+	idxVersion  = idxHealthz + 2
+	idxModels   = idxHealthz + 3
+	idxBatch    = idxHealthz + 4
+	idxFrontier = idxHealthz + 5
 )
 
 // registryOps resolves a batch item's op field against the registry.
@@ -153,9 +156,10 @@ type ModelsResponse struct {
 // startup logs and smoke checks can never drift from what is actually
 // routed.
 func Endpoints() []string {
-	out := make([]string, 0, len(registry.Ops())+5)
+	out := make([]string, 0, len(registry.Ops())+6)
 	for _, op := range registry.Ops() {
 		out = append(out, "POST "+op.Path())
 	}
-	return append(out, "POST /v1/batch", "GET /v1/version", "GET /v1/models", "GET /healthz", "GET /metrics")
+	return append(out, "POST "+streamFrontier.Path(), "POST /v1/batch",
+		"GET /v1/version", "GET /v1/models", "GET /healthz", "GET /metrics")
 }

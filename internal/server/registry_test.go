@@ -21,6 +21,7 @@ var sampleBodies = map[string]string{
 	"scenario":    `{"scenario":1,"workload":"MMM","f":0.9}`,
 	"sensitivity": `{"workload":"MMM","f":0.9,"design":{"kind":"sym"},"samples":50}`,
 	"ablation":    `{"workload":"MMM","f":0.9,"node":"40nm"}`,
+	"compare":     `{"workload":"MMM","f":0.9,"pairs":[{"scenario":1},{"scenario":2}]}`,
 }
 
 func TestRegistrySampleCompleteness(t *testing.T) {
@@ -59,12 +60,12 @@ func TestEndpointsCoverRegistry(t *testing.T) {
 			t.Errorf("Endpoints() is missing POST %s", op.Path())
 		}
 	}
-	for _, e := range []string{"POST /v1/batch", "GET /v1/version", "GET /v1/models", "GET /healthz", "GET /metrics"} {
+	for _, e := range []string{"POST /v1/frontier/stream", "POST /v1/batch", "GET /v1/version", "GET /v1/models", "GET /healthz", "GET /metrics"} {
 		if !listed[e] {
 			t.Errorf("Endpoints() is missing %s", e)
 		}
 	}
-	if want := len(registry.Ops()) + 5; len(eps) != want {
+	if want := len(registry.Ops()) + 6; len(eps) != want {
 		t.Errorf("Endpoints() has %d entries, want %d", len(eps), want)
 	}
 }

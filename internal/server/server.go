@@ -214,11 +214,17 @@ func New(cfg Config) (*Server, error) {
 	s.requests = make([]atomic.Int64, len(s.names))
 	for i, op := range ops {
 		h := s.model(i, op)
-		if op.Name() == "sweep" {
-			h = s.sweepRoute(i, h)
+		// An op with a streaming form shares its route and counter with
+		// it, dispatched on `?stream=`; the rest reject the parameter
+		// outright so it can never be silently ignored.
+		if sop, ok := streamRegistry[op.Name()]; ok {
+			h = s.streamRoute(i, sop, h)
+		} else {
+			h = s.rejectStreamParam(i, op.Name(), h)
 		}
 		s.mux.HandleFunc(op.Path(), h)
 	}
+	s.mux.HandleFunc(streamFrontier.Path(), s.streamRoute(idxFrontier, streamFrontier, nil))
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// brokenWriter is an http.ResponseWriter whose Write starts failing
+// after okWrites successes — a client that went away mid-stream.
+type brokenWriter struct {
+	header   http.Header
+	okWrites int
+	writes   int
+	status   int
+}
+
+func (w *brokenWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+
+func (w *brokenWriter) WriteHeader(status int) { w.status = status }
+
+func (w *brokenWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.okWrites {
+		return 0, errors.New("broken pipe")
+	}
+	return len(p), nil
+}
+
+// TestStreamEmitterClientGone pins the emitter's client-gone
+// discipline: the write that fails marks the emitter dead, and every
+// later Emit/Flush reports errStreamClientGone instead of touching the
+// connection again.
+func TestStreamEmitterClientGone(t *testing.T) {
+	e := &streamEmitter{w: &brokenWriter{okWrites: 0}}
+	if err := e.Emit([]byte(`{"a":1}`)); err != nil {
+		t.Fatalf("Emit into the buffer should not fail: %v", err)
+	}
+	if err := e.Flush(); !errors.Is(err, errStreamClientGone) {
+		t.Fatalf("Flush over a broken writer = %v, want errStreamClientGone", err)
+	}
+	if !e.dead {
+		t.Fatal("a failed write must mark the emitter dead")
+	}
+	if err := e.Emit([]byte(`{"b":2}`)); !errors.Is(err, errStreamClientGone) {
+		t.Errorf("Emit after death = %v, want errStreamClientGone", err)
+	}
+	if err := e.write(); !errors.Is(err, errStreamClientGone) {
+		t.Errorf("write after death = %v, want errStreamClientGone", err)
+	}
+}
+
+// TestStreamEmitterEmptyFlush: flushing with nothing buffered is a
+// no-op, not a zero-byte write (which would force the 200 header early
+// on a stream that then wants to fail with a real HTTP status).
+func TestStreamEmitterEmptyFlush(t *testing.T) {
+	w := &brokenWriter{okWrites: 0}
+	e := &streamEmitter{w: w}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("empty Flush = %v, want nil", err)
+	}
+	if w.writes != 0 {
+		t.Errorf("empty Flush performed %d writes, want 0", w.writes)
+	}
+}
+
+// TestStreamErrorClassification pins how in-band failures are counted
+// and what reaches the wire: the status class writeError would have
+// used decides the error counter, and the emitted line is always a
+// decodable error object.
+func TestStreamErrorClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		wantClass string
+	}{
+		{"unclassified is 500-class", errors.New("boom"), "serverError"},
+		{"apiError keeps its status", &apiError{Status: http.StatusUnprocessableEntity, Message: "infeasible"}, "clientError"},
+		{"deadline is 504-class", context.DeadlineExceeded, "serverError"},
+		{"cancel is 503-class", context.Canceled, "serverError"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTestServer(t, Config{})
+			rec := httptest.NewRecorder()
+			e := &streamEmitter{w: rec, started: true}
+			s.streamError(context.Background(), "frontier", e, tc.err)
+			if got := s.Snapshot().Responses[tc.wantClass]; got != 1 {
+				t.Errorf("responses.%s = %d, want 1", tc.wantClass, got)
+			}
+			var line SweepStreamError
+			if err := json.Unmarshal(rec.Body.Bytes(), &line); err != nil || line.Error == "" {
+				t.Errorf("in-band line %q is not an error object: %v", rec.Body.String(), err)
+			}
+		})
+	}
+}
+
+// TestStreamErrorDeadEmitter: when the client is gone the in-band line
+// has nowhere to go; streamError must still count and log the failure
+// without touching the connection again.
+func TestStreamErrorDeadEmitter(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := &brokenWriter{okWrites: 0}
+	e := &streamEmitter{w: w, started: true, dead: true}
+	s.streamError(context.Background(), "frontier", e, errors.New("boom"))
+	if got := s.Snapshot().Responses["serverError"]; got != 1 {
+		t.Errorf("responses.serverError = %d, want 1", got)
+	}
+	if w.writes != 0 {
+		t.Errorf("dead emitter saw %d writes, want 0", w.writes)
+	}
+}
+
+// TestFrontierStreamClientGoneMidStream drives the whole pipeline into
+// a client that dies after the header frame: the handler must return
+// without emitting further frames, counting a success, or panicking.
+func TestFrontierStreamClientGoneMidStream(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := &brokenWriter{okWrites: 1} // header flush lands, first row write fails
+	req := httptest.NewRequest(http.MethodPost, "/v1/frontier/stream",
+		strings.NewReader(`{"workload":"MMM","f":0.9,"scenario":1}`))
+	s.Handler().ServeHTTP(w, req)
+	snap := s.Snapshot().Responses
+	if snap["ok"] != 0 {
+		t.Errorf("responses.ok = %d, want 0 (the stream never finished)", snap["ok"])
+	}
+	if snap["serverError"] != 0 || snap["clientError"] != 0 {
+		t.Errorf("error counters = (%d, %d), want (0, 0): a vanished client is not a server failure",
+			snap["serverError"], snap["clientError"])
+	}
+	if w.writes < 2 {
+		t.Errorf("writer saw %d writes, want at least the header and the failed row", w.writes)
+	}
+}
+
+// TestFrontierStreamSaturated503: streams always evaluate, so they
+// queue at the admission gate like any miss — with the only slot held
+// and no queue patience, the stream is refused with a plain HTTP 503
+// before any NDJSON starts.
+func TestFrontierStreamSaturated503(t *testing.T) {
+	s := newTestServer(t, Config{
+		MaxInflight:  1,
+		MaxQueue:     4,
+		QueueTimeout: 5 * time.Millisecond,
+	})
+	release, status := s.gate.acquire(context.Background())
+	if status != 0 {
+		t.Fatalf("holding the only slot: status %d", status)
+	}
+	defer release()
+	rec := do(t, s, http.MethodPost, "/v1/frontier/stream", `{"workload":"MMM","f":0.9}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct == "application/x-ndjson" {
+		t.Error("a refused stream must not claim to be NDJSON")
+	}
+}
+
+// TestFrontierStreamDeadlineBeforeHeader: a deadline that expires
+// while the evaluation is still running — before any frame is on the
+// wire — is a plain HTTP 504, not a 200 with an in-band error.
+func TestFrontierStreamDeadlineBeforeHeader(t *testing.T) {
+	s := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	rec := do(t, s, http.MethodPost, "/v1/frontier/stream", `{"workload":"MMM","f":0.9,"scenario":1}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", rec.Code, rec.Body.String())
+	}
+}
